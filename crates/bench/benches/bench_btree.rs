@@ -1,0 +1,74 @@
+//! B⁺-tree micro-benchmarks (the join-index substrate): inserts, point
+//! lookups, and range scans at the paper's order z = 100.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_btree::BPlusTree;
+use std::hint::black_box;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_insert");
+    group.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = BPlusTree::new(100);
+                for i in 0..n {
+                    t.insert(i, i);
+                }
+                black_box(t.height())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("shuffled", n), &n, |b, &n| {
+            // Multiplicative-hash permutation: deterministic, no rand dep.
+            b.iter(|| {
+                let mut t = BPlusTree::new(100);
+                for i in 0..n {
+                    let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n;
+                    t.insert(k, i);
+                }
+                black_box(t.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_and_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_read");
+    let mut t = BPlusTree::new(100);
+    for i in 0..100_000u64 {
+        t.insert(i, i);
+    }
+    group.bench_function("point_lookup", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 12_345) % 100_000;
+            black_box(t.get(&i))
+        });
+    });
+    group.bench_function("range_1000", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7_777) % 99_000;
+            black_box(t.range(&i, &(i + 999)).len())
+        });
+    });
+    group.finish();
+}
+
+/// Short measurement windows: these benches compare executors whose
+/// differences are orders of magnitude, so tight confidence intervals are
+/// not worth minutes of wall-clock per target.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_insert, bench_lookup_and_range
+);
+criterion_main!(benches);

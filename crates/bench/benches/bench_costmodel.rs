@@ -1,0 +1,59 @@
+//! Cost-model evaluation speed: regenerating an entire figure must be
+//! interactive, and Yao's function must stay cheap at paper-scale
+//! arguments (it is called O(n) times per sweep point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sj_costmodel::series::{join_figure, log_grid, select_figure};
+use sj_costmodel::{yao, Distribution, ModelParams};
+use std::hint::black_box;
+
+fn bench_yao(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yao");
+    group.bench_function("small_x_loop_path", |b| {
+        let mut x = 1.0;
+        b.iter(|| {
+            x = (x + 1.0) % 64.0 + 1.0;
+            black_box(yao(x, 222_223.0, 1_111_111.0))
+        });
+    });
+    group.bench_function("large_x_gamma_path", |b| {
+        let mut x = 100.0;
+        b.iter(|| {
+            x = (x * 1.37) % 1_000_000.0 + 100.0;
+            black_box(yao(x, 222_223.0, 1_111_111.0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_regeneration");
+    let params = ModelParams::paper();
+    let grid = log_grid(1e-12, 1.0, 50);
+    for d in Distribution::ALL {
+        group.bench_function(format!("select_{}", d.name()), |b| {
+            b.iter(|| black_box(select_figure(&params, d, &grid).len()));
+        });
+        group.bench_function(format!("join_{}", d.name()), |b| {
+            b.iter(|| black_box(join_figure(&params, d, &grid).len()));
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches compare executors whose
+/// differences are orders of magnitude, so tight confidence intervals are
+/// not worth minutes of wall-clock per target.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_yao, bench_figures
+);
+criterion_main!(benches);

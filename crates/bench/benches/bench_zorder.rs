@@ -1,0 +1,63 @@
+//! Z-order micro-benchmarks: bit interleaving and rectangle decomposition
+//! into z-elements at several grid resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sj_geom::Rect;
+use sj_zorder::{deinterleave, interleave, ZGrid};
+use std::hint::black_box;
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorder_curve");
+    group.bench_function("interleave", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(interleave(x, x.rotate_left(13)))
+        });
+    });
+    group.bench_function("roundtrip", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(deinterleave(interleave(x, !x)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorder_decompose");
+    for &bits in &[6u8, 10, 14] {
+        let grid = ZGrid::new(Rect::from_bounds(0.0, 0.0, 1024.0, 1024.0), bits);
+        group.bench_with_input(
+            BenchmarkId::new("unaligned_rect", bits),
+            &grid,
+            |b, grid| {
+                let mut off = 0.0f64;
+                b.iter(|| {
+                    off = (off + 13.37) % 700.0;
+                    let r = Rect::from_bounds(off, off * 0.7, off + 201.5, off * 0.7 + 99.25);
+                    black_box(grid.decompose(&r).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Short measurement windows: these benches compare executors whose
+/// differences are orders of magnitude, so tight confidence intervals are
+/// not worth minutes of wall-clock per target.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_curve, bench_decompose
+);
+criterion_main!(benches);

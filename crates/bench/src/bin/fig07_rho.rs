@@ -1,0 +1,68 @@
+//! Reproduces Figure 7: the match probabilities ρ(o1, o2) for o1 being the
+//! leftmost leaf node, under (a) UNIFORM, (b) NO-LOC, and (c) HI-LOC.
+//!
+//! The x-axis enumerates o2 over the leaves (left to right); additional
+//! tables show ρ against o2 at every height. Run:
+//! `cargo run --release -p sj-bench --bin fig07_rho`
+
+use sj_costmodel::dist::{rho_hiloc_vs_leftmost_leaf, Distribution};
+
+const K: usize = 3;
+const N: usize = 3;
+const P: f64 = 0.5;
+
+fn main() {
+    println!("# Figure 7: ρ(o1, o2) with o1 = leftmost leaf; k={K}, n={N}, p={P}\n");
+
+    let leaves = K.pow(N as u32) as u64;
+
+    println!("## (a) UNIFORM — constant ρ = p");
+    print!("   leaf o2: ");
+    for _ in 0..leaves {
+        print!("{P:>6.3}");
+    }
+    println!("\n");
+
+    println!("## (b) NO-LOC — ρ = p^max(min(i1,i2),1); for leaf pairs, p^{N}");
+    print!("   leaf o2: ");
+    let noloc_leaf = Distribution::NoLoc.pi(P, K, N as i64, N as i64);
+    for _ in 0..leaves {
+        print!("{noloc_leaf:>6.3}");
+    }
+    println!("\n   by height of o2 (o1 fixed at height {N}):");
+    for level in 0..=N {
+        println!(
+            "     height {level}: ρ = {:.4}",
+            Distribution::NoLoc.pi(P, K, N as i64, level as i64)
+        );
+    }
+    println!();
+
+    println!("## (c) HI-LOC — ρ = p^min(d1,d2), distances to the lowest common ancestor");
+    println!("   (1.0 over o1's own subtree path, decaying with tree distance)");
+    for level in 0..=N {
+        print!("   height {level}: ");
+        let count = K.pow(level as u32) as u64;
+        for idx in 0..count.min(27) {
+            print!("{:>6.3}", rho_hiloc_vs_leftmost_leaf(P, K, N, level, idx));
+        }
+        println!();
+    }
+
+    println!("\n# π_ij cross-height tables (p = {P}):");
+    for d in Distribution::ALL {
+        println!("\n## {} π_ij:", d.name());
+        print!("      ");
+        for j in 0..=N {
+            print!("   j={j}   ");
+        }
+        println!();
+        for i in 0..=N {
+            print!("  i={i} ");
+            for j in 0..=N {
+                print!(" {:>8.5}", d.pi(P, K, i as i64, j as i64));
+            }
+            println!();
+        }
+    }
+}

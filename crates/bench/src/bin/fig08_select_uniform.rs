@@ -1,0 +1,6 @@
+//! Reproduces Figure 8 of the paper (analytic cost curves at the
+//! Table 3 parameters). Run: `cargo run --release -p sj-bench --bin fig08_select_uniform`
+
+fn main() {
+    sj_bench::run_select_figure(8, sj_costmodel::Distribution::Uniform);
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 9 of the paper (analytic cost curves at the
+//! Table 3 parameters). Run: `cargo run --release -p sj-bench --bin fig09_select_noloc`
+
+fn main() {
+    sj_bench::run_select_figure(9, sj_costmodel::Distribution::NoLoc);
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 10 of the paper (analytic cost curves at the
+//! Table 3 parameters). Run: `cargo run --release -p sj-bench --bin fig10_select_hiloc`
+
+fn main() {
+    sj_bench::run_select_figure(10, sj_costmodel::Distribution::HiLoc);
+}

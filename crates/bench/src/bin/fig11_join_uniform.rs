@@ -1,0 +1,6 @@
+//! Reproduces Figure 11 of the paper (analytic cost curves at the
+//! Table 3 parameters). Run: `cargo run --release -p sj-bench --bin fig11_join_uniform`
+
+fn main() {
+    sj_bench::run_join_figure(11, sj_costmodel::Distribution::Uniform);
+}

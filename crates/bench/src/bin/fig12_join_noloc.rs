@@ -1,0 +1,6 @@
+//! Reproduces Figure 12 of the paper (analytic cost curves at the
+//! Table 3 parameters). Run: `cargo run --release -p sj-bench --bin fig12_join_noloc`
+
+fn main() {
+    sj_bench::run_join_figure(12, sj_costmodel::Distribution::NoLoc);
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 13 of the paper (analytic cost curves at the
+//! Table 3 parameters). Run: `cargo run --release -p sj-bench --bin fig13_join_hiloc`
+
+fn main() {
+    sj_bench::run_join_figure(13, sj_costmodel::Distribution::HiLoc);
+}

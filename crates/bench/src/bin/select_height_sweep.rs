@@ -1,0 +1,39 @@
+//! Extension sweep: the selector height `h`. The paper's §4.5 fixes
+//! `h = n` ("the selector object was stored in a leaf"); the model is
+//! parameterized by `h`, so this binary evaluates the SELECT formulas at
+//! every height — larger (higher) selectors match more objects and the
+//! strategies' ranking shifts accordingly.
+//!
+//! Run: `cargo run --release -p sj-bench --bin select_height_sweep`
+
+use sj_costmodel::{select, Distribution, ModelParams};
+
+fn main() {
+    let base = ModelParams::paper();
+    sj_bench::print_params(&base);
+    for dist in Distribution::ALL {
+        for p in [1e-4, 1e-2] {
+            println!(
+                "\n# SELECT costs vs selector height h ({} distribution, p = {p}):",
+                dist.name()
+            );
+            println!(
+                "{:>3} {:>16} {:>16} {:>16} {:>16}",
+                "h", "C_I", "C_IIa", "C_IIb", "C_III"
+            );
+            for h in 0..=base.n {
+                let params = ModelParams { h, ..base };
+                println!(
+                    "{h:>3} {:>16.4e} {:>16.4e} {:>16.4e} {:>16.4e}",
+                    select::c_i(&params),
+                    select::c_iia(&params, dist, p),
+                    select::c_iib(&params, dist, p),
+                    select::c_iii(&params, dist, p)
+                );
+            }
+        }
+    }
+    println!("\n(Under HI-LOC the selector's height determines how much of its");
+    println!(" own ancestor path is guaranteed to match; under NO-LOC higher");
+    println!(" selectors match everything and the strategies converge.)");
+}

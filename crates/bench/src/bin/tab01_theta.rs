@@ -1,0 +1,74 @@
+//! Reproduces Table 1: θ-operators and their corresponding Θ-operators,
+//! with a Monte-Carlo soundness check of each row (the Figures 4 and 5
+//! configurations are particular cases).
+//!
+//! Run: `cargo run --release -p sj-bench --bin tab01_theta`
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sj_geom::{Bounded, Direction, Geometry, Point, Rect, ThetaOp};
+
+fn random_geometry(rng: &mut StdRng) -> Geometry {
+    if rng.random_range(0..2) == 0 {
+        Geometry::Point(Point::new(
+            rng.random_range(0.0..100.0),
+            rng.random_range(0.0..100.0),
+        ))
+    } else {
+        let x = rng.random_range(0.0..90.0);
+        let y = rng.random_range(0.0..90.0);
+        Geometry::Rect(Rect::from_bounds(
+            x,
+            y,
+            x + rng.random_range(0.1..10.0),
+            y + rng.random_range(0.1..10.0),
+        ))
+    }
+}
+
+fn main() {
+    println!("# Table 1: θ-operators and corresponding Θ-operators\n");
+    let ops = [
+        ThetaOp::WithinCenterDistance(10.0),
+        ThetaOp::Overlaps,
+        ThetaOp::Includes,
+        ThetaOp::ContainedIn,
+        ThetaOp::DirectionOf(Direction::NorthWest),
+        ThetaOp::ReachableWithin {
+            minutes: 30.0,
+            speed: 0.5,
+        },
+    ];
+    println!("{:<55}| o1' Θ o2'", "o1 θ o2");
+    println!("{}", "-".repeat(110));
+    for op in ops {
+        let (theta, big) = op.table_row();
+        println!("{theta:<55}| {big}");
+    }
+
+    // Monte-Carlo soundness: θ(o1,o2) ⇒ Θ on arbitrarily grown ancestors.
+    println!("\n# Soundness check: θ(o1,o2) ⇒ Θ(ancestor MBRs), 100k random trials per operator");
+    let mut rng = StdRng::seed_from_u64(1993);
+    for op in ops {
+        let mut matches = 0u64;
+        for _ in 0..100_000 {
+            let a = random_geometry(&mut rng);
+            let b = random_geometry(&mut rng);
+            if op.eval(&a, &b) {
+                matches += 1;
+                let grow_a = rng.random_range(0.0..20.0);
+                let grow_b = rng.random_range(0.0..20.0);
+                let anc_a = a.mbr().expand(grow_a);
+                let anc_b = b.mbr().expand(grow_b);
+                assert!(
+                    op.filter(&anc_a, &anc_b),
+                    "Θ-soundness violated for {op:?}: {a:?} vs {b:?}"
+                );
+            }
+        }
+        println!(
+            "  {:<45} {matches:>6} θ-matches, 0 Θ-filter misses ✓",
+            format!("{op:?}")
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Analytic-vs-measured validation (the extension experiment of
+//! DESIGN.md): runs the real executors on balanced k-ary trees in the
+//! storage simulator and compares page-I/O and comparison counts against
+//! the §4 formulas with empirical match probabilities.
+//!
+//! Run: `cargo run --release -p sj-bench --bin validate_model`
+
+use sj_core::experiment::{validate_join, validate_select};
+
+fn main() {
+    println!("# Model validation: measured executors vs §4 formulas\n");
+    println!("## SELECT (§4.3) across tree shapes and selectivities\n");
+    for (k, n, radius, seed) in [
+        (4usize, 4usize, 10.0, 7u64),
+        (4, 4, 40.0, 7),
+        (4, 4, 150.0, 7),
+        (6, 3, 100.0, 13),
+        (8, 3, 60.0, 99),
+        (3, 5, 20.0, 3),
+    ] {
+        let report = validate_select(k, n, radius, seed);
+        println!("{report}");
+        println!(
+            "  → all ratios within 2x: {}\n",
+            if report.within(2.0) { "yes ✓" } else { "NO" }
+        );
+    }
+
+    println!("## JOIN (§4.4) across tree shapes\n");
+    for (k, n, radius, seed) in [
+        (4usize, 3usize, 6.0, 21u64),
+        (3, 4, 4.0, 5),
+        (6, 2, 10.0, 77),
+    ] {
+        let report = validate_join(k, n, radius, seed);
+        println!("{report}");
+        println!(
+            "  → all ratios within 2.5x: {}\n",
+            if report.within(2.5) { "yes ✓" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,805 @@
+//! # sj-btree — an order-z B+-tree
+//!
+//! Günther's strategy III stores join indices "implemented using B±-trees"
+//! (assumption S4, §4.1) with `z` index entries per page (Table 2; Table 3
+//! uses z = 100) and charges one I/O per node visit plus the tree height
+//! `d`. This crate provides exactly that substrate: an in-memory B+-tree
+//! whose nodes stand in for disk pages, with
+//!
+//! * configurable order `z` (maximum entries per node),
+//! * [`BPlusTree::height`] — the model's `d`,
+//! * a node-visit counter ([`BPlusTree::accesses`]) so executors can report
+//!   index I/O in the model's own unit,
+//! * ordered iteration and inclusive range scans via linked leaves,
+//! * full deletion with borrow/merge rebalancing.
+//!
+//! ## Example
+//!
+//! ```
+//! use sj_btree::BPlusTree;
+//!
+//! let mut t: BPlusTree<u64, &str> = BPlusTree::new(4);
+//! for (k, v) in [(3, "c"), (1, "a"), (2, "b"), (4, "d"), (5, "e")] {
+//!     t.insert(k, v);
+//! }
+//! assert_eq!(t.get(&2), Some(&"b"));
+//! assert_eq!(t.range(&2, &4), vec![(2, "b"), (3, "c"), (4, "d")]);
+//! assert_eq!(t.remove(&3), Some("c"));
+//! assert_eq!(t.len(), 4);
+//! ```
+
+use std::cell::Cell;
+use std::fmt::Debug;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` is the smallest key reachable through `children[i+1]`.
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        next: usize,
+    },
+    /// Recycled slot (produced by merges).
+    Free,
+}
+
+/// An order-`z` B+-tree with node-access accounting.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    root: usize,
+    order: usize,
+    len: usize,
+    height: usize,
+    accesses: Cell<u64>,
+}
+
+impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
+    /// Creates an empty tree with at most `order` entries per node
+    /// (`order` ≥ 3; the paper's `z`).
+    pub fn new(order: usize) -> Self {
+        assert!(order >= 3, "B+-tree order must be at least 3, got {order}");
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: NIL,
+            }],
+            free: Vec::new(),
+            root: 0,
+            order,
+            len: 0,
+            height: 1,
+            accesses: Cell::new(0),
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (a lone leaf has height 1). This is the
+    /// model's `d` parameter.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Maximum entries per node (the model's `z`).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of live nodes — the tree's size in "pages".
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Node visits since the last [`BPlusTree::reset_accesses`] — the
+    /// simulated page-I/O count of all operations performed.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Zeroes the node-visit counter.
+    pub fn reset_accesses(&self) {
+        self.accesses.set(0);
+    }
+
+    #[inline]
+    fn visit(&self, node: usize) -> usize {
+        self.accesses.set(self.accesses.get() + 1);
+        node
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.nodes[idx] = Node::Free;
+        self.free.push(idx);
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = self.visit(self.root);
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = self.visit(children[idx]);
+                }
+                Node::Leaf { keys, values, .. } => {
+                    return keys.binary_search(key).ok().map(|i| &values[i]);
+                }
+                Node::Free => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts an entry, returning the previous value for `key` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = self.insert_rec(self.root, key, value);
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = new_root;
+            self.height += 1;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(&mut self, node: usize, key: K, value: V) -> (Option<V>, Option<(K, usize)>) {
+        self.visit(node);
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut values[i], value);
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() > self.order {
+                        (None, Some(self.split_leaf(node)))
+                    } else {
+                        (None, None)
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let child = children[idx];
+                let (old, split) = self.insert_rec(child, key, value);
+                if let Some((sep, right)) = split {
+                    let Node::Internal { keys, children } = &mut self.nodes[node] else {
+                        unreachable!()
+                    };
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > self.order {
+                        return (old, Some(self.split_internal(node)));
+                    }
+                }
+                (old, None)
+            }
+            Node::Free => unreachable!("descended into a freed node"),
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (K, usize) {
+        let Node::Leaf { keys, values, next } = &mut self.nodes[node] else {
+            unreachable!()
+        };
+        let mid = keys.len() / 2;
+        let right_keys: Vec<K> = keys.split_off(mid);
+        let right_values: Vec<V> = values.split_off(mid);
+        let old_next = *next;
+        let sep = right_keys[0].clone();
+        let right = self.alloc(Node::Leaf {
+            keys: right_keys,
+            values: right_values,
+            next: old_next,
+        });
+        let Node::Leaf { next, .. } = &mut self.nodes[node] else {
+            unreachable!()
+        };
+        *next = right;
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, node: usize) -> (K, usize) {
+        let Node::Internal { keys, children } = &mut self.nodes[node] else {
+            unreachable!()
+        };
+        let mid = keys.len() / 2;
+        let sep = keys[mid].clone();
+        let right_keys: Vec<K> = keys.split_off(mid + 1);
+        keys.pop(); // drop sep from the left node
+        let right_children: Vec<usize> = children.split_off(mid + 1);
+        let right = self.alloc(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        (sep, right)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = self.remove_rec(self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that lost all separators.
+        if let Node::Internal { children, keys } = &self.nodes[self.root] {
+            if keys.is_empty() {
+                debug_assert_eq!(children.len(), 1);
+                let only = children[0];
+                let old_root = self.root;
+                self.root = only;
+                self.release(old_root);
+                self.height -= 1;
+            }
+        }
+        removed
+    }
+
+    fn min_keys(&self) -> usize {
+        self.order / 2
+    }
+
+    fn remove_rec(&mut self, node: usize, key: &K) -> Option<V> {
+        self.visit(node);
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, values, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(values.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= key);
+                let child = children[idx];
+                let removed = self.remove_rec(child, key);
+                if removed.is_some() {
+                    self.rebalance_child(node, idx);
+                }
+                removed
+            }
+            Node::Free => unreachable!("descended into a freed node"),
+        }
+    }
+
+    /// Restores the occupancy invariant of `children[idx]` under `parent`
+    /// by borrowing from a sibling or merging with one.
+    fn rebalance_child(&mut self, parent: usize, idx: usize) {
+        let min = self.min_keys();
+        let Node::Internal { children, .. } = &self.nodes[parent] else {
+            unreachable!()
+        };
+        let child = children[idx];
+        let child_size = self.node_len(child);
+        if child_size >= min {
+            return;
+        }
+        let sibling_count = children.len();
+
+        // Try borrowing from the left sibling.
+        if idx > 0 {
+            let left = {
+                let Node::Internal { children, .. } = &self.nodes[parent] else {
+                    unreachable!()
+                };
+                children[idx - 1]
+            };
+            if self.node_len(left) > min {
+                self.borrow_from_left(parent, idx);
+                return;
+            }
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < sibling_count {
+            let right = {
+                let Node::Internal { children, .. } = &self.nodes[parent] else {
+                    unreachable!()
+                };
+                children[idx + 1]
+            };
+            if self.node_len(right) > min {
+                self.borrow_from_right(parent, idx);
+                return;
+            }
+        }
+        // Merge with a sibling (prefer left).
+        if idx > 0 {
+            self.merge_children(parent, idx - 1);
+        } else {
+            self.merge_children(parent, idx);
+        }
+    }
+
+    fn node_len(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Internal { keys, .. } => keys.len(),
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Free => unreachable!(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: usize, idx: usize) {
+        let (left, child) = {
+            let Node::Internal { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
+            (children[idx - 1], children[idx])
+        };
+        // Move the last entry of `left` to the front of `child`.
+        match (&self.nodes[left], &self.nodes[child]) {
+            (Node::Leaf { .. }, Node::Leaf { .. }) => {
+                let (k, v) = {
+                    let Node::Leaf { keys, values, .. } = &mut self.nodes[left] else {
+                        unreachable!()
+                    };
+                    (
+                        keys.pop().expect("left has > min keys"),
+                        values.pop().expect("values parallel keys"),
+                    )
+                };
+                let new_sep = k.clone();
+                {
+                    let Node::Leaf { keys, values, .. } = &mut self.nodes[child] else {
+                        unreachable!()
+                    };
+                    keys.insert(0, k);
+                    values.insert(0, v);
+                }
+                let Node::Internal { keys, .. } = &mut self.nodes[parent] else {
+                    unreachable!()
+                };
+                keys[idx - 1] = new_sep;
+            }
+            (Node::Internal { .. }, Node::Internal { .. }) => {
+                let (k, c) = {
+                    let Node::Internal { keys, children } = &mut self.nodes[left] else {
+                        unreachable!()
+                    };
+                    (
+                        keys.pop().expect("left has > min keys"),
+                        children.pop().expect("children parallel keys"),
+                    )
+                };
+                let sep = {
+                    let Node::Internal { keys, .. } = &mut self.nodes[parent] else {
+                        unreachable!()
+                    };
+                    std::mem::replace(&mut keys[idx - 1], k)
+                };
+                let Node::Internal { keys, children } = &mut self.nodes[child] else {
+                    unreachable!()
+                };
+                keys.insert(0, sep);
+                children.insert(0, c);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: usize, idx: usize) {
+        let (child, right) = {
+            let Node::Internal { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
+            (children[idx], children[idx + 1])
+        };
+        match (&self.nodes[child], &self.nodes[right]) {
+            (Node::Leaf { .. }, Node::Leaf { .. }) => {
+                let (k, v) = {
+                    let Node::Leaf { keys, values, .. } = &mut self.nodes[right] else {
+                        unreachable!()
+                    };
+                    (keys.remove(0), values.remove(0))
+                };
+                let new_sep = {
+                    let Node::Leaf { keys, .. } = &self.nodes[right] else {
+                        unreachable!()
+                    };
+                    keys[0].clone()
+                };
+                {
+                    let Node::Leaf { keys, values, .. } = &mut self.nodes[child] else {
+                        unreachable!()
+                    };
+                    keys.push(k);
+                    values.push(v);
+                }
+                let Node::Internal { keys, .. } = &mut self.nodes[parent] else {
+                    unreachable!()
+                };
+                keys[idx] = new_sep;
+            }
+            (Node::Internal { .. }, Node::Internal { .. }) => {
+                let (k, c) = {
+                    let Node::Internal { keys, children } = &mut self.nodes[right] else {
+                        unreachable!()
+                    };
+                    (keys.remove(0), children.remove(0))
+                };
+                let sep = {
+                    let Node::Internal { keys, .. } = &mut self.nodes[parent] else {
+                        unreachable!()
+                    };
+                    std::mem::replace(&mut keys[idx], k)
+                };
+                let Node::Internal { keys, children } = &mut self.nodes[child] else {
+                    unreachable!()
+                };
+                keys.push(sep);
+                children.push(c);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Merges `children[idx + 1]` into `children[idx]` under `parent`.
+    fn merge_children(&mut self, parent: usize, idx: usize) {
+        let (left, right, sep) = {
+            let Node::Internal { keys, children } = &mut self.nodes[parent] else {
+                unreachable!()
+            };
+            let sep = keys.remove(idx);
+            let right = children.remove(idx + 1);
+            (children[idx], right, sep)
+        };
+        let right_node = std::mem::replace(&mut self.nodes[right], Node::Free);
+        self.free.push(right);
+        match (&mut self.nodes[left], right_node) {
+            (
+                Node::Leaf { keys, values, next },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                    next: rn,
+                },
+            ) => {
+                keys.extend(rk);
+                values.extend(rv);
+                *next = rn;
+            }
+            (
+                Node::Internal { keys, children },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                keys.push(sep);
+                keys.extend(rk);
+                children.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Inclusive range scan `[lo, hi]`, in key order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        // Descend to the leaf that would hold `lo`.
+        let mut node = self.visit(self.root);
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= lo);
+                    node = self.visit(children[idx]);
+                }
+                Node::Leaf { .. } => break,
+                Node::Free => unreachable!(),
+            }
+        }
+        // Walk the leaf chain.
+        loop {
+            let Node::Leaf { keys, values, next } = &self.nodes[node] else {
+                unreachable!()
+            };
+            for (k, v) in keys.iter().zip(values) {
+                if k > hi {
+                    return out;
+                }
+                if k >= lo {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+            if *next == NIL {
+                return out;
+            }
+            node = self.visit(*next);
+        }
+    }
+
+    /// All entries in key order.
+    pub fn iter_all(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut node = self.visit(self.root);
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { children, .. } => {
+                    node = self.visit(children[0]);
+                }
+                Node::Leaf { .. } => break,
+                Node::Free => unreachable!(),
+            }
+        }
+        loop {
+            let Node::Leaf { keys, values, next } = &self.nodes[node] else {
+                unreachable!()
+            };
+            for (k, v) in keys.iter().zip(values) {
+                out.push((k.clone(), v.clone()));
+            }
+            if *next == NIL {
+                return out;
+            }
+            node = self.visit(*next);
+        }
+    }
+
+    /// Verifies the structural invariants (sortedness, occupancy, height
+    /// uniformity, leaf-chain order). Panics with a description on
+    /// violation. Intended for tests.
+    pub fn check_invariants(&self) {
+        let depth = self.check_node(self.root, None, None, true);
+        assert_eq!(depth, self.height, "cached height disagrees with structure");
+        let all = self.iter_all();
+        assert_eq!(all.len(), self.len, "cached len disagrees with contents");
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "leaf chain out of order");
+        }
+    }
+
+    fn check_node(&self, node: usize, lo: Option<&K>, hi: Option<&K>, is_root: bool) -> usize {
+        let min = self.min_keys();
+        match &self.nodes[node] {
+            Node::Leaf { keys, values, .. } => {
+                assert_eq!(keys.len(), values.len());
+                assert!(keys.len() <= self.order, "leaf overflow");
+                if !is_root {
+                    assert!(keys.len() >= min, "leaf underflow: {} < {min}", keys.len());
+                }
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted leaf");
+                }
+                if let (Some(lo), Some(first)) = (lo, keys.first()) {
+                    assert!(first >= lo, "leaf key below subtree bound");
+                }
+                if let (Some(hi), Some(last)) = (hi, keys.last()) {
+                    assert!(last < hi, "leaf key above subtree bound");
+                }
+                1
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1);
+                assert!(keys.len() <= self.order, "internal overflow");
+                if !is_root {
+                    assert!(keys.len() >= min, "internal underflow");
+                } else {
+                    assert!(!keys.is_empty(), "root internal must have a separator");
+                }
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted separators");
+                }
+                let mut depth = None;
+                for (i, &c) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(&keys[i]) };
+                    let d = self.check_node(c, clo, chi, false);
+                    if let Some(prev) = depth {
+                        assert_eq!(prev, d, "unbalanced subtrees");
+                    }
+                    depth = Some(d);
+                }
+                depth.expect("internal node has children") + 1
+            }
+            Node::Free => panic!("reachable freed node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_basics() {
+        let t: BPlusTree<u64, u64> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.range(&0, &100), vec![]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BPlusTree::new(4);
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.get(&1), Some(&"b"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sequential_inserts_grow_height() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..100u64 {
+            t.insert(i, i * 10);
+            t.check_invariants();
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.height() >= 3);
+        for i in 0..100u64 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn reverse_inserts_stay_sorted() {
+        let mut t = BPlusTree::new(3);
+        let keys: Vec<u64> = (0..200).rev().collect();
+        for &k in &keys {
+            t.insert(k, k);
+            t.check_invariants();
+        }
+        let all = t.iter_all();
+        assert_eq!(all.len(), 200);
+        for (i, (k, _)) in all.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+        }
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut t = BPlusTree::new(4);
+        for i in (0..50u64).map(|i| i * 2) {
+            t.insert(i, ());
+        }
+        let r = t.range(&10, &20);
+        let keys: Vec<u64> = r.into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 12, 14, 16, 18, 20]);
+        assert_eq!(t.range(&11, &11), vec![]);
+        assert_eq!(t.range(&98, &1000), vec![(98, ())]);
+        assert_eq!(t.range(&30, &10), vec![]); // inverted bounds
+    }
+
+    #[test]
+    fn remove_simple_and_missing() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..10u64 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.remove(&5), Some(5));
+        assert_eq!(t.remove(&5), None);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(&5), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_everything_collapses_tree() {
+        let mut t = BPlusTree::new(3);
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        for i in 0..100u64 {
+            assert_eq!(t.remove(&i), Some(i), "removing {i}");
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn remove_in_random_order() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut t = BPlusTree::new(5);
+        let mut keys: Vec<u64> = (0..300).collect();
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        keys.shuffle(&mut rng);
+        for (n, &k) in keys.iter().enumerate() {
+            assert_eq!(t.remove(&k), Some(k));
+            t.check_invariants();
+            assert_eq!(t.len(), 300 - n - 1);
+        }
+    }
+
+    #[test]
+    fn height_matches_order_and_size() {
+        // z = 100: 10^4 entries fit in ≤ 3 levels.
+        let mut t = BPlusTree::new(100);
+        for i in 0..10_000u64 {
+            t.insert(i, ());
+        }
+        assert!(t.height() <= 3, "height {} too large", t.height());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn accesses_count_node_visits() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..100u64 {
+            t.insert(i, ());
+        }
+        t.reset_accesses();
+        t.get(&42);
+        // A point lookup visits exactly `height` nodes.
+        assert_eq!(t.accesses(), t.height() as u64);
+    }
+
+    #[test]
+    fn composite_keys_support_prefix_ranges() {
+        // The join-index use case: key = (r, s) pairs, prefix scans per r.
+        let mut t: BPlusTree<(u32, u32), ()> = BPlusTree::new(4);
+        for r in 0..10 {
+            for s in 0..5 {
+                t.insert((r, s), ());
+            }
+        }
+        let pairs = t.range(&(3, 0), &(3, u32::MAX));
+        assert_eq!(pairs.len(), 5);
+        assert!(pairs.iter().all(|((r, _), _)| *r == 3));
+    }
+
+    #[test]
+    fn node_count_shrinks_after_mass_removal() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..500u64 {
+            t.insert(i, ());
+        }
+        let full = t.node_count();
+        for i in 0..400u64 {
+            t.remove(&i);
+        }
+        t.check_invariants();
+        assert!(t.node_count() < full);
+    }
+}

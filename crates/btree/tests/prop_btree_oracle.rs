@@ -1,0 +1,82 @@
+//! Model-based testing: the B+-tree must behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, while
+//! maintaining its structural invariants after every operation.
+
+use proptest::prelude::*;
+use sj_btree::BPlusTree;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn btree_matches_std_oracle(
+        order in 3usize..12,
+        ops in prop::collection::vec(arb_op(), 1..400),
+    ) {
+        let mut tree: BPlusTree<u16, u32> = BPlusTree::new(order);
+        let mut oracle: BTreeMap<u16, u32> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), oracle.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), oracle.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), oracle.get(&k));
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got = tree.range(&lo, &hi);
+                    let want: Vec<(u16, u32)> =
+                        oracle.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.check_invariants();
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+
+        // Final full iteration agrees.
+        let got = tree.iter_all();
+        let want: Vec<(u16, u32)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Height grows logarithmically: for order z and n entries,
+    /// height ≤ ⌈log_{z/2}(n)⌉ + 1 (a loose but useful bound).
+    #[test]
+    fn height_is_logarithmic(order in 4usize..32, n in 1usize..2000) {
+        let mut tree: BPlusTree<usize, ()> = BPlusTree::new(order);
+        for i in 0..n {
+            tree.insert(i, ());
+        }
+        let half = (order / 2) as f64;
+        let bound = ((n as f64).ln() / half.ln()).ceil() as usize + 2;
+        prop_assert!(
+            tree.height() <= bound,
+            "height {} exceeds bound {bound} for order {order}, n {n}",
+            tree.height()
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Strategy advisor: the paper's conclusions (§4.5/§5), operationalized.
+//!
+//! > "In summary, we find that join indices are only efficient if update
+//! > ratios are very low and if join selectivities are comparatively low.
+//! > Otherwise, the generalization tree is the superior approach."
+//!
+//! Given a workload profile — operation type, match distribution,
+//! selectivity `p`, and the expected number of updates per query — the
+//! advisor totals `query cost + updates·update cost` from the §4 formulas
+//! and recommends a strategy. A Monte-Carlo selectivity estimator supplies
+//! `p` when only the data is known.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sj_costmodel::{join, select, update, Distribution, ModelParams};
+use sj_geom::ThetaOp;
+use sj_joins::StoredRelation;
+use sj_storage::BufferPool;
+
+/// What the query mix does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Spatial selections (§4.3).
+    Selection,
+    /// General spatial joins (§4.4).
+    Join,
+}
+
+/// A candidate strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Candidate {
+    NestedLoop,
+    TreeUnclustered,
+    TreeClustered,
+    JoinIndex,
+}
+
+impl Candidate {
+    pub const ALL: [Candidate; 4] = [
+        Candidate::NestedLoop,
+        Candidate::TreeUnclustered,
+        Candidate::TreeClustered,
+        Candidate::JoinIndex,
+    ];
+
+    /// The paper's roman-numeral label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Candidate::NestedLoop => "I (nested loop)",
+            Candidate::TreeUnclustered => "IIa (unclustered tree)",
+            Candidate::TreeClustered => "IIb (clustered tree)",
+            Candidate::JoinIndex => "III (join index)",
+        }
+    }
+}
+
+/// The workload description the advisor consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadProfile {
+    pub params: ModelParams,
+    pub distribution: Distribution,
+    /// Join selectivity `p`.
+    pub selectivity: f64,
+    /// Expected insertions per query — the "update ratio" of §5.
+    pub updates_per_query: f64,
+    pub operation: Operation,
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct Scored {
+    pub candidate: Candidate,
+    pub query_cost: f64,
+    pub update_cost: f64,
+}
+
+impl Scored {
+    /// Query cost plus amortized maintenance.
+    pub fn total(&self, updates_per_query: f64) -> f64 {
+        self.query_cost + updates_per_query * self.update_cost
+    }
+}
+
+/// Scores all four strategies for the profile (query and per-insert
+/// update costs, in model units).
+pub fn score(profile: &WorkloadProfile) -> Vec<Scored> {
+    let p = &profile.params;
+    let d = profile.distribution;
+    let sel = profile.selectivity;
+    Candidate::ALL
+        .iter()
+        .map(|&candidate| {
+            let query_cost = match (profile.operation, candidate) {
+                (Operation::Selection, Candidate::NestedLoop) => select::c_i(p),
+                (Operation::Selection, Candidate::TreeUnclustered) => select::c_iia(p, d, sel),
+                (Operation::Selection, Candidate::TreeClustered) => select::c_iib(p, d, sel),
+                (Operation::Selection, Candidate::JoinIndex) => select::c_iii(p, d, sel),
+                (Operation::Join, Candidate::NestedLoop) => join::d_i(p),
+                (Operation::Join, Candidate::TreeUnclustered) => join::d_iia(p, d, sel),
+                (Operation::Join, Candidate::TreeClustered) => join::d_iib(p, d, sel),
+                (Operation::Join, Candidate::JoinIndex) => join::d_iii(p, d, sel),
+            };
+            let update_cost = match candidate {
+                Candidate::NestedLoop => update::u_i(p),
+                Candidate::TreeUnclustered => update::u_iia(p),
+                Candidate::TreeClustered => update::u_iib(p),
+                Candidate::JoinIndex => update::u_iii(p),
+            };
+            Scored {
+                candidate,
+                query_cost,
+                update_cost,
+            }
+        })
+        .collect()
+}
+
+/// The cheapest strategy for the profile, with the full scoreboard.
+pub fn recommend(profile: &WorkloadProfile) -> (Candidate, Vec<Scored>) {
+    let scores = score(profile);
+    let best = scores
+        .iter()
+        .min_by(|a, b| {
+            a.total(profile.updates_per_query)
+                .partial_cmp(&b.total(profile.updates_per_query))
+                .expect("finite costs")
+        })
+        .expect("non-empty candidate set");
+    (best.candidate, scores)
+}
+
+/// Monte-Carlo selectivity estimation: θ-tests `samples` random tuple
+/// pairs and returns the matching fraction — the `p` to feed the model
+/// when only the data is known.
+pub fn estimate_selectivity(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    assert!(
+        !r.is_empty() && !s.is_empty(),
+        "cannot sample empty relations"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let i = rng.random_range(0..r.len());
+        let j = rng.random_range(0..s.len());
+        let (_, rg) = r.read_at(pool, i);
+        let (_, sg) = s.read_at(pool, j);
+        if theta.eval(&rg, &sg) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geom::{Geometry, Point};
+    use sj_storage::{Disk, DiskConfig, Layout};
+
+    fn profile(
+        operation: Operation,
+        distribution: Distribution,
+        selectivity: f64,
+        updates_per_query: f64,
+    ) -> WorkloadProfile {
+        WorkloadProfile {
+            params: ModelParams::paper(),
+            distribution,
+            selectivity,
+            updates_per_query,
+            operation,
+        }
+    }
+
+    #[test]
+    fn join_index_wins_static_low_selectivity_joins() {
+        // §5: join indices pay off when updates are rare AND selectivity
+        // is very low.
+        let (best, _) = recommend(&profile(Operation::Join, Distribution::Uniform, 1e-11, 0.0));
+        assert_eq!(best, Candidate::JoinIndex);
+    }
+
+    #[test]
+    fn tree_wins_once_updates_matter() {
+        // The same workload with one insert per query flips to the tree:
+        // U_III is prohibitive.
+        let (best, _) = recommend(&profile(Operation::Join, Distribution::Uniform, 1e-11, 1.0));
+        assert!(
+            matches!(best, Candidate::TreeClustered | Candidate::TreeUnclustered),
+            "got {best:?}"
+        );
+    }
+
+    #[test]
+    fn tree_wins_high_selectivity_joins() {
+        // §4.5: at higher selectivities the generalization tree is the
+        // better option; the clustered/unclustered difference is
+        // "usually negligible", so accept either variant.
+        let (best, _) = recommend(&profile(Operation::Join, Distribution::Uniform, 1e-6, 0.0));
+        assert!(
+            matches!(best, Candidate::TreeClustered | Candidate::TreeUnclustered),
+            "got {best:?}"
+        );
+    }
+
+    #[test]
+    fn clustered_tree_wins_selections() {
+        // §5: "for the spatial selection operation, clustered
+        // generalization trees clearly seem to be the most efficient
+        // strategy".
+        for d in Distribution::ALL {
+            let (best, _) = recommend(&profile(Operation::Selection, d, 1e-2, 0.1));
+            assert_eq!(best, Candidate::TreeClustered, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_never_recommended() {
+        for op in [Operation::Selection, Operation::Join] {
+            for d in Distribution::ALL {
+                for sel in [1e-10, 1e-6, 1e-2] {
+                    for upd in [0.0, 0.5] {
+                        let (best, _) = recommend(&profile(op, d, sel, upd));
+                        assert_ne!(best, Candidate::NestedLoop);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoreboard_is_complete_and_finite() {
+        let scores = score(&profile(Operation::Join, Distribution::HiLoc, 1e-8, 0.25));
+        assert_eq!(scores.len(), 4);
+        for s in scores {
+            assert!(s.query_cost.is_finite() && s.query_cost >= 0.0);
+            assert!(s.update_cost.is_finite() && s.update_cost >= 0.0);
+            assert!(s.total(0.25) >= s.query_cost);
+        }
+    }
+
+    #[test]
+    fn selectivity_estimator_converges() {
+        let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), 128);
+        // 50x50 grid vs itself shifted by half a step under within-0.6:
+        // each R tuple matches the S tuples half a step to either side.
+        let mk = |offset: f64, id0: u64| -> Vec<(u64, Geometry)> {
+            (0..2500)
+                .map(|i| {
+                    (
+                        id0 + i as u64,
+                        Geometry::Point(Point::new((i % 50) as f64 + offset, (i / 50) as f64)),
+                    )
+                })
+                .collect()
+        };
+        let r = StoredRelation::build(&mut pool, &mk(0.0, 0), 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut pool, &mk(0.5, 10_000), 300, Layout::Clustered);
+        let theta = ThetaOp::WithinDistance(0.6);
+        let est = estimate_selectivity(&mut pool, &r, &s, theta, 20_000, 7);
+        // Ground truth by exhaustive counting.
+        let matches = sj_joins::nested_loop::nested_loop_join(&mut pool, &r, &s, theta)
+            .pairs
+            .len() as f64;
+        let truth = matches / (2500.0 * 2500.0);
+        assert!(
+            (est - truth).abs() < 0.5 * truth,
+            "estimate {est} too far from {truth}"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! The match-probability distributions of §4.1: UNIFORM, NO-LOC and
+//! HI-LOC, with their sibling probabilities `σ_i` and cross-height
+//! probabilities `π_ij`.
+//!
+//! `ρ(o₁, o₂)` is the probability that `o₁ Θ o₂` holds for two given
+//! objects; `π_ij` averages ρ over node pairs at heights `i` and `j` of
+//! balanced k-ary trees (root at height 0, leaves at height `n`).
+//!
+//! **HI-LOC reconstruction** (DESIGN.md §3, items 1–2): the OCR'd text
+//! prints `ρ = p^{d1 − d2}`, which contradicts both properties the paper
+//! states (σ_i = p for siblings; ancestors/descendants always match). We
+//! use `ρ = p^{min(d1, d2)}` — the unique simple form satisfying both —
+//! and derive `π_ij` exactly for a balanced k-ary tree by conditioning on
+//! the height `c` of the lowest common ancestor:
+//!
+//! ```text
+//! π_ij = k^{−j} [ Σ_{c=0}^{μ−1} (k^{j−c} − k^{j−c−1}) · p^{μ−c}  +  k^{j−μ} ],   μ = min(i, j).
+//! ```
+
+/// A match-probability distribution for `Θ`, parameterized by the join
+/// selectivity `p ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// `ρ = p` for every pair — operators that ignore spatial proximity
+    /// (e.g. `to the Northwest of`).
+    Uniform,
+    /// `ρ = p^{max(min(i₁,i₂),1)}` — larger (higher) objects match more
+    /// easily, no locality (e.g. `between 50 and 100 km from`).
+    NoLoc,
+    /// `ρ = p^{min(d₁,d₂)}` where `d₁`, `d₂` are the height distances to
+    /// the lowest common ancestor — strong locality; only meaningful for
+    /// two objects in the *same* tree (self-joins, or selections whose
+    /// selector is stored in the indexed relation).
+    HiLoc,
+}
+
+impl Distribution {
+    /// All three distributions, in the paper's presentation order.
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Uniform,
+        Distribution::NoLoc,
+        Distribution::HiLoc,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "UNIFORM",
+            Distribution::NoLoc => "NO-LOC",
+            Distribution::HiLoc => "HI-LOC",
+        }
+    }
+
+    /// Sibling match probability `σ_i` for two siblings at height `i`.
+    pub fn sigma(&self, p: f64, i: usize) -> f64 {
+        check_p(p);
+        match self {
+            Distribution::Uniform => p,
+            Distribution::NoLoc => p.powi(i.max(1) as i32),
+            Distribution::HiLoc => p, // d₁ = d₂ = 1 ⇒ p^{min} = p
+        }
+    }
+
+    /// Cross-height match probability `π_ij` for objects at heights `i`
+    /// and `j` (fan-out `k`). The paper's technical convention
+    /// `π_{0,−1} = π_{−1,0} = 1` is honoured for negative indices.
+    pub fn pi(&self, p: f64, k: usize, i: i64, j: i64) -> f64 {
+        check_p(p);
+        if i < 0 || j < 0 {
+            return 1.0;
+        }
+        let (i, j) = (i as u32, j as u32);
+        match self {
+            Distribution::Uniform => p,
+            Distribution::NoLoc => p.powi(i.min(j).max(1) as i32),
+            Distribution::HiLoc => hiloc_pi(p, k as f64, i, j),
+        }
+    }
+
+    /// HI-LOC pairwise probability `ρ` from the LCA distances.
+    pub fn rho_hiloc(p: f64, d1: u32, d2: u32) -> f64 {
+        check_p(p);
+        p.powi(d1.min(d2) as i32)
+    }
+}
+
+fn check_p(p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "selectivity p must be in [0,1], got {p}"
+    );
+}
+
+/// Exact HI-LOC `π_ij` for a balanced k-ary tree (see module docs).
+fn hiloc_pi(p: f64, k: f64, i: u32, j: u32) -> f64 {
+    let mu = i.min(j);
+    // Number of height-j nodes with LCA exactly at height c (relative to a
+    // fixed height-i node): k^{j−c} − k^{j−c−1} for c < μ, k^{j−μ} for c = μ.
+    let mut acc = 0.0;
+    for c in 0..mu {
+        let frac = k.powi((j - c) as i32) - k.powi((j - c) as i32 - 1);
+        acc += frac * p.powi((mu - c) as i32);
+    }
+    acc += k.powi((j - mu) as i32); // ρ = p⁰ = 1 at c = μ
+    acc / k.powi(j as i32)
+}
+
+/// HI-LOC ρ between the leftmost leaf of a balanced k-ary tree of height
+/// `n` and the node at height `level` with index `idx` (0-based,
+/// left-to-right) — the quantity plotted in the paper's Figure 7(c).
+pub fn rho_hiloc_vs_leftmost_leaf(p: f64, k: usize, n: usize, level: usize, idx: u64) -> f64 {
+    check_p(p);
+    assert!(level <= n);
+    let k = k as u64;
+    // The LCA with the leftmost leaf is the highest ancestor of (level,
+    // idx) that lies on the leftmost path, i.e. has index 0.
+    let mut c = level as u64;
+    let mut a = idx;
+    while a != 0 {
+        a /= k;
+        c -= 1;
+    }
+    let d1 = n as u64 - c; // distance from the leaf (height n) to the LCA
+    let d2 = level as u64 - c;
+    p.powi(d1.min(d2) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_constant() {
+        let d = Distribution::Uniform;
+        for (i, j) in [(0, 0), (3, 5), (6, 6)] {
+            assert_eq!(d.pi(0.3, 10, i, j), 0.3);
+        }
+        assert_eq!(d.sigma(0.3, 4), 0.3);
+    }
+
+    #[test]
+    fn noloc_depends_on_higher_object() {
+        let d = Distribution::NoLoc;
+        // Matches between high (large) objects are more likely.
+        assert_eq!(d.pi(0.5, 10, 0, 5), 0.5); // max(min(0,5),1) = 1
+        assert_eq!(d.pi(0.5, 10, 2, 5), 0.25);
+        assert_eq!(d.pi(0.5, 10, 5, 5), 0.5f64.powi(5));
+        assert_eq!(d.sigma(0.5, 0), 0.5);
+        assert_eq!(d.sigma(0.5, 3), 0.125);
+    }
+
+    #[test]
+    fn hiloc_siblings_and_ancestors() {
+        // σ_i = p (siblings), ancestors/descendants always match.
+        assert_eq!(Distribution::HiLoc.sigma(0.2, 3), 0.2);
+        assert_eq!(Distribution::rho_hiloc(0.2, 0, 5), 1.0);
+        assert_eq!(Distribution::rho_hiloc(0.2, 4, 0), 1.0);
+        assert_eq!(Distribution::rho_hiloc(0.2, 1, 1), 0.2);
+        assert_eq!(Distribution::rho_hiloc(0.2, 2, 3), 0.2 * 0.2);
+    }
+
+    #[test]
+    fn hiloc_pi_against_brute_force() {
+        // Brute-force expectation over a small balanced tree: enumerate
+        // all node pairs at heights (i, j), compute ρ via LCA distances.
+        let k = 3usize;
+        let n = 3usize;
+        let p = 0.37;
+        // Path representation: node at height h = sequence of child
+        // indices; LCA height = common prefix length.
+        fn pairs_expectation(p: f64, k: usize, i: usize, j: usize) -> f64 {
+            let nodes = |h: usize| -> Vec<Vec<usize>> {
+                let mut out = vec![vec![]];
+                for _ in 0..h {
+                    let mut next = Vec::new();
+                    for path in &out {
+                        for c in 0..k {
+                            let mut q = path.clone();
+                            q.push(c);
+                            next.push(q);
+                        }
+                    }
+                    out = next;
+                }
+                out
+            };
+            let ni = nodes(i);
+            let nj = nodes(j);
+            let mut acc = 0.0;
+            for a in &ni {
+                for b in &nj {
+                    let mut c = 0;
+                    while c < a.len() && c < b.len() && a[c] == b[c] {
+                        c += 1;
+                    }
+                    let d1 = (a.len() - c) as u32;
+                    let d2 = (b.len() - c) as u32;
+                    acc += Distribution::rho_hiloc(p, d1, d2);
+                }
+            }
+            acc / (ni.len() * nj.len()) as f64
+        }
+        for i in 0..=n {
+            for j in 0..=n {
+                let got = Distribution::HiLoc.pi(p, k, i as i64, j as i64);
+                let want = pairs_expectation(p, k, i, j);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "π_{{{i},{j}}}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hiloc_pi_is_symmetric() {
+        for i in 0..=6i64 {
+            for j in 0..=6i64 {
+                let a = Distribution::HiLoc.pi(0.1, 10, i, j);
+                let b = Distribution::HiLoc.pi(0.1, 10, j, i);
+                assert!((a - b).abs() < 1e-12, "π must be symmetric at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_indices_are_one() {
+        for d in Distribution::ALL {
+            assert_eq!(d.pi(0.5, 10, 0, -1), 1.0);
+            assert_eq!(d.pi(0.5, 10, -1, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn pi_is_monotone_in_p() {
+        for d in Distribution::ALL {
+            let lo = d.pi(0.01, 10, 4, 5);
+            let hi = d.pi(0.5, 10, 4, 5);
+            assert!(lo < hi, "{d:?} must grow with p");
+        }
+    }
+
+    #[test]
+    fn rho_vs_leftmost_leaf_figure7() {
+        // k = 2, n = 2. Leftmost leaf is (level 2, idx 0).
+        let p = 0.5;
+        // Itself: LCA at level 2 → d1 = d2 = 0 → ρ = 1.
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 2, 0), 1.0);
+        // Sibling leaf (idx 1): LCA level 1 → min(1,1) → p.
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 2, 1), 0.5);
+        // Cousin leaves (idx 2, 3): LCA level 0 → min(2,2) → p².
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 2, 2), 0.25);
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 2, 3), 0.25);
+        // Parent (level 1, idx 0): ancestor → 1.
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 1, 0), 1.0);
+        // Uncle (level 1, idx 1): LCA level 0 → min(2,1) = 1 → p.
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 1, 1), 0.5);
+        // Root: ancestor → 1.
+        assert_eq!(rho_hiloc_vs_leftmost_leaf(p, 2, 2, 0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn out_of_range_p_rejected() {
+        Distribution::Uniform.pi(1.5, 10, 0, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! General spatial-join costs, §4.4 (Figures 11–13).
+
+use crate::dist::Distribution;
+use crate::params::ModelParams;
+use crate::yao::yao;
+
+/// `D_I`: block nested loop with Valduriez's memory-utilization technique —
+/// fill `M − 10` pages with a chunk of `R`, scan `S`, repeat:
+///
+/// ```text
+/// D_I = N²·C_Θ + ( ⌈N/(m(M−10))⌉ + 1 ) · ⌈N/m⌉ · C_IO
+/// ```
+pub fn d_i(params: &ModelParams) -> f64 {
+    let n_tuples = params.n_tuples();
+    let passes = (n_tuples / (params.m() * (params.m_mem - 10.0))).ceil();
+    n_tuples * n_tuples * params.c_theta + (passes + 1.0) * params.relation_pages() * params.c_io
+}
+
+/// Computation part of strategy II (Algorithm JOIN):
+///
+/// ```text
+/// D_II^Θ = C_Θ · Σ_{i=0}^{n} π_{i,i−1}·k^{2i} · ( 1 + Σ_{j=i}^{n−1} (π_{ij} + π_{ji})·k^{j−i+1} )
+/// ```
+///
+/// `π_{i,i−1}·k^{2i}` approximates the number of qualifying pairs at height
+/// `i` (the paper deliberately uses the single correlated probability
+/// rather than the independent product, overestimating slightly), and each
+/// qualifying pair performs two SELECT passes over the partner subtrees.
+/// The inner sum's lower bound is `j = i` per DESIGN.md §3 item 5 (the
+/// OCR prints "j=1"); by analogy with `C_II^Θ` the pass from a height-`i`
+/// node over a partner subtree examines `π_{ij}·k^{j−i+1}` nodes at
+/// subtree-depth `j+1`. The paper's convention `π_{0,−1} = 1` applies.
+pub fn d_ii_theta(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let n = params.n;
+    let mut acc = 0.0;
+    for i in 0..=n {
+        let qual_pairs = d.pi(p, params.k, i as i64, i as i64 - 1) * k.powi(2 * i as i32);
+        let mut selects = 1.0;
+        for j in i..n {
+            let pij = d.pi(p, params.k, i as i64, j as i64);
+            let pji = d.pi(p, params.k, j as i64, i as i64);
+            selects += (pij + pji) * k.powi((j - i) as i32 + 1);
+        }
+        acc += qual_pairs * selects;
+    }
+    params.c_theta * acc
+}
+
+/// Number of nodes of one tree participating in the join (including the
+/// root): `1 + Σ_{i=0}^{n−1} π_{0,i}·k^{i+1}` — a node participates when
+/// its parent Θ-matches at least the partner tree's root.
+pub fn participating_nodes(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let mut acc = 1.0;
+    for i in 0..params.n {
+        acc += d.pi(p, params.k, 0, i as i64) * k.powi(i as i32 + 1);
+    }
+    acc
+}
+
+/// Memory passes over the partner tree: the participating nodes of
+/// `GT_R` are cycled through `m·(M−10)`-tuple memory loads.
+fn passes(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    (participating_nodes(params, d, p) / (params.m() * (params.m_mem - 10.0))).ceil()
+}
+
+/// I/O part of strategy IIa (unclustered):
+///
+/// ```text
+/// D_IIa^IO = C_IO · [ passes · Σ_i Y(⌈π_{0i}k^{i+1}⌉, ⌈N/m⌉, N)
+///                    + Σ_i Y(⌈π_{i0}k^{i+1}⌉, ⌈N/m⌉, N) ]
+/// ```
+pub fn d_iia_io(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let pages = params.relation_pages();
+    let n_tuples = params.n_tuples();
+    let mut scan_s = 0.0;
+    let mut load_r = 0.0;
+    for i in 0..params.n {
+        let x_s = (d.pi(p, params.k, 0, i as i64) * k.powi(i as i32 + 1)).ceil();
+        let x_r = (d.pi(p, params.k, i as i64, 0) * k.powi(i as i32 + 1)).ceil();
+        scan_s += yao(x_s, pages, n_tuples);
+        load_r += yao(x_r, pages, n_tuples);
+    }
+    params.c_io * (passes(params, d, p) * scan_s + load_r)
+}
+
+/// I/O part of strategy IIb (clustered), with the per-level clustered Yao
+/// terms of `C_IIb^IO`:
+///
+/// ```text
+/// D_IIb^IO = C_IO · [ passes · Σ_i Y(⌈π_{0i}k^i⌉, ⌈k^{i+1}/m⌉, k^i)
+///                    + Σ_i Y(⌈π_{i0}k^i⌉, ⌈k^{i+1}/m⌉, k^i) ]
+/// ```
+pub fn d_iib_io(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let m = params.m();
+    let mut scan_s = 0.0;
+    let mut load_r = 0.0;
+    for i in 0..params.n {
+        let y = (k.powi(i as i32 + 1) / m).ceil();
+        let z = k.powi(i as i32);
+        let x_s = (d.pi(p, params.k, 0, i as i64) * z).ceil();
+        let x_r = (d.pi(p, params.k, i as i64, 0) * z).ceil();
+        scan_s += yao(x_s, y, z);
+        load_r += yao(x_r, y, z);
+    }
+    params.c_io * (passes(params, d, p) * scan_s + load_r)
+}
+
+/// `D_IIa = D_II^Θ + D_IIa^IO`.
+pub fn d_iia(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    d_ii_theta(params, d, p) + d_iia_io(params, d, p)
+}
+
+/// `D_IIb = D_II^Θ + D_IIb^IO`.
+pub fn d_iib(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    d_ii_theta(params, d, p) + d_iib_io(params, d, p)
+}
+
+/// Expected number of join-index entries (qualifying tuple pairs):
+/// `J = Σ_{i=0}^{n} Σ_{j=0}^{n} π_{ij}·k^i·k^j`.
+pub fn expected_result_size(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let mut acc = 0.0;
+    for i in 0..=params.n {
+        for j in 0..=params.n {
+            acc += d.pi(p, params.k, i as i64, j as i64) * k.powi(i as i32) * k.powi(j as i32);
+        }
+    }
+    acc
+}
+
+/// `D_III`: read the join index and fetch qualifying tuples with the
+/// memory-pass technique (reconstruction per DESIGN.md §3 item 6 — the
+/// printed formula is unreadable; this follows the prose derivation):
+///
+/// ```text
+/// J   = Σ_{ij} π_ij k^i k^j                     (index entries)
+/// P_R = Σ_i π_{i0} k^i                          (participating R tuples)
+/// q   = 1 − (1 − J/N²)^{m(M−10)}                (S tuple matches memory load)
+/// D_III = C_IO·( ⌈J/z⌉ + Y(P_R, ⌈N/m⌉, N) + ⌈P_R/(m(M−10))⌉·Y(q·N, ⌈N/m⌉, N) )
+/// ```
+pub fn d_iii(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let n_tuples = params.n_tuples();
+    let pages = params.relation_pages();
+    let j_entries = expected_result_size(params, d, p);
+    let p_r: f64 = (0..=params.n)
+        .map(|i| d.pi(p, params.k, i as i64, 0) * k.powi(i as i32))
+        .sum();
+    let mem_tuples = params.m() * (params.m_mem - 10.0);
+    let match_frac = (j_entries / (n_tuples * n_tuples)).min(1.0);
+    let q = 1.0 - (1.0 - match_frac).powf(mem_tuples);
+    let index_pages = (j_entries / params.z).ceil();
+    let r_pages = yao(p_r, pages, n_tuples);
+    let pass_count = (p_r / mem_tuples).ceil();
+    let s_pages_per_pass = yao(q * n_tuples, pages, n_tuples);
+    params.c_io * (index_pages + r_pages + pass_count * s_pages_per_pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> ModelParams {
+        ModelParams::paper()
+    }
+
+    #[test]
+    fn nested_loop_is_dominated_by_theta_cost() {
+        let p = paper();
+        let d = d_i(&p);
+        // N² ≈ 1.23e12 θ-evaluations dwarf the I/O term (~5.6e10 at
+        // 56-pass scanning).
+        assert!(d > 1.2e12 && d < 1.4e12, "D_I = {d}");
+    }
+
+    #[test]
+    fn join_costs_grow_with_p() {
+        let params = paper();
+        for d in Distribution::ALL {
+            for f in [d_iia, d_iib, d_iii] {
+                let lo = f(&params, d, 1e-12);
+                let hi = f(&params, d, 1e-3);
+                assert!(lo < hi, "{d:?}: cost must grow with p ({lo} vs {hi})");
+                assert!(lo > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_11_uniform_crossover_near_1e9() {
+        // §4.5: "In the case of the UNIFORM distribution, the crossover
+        // point is at a join selectivity of about 10⁻⁹."
+        let params = paper();
+        let d = Distribution::Uniform;
+        assert!(
+            d_iii(&params, d, 1e-11) < d_iib(&params, d, 1e-11),
+            "below the crossover the join index must win"
+        );
+        assert!(
+            d_iii(&params, d, 1e-7) > d_iib(&params, d, 1e-7),
+            "above the crossover the tree must win"
+        );
+        // Locate the crossover: it must fall within [1e-11, 1e-7].
+        let mut crossover = None;
+        let mut prev_sign = d_iii(&params, d, 1e-12) < d_iib(&params, d, 1e-12);
+        let mut p = 1e-12;
+        while p < 1e-5 {
+            p *= 1.3;
+            let sign = d_iii(&params, d, p) < d_iib(&params, d, p);
+            if sign != prev_sign {
+                crossover = Some(p);
+                break;
+            }
+            prev_sign = sign;
+        }
+        let c = crossover.expect("crossover must exist");
+        assert!(
+            (1e-11..=1e-7).contains(&c),
+            "UNIFORM crossover at {c}, paper says ≈1e-9"
+        );
+    }
+
+    #[test]
+    fn figure_12_noloc_crossover_near_1e8() {
+        // §4.5: "for NO-LOC it is at about 10⁻⁸".
+        let params = paper();
+        let d = Distribution::NoLoc;
+        assert!(d_iii(&params, d, 1e-10) < d_iib(&params, d, 1e-10));
+        assert!(d_iii(&params, d, 1e-5) > d_iib(&params, d, 1e-5));
+    }
+
+    #[test]
+    fn figure_13_hiloc_three_way_tie() {
+        // §4.5: "for HI-LOC there is a tie between all three strategies for
+        // any reasonable join selectivity" — within an order of magnitude.
+        let params = paper();
+        let d = Distribution::HiLoc;
+        for &p in &[1e-10, 1e-8, 1e-6, 1e-4] {
+            let a = d_iia(&params, d, p);
+            let b = d_iib(&params, d, p);
+            let i = d_iii(&params, d, p);
+            let max = a.max(b).max(i);
+            let min = a.min(b).min(i);
+            assert!(
+                max / min < 30.0,
+                "p={p}: HI-LOC spread too wide: IIa={a:.3e} IIb={b:.3e} III={i:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_loop_never_competitive() {
+        let params = paper();
+        for d in Distribution::ALL {
+            for &p in &[1e-10, 1e-8, 1e-6] {
+                assert!(d_i(&params) > d_iib(&params, d, p), "{d:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_size_bounds() {
+        let params = paper();
+        let n = params.n_tuples();
+        // p = 1 under UNIFORM: every pair matches.
+        let full = expected_result_size(&params, Distribution::Uniform, 1.0);
+        assert!((full - n * n).abs() / (n * n) < 1e-9);
+        // p = 0 under UNIFORM: nothing matches.
+        assert_eq!(
+            expected_result_size(&params, Distribution::Uniform, 0.0),
+            0.0
+        );
+        // HI-LOC at p = 0 retains the ancestor/descendant matches.
+        let anc = expected_result_size(&params, Distribution::HiLoc, 0.0);
+        assert!(anc > n, "ancestor pairs alone exceed N: {anc}");
+    }
+
+    #[test]
+    fn dii_theta_overestimates_but_scales_quadratically_at_p1() {
+        let params = paper();
+        // At p = 1 every pair at every level qualifies; the dominant term
+        // is k^{2n}·(k + k²·…) — at least N² in magnitude.
+        let v = d_ii_theta(&params, Distribution::Uniform, 1.0);
+        let n = params.n_tuples();
+        assert!(
+            v >= 0.99 * n * n,
+            "D_II^Θ(p=1) = {v} should be ≈ N² or more"
+        );
+    }
+}

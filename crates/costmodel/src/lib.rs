@@ -1,0 +1,47 @@
+//! # sj-costmodel — the analytical cost model of Günther (ICDE 1993, §4)
+//!
+//! Pure-function implementations of every cost formula in the paper,
+//! parameterized exactly by Table 2's model parameters with Table 3's
+//! values as defaults:
+//!
+//! * [`update`] — insertion costs `U_I`, `U_IIa`, `U_IIb`, `U_III` (§4.2),
+//! * [`select`] — spatial-selection costs `C_I`, `C_IIa`, `C_IIb`, `C_III`
+//!   (§4.3, Figures 8–10),
+//! * [`join`] — general-join costs `D_I`, `D_IIa`, `D_IIb`, `D_III`
+//!   (§4.4, Figures 11–13),
+//! * [`dist`] — the UNIFORM / NO-LOC / HI-LOC match-probability
+//!   distributions with their `σ_i` and `π_ij` (§4.1, Figure 7),
+//! * [`mod@yao`] — Yao's function `Y(x, y, z)` \[Yao77\] with a numerically
+//!   robust log-space evaluation,
+//! * [`series`] — log-spaced selectivity sweeps that regenerate the
+//!   figures' data series.
+//!
+//! Where the supplied paper text is OCR-degraded, the formulas follow the
+//! reconstructions documented in `DESIGN.md §3` (each function's docs call
+//! out any reconstruction it relies on).
+//!
+//! ## Example: the crossover the paper reports for Figure 11
+//!
+//! ```
+//! use sj_costmodel::{params::ModelParams, dist::Distribution, join};
+//!
+//! let params = ModelParams::paper();
+//! let d = Distribution::Uniform;
+//! // At very low selectivity the join index (III) beats the clustered
+//! // generalization tree (IIb)...
+//! assert!(join::d_iii(&params, d, 1e-12) < join::d_iib(&params, d, 1e-12));
+//! // ...and at moderate selectivity the ordering flips (crossover ≈ 1e-9).
+//! assert!(join::d_iii(&params, d, 1e-6) > join::d_iib(&params, d, 1e-6));
+//! ```
+
+pub mod dist;
+pub mod join;
+pub mod params;
+pub mod select;
+pub mod series;
+pub mod update;
+pub mod yao;
+
+pub use dist::Distribution;
+pub use params::ModelParams;
+pub use yao::yao;

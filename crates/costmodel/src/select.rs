@@ -1,0 +1,258 @@
+//! Spatial-selection costs, §4.3 (Figures 8–10). The selector object sits
+//! at height `h` of its own generalization tree (`h = n` in the paper's
+//! experiments).
+
+use crate::dist::Distribution;
+use crate::params::ModelParams;
+use crate::yao::yao;
+
+/// `C_I`: exhaustive search — θ-test all `N` objects, scan all pages:
+///
+/// ```text
+/// C_I = N·C_Θ + ⌈N/m⌉·C_IO
+/// ```
+pub fn c_i(params: &ModelParams) -> f64 {
+    params.n_tuples() * params.c_theta + params.relation_pages() * params.c_io
+}
+
+/// Computation part shared by both tree variants:
+///
+/// ```text
+/// C_II^Θ(h) = C_Θ · (1 + Σ_{i=0}^{n−1} π_{h,i} · k^{i+1})
+/// ```
+///
+/// (1 for the root check; a node at height `i` that matches forces its
+/// `k` children at height `i+1` to be examined.)
+pub fn c_ii_theta(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let h = params.h as i64;
+    let mut acc = 1.0;
+    for i in 0..params.n {
+        acc += d.pi(p, params.k, h, i as i64) * k.powi(i as i32 + 1);
+    }
+    params.c_theta * acc
+}
+
+/// I/O part for the **unclustered** tree (strategy IIa): the
+/// `π_{h,i}·k^{i+1}` nodes examined at height `i+1` are randomly placed
+/// in the relation's file:
+///
+/// ```text
+/// C_IIa^IO(h) = C_IO · Σ_{i=0}^{n−1} Y(π_{h,i} k^{i+1}, ⌈N/m⌉, N)
+/// ```
+///
+/// The root is assumed locked in main memory. The printed formula wraps
+/// the expected node count in ⌈·⌉; we keep it fractional (Yao's function
+/// interpolates), because the ceiling imposes an artificial one-page-per-
+/// level floor that contradicts the behaviour §4.5 describes for Figure 9
+/// (see DESIGN.md §3).
+pub fn c_iia_io(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let h = params.h as i64;
+    let pages = params.relation_pages();
+    let n_tuples = params.n_tuples();
+    let mut acc = 0.0;
+    for i in 0..params.n {
+        let x = d.pi(p, params.k, h, i as i64) * k.powi(i as i32 + 1);
+        acc += yao(x, pages, n_tuples);
+    }
+    params.c_io * acc
+}
+
+/// I/O part for the **clustered** tree (strategy IIb): nodes with the same
+/// parent are stored together, so each of the `⌈π_{h,i}·k^i⌉` matching
+/// height-`i` nodes drags in one `k`-node "record" out of `k^i` such
+/// records stored on `⌈k^{i+1}/m⌉` pages:
+///
+/// ```text
+/// C_IIb^IO(h) = C_IO · Σ_{i=0}^{n−1} Y(π_{h,i} k^i, ⌈k^{i+1}/m⌉, k^i)
+/// ```
+pub fn c_iib_io(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let h = params.h as i64;
+    let m = params.m();
+    let mut acc = 0.0;
+    for i in 0..params.n {
+        let x = d.pi(p, params.k, h, i as i64) * k.powi(i as i32);
+        let y = (k.powi(i as i32 + 1) / m).ceil();
+        let z = k.powi(i as i32);
+        acc += yao(x, y, z);
+    }
+    params.c_io * acc
+}
+
+/// `C_IIa(h) = C_II^Θ(h) + C_IIa^IO(h)` — unclustered generalization tree.
+pub fn c_iia(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    c_ii_theta(params, d, p) + c_iia_io(params, d, p)
+}
+
+/// `C_IIb(h) = C_II^Θ(h) + C_IIb^IO(h)` — clustered generalization tree.
+pub fn c_iib(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    c_ii_theta(params, d, p) + c_iib_io(params, d, p)
+}
+
+/// Expected number of join-index entries relating to the selector:
+/// `S_h = Σ_{i=0}^{n} π_{h,i} k^i`.
+pub fn index_entries_for_selector(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let k = params.k as f64;
+    let h = params.h as i64;
+    (0..=params.n)
+        .map(|i| d.pi(p, params.k, h, i as i64) * k.powi(i as i32))
+        .sum()
+}
+
+/// `C_III(h)`: look up the selector's entries in the join index
+/// (a B⁺-tree of height `d` with its root pinned; `z` entries per page)
+/// and fetch the matching tuples:
+///
+/// ```text
+/// C_III(h) = C_IO · ( d + ⌈S_h/z⌉ + Y(S_h, ⌈N/m⌉, N) )
+/// ```
+///
+/// (Reconstruction per DESIGN.md §3 item 4: the Yao retrieval term is an
+/// I/O count and is therefore also priced at `C_IO`; "virtually no
+/// computations are necessary".)
+pub fn c_iii(params: &ModelParams, d: Distribution, p: f64) -> f64 {
+    let s_h = index_entries_for_selector(params, d, p);
+    let descend = params.d;
+    let index_pages = (s_h / params.z).ceil();
+    let tuple_pages = yao(s_h, params.relation_pages(), params.n_tuples());
+    params.c_io * (descend + index_pages + tuple_pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> ModelParams {
+        ModelParams::paper()
+    }
+
+    #[test]
+    fn exhaustive_search_is_constant_in_p() {
+        let p = paper();
+        let c = c_i(&p);
+        // N·C_Θ + ⌈N/m⌉·C_IO = 1,111,111 + 222,223,000.
+        assert_eq!(c, 1_111_111.0 + 222_223.0 * 1000.0);
+    }
+
+    #[test]
+    fn tree_costs_grow_with_p() {
+        let params = paper();
+        for d in Distribution::ALL {
+            for f in [c_iia, c_iib, c_iii] {
+                let lo = f(&params, d, 1e-6);
+                let hi = f(&params, d, 0.5);
+                assert!(lo < hi, "{d:?} cost must grow with p");
+                assert!(lo > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_never_worse_than_unclustered() {
+        let params = paper();
+        for d in Distribution::ALL {
+            for &p in &[1e-6, 1e-4, 1e-2, 0.1, 0.5, 1.0] {
+                let a = c_iia(&params, d, p);
+                let b = c_iib(&params, d, p);
+                assert!(
+                    b <= a + 1e-6,
+                    "{d:?} p={p}: clustered {b} must not exceed unclustered {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_8_uniform_orderings() {
+        // §4.5: "the search performance of the join index (C_III) is almost
+        // identical to the unclustered generalization tree (C_IIa)"; the
+        // clustered tree "may cut costs by up to an order of magnitude";
+        // nested loop "is never really competitive".
+        let params = paper();
+        let d = Distribution::Uniform;
+        for &p in &[1e-5, 1e-4, 1e-3, 1e-2] {
+            let (i, iia, iib, iii) = (
+                c_i(&params),
+                c_iia(&params, d, p),
+                c_iib(&params, d, p),
+                c_iii(&params, d, p),
+            );
+            let ratio = iii / iia;
+            assert!(
+                (0.2..=5.0).contains(&ratio),
+                "p={p}: C_III/C_IIa = {ratio} should be near 1"
+            );
+            assert!(iib < iia, "p={p}");
+            assert!(i > iia && i > iii, "p={p}: exhaustive must lose");
+        }
+        // "up to an order of magnitude" for the clustered tree.
+        let gain = c_iia(&params, d, 1e-2) / c_iib(&params, d, 1e-2);
+        assert!(gain > 2.0, "clustering gain = {gain}");
+    }
+
+    #[test]
+    fn figure_9_noloc_join_index_dip() {
+        // §4.5: below p ≈ 0.08 the join index "drops below the performance
+        // of the generalization tree" (i.e. becomes more expensive relative
+        // to them than at higher selectivities, due to paging the index).
+        let params = paper();
+        let d = Distribution::NoLoc;
+        // At high selectivity, the join index sits between IIa and IIb.
+        let p_hi = 0.5;
+        let (a_hi, b_hi, i_hi) = (
+            c_iia(&params, d, p_hi),
+            c_iib(&params, d, p_hi),
+            c_iii(&params, d, p_hi),
+        );
+        assert!(
+            b_hi <= i_hi && i_hi <= a_hi,
+            "at p={p_hi}: {b_hi} ≤ {i_hi} ≤ {a_hi}"
+        );
+        // At low selectivity, the join index is the worst of the three.
+        let p_lo = 0.01;
+        let (a_lo, b_lo, i_lo) = (
+            c_iia(&params, d, p_lo),
+            c_iib(&params, d, p_lo),
+            c_iii(&params, d, p_lo),
+        );
+        assert!(
+            i_lo > a_lo && i_lo > b_lo,
+            "at p={p_lo}: III = {i_lo} must exceed IIa = {a_lo}, IIb = {b_lo}"
+        );
+    }
+
+    #[test]
+    fn figure_10_hiloc_join_index_between_tree_variants() {
+        // §4.5: for HI-LOC "the performance of the join index is
+        // consistently between the unclustered and the clustered tree".
+        let params = paper();
+        let d = Distribution::HiLoc;
+        for &p in &[1e-4, 1e-3, 1e-2, 0.1] {
+            let a = c_iia(&params, d, p);
+            let b = c_iib(&params, d, p);
+            let i = c_iii(&params, d, p);
+            // Allow a few percent of slack at the IIb end: at very low p
+            // our reconstruction puts III marginally below IIb.
+            assert!(
+                0.9 * b <= i && i <= 1.05 * a,
+                "p={p}: expected IIb ({b}) ≲ III ({i}) ≲ IIa ({a})"
+            );
+        }
+    }
+
+    #[test]
+    fn selector_entry_count_bounds() {
+        let params = paper();
+        // At p = 1 under UNIFORM every object matches: S_h = N.
+        let full = index_entries_for_selector(&params, Distribution::Uniform, 1.0);
+        assert!((full - params.n_tuples()).abs() < 1e-3);
+        // At p = 0, only the π_{h,0}-weighted root term for HI-LOC remains
+        // (ancestors always match under HI-LOC).
+        let hiloc0 = index_entries_for_selector(&params, Distribution::HiLoc, 0.0);
+        assert!(hiloc0 >= 1.0);
+        let unif0 = index_entries_for_selector(&params, Distribution::Uniform, 0.0);
+        assert_eq!(unif0, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Selectivity sweeps: the data series behind Figures 8–13.
+
+use crate::dist::Distribution;
+use crate::params::ModelParams;
+use crate::{join, select, update};
+
+/// A named cost curve over the selectivity axis.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label, matching the paper's figures (`C_I`, `C_IIa`, …).
+    pub label: &'static str,
+    /// `(p, cost)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Log-spaced selectivity grid with `samples` points spanning
+/// `[lo, hi]` (inclusive).
+pub fn log_grid(lo: f64, hi: f64, samples: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && samples >= 2);
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..samples)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (samples - 1) as f64).exp())
+        .collect()
+}
+
+/// The four SELECT curves of Figures 8–10 for one distribution, plus the
+/// distribution-independent update costs reported alongside them.
+pub fn select_figure(params: &ModelParams, d: Distribution, grid: &[f64]) -> Vec<Series> {
+    let sweep = |f: &dyn Fn(f64) -> f64| grid.iter().map(|&p| (p, f(p))).collect::<Vec<_>>();
+    vec![
+        Series {
+            label: "C_I",
+            points: sweep(&|_| select::c_i(params)),
+        },
+        Series {
+            label: "C_IIa",
+            points: sweep(&|p| select::c_iia(params, d, p)),
+        },
+        Series {
+            label: "C_IIb",
+            points: sweep(&|p| select::c_iib(params, d, p)),
+        },
+        Series {
+            label: "C_III",
+            points: sweep(&|p| select::c_iii(params, d, p)),
+        },
+        Series {
+            label: "U_IIa",
+            points: sweep(&|_| update::u_iia(params)),
+        },
+        Series {
+            label: "U_IIb",
+            points: sweep(&|_| update::u_iib(params)),
+        },
+        Series {
+            label: "U_III",
+            points: sweep(&|_| update::u_iii(params)),
+        },
+    ]
+}
+
+/// The four JOIN curves of Figures 11–13 for one distribution.
+pub fn join_figure(params: &ModelParams, d: Distribution, grid: &[f64]) -> Vec<Series> {
+    let sweep = |f: &dyn Fn(f64) -> f64| grid.iter().map(|&p| (p, f(p))).collect::<Vec<_>>();
+    vec![
+        Series {
+            label: "D_I",
+            points: sweep(&|_| join::d_i(params)),
+        },
+        Series {
+            label: "D_IIa",
+            points: sweep(&|p| join::d_iia(params, d, p)),
+        },
+        Series {
+            label: "D_IIb",
+            points: sweep(&|p| join::d_iib(params, d, p)),
+        },
+        Series {
+            label: "D_III",
+            points: sweep(&|p| join::d_iii(params, d, p)),
+        },
+    ]
+}
+
+/// Finds the selectivity where `f` and `g` cross, by sign-change scan over
+/// a log grid followed by bisection. Returns `None` if no crossing exists
+/// in `[lo, hi]`.
+pub fn crossover(lo: f64, hi: f64, f: impl Fn(f64) -> f64, g: impl Fn(f64) -> f64) -> Option<f64> {
+    let grid = log_grid(lo, hi, 200);
+    let sign = |p: f64| f(p) < g(p);
+    let mut prev = grid[0];
+    let mut prev_sign = sign(prev);
+    for &p in &grid[1..] {
+        let s = sign(p);
+        if s != prev_sign {
+            // Bisect in log space.
+            let (mut a, mut b) = (prev, p);
+            for _ in 0..60 {
+                let m = ((a.ln() + b.ln()) / 2.0).exp();
+                if sign(m) == prev_sign {
+                    a = m;
+                } else {
+                    b = m;
+                }
+            }
+            return Some(((a.ln() + b.ln()) / 2.0).exp());
+        }
+        prev = p;
+        prev_sign = s;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_grid_shape() {
+        let g = log_grid(1e-6, 1.0, 7);
+        assert_eq!(g.len(), 7);
+        assert!((g[0] - 1e-6).abs() < 1e-18);
+        assert!((g[6] - 1.0).abs() < 1e-12);
+        // Log-even spacing: constant ratio.
+        let r = g[1] / g[0];
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figures_have_all_series() {
+        let params = ModelParams::paper();
+        let grid = log_grid(1e-6, 1.0, 10);
+        let fig8 = select_figure(&params, Distribution::Uniform, &grid);
+        assert_eq!(fig8.len(), 7);
+        for s in &fig8 {
+            assert_eq!(s.points.len(), 10);
+            assert!(s.points.iter().all(|&(_, c)| c.is_finite() && c >= 0.0));
+        }
+        let fig11 = join_figure(&params, Distribution::Uniform, &grid);
+        assert_eq!(fig11.len(), 4);
+    }
+
+    #[test]
+    fn crossover_finder_locates_known_crossing() {
+        // f = p, g = 1e-4: crossing at exactly 1e-4.
+        let c = crossover(1e-8, 1.0, |p| p, |_| 1e-4).expect("crossing exists");
+        assert!((c - 1e-4).abs() / 1e-4 < 1e-3, "got {c}");
+        // No crossing.
+        assert!(crossover(1e-8, 1.0, |p| p + 2.0, |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn uniform_join_crossover_matches_paper_order_of_magnitude() {
+        let params = ModelParams::paper();
+        let d = Distribution::Uniform;
+        let c = crossover(
+            1e-12,
+            1e-4,
+            |p| join::d_iii(&params, d, p),
+            |p| join::d_iib(&params, d, p),
+        )
+        .expect("crossover exists");
+        assert!(
+            (1e-11..=1e-7).contains(&c),
+            "UNIFORM join crossover at {c:.3e} (paper: ≈1e-9)"
+        );
+    }
+}

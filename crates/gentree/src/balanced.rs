@@ -1,0 +1,142 @@
+//! Balanced k-ary generalization trees — the cost model's assumptions
+//! S1/S2 (§4.1): "all generalization trees are balanced k-ary trees of
+//! height n" whose every node "corresponds to an object that is relevant
+//! to the user".
+//!
+//! These synthetic trees are the bridge between the analytic model and the
+//! measured executors: they have exactly `N = Σ_{i=0}^{n} k^i` entry-
+//! bearing nodes, fan-out exactly `k` everywhere, and a regular spatial
+//! subdivision, so the per-level node counts `k^i` of the formulas hold
+//! exactly.
+
+use sj_geom::{Geometry, Rect};
+
+use crate::carto::grid_split;
+use crate::tree::{Entry, GenTree, NodeId};
+
+/// Number of nodes of a balanced k-ary tree of height `n`:
+/// `(k^{n+1} − 1) / (k − 1)` (the model's derived variable `N`).
+pub fn node_count(k: usize, n: usize) -> usize {
+    assert!(k >= 2);
+    let mut total = 0usize;
+    let mut level = 1usize;
+    for _ in 0..=n {
+        total = total.checked_add(level).expect("node count overflow");
+        level = level.checked_mul(k).expect("node count overflow");
+    }
+    total
+}
+
+/// Builds a balanced k-ary generalization tree of height `n` over `world`.
+///
+/// Each node's region is split into `k` disjoint grid cells for its
+/// children; every node carries an application [`Entry`] whose geometry is
+/// its region rectangle. Ids are assigned in breadth-first order starting
+/// at 0 (the root), so id ranges identify levels:
+/// level `i` spans ids `[(k^i − 1)/(k − 1), (k^{i+1} − 1)/(k − 1))`.
+pub fn build_balanced(k: usize, n: usize, world: Rect) -> GenTree {
+    assert!(k >= 2, "fan-out must be at least 2");
+    let mut tree = GenTree::new(
+        world,
+        Some(Entry {
+            id: 0,
+            geometry: Geometry::Rect(world),
+        }),
+    );
+    let mut next_id = 1u64;
+    let mut frontier: Vec<(NodeId, Rect)> = vec![(tree.root(), world)];
+    for _ in 0..n {
+        let mut next_frontier = Vec::with_capacity(frontier.len() * k);
+        for (node, region) in frontier {
+            for cell in grid_split(&region, k) {
+                let id = next_id;
+                next_id += 1;
+                let child = tree.add_child(
+                    node,
+                    cell,
+                    Some(Entry {
+                        id,
+                        geometry: Geometry::Rect(cell),
+                    }),
+                );
+                next_frontier.push((child, cell));
+            }
+        }
+        frontier = next_frontier;
+    }
+    tree
+}
+
+/// The id range `[lo, hi)` of the nodes at level `i` of a balanced k-ary
+/// tree built by [`build_balanced`].
+pub fn level_id_range(k: usize, i: usize) -> (u64, u64) {
+    let lo = node_count(k, i.wrapping_sub(1).min(i.saturating_sub(1))) as u64;
+    let lo = if i == 0 { 0 } else { lo };
+    let hi = node_count(k, i) as u64;
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_formula() {
+        assert_eq!(node_count(2, 0), 1);
+        assert_eq!(node_count(2, 3), 15);
+        assert_eq!(node_count(10, 2), 111);
+        // The paper's Table 3: k = 10, n = 6 → N = 1,111,111.
+        assert_eq!(node_count(10, 6), 1_111_111);
+    }
+
+    #[test]
+    fn build_has_exact_shape() {
+        let t = build_balanced(4, 3, Rect::from_bounds(0.0, 0.0, 64.0, 64.0));
+        assert_eq!(t.node_count(), node_count(4, 3)); // 1+4+16+64 = 85
+        assert_eq!(t.height(), 3);
+        // Every node is an application object and fan-out is exactly k.
+        assert_eq!(t.entry_nodes().len(), 85);
+        let levels = t.levels();
+        assert_eq!(
+            levels.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![1, 4, 16, 64]
+        );
+        for level in &levels[..3] {
+            for &n in level {
+                assert_eq!(t.children(n).len(), 4);
+            }
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ids_are_breadth_first() {
+        let t = build_balanced(3, 2, Rect::from_bounds(0.0, 0.0, 9.0, 9.0));
+        let order = t.bfs_order();
+        for (i, &n) in order.iter().enumerate() {
+            assert_eq!(t.entry(n).unwrap().id, i as u64);
+        }
+    }
+
+    #[test]
+    fn level_id_ranges() {
+        assert_eq!(level_id_range(3, 0), (0, 1));
+        assert_eq!(level_id_range(3, 1), (1, 4));
+        assert_eq!(level_id_range(3, 2), (4, 13));
+    }
+
+    #[test]
+    fn sibling_regions_are_disjoint() {
+        let t = build_balanced(6, 2, Rect::from_bounds(0.0, 0.0, 36.0, 36.0));
+        for level in t.levels() {
+            for (i, &a) in level.iter().enumerate() {
+                for &b in &level[i + 1..] {
+                    // Same-parent siblings never share interior points.
+                    if t.parent(a) == t.parent(b) {
+                        assert!(!t.mbr(a).interiors_intersect(&t.mbr(b)));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Algorithm JOIN (paper §3.3): general spatial join of two relations via
+//! their generalization trees.
+//!
+//! The algorithm keeps a list `QualPairs[j]` of node pairs at tree height
+//! `j` whose MBRs pass the Θ-filter. For each qualifying pair `(a, b)` it
+//! (JOIN3) θ-tests the pair itself, (JOIN4) runs Algorithm SELECT twice to
+//! find cross-height matches — `a` against the strict descendants of `b`
+//! and `b` against the strict descendants of `a` — and seeds
+//! `QualPairs[j+1]` with the Θ-qualifying combinations of direct children.
+//!
+//! [`join`] is the verbatim level-synchronized formulation;
+//! [`join_depth_first`] is an equivalent depth-first reformulation that
+//! avoids the redundant Θ-evaluations of the embedded SELECT passes (both
+//! return the same match set — a property-tested invariant).
+
+use sj_geom::{Geometry, ThetaOp};
+
+use crate::stats::TraversalStats;
+use crate::tree::{GenTree, NodeId};
+
+/// Result of a JOIN run: matching `(r_id, s_id)` tuple pairs plus work
+/// counters for both trees combined.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// Tuple-id pairs `(a, b)` with `a θ b`, `a` from `R`, `b` from `S`.
+    pub pairs: Vec<(u64, u64)>,
+    /// Combined traversal work.
+    pub stats: TraversalStats,
+}
+
+/// SELECT over the subtree rooted at `start`, matching the fixed object `o`
+/// (which plays the θ-operand side indicated by `o_is_left`). The subtree
+/// root itself is visited and filtered but never reported — the caller
+/// (JOIN3) handles the `(a, b)` pair itself.
+#[allow(clippy::too_many_arguments)]
+fn select_subtree(
+    tree: &GenTree,
+    start: NodeId,
+    start_depth: usize,
+    o: &Geometry,
+    o_mbr: &sj_geom::Rect,
+    theta: ThetaOp,
+    o_is_left: bool,
+    stats: &mut TraversalStats,
+    on_visit: &mut dyn FnMut(NodeId),
+    mut report: impl FnMut(u64),
+) {
+    let mut stack: Vec<(NodeId, usize, bool)> = vec![(start, start_depth, true)];
+    while let Some((node, depth, is_start)) = stack.pop() {
+        on_visit(node);
+        stats.visit(depth);
+        stats.filter_evals += 1;
+        let node_mbr = tree.mbr(node);
+        let passes = if o_is_left {
+            theta.filter(o_mbr, &node_mbr)
+        } else {
+            theta.filter(&node_mbr, o_mbr)
+        };
+        if !passes {
+            continue;
+        }
+        if !is_start {
+            if let Some(entry) = tree.entry(node) {
+                stats.theta_evals += 1;
+                let matched = if o_is_left {
+                    theta.eval(o, &entry.geometry)
+                } else {
+                    theta.eval(&entry.geometry, o)
+                };
+                if matched {
+                    report(entry.id);
+                }
+            }
+        }
+        for &c in tree.children(node) {
+            stack.push((c, depth + 1, false));
+        }
+    }
+}
+
+/// Algorithm JOIN, level-synchronized exactly as stated in the paper.
+///
+/// `on_visit_r` / `on_visit_s` fire once per node visit in the respective
+/// tree (a node may be visited several times — the paper's algorithm
+/// re-touches subtrees across SELECT passes, which is precisely why its
+/// I/O model uses memory-resident passes; executors charge I/O per visit
+/// through their buffer pool, which absorbs re-visits that hit the cache).
+pub fn join(
+    tree_r: &GenTree,
+    tree_s: &GenTree,
+    theta: ThetaOp,
+    mut on_visit_r: impl FnMut(NodeId),
+    mut on_visit_s: impl FnMut(NodeId),
+) -> JoinOutcome {
+    let mut out = JoinOutcome::default();
+
+    // JOIN1 [Initialization].
+    let mut qual_pairs: Vec<(NodeId, NodeId)> = vec![(tree_r.root(), tree_s.root())];
+    let mut depth = 0usize;
+
+    // JOIN2 [Tree Search].
+    while !qual_pairs.is_empty() {
+        let mut next: Vec<(NodeId, NodeId)> = Vec::new();
+        for &(a, b) in &qual_pairs {
+            on_visit_r(a);
+            on_visit_s(b);
+            out.stats.visit(depth);
+            out.stats.filter_evals += 1;
+            let (a_mbr, b_mbr) = (tree_r.mbr(a), tree_s.mbr(b));
+            if !theta.filter(&a_mbr, &b_mbr) {
+                continue;
+            }
+
+            // JOIN3 [Check for θ-match].
+            if let (Some(ea), Some(eb)) = (tree_r.entry(a), tree_s.entry(b)) {
+                out.stats.theta_evals += 1;
+                if theta.eval(&ea.geometry, &eb.geometry) {
+                    out.pairs.push((ea.id, eb.id));
+                }
+            }
+
+            // JOIN4 [Spatial Selections]: cross-height matches.
+            if let Some(ea) = tree_r.entry(a) {
+                let (ea_id, ea_geom) = (ea.id, ea.geometry.clone());
+                let ea_mbr = a_mbr;
+                select_subtree(
+                    tree_s,
+                    b,
+                    depth,
+                    &ea_geom,
+                    &ea_mbr,
+                    theta,
+                    true,
+                    &mut out.stats,
+                    &mut on_visit_s,
+                    |s_id| out.pairs.push((ea_id, s_id)),
+                );
+            }
+            if let Some(eb) = tree_s.entry(b) {
+                let (eb_id, eb_geom) = (eb.id, eb.geometry.clone());
+                let eb_mbr = b_mbr;
+                select_subtree(
+                    tree_r,
+                    a,
+                    depth,
+                    &eb_geom,
+                    &eb_mbr,
+                    theta,
+                    false,
+                    &mut out.stats,
+                    &mut on_visit_r,
+                    |r_id| out.pairs.push((r_id, eb_id)),
+                );
+            }
+
+            // Seed QualPairs[j+1] with qualifying child combinations:
+            // children a'' of a with a'' Θ b, children b'' of b with a Θ b''.
+            let mut qual_a: Vec<NodeId> = Vec::new();
+            for &a2 in tree_r.children(a) {
+                out.stats.filter_evals += 1;
+                if theta.filter(&tree_r.mbr(a2), &b_mbr) {
+                    qual_a.push(a2);
+                }
+            }
+            let mut qual_b: Vec<NodeId> = Vec::new();
+            for &b2 in tree_s.children(b) {
+                out.stats.filter_evals += 1;
+                if theta.filter(&a_mbr, &tree_s.mbr(b2)) {
+                    qual_b.push(b2);
+                }
+            }
+            for &a2 in &qual_a {
+                for &b2 in &qual_b {
+                    next.push((a2, b2));
+                }
+            }
+        }
+        qual_pairs = next;
+        depth += 1;
+    }
+    out
+}
+
+/// Depth-first reformulation of Algorithm JOIN producing the identical
+/// match set with fewer redundant Θ-evaluations.
+///
+/// `process(a, b)` is responsible for exactly the pair set
+/// `subtree(a) × subtree(b)`, decomposed without overlap into
+/// `{(a, b)}` ∪ `{a} × (subtree(b) ∖ {b})` ∪ `(subtree(a) ∖ {a}) × subtree(b)`.
+pub fn join_depth_first(
+    tree_r: &GenTree,
+    tree_s: &GenTree,
+    theta: ThetaOp,
+    mut on_visit_r: impl FnMut(NodeId),
+    mut on_visit_s: impl FnMut(NodeId),
+) -> JoinOutcome {
+    let mut out = JoinOutcome::default();
+    // Explicit work stack of closures would obscure accounting; use a
+    // recursive helper instead (tree heights are far below stack limits).
+    struct Ctx<'a> {
+        tree_r: &'a GenTree,
+        tree_s: &'a GenTree,
+        theta: ThetaOp,
+        out: JoinOutcome,
+        on_visit_r: &'a mut dyn FnMut(NodeId),
+        on_visit_s: &'a mut dyn FnMut(NodeId),
+    }
+
+    fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize) {
+        (ctx.on_visit_r)(a);
+        (ctx.on_visit_s)(b);
+        ctx.out.stats.visit(depth);
+        ctx.out.stats.filter_evals += 1;
+        let (a_mbr, b_mbr) = (ctx.tree_r.mbr(a), ctx.tree_s.mbr(b));
+        if !ctx.theta.filter(&a_mbr, &b_mbr) {
+            return;
+        }
+        if let (Some(ea), Some(eb)) = (ctx.tree_r.entry(a), ctx.tree_s.entry(b)) {
+            ctx.out.stats.theta_evals += 1;
+            if ctx.theta.eval(&ea.geometry, &eb.geometry) {
+                ctx.out.pairs.push((ea.id, eb.id));
+            }
+        }
+        // {a} × strict descendants of b.
+        if let Some(ea) = ctx.tree_r.entry(a) {
+            let (ea_id, ea_geom) = (ea.id, ea.geometry.clone());
+            for &b2 in ctx.tree_s.children(b) {
+                fixed_left(ctx, &ea_geom, &a_mbr, ea_id, b2, depth + 1);
+            }
+        }
+        // Strict descendants of a × subtree(b).
+        for &a2 in ctx.tree_r.children(a) {
+            process(ctx, a2, b, depth + 1);
+        }
+    }
+
+    /// Handles `{fixed a} × subtree(c)` where `a` is an application object
+    /// of `R` with geometry `o` and MBR `o_mbr`.
+    fn fixed_left(
+        ctx: &mut Ctx<'_>,
+        o: &Geometry,
+        o_mbr: &sj_geom::Rect,
+        a_id: u64,
+        c: NodeId,
+        depth: usize,
+    ) {
+        (ctx.on_visit_s)(c);
+        ctx.out.stats.visit(depth);
+        ctx.out.stats.filter_evals += 1;
+        if !ctx.theta.filter(o_mbr, &ctx.tree_s.mbr(c)) {
+            return;
+        }
+        if let Some(ec) = ctx.tree_s.entry(c) {
+            ctx.out.stats.theta_evals += 1;
+            if ctx.theta.eval(o, &ec.geometry) {
+                ctx.out.pairs.push((a_id, ec.id));
+            }
+        }
+        for &c2 in ctx.tree_s.children(c) {
+            fixed_left(ctx, o, o_mbr, a_id, c2, depth + 1);
+        }
+    }
+
+    let mut ctx = Ctx {
+        tree_r,
+        tree_s,
+        theta,
+        out: std::mem::take(&mut out),
+        on_visit_r: &mut on_visit_r,
+        on_visit_s: &mut on_visit_s,
+    };
+    process(&mut ctx, tree_r.root(), tree_s.root(), 0);
+    ctx.out
+}
+
+/// Reference nested-loop join over the trees' entries (used by tests and by
+/// the strategy-I executor).
+pub fn join_exhaustive(tree_r: &GenTree, tree_s: &GenTree, theta: ThetaOp) -> JoinOutcome {
+    let mut out = JoinOutcome::default();
+    let r_entries = tree_r.entry_nodes();
+    let s_entries = tree_s.entry_nodes();
+    for &ra in &r_entries {
+        let ea = tree_r.entry(ra).expect("entry node");
+        for &sb in &s_entries {
+            let eb = tree_s.entry(sb).expect("entry node");
+            out.stats.theta_evals += 1;
+            if theta.eval(&ea.geometry, &eb.geometry) {
+                out.pairs.push((ea.id, eb.id));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Entry;
+    use sj_geom::{Point, Rect};
+
+    fn point_tree(points: &[(u64, f64, f64)], world: Rect, fanout: usize) -> GenTree {
+        // A simple two-level tree: directory nodes over chunks of points.
+        let mut t = GenTree::new(world, None);
+        for chunk in points.chunks(fanout) {
+            let mbr = Rect::bounding(chunk.iter().map(|&(_, x, y)| Point::new(x, y)))
+                .expect("non-empty chunk");
+            let dir = t.add_child(t.root(), mbr, None);
+            for &(id, x, y) in chunk {
+                t.add_child(
+                    dir,
+                    Rect::from_point(Point::new(x, y)),
+                    Some(Entry {
+                        id,
+                        geometry: Geometry::Point(Point::new(x, y)),
+                    }),
+                );
+            }
+        }
+        t.check_invariants();
+        t
+    }
+
+    fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn join_matches_nested_loop_on_grids() {
+        let world = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let r_pts: Vec<(u64, f64, f64)> = (0..25)
+            .map(|i| (i, (i % 5) as f64 * 20.0, (i / 5) as f64 * 20.0))
+            .collect();
+        let s_pts: Vec<(u64, f64, f64)> = (0..25)
+            .map(|i| (i + 100, (i % 5) as f64 * 20.0 + 3.0, (i / 5) as f64 * 20.0))
+            .collect();
+        let tr = point_tree(&r_pts, world, 4);
+        let ts = point_tree(&s_pts, world, 6);
+        for theta in [
+            ThetaOp::WithinDistance(5.0),
+            ThetaOp::WithinDistance(25.0),
+            ThetaOp::DirectionOf(sj_geom::Direction::NorthWest),
+            ThetaOp::Overlaps,
+        ] {
+            let reference = sorted(join_exhaustive(&tr, &ts, theta).pairs);
+            let level_sync = sorted(join(&tr, &ts, theta, |_| {}, |_| {}).pairs);
+            let depth_first = sorted(join_depth_first(&tr, &ts, theta, |_| {}, |_| {}).pairs);
+            assert_eq!(
+                level_sync, reference,
+                "level-sync vs reference for {theta:?}"
+            );
+            assert_eq!(
+                depth_first, reference,
+                "depth-first vs reference for {theta:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_reports_no_duplicates() {
+        let world = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let pts: Vec<(u64, f64, f64)> = (0..9)
+            .map(|i| (i, (i % 3) as f64 * 5.0, (i / 3) as f64 * 5.0))
+            .collect();
+        let tr = point_tree(&pts, world, 3);
+        let ts = point_tree(&pts, world, 3);
+        let out = join(&tr, &ts, ThetaOp::WithinDistance(100.0), |_| {}, |_| {});
+        let mut pairs = out.pairs.clone();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before, "JOIN must not emit duplicate pairs");
+        assert_eq!(before, 81); // everything matches everything
+    }
+
+    #[test]
+    fn join_with_interior_application_objects() {
+        // Cartographic setting: states containing cities, joined against a
+        // set of probe points; matches must include state-level matches.
+        let mut tr = GenTree::new(Rect::from_bounds(0.0, 0.0, 10.0, 10.0), None);
+        let state = tr.add_child(
+            tr.root(),
+            Rect::from_bounds(0.0, 0.0, 6.0, 6.0),
+            Some(Entry {
+                id: 1,
+                geometry: Geometry::Rect(Rect::from_bounds(0.0, 0.0, 6.0, 6.0)),
+            }),
+        );
+        tr.add_child(
+            state,
+            Rect::from_point(Point::new(2.0, 2.0)),
+            Some(Entry {
+                id: 2,
+                geometry: Geometry::Point(Point::new(2.0, 2.0)),
+            }),
+        );
+
+        let ts = point_tree(
+            &[(10, 2.0, 2.0), (11, 9.0, 9.0)],
+            Rect::from_bounds(0.0, 0.0, 10.0, 10.0),
+            2,
+        );
+
+        let got = sorted(join(&tr, &ts, ThetaOp::Overlaps, |_| {}, |_| {}).pairs);
+        // state (id 1) overlaps probe 10; city (id 2) coincides with probe 10.
+        assert_eq!(got, vec![(1, 10), (2, 10)]);
+        let dfs = sorted(join_depth_first(&tr, &ts, ThetaOp::Overlaps, |_| {}, |_| {}).pairs);
+        assert_eq!(dfs, got);
+    }
+
+    #[test]
+    fn unequal_tree_heights() {
+        // R is a flat tree (entries directly under the root), S is two
+        // levels deep; all cross-height matches must still be found.
+        let world = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut tr = GenTree::new(world, None);
+        for i in 0..4u64 {
+            let p = Point::new(i as f64 * 3.0, i as f64 * 3.0);
+            tr.add_child(
+                tr.root(),
+                Rect::from_point(p),
+                Some(Entry {
+                    id: i,
+                    geometry: Geometry::Point(p),
+                }),
+            );
+        }
+        let s_pts: Vec<(u64, f64, f64)> = (0..4)
+            .map(|i| (i + 50, i as f64 * 3.0, i as f64 * 3.0))
+            .collect();
+        let ts = point_tree(&s_pts, world, 2);
+        assert_ne!(tr.height(), ts.height());
+        let theta = ThetaOp::WithinDistance(0.5);
+        let reference = sorted(join_exhaustive(&tr, &ts, theta).pairs);
+        assert_eq!(reference.len(), 4);
+        assert_eq!(
+            sorted(join(&tr, &ts, theta, |_| {}, |_| {}).pairs),
+            reference
+        );
+        assert_eq!(
+            sorted(join_depth_first(&tr, &ts, theta, |_| {}, |_| {}).pairs),
+            reference
+        );
+    }
+
+    #[test]
+    fn asymmetric_operator_orientation() {
+        // R's big rect includes S's small point, but not vice versa.
+        let world = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+        let mut tr = GenTree::new(world, None);
+        tr.add_child(
+            tr.root(),
+            Rect::from_bounds(1.0, 1.0, 5.0, 5.0),
+            Some(Entry {
+                id: 1,
+                geometry: Geometry::Rect(Rect::from_bounds(1.0, 1.0, 5.0, 5.0)),
+            }),
+        );
+        let ts = point_tree(&[(9, 3.0, 3.0)], world, 1);
+        let inc = join(&tr, &ts, ThetaOp::Includes, |_| {}, |_| {}).pairs;
+        assert_eq!(inc, vec![(1, 9)]);
+        let cont = join(&tr, &ts, ThetaOp::ContainedIn, |_| {}, |_| {}).pairs;
+        assert!(cont.is_empty());
+    }
+
+    #[test]
+    fn pruning_beats_exhaustive_in_theta_evals() {
+        let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+        let r_pts: Vec<(u64, f64, f64)> = (0..64)
+            .map(|i| (i, (i % 8) as f64 * 125.0, (i / 8) as f64 * 125.0))
+            .collect();
+        let s_pts: Vec<(u64, f64, f64)> = (0..64)
+            .map(|i| {
+                (
+                    i + 500,
+                    (i % 8) as f64 * 125.0 + 1.0,
+                    (i / 8) as f64 * 125.0,
+                )
+            })
+            .collect();
+        let tr = point_tree(&r_pts, world, 8);
+        let ts = point_tree(&s_pts, world, 8);
+        let theta = ThetaOp::WithinDistance(2.0);
+        let tree_join = join(&tr, &ts, theta, |_| {}, |_| {});
+        let reference = join_exhaustive(&tr, &ts, theta);
+        assert_eq!(sorted(tree_join.pairs), sorted(reference.pairs));
+        assert!(
+            tree_join.stats.theta_evals < reference.stats.theta_evals / 2,
+            "tree join should θ-test far fewer pairs: {} vs {}",
+            tree_join.stats.theta_evals,
+            reference.stats.theta_evals
+        );
+    }
+}

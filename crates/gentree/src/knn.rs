@@ -1,0 +1,232 @@
+//! k-nearest-neighbour search over generalization trees — a natural
+//! companion to SELECT: the paper's distance θ-operators ask "everything
+//! within d"; kNN asks "the closest k", using the same MBR lower-bound
+//! pruning (best-first branch and bound, Hjaltason & Samet style).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sj_geom::{Geometry, Point};
+
+use crate::stats::TraversalStats;
+use crate::tree::{GenTree, NodeId};
+
+/// One kNN result: a tuple id and its exact distance to the query point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    pub id: u64,
+    pub distance: f64,
+}
+
+/// Priority-queue element ordered by ascending distance bound.
+struct Candidate {
+    bound: f64,
+    node: NodeId,
+    depth: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest bound.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .expect("distance bounds are finite")
+    }
+}
+
+/// Returns the `k` entries nearest to `q` (by closest-point distance of
+/// their exact geometries), in ascending distance order. Ties are broken
+/// arbitrarily. Visits a node only when its MBR's lower bound can still
+/// beat the current k-th distance — the optimal best-first strategy.
+pub fn nearest_k(
+    tree: &GenTree,
+    q: &Point,
+    k: usize,
+    mut on_visit: impl FnMut(NodeId),
+) -> (Vec<Neighbor>, TraversalStats) {
+    let mut stats = TraversalStats::default();
+    let mut heap = BinaryHeap::new();
+    let query_geom = Geometry::Point(*q);
+    heap.push(Candidate {
+        bound: tree.mbr(tree.root()).min_distance_to_point(q),
+        node: tree.root(),
+        depth: 0,
+    });
+    // A tiny ordered-f64 shim (total order over finite distances).
+    #[derive(PartialEq)]
+    struct Ord64(f64);
+    impl Eq for Ord64 {}
+    impl PartialOrd for Ord64 {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ord64 {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.0.partial_cmp(&other.0).expect("finite distances")
+        }
+    }
+
+    // Results kept as a max-heap keyed by distance so the current k-th
+    // distance is `peek`.
+    let mut best: BinaryHeap<(Ord64, u64)> = BinaryHeap::new();
+
+    if k == 0 {
+        return (Vec::new(), stats);
+    }
+
+    while let Some(c) = heap.pop() {
+        // Prune: nothing in this subtree can beat the current k-th.
+        if best.len() == k {
+            let kth = best.peek().expect("k > 0").0 .0;
+            if c.bound > kth {
+                break; // best-first order ⇒ all remaining bounds are worse
+            }
+        }
+        on_visit(c.node);
+        stats.visit(c.depth);
+        if let Some(e) = tree.entry(c.node) {
+            stats.theta_evals += 1;
+            let d = e.geometry.distance(&query_geom);
+            if best.len() < k {
+                best.push((Ord64(d), e.id));
+            } else if d < best.peek().expect("k > 0").0 .0 {
+                best.pop();
+                best.push((Ord64(d), e.id));
+            }
+        }
+        for &child in tree.children(c.node) {
+            stats.filter_evals += 1;
+            let bound = tree.mbr(child).min_distance_to_point(q);
+            let admit = best.len() < k || bound <= best.peek().expect("k > 0").0 .0;
+            if admit {
+                heap.push(Candidate {
+                    bound,
+                    node: child,
+                    depth: c.depth + 1,
+                });
+            }
+        }
+    }
+
+    let mut out: Vec<Neighbor> = best
+        .into_iter()
+        .map(|(d, id)| Neighbor { id, distance: d.0 })
+        .collect();
+    out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtree::{RTree, RTreeConfig};
+    use sj_geom::Geometry;
+
+    fn grid_rtree(n: usize, step: f64) -> RTree {
+        let entries: Vec<(u64, Geometry)> = (0..n * n)
+            .map(|i| {
+                (
+                    i as u64,
+                    Geometry::Point(Point::new((i % n) as f64 * step, (i / n) as f64 * step)),
+                )
+            })
+            .collect();
+        RTree::bulk_load(RTreeConfig::with_fanout(8), entries)
+    }
+
+    fn brute_knn(tree: &GenTree, q: &Point, k: usize) -> Vec<Neighbor> {
+        let qg = Geometry::Point(*q);
+        let mut all: Vec<Neighbor> = tree
+            .entry_nodes()
+            .iter()
+            .map(|&n| {
+                let e = tree.entry(n).expect("entry");
+                Neighbor {
+                    id: e.id,
+                    distance: e.geometry.distance(&qg),
+                }
+            })
+            .collect();
+        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let rt = grid_rtree(12, 7.0);
+        for (qx, qy) in [(0.0, 0.0), (40.0, 40.0), (83.0, 1.0), (-10.0, 50.0)] {
+            let q = Point::new(qx, qy);
+            for k in [1usize, 3, 10, 25] {
+                let (got, _) = nearest_k(rt.tree(), &q, k, |_| {});
+                let want = brute_knn(rt.tree(), &q, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g.distance - w.distance).abs() < 1e-9,
+                        "q=({qx},{qy}) k={k}: {g:?} vs {w:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_prunes_most_of_the_tree() {
+        let rt = grid_rtree(30, 5.0); // 900 points
+        let q = Point::new(75.0, 75.0);
+        let (res, stats) = nearest_k(rt.tree(), &q, 5, |_| {});
+        assert_eq!(res.len(), 5);
+        assert!(
+            stats.nodes_visited < 200,
+            "best-first should prune: visited {}",
+            stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn k_larger_than_data_returns_everything() {
+        let rt = grid_rtree(3, 1.0);
+        let (res, _) = nearest_k(rt.tree(), &Point::new(0.0, 0.0), 100, |_| {});
+        assert_eq!(res.len(), 9);
+        // Ascending order.
+        for w in res.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let rt = grid_rtree(3, 1.0);
+        let (res, stats) = nearest_k(rt.tree(), &Point::new(0.0, 0.0), 0, |_| {});
+        assert!(res.is_empty());
+        assert_eq!(stats.nodes_visited, 0);
+    }
+
+    #[test]
+    fn works_on_application_hierarchies() {
+        // Interior entries participate too.
+        let map = crate::carto::generate_carto(3, crate::carto::CartoParams::default());
+        let q = Point::new(500.0, 500.0);
+        let (got, _) = nearest_k(&map, &q, 4, |_| {});
+        let want = brute_knn(&map, &q, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.distance - w.distance).abs() < 1e-9);
+        }
+        // The containing regions are at distance 0.
+        assert_eq!(got[0].distance, 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Work accounting for tree traversals, in the cost model's units.
+
+/// Counters matching the quantities the paper's §4 formulas predict:
+/// Θ-filter evaluations and θ-evaluations (priced at `C_Θ` each — the
+/// model does not distinguish them) and node visits (which the executors
+/// in `sj-joins` translate into page I/O via the storage layer).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Conservative Θ-filter evaluations on node MBRs.
+    pub filter_evals: u64,
+    /// Exact θ-evaluations on application geometries.
+    pub theta_evals: u64,
+    /// Tree nodes visited.
+    pub nodes_visited: u64,
+    /// Nodes visited per tree level (index = depth), for comparison with
+    /// the per-height terms `π·k^{i+1}` of the model.
+    pub visited_per_level: Vec<u64>,
+}
+
+impl TraversalStats {
+    /// Total comparison work in model units (`C_Θ` per evaluation of
+    /// either kind).
+    pub fn comparisons(&self) -> u64 {
+        self.filter_evals + self.theta_evals
+    }
+
+    /// Records a node visit at `depth`.
+    pub(crate) fn visit(&mut self, depth: usize) {
+        self.nodes_visited += 1;
+        if self.visited_per_level.len() <= depth {
+            self.visited_per_level.resize(depth + 1, 0);
+        }
+        self.visited_per_level[depth] += 1;
+    }
+
+    /// Merges another traversal's counters into this one.
+    pub fn absorb(&mut self, other: &TraversalStats) {
+        self.filter_evals += other.filter_evals;
+        self.theta_evals += other.theta_evals;
+        self.nodes_visited += other.nodes_visited;
+        if self.visited_per_level.len() < other.visited_per_level.len() {
+            self.visited_per_level
+                .resize(other.visited_per_level.len(), 0);
+        }
+        for (i, v) in other.visited_per_level.iter().enumerate() {
+            self.visited_per_level[i] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_tracks_levels() {
+        let mut s = TraversalStats::default();
+        s.visit(0);
+        s.visit(2);
+        s.visit(2);
+        assert_eq!(s.nodes_visited, 3);
+        assert_eq!(s.visited_per_level, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = TraversalStats {
+            filter_evals: 1,
+            theta_evals: 2,
+            nodes_visited: 3,
+            visited_per_level: vec![1, 2],
+        };
+        let b = TraversalStats {
+            filter_evals: 10,
+            theta_evals: 20,
+            nodes_visited: 30,
+            visited_per_level: vec![0, 1, 5],
+        };
+        a.absorb(&b);
+        assert_eq!(a.filter_evals, 11);
+        assert_eq!(a.theta_evals, 22);
+        assert_eq!(a.nodes_visited, 33);
+        assert_eq!(a.visited_per_level, vec![1, 3, 5]);
+        assert_eq!(a.comparisons(), 33);
+    }
+}

@@ -1,0 +1,167 @@
+//! A compact binary codec for `(tuple id, Geometry)` records, used by the
+//! storage-backed relations: spatial tuples are serialized into the
+//! fixed-size disk records the cost model prices at `v` bytes each.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [ id: u64 ][ tag: u8 ][ count: u16 ][ coords: f64 × (2·count) ]
+//! ```
+//!
+//! `count` is the vertex count (1 for points, 2 for rectangles). Records
+//! may be zero-padded to any fixed record size ≥ the encoded length;
+//! decoding ignores trailing padding.
+
+use crate::geometry::Geometry;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::polyline::Polyline;
+use crate::rect::Rect;
+
+const TAG_POINT: u8 = 1;
+const TAG_RECT: u8 = 2;
+const TAG_POLYGON: u8 = 3;
+const TAG_POLYLINE: u8 = 4;
+
+/// Header bytes before the coordinate array.
+pub const HEADER_LEN: usize = 8 + 1 + 2;
+
+/// Number of bytes needed to encode `g` (before padding).
+pub fn encoded_len(g: &Geometry) -> usize {
+    let count = match g {
+        Geometry::Point(_) => 1,
+        Geometry::Rect(_) => 2,
+        Geometry::Polygon(p) => p.len(),
+        Geometry::Polyline(l) => l.len(),
+    };
+    HEADER_LEN + 16 * count
+}
+
+/// Encodes a record, zero-padded to exactly `record_size` bytes.
+///
+/// # Panics
+///
+/// Panics if the encoding does not fit in `record_size` (the caller chose
+/// a tuple size `v` too small for its geometry) or if a vertex count
+/// exceeds `u16::MAX`.
+pub fn encode_record(id: u64, g: &Geometry, record_size: usize) -> Vec<u8> {
+    let need = encoded_len(g);
+    assert!(
+        need <= record_size,
+        "geometry needs {need} bytes but the record size is {record_size}"
+    );
+    let mut buf = Vec::with_capacity(record_size);
+    buf.extend_from_slice(&id.to_le_bytes());
+    let (tag, points): (u8, Vec<Point>) = match g {
+        Geometry::Point(p) => (TAG_POINT, vec![*p]),
+        Geometry::Rect(r) => (TAG_RECT, vec![r.lo, r.hi]),
+        Geometry::Polygon(p) => (TAG_POLYGON, p.vertices().to_vec()),
+        Geometry::Polyline(l) => (TAG_POLYLINE, l.vertices().to_vec()),
+    };
+    buf.push(tag);
+    let count = u16::try_from(points.len()).expect("vertex count exceeds u16");
+    buf.extend_from_slice(&count.to_le_bytes());
+    for p in points {
+        buf.extend_from_slice(&p.x.to_le_bytes());
+        buf.extend_from_slice(&p.y.to_le_bytes());
+    }
+    buf.resize(record_size, 0);
+    buf
+}
+
+/// Decodes a record produced by [`encode_record`] (padding is ignored).
+///
+/// # Panics
+///
+/// Panics on malformed input — records come from this crate's encoder, so
+/// corruption indicates a storage-layer bug, not user error.
+pub fn decode_record(bytes: &[u8]) -> (u64, Geometry) {
+    assert!(bytes.len() >= HEADER_LEN, "record too short");
+    let id = u64::from_le_bytes(bytes[0..8].try_into().expect("sliced"));
+    let tag = bytes[8];
+    let count = u16::from_le_bytes(bytes[9..11].try_into().expect("sliced")) as usize;
+    let need = HEADER_LEN + 16 * count;
+    assert!(
+        bytes.len() >= need,
+        "record truncated: {} < {need}",
+        bytes.len()
+    );
+    let mut points = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = HEADER_LEN + 16 * i;
+        let x = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("sliced"));
+        let y = f64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("sliced"));
+        points.push(Point::new(x, y));
+    }
+    let g = match tag {
+        TAG_POINT => Geometry::Point(points[0]),
+        TAG_RECT => Geometry::Rect(Rect::new(points[0], points[1])),
+        TAG_POLYGON => Geometry::Polygon(Polygon::new(points).expect("valid stored polygon")),
+        TAG_POLYLINE => Geometry::Polyline(Polyline::new(points).expect("valid stored polyline")),
+        other => panic!("unknown geometry tag {other}"),
+    };
+    (id, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(id: u64, g: Geometry) {
+        let rec = encode_record(id, &g, 300);
+        assert_eq!(rec.len(), 300);
+        let (id2, g2) = decode_record(&rec);
+        assert_eq!(id, id2);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        roundtrip(42, Geometry::Point(Point::new(1.5, -2.5)));
+    }
+
+    #[test]
+    fn rect_roundtrip() {
+        roundtrip(7, Geometry::Rect(Rect::from_bounds(0.0, 1.0, 2.0, 3.0)));
+    }
+
+    #[test]
+    fn polygon_roundtrip() {
+        let poly = Polygon::regular(Point::new(10.0, 10.0), 5.0, 7);
+        roundtrip(u64::MAX, Geometry::Polygon(poly));
+    }
+
+    #[test]
+    fn polyline_roundtrip() {
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 2.0),
+            Point::new(3.0, 1.0),
+        ])
+        .unwrap();
+        roundtrip(0, Geometry::Polyline(line));
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let g = Geometry::Point(Point::new(0.0, 0.0));
+        assert_eq!(encoded_len(&g), 11 + 16);
+        let r = Geometry::Rect(Rect::from_bounds(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(encoded_len(&r), 11 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size")]
+    fn oversized_geometry_rejected() {
+        let poly = Polygon::regular(Point::new(0.0, 0.0), 5.0, 30);
+        let _ = encode_record(1, &Geometry::Polygon(poly), 64);
+    }
+
+    #[test]
+    fn padding_is_ignored() {
+        let g = Geometry::Point(Point::new(9.0, 9.0));
+        let small = encode_record(5, &g, encoded_len(&g));
+        let large = encode_record(5, &g, 1000);
+        assert_eq!(decode_record(&small), decode_record(&large));
+    }
+}

@@ -1,0 +1,62 @@
+//! # sj-geom — 2-D geometry substrate for spatial joins
+//!
+//! This crate provides the spatial data types and operators that Günther's
+//! *Efficient Computation of Spatial Joins* (ICDE 1993) assumes as given:
+//! points, rectangles (minimum bounding rectangles, MBRs), simple polygons,
+//! polylines, and the spatial predicates (θ-operators) of the paper's
+//! Table 1 together with their conservative MBR-level counterparts
+//! (Θ-operators).
+//!
+//! The central soundness property, used by the hierarchical `SELECT` and
+//! `JOIN` algorithms of the paper (§3), is:
+//!
+//! > For objects `o1 ⊆ o1'` and `o2 ⊆ o2'`:
+//! > `θ(o1, o2)` implies `Θ(mbr(o1'), mbr(o2'))`.
+//!
+//! i.e. the Θ filter evaluated on ancestor MBRs never prunes a branch that
+//! contains a matching pair. This property is exercised by the property-based
+//! test-suite of this crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use sj_geom::{Point, Rect, Polygon, Geometry, ThetaOp, Bounded};
+//!
+//! let house = Geometry::Point(Point::new(2.0, 3.0));
+//! let lake = Geometry::Polygon(Polygon::new(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(4.0, 0.0),
+//!     Point::new(4.0, 4.0),
+//!     Point::new(0.0, 4.0),
+//! ]).unwrap());
+//!
+//! // "house within 10 km of lake" — distance between closest points.
+//! let theta = ThetaOp::WithinDistance(10.0);
+//! assert!(theta.eval(&house, &lake));
+//! // The MBR-level filter must also hold (Θ-soundness).
+//! assert!(theta.filter(&house.mbr(), &lake.mbr()));
+//! ```
+
+pub mod clip;
+pub mod codec;
+pub mod geometry;
+pub mod point;
+pub mod polygon;
+pub mod polyline;
+pub mod rect;
+pub mod segment;
+pub mod theta;
+
+pub use geometry::{Bounded, Geometry};
+pub use point::Point;
+pub use polygon::{Polygon, PolygonError};
+pub use polyline::{Polyline, PolylineError};
+pub use rect::Rect;
+pub use segment::Segment;
+pub use theta::{Direction, ThetaOp};
+
+/// Tolerance used by predicates that compare floating point coordinates for
+/// equality (e.g. `Adjacent`, on-boundary tests). Coordinates in this crate
+/// are expected to live in world ranges around `1e-6 ..= 1e8`, for which this
+/// absolute epsilon is appropriate.
+pub const EPSILON: f64 = 1e-9;

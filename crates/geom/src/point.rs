@@ -1,0 +1,177 @@
+//! Points in the Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in the 2-D Euclidean plane.
+///
+/// Coordinates are finite `f64` values. The convention throughout this
+/// workspace is the usual mathematical one: *x* grows to the **east**,
+/// *y* grows to the **north** (relevant for directional predicates such as
+/// `to the Northwest of`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Easting.
+    pub x: f64,
+    /// Northing.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is NaN or infinite; non-finite
+    /// coordinates would silently break every predicate downstream.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "point coordinates must be finite, got ({x}, {y})"
+        );
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Point { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Dot product, treating both points as vectors from the origin.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product `self × other`, treating both points
+    /// as vectors. Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: &Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point {
+            x: self.x.min(other.x),
+            y: self.y.min(other.y),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point {
+            x: self.x.max(other.x),
+            y: self.y.max(other.y),
+        }
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + t * (other.x - self.x),
+            y: self.y + t * (other.y - self.y),
+        }
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(&north) > 0.0); // CCW
+        assert!(north.cross(&east) < 0.0); // CW
+        assert_eq!(east.cross(&east), 0.0); // collinear
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_coordinates_are_rejected() {
+        let _ = Point::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point::new(1.5, -2.5);
+        let b = Point::new(0.25, 8.0);
+        assert_eq!((a + b) - b, a);
+    }
+}

@@ -1,0 +1,493 @@
+//! Simple polygons: the "complex spatial objects" (lake areas, countries,
+//! states) that the paper's motivating queries operate on.
+
+use std::fmt;
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use crate::EPSILON;
+
+/// Construction errors for [`Polygon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices(usize),
+    /// The vertices are collinear / span zero area.
+    ZeroArea,
+    /// Two non-adjacent edges cross each other (the ring is not simple).
+    SelfIntersecting,
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices(n) => {
+                write!(f, "polygon needs at least 3 vertices, got {n}")
+            }
+            PolygonError::ZeroArea => write!(f, "polygon has zero area"),
+            PolygonError::SelfIntersecting => write!(f, "polygon ring is self-intersecting"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple polygon, stored as a ring of vertices without the closing
+/// duplicate. The ring is normalized to counter-clockwise orientation at
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+    mbr: Rect,
+}
+
+impl Polygon {
+    /// Builds a simple polygon from a vertex ring.
+    ///
+    /// The ring may be given in either orientation; it is stored
+    /// counter-clockwise. Fails if the ring has fewer than three vertices,
+    /// spans zero area, or self-intersects.
+    pub fn new(mut vertices: Vec<Point>) -> Result<Self, PolygonError> {
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices(vertices.len()));
+        }
+        let signed = signed_area(&vertices);
+        if signed.abs() <= EPSILON {
+            return Err(PolygonError::ZeroArea);
+        }
+        if signed < 0.0 {
+            vertices.reverse();
+        }
+        let poly = Polygon {
+            mbr: Rect::bounding(vertices.iter().copied()).expect("non-empty ring"),
+            vertices,
+        };
+        if poly.is_self_intersecting() {
+            return Err(PolygonError::SelfIntersecting);
+        }
+        Ok(poly)
+    }
+
+    /// The four corners of `rect` as a polygon.
+    pub fn from_rect(rect: &Rect) -> Result<Self, PolygonError> {
+        Polygon::new(rect.corners().to_vec())
+    }
+
+    /// A regular `sides`-gon centered at `center` with circumradius `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides < 3` or `radius <= 0`.
+    pub fn regular(center: Point, radius: f64, sides: usize) -> Self {
+        assert!(sides >= 3, "a polygon needs at least 3 sides");
+        assert!(radius > 0.0, "radius must be positive");
+        let verts = (0..sides)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * (i as f64) / (sides as f64);
+                Point::new(
+                    center.x + radius * angle.cos(),
+                    center.y + radius * angle.sin(),
+                )
+            })
+            .collect();
+        Polygon::new(verts).expect("regular polygons are simple")
+    }
+
+    /// The vertex ring (counter-clockwise, no closing duplicate).
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false — construction requires ≥ 3 vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Minimum bounding rectangle (cached at construction).
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Enclosed area (positive).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.vertices).abs()
+    }
+
+    /// Centroid (center of gravity) of the enclosed region — the paper's
+    /// default "centerpoint" of a spatial object.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(&q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        // `a` is twice the signed area; non-zero by construction.
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    /// Boundary edges, in ring order.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// True if `p` lies inside the polygon or on its boundary
+    /// (even-odd ray casting with an explicit boundary test).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if !self.mbr.contains_point(p) {
+            return false;
+        }
+        for e in self.edges() {
+            if e.contains_point(p) {
+                return true;
+            }
+        }
+        // Ray cast towards +x; count proper crossings. Vertex-on-ray cases
+        // are handled with the usual half-open rule on y.
+        let mut inside = false;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let crosses_y = (a.y > p.y) != (b.y > p.y);
+            if crosses_y {
+                let x_at_y = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if x_at_y > p.x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// True if any boundary edge of `self` intersects any boundary edge of
+    /// `other`.
+    pub fn boundary_intersects(&self, other: &Polygon) -> bool {
+        if !self.mbr.intersects(&other.mbr) {
+            return false;
+        }
+        self.edges()
+            .any(|e| other.edges().any(|f| e.intersects(&f)))
+    }
+
+    /// True if the closed regions of the polygons share at least one point.
+    pub fn intersects_polygon(&self, other: &Polygon) -> bool {
+        if !self.mbr.intersects(&other.mbr) {
+            return false;
+        }
+        self.boundary_intersects(other)
+            || self.contains_point(&other.vertices[0])
+            || other.contains_point(&self.vertices[0])
+    }
+
+    /// True if the closed region of `self` intersects `rect`.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        if !self.mbr.intersects(rect) {
+            return false;
+        }
+        if rect.contains_point(&self.vertices[0]) || self.contains_point(&rect.lo) {
+            return true;
+        }
+        self.edges()
+            .any(|e| rect.edges().iter().any(|f| e.intersects(f)))
+    }
+
+    /// True if `other` lies entirely within `self` (boundary contact
+    /// allowed). Correct for simple polygons: containment of all vertices
+    /// plus absence of proper boundary crossings.
+    pub fn contains_polygon(&self, other: &Polygon) -> bool {
+        if !self.mbr.contains_rect(&other.mbr) {
+            return false;
+        }
+        if !other.vertices.iter().all(|v| self.contains_point(v)) {
+            return false;
+        }
+        !self
+            .edges()
+            .any(|e| other.edges().any(|f| e.crosses_properly(&f)))
+    }
+
+    /// True if `rect` lies entirely within `self`.
+    pub fn contains_rect(&self, rect: &Rect) -> bool {
+        if !self.mbr.contains_rect(rect) {
+            return false;
+        }
+        if !rect.corners().iter().all(|c| self.contains_point(c)) {
+            return false;
+        }
+        !self
+            .edges()
+            .any(|e| rect.edges().iter().any(|f| e.crosses_properly(f)))
+    }
+
+    /// Distance from the closest boundary/interior point of `self` to `p`
+    /// (zero when `p` is inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        if self.contains_point(p) {
+            return 0.0;
+        }
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum distance between the closed regions of the polygons
+    /// (zero when they intersect).
+    pub fn distance_to_polygon(&self, other: &Polygon) -> f64 {
+        if self.intersects_polygon(other) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            for f in other.edges() {
+                best = best.min(e.distance_to_segment(&f));
+            }
+        }
+        best
+    }
+
+    /// Minimum distance between `self` and `rect` (zero when intersecting).
+    pub fn distance_to_rect(&self, rect: &Rect) -> f64 {
+        if self.intersects_rect(rect) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            for f in rect.edges() {
+                best = best.min(e.distance_to_segment(&f));
+            }
+        }
+        best
+    }
+
+    fn is_self_intersecting(&self) -> bool {
+        let edges: Vec<Segment> = self.edges().collect();
+        let n = edges.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // Adjacent edges share an endpoint by construction; only
+                // proper crossings between any pair indicate a bad ring.
+                if edges[i].crosses_properly(&edges[j]) {
+                    return true;
+                }
+                // Non-adjacent edges must not even touch.
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if !adjacent && edges[i].intersects(&edges[j]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Signed area of the ring (positive for counter-clockwise orientation).
+fn signed_area(vertices: &[Point]) -> f64 {
+    let n = vertices.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += vertices[i].cross(&vertices[(i + 1) % n]);
+    }
+    acc / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x0: f64, y0: f64, side: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x0 + side, y0),
+            Point::new(x0 + side, y0 + side),
+            Point::new(x0, y0 + side),
+        ])
+        .unwrap()
+    }
+
+    fn triangle() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_rings() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            Err(PolygonError::TooFewVertices(2))
+        );
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+            ]),
+            Err(PolygonError::ZeroArea)
+        );
+        // Symmetric bow-tie: the two triangles cancel to zero signed area.
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 2.0),
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 2.0),
+            ]),
+            Err(PolygonError::ZeroArea)
+        );
+        // Asymmetric bow-tie: non-zero area but self-crossing edges.
+        assert_eq!(
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(1.0, 2.0),
+                Point::new(3.0, 2.0),
+            ]),
+            Err(PolygonError::SelfIntersecting)
+        );
+    }
+
+    #[test]
+    fn orientation_is_normalized() {
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(signed_area(cw.vertices()) > 0.0);
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let t = triangle();
+        assert!((t.area() - 6.0).abs() < 1e-12);
+        let c = t.centroid();
+        assert!((c.x - 4.0 / 3.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+
+        let s = square(1.0, 1.0, 2.0);
+        assert_eq!(s.area(), 4.0);
+        assert_eq!(s.centroid(), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let t = triangle();
+        assert!(t.contains_point(&Point::new(1.0, 1.0)));
+        assert!(t.contains_point(&Point::new(0.0, 0.0))); // vertex
+        assert!(t.contains_point(&Point::new(2.0, 0.0))); // edge
+        assert!(!t.contains_point(&Point::new(3.0, 3.0)));
+        assert!(!t.contains_point(&Point::new(-0.1, 0.0)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // A "U" shape: the notch (2, 2) is outside.
+        let u = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap();
+        assert!(!u.contains_point(&Point::new(2.0, 2.0)));
+        assert!(u.contains_point(&Point::new(0.5, 2.0)));
+        assert!(u.contains_point(&Point::new(2.0, 0.5)));
+    }
+
+    #[test]
+    fn polygon_polygon_intersection() {
+        let a = square(0.0, 0.0, 2.0);
+        let b = square(1.0, 1.0, 2.0);
+        let c = square(5.0, 5.0, 1.0);
+        let inner = square(0.5, 0.5, 0.5); // fully inside a, no edge crossings
+        assert!(a.intersects_polygon(&b));
+        assert!(!a.intersects_polygon(&c));
+        assert!(a.intersects_polygon(&inner));
+        assert!(inner.intersects_polygon(&a));
+    }
+
+    #[test]
+    fn polygon_containment() {
+        let outer = square(0.0, 0.0, 10.0);
+        let inner = square(2.0, 2.0, 3.0);
+        let crossing = square(8.0, 8.0, 5.0);
+        assert!(outer.contains_polygon(&inner));
+        assert!(!inner.contains_polygon(&outer));
+        assert!(!outer.contains_polygon(&crossing));
+        assert!(outer.contains_polygon(&outer)); // reflexive (boundary contact)
+    }
+
+    #[test]
+    fn rect_interactions() {
+        let t = triangle();
+        assert!(t.intersects_rect(&Rect::from_bounds(0.5, 0.5, 1.5, 1.5)));
+        assert!(!t.intersects_rect(&Rect::from_bounds(5.0, 5.0, 6.0, 6.0)));
+        // Rect enclosing the whole triangle intersects it.
+        assert!(t.intersects_rect(&Rect::from_bounds(-1.0, -1.0, 10.0, 10.0)));
+        let s = square(0.0, 0.0, 10.0);
+        assert!(s.contains_rect(&Rect::from_bounds(1.0, 1.0, 2.0, 2.0)));
+        assert!(!s.contains_rect(&Rect::from_bounds(9.0, 9.0, 11.0, 11.0)));
+    }
+
+    #[test]
+    fn distances() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(3.0, 0.0, 1.0);
+        assert_eq!(a.distance_to_polygon(&b), 2.0);
+        assert_eq!(a.distance_to_polygon(&a), 0.0);
+        assert_eq!(a.distance_to_point(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(a.distance_to_point(&Point::new(4.0, 5.0)), 5.0);
+        assert_eq!(
+            a.distance_to_rect(&Rect::from_bounds(1.0, 0.0, 2.0, 1.0)),
+            0.0
+        );
+        assert_eq!(
+            a.distance_to_rect(&Rect::from_bounds(1.5, 0.0, 2.0, 1.0)),
+            0.5
+        );
+    }
+
+    #[test]
+    fn mbr_is_tight() {
+        let t = triangle();
+        assert_eq!(t.mbr(), Rect::from_bounds(0.0, 0.0, 4.0, 3.0));
+    }
+
+    #[test]
+    fn regular_polygon_roundtrip() {
+        let hex = Polygon::regular(Point::new(5.0, 5.0), 2.0, 6);
+        assert_eq!(hex.len(), 6);
+        let c = hex.centroid();
+        assert!((c.x - 5.0).abs() < 1e-9 && (c.y - 5.0).abs() < 1e-9);
+        // Area of a regular hexagon with circumradius r: (3√3/2) r².
+        let expected = 1.5 * 3f64.sqrt() * 4.0;
+        assert!((hex.area() - expected).abs() < 1e-9);
+    }
+}

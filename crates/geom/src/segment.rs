@@ -1,0 +1,203 @@
+//! Line segments and the segment-level primitives (intersection tests,
+//! point–segment and segment–segment distances) that the polygon and
+//! polyline predicates are built on.
+
+use crate::point::Point;
+use crate::EPSILON;
+
+/// A directed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+/// Orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Orientation {
+    Clockwise,
+    CounterClockwise,
+    Collinear,
+}
+
+fn orientation(p: &Point, q: &Point, r: &Point) -> Orientation {
+    let v = (*q - *p).cross(&(*r - *p));
+    if v > EPSILON {
+        Orientation::CounterClockwise
+    } else if v < -EPSILON {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Segment {
+    /// Creates a segment. Degenerate segments (a == b) are allowed and behave
+    /// like points.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.lerp(&self.b, 0.5)
+    }
+
+    /// True if `p` lies on this segment (within [`EPSILON`]).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.distance_to_point(p) <= EPSILON
+    }
+
+    /// Distance from `p` to the closest point on this segment.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.closest_point_to(p).distance(p)
+    }
+
+    /// The point on this segment closest to `p`.
+    pub fn closest_point_to(&self, p: &Point) -> Point {
+        let d = self.b - self.a;
+        let len_sq = d.dot(&d);
+        if len_sq <= EPSILON * EPSILON {
+            return self.a; // degenerate segment
+        }
+        let t = ((*p - self.a).dot(&d) / len_sq).clamp(0.0, 1.0);
+        self.a.lerp(&self.b, t)
+    }
+
+    /// True if the two segments share at least one point (proper crossing,
+    /// touching endpoints, or collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(&self.a, &self.b, &other.a);
+        let o2 = orientation(&self.a, &self.b, &other.b);
+        let o3 = orientation(&other.a, &other.b, &self.a);
+        let o4 = orientation(&other.a, &other.b, &self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+            return true;
+        }
+        // Collinear / touching cases.
+        (o1 == Orientation::Collinear && self.contains_point(&other.a))
+            || (o2 == Orientation::Collinear && self.contains_point(&other.b))
+            || (o3 == Orientation::Collinear && other.contains_point(&self.a))
+            || (o4 == Orientation::Collinear && other.contains_point(&self.b))
+            || (o1 != o2 && o3 != o4)
+    }
+
+    /// True if the segments cross *properly*: they intersect at a single
+    /// interior point of both (no endpoint touching, no collinear overlap).
+    pub fn crosses_properly(&self, other: &Segment) -> bool {
+        let o1 = orientation(&self.a, &self.b, &other.a);
+        let o2 = orientation(&self.a, &self.b, &other.b);
+        let o3 = orientation(&other.a, &other.b, &self.a);
+        let o4 = orientation(&other.a, &other.b, &self.b);
+        o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+    }
+
+    /// Minimum distance between the two segments (0 when they intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        self.distance_to_point(&other.a)
+            .min(self.distance_to_point(&other.b))
+            .min(other.distance_to_point(&self.a))
+            .min(other.distance_to_point(&self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing_detected() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(s1.crosses_properly(&s2));
+        assert_eq!(s1.distance_to_segment(&s2), 0.0);
+    }
+
+    #[test]
+    fn endpoint_touch_is_intersection_but_not_proper() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.crosses_properly(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_detected() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.crosses_properly(&s2));
+    }
+
+    #[test]
+    fn collinear_disjoint_not_intersecting() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!s1.intersects(&s2));
+        assert_eq!(s1.distance_to_segment(&s2), 1.0);
+    }
+
+    #[test]
+    fn parallel_segments_distance() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(0.0, 1.0, 2.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        assert_eq!(s1.distance_to_segment(&s2), 1.0);
+    }
+
+    #[test]
+    fn point_segment_distance_interior_and_beyond() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        // Projection falls inside the segment.
+        assert_eq!(s.distance_to_point(&Point::new(5.0, 3.0)), 3.0);
+        // Projection falls beyond endpoint b.
+        assert_eq!(s.distance_to_point(&Point::new(13.0, 4.0)), 5.0);
+        // Projection falls before endpoint a.
+        assert_eq!(s.distance_to_point(&Point::new(-3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_acts_like_point() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.distance_to_point(&Point::new(4.0, 5.0)), 5.0);
+        assert!(s.contains_point(&Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn contains_point_on_and_off_segment() {
+        let s = seg(0.0, 0.0, 4.0, 4.0);
+        assert!(s.contains_point(&Point::new(2.0, 2.0)));
+        assert!(!s.contains_point(&Point::new(2.0, 2.1)));
+    }
+
+    #[test]
+    fn t_shape_touch_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(2.0, 0.0, 2.0, 3.0); // touches interior of s1 at endpoint
+        assert!(s1.intersects(&s2));
+        assert!(!s1.crosses_properly(&s2));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for polygon clipping: measure-theoretic sanity of the
+//! intersection area.
+
+use proptest::prelude::*;
+use sj_geom::{Point, Polygon, Rect};
+
+fn arb_convex() -> impl Strategy<Value = Polygon> {
+    (-50.0..50.0f64, -50.0..50.0f64, 0.5..20.0f64, 3usize..10)
+        .prop_map(|(x, y, r, n)| Polygon::regular(Point::new(x, y), r, n))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-60.0..60.0f64, -60.0..60.0f64, 0.5..40.0f64, 0.5..40.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_bounds(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn intersection_area_bounds(p in arb_convex(), r in arb_rect()) {
+        let a = p.intersection_area_rect(&r);
+        prop_assert!(a >= -1e-9);
+        prop_assert!(a <= p.area() + 1e-6, "exceeds polygon area");
+        prop_assert!(a <= r.area() + 1e-6, "exceeds window area");
+        // Zero iff (approximately) no interior overlap.
+        if a < 1e-9 {
+            prop_assert!(!p.mbr().interiors_intersect(&r) || a >= 0.0);
+        }
+    }
+
+    #[test]
+    fn containing_window_preserves_area(p in arb_convex()) {
+        let window = p.mbr().expand(1.0);
+        let a = p.intersection_area_rect(&window);
+        prop_assert!((a - p.area()).abs() < 1e-6 * p.area().max(1.0));
+    }
+
+    #[test]
+    fn disjoint_window_is_zero(p in arb_convex()) {
+        let m = p.mbr();
+        let window = Rect::from_bounds(m.hi.x + 1.0, m.hi.y + 1.0, m.hi.x + 5.0, m.hi.y + 5.0);
+        prop_assert_eq!(p.intersection_area_rect(&window), 0.0);
+    }
+
+    #[test]
+    fn convex_pair_area_is_symmetric(a in arb_convex(), b in arb_convex()) {
+        let ab = a.intersection_area_convex(&b);
+        let ba = b.intersection_area_convex(&a);
+        prop_assert!((ab - ba).abs() < 1e-6 * ab.max(1.0), "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn area_is_monotone_in_window(p in arb_convex(), r in arb_rect(), grow in 0.0..10.0f64) {
+        let small = p.intersection_area_rect(&r);
+        let big = p.intersection_area_rect(&r.expand(grow));
+        prop_assert!(big + 1e-9 >= small);
+    }
+
+    /// Cross-check against Monte-Carlo integration.
+    #[test]
+    fn area_matches_monte_carlo(p in arb_convex(), r in arb_rect()) {
+        let exact = p.intersection_area_rect(&r);
+        // 64x64 midpoint grid over the window.
+        let n = 64;
+        let mut hits = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let x = r.lo.x + (i as f64 + 0.5) / n as f64 * r.width();
+                let y = r.lo.y + (j as f64 + 0.5) / n as f64 * r.height();
+                if p.contains_point(&Point::new(x, y)) {
+                    hits += 1;
+                }
+            }
+        }
+        let approx = hits as f64 / (n * n) as f64 * r.area();
+        // Grid integration error is bounded by the perimeter · cell size.
+        let cell = (r.width() / n as f64).max(r.height() / n as f64);
+        let tol = 4.0 * (p.area().sqrt() + r.margin()) * cell + 1e-6;
+        prop_assert!(
+            (exact - approx).abs() <= tol,
+            "exact {exact} vs grid {approx} (tol {tol})"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the crate's central invariant:
+//!
+//! For every θ-operator of Table 1, for all objects `o1 ⊆ o1'`, `o2 ⊆ o2'`:
+//! `θ(o1, o2)` implies `Θ(mbr(o1'), mbr(o2'))`.
+//!
+//! We generate random subobjects, random enclosing ancestors, and check that
+//! the Θ filter never prunes a matching pair. This is exactly the property
+//! the SELECT/JOIN algorithms of the paper's §3 rely on for completeness.
+
+use proptest::prelude::*;
+use sj_geom::{Bounded, Direction, Geometry, Point, Polygon, Polyline, Rect, ThetaOp};
+
+/// A coordinate range that keeps all derived quantities well inside f64
+/// precision.
+const COORD: std::ops::Range<f64> = -1000.0..1000.0;
+const SIZE: std::ops::Range<f64> = 0.001..50.0;
+
+fn arb_point() -> impl Strategy<Value = Geometry> {
+    (COORD, COORD).prop_map(|(x, y)| Geometry::Point(Point::new(x, y)))
+}
+
+fn arb_rect() -> impl Strategy<Value = Geometry> {
+    (COORD, COORD, SIZE, SIZE)
+        .prop_map(|(x, y, w, h)| Geometry::Rect(Rect::from_bounds(x, y, x + w, y + h)))
+}
+
+/// Random convex polygon: a regular n-gon, optionally squashed.
+fn arb_polygon() -> impl Strategy<Value = Geometry> {
+    (COORD, COORD, 0.1..40.0f64, 3usize..9)
+        .prop_map(|(x, y, r, n)| Geometry::Polygon(Polygon::regular(Point::new(x, y), r, n)))
+}
+
+fn arb_polyline() -> impl Strategy<Value = Geometry> {
+    (
+        COORD,
+        COORD,
+        prop::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 1..6),
+    )
+        .prop_map(|(x, y, deltas)| {
+            let mut pts = vec![Point::new(x, y)];
+            let mut cur = Point::new(x, y);
+            for (dx, dy) in deltas {
+                cur = Point::new(cur.x + dx, cur.y + dy);
+                pts.push(cur);
+            }
+            Geometry::Polyline(Polyline::new(pts).unwrap())
+        })
+}
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![arb_point(), arb_rect(), arb_polygon(), arb_polyline()]
+}
+
+/// A random ancestor MBR enclosing `g`: the MBR grown by arbitrary
+/// non-negative margins on each side, mimicking a generalization-tree parent.
+fn arb_ancestor(g: &Geometry) -> impl Strategy<Value = Rect> {
+    let mbr = g.mbr();
+    (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64).prop_map(move |(l, r, b, t)| {
+        Rect::from_bounds(mbr.lo.x - l, mbr.lo.y - b, mbr.hi.x + r, mbr.hi.y + t)
+    })
+}
+
+fn all_ops() -> Vec<ThetaOp> {
+    let mut ops = vec![
+        ThetaOp::WithinCenterDistance(25.0),
+        ThetaOp::WithinDistance(25.0),
+        ThetaOp::Overlaps,
+        ThetaOp::Includes,
+        ThetaOp::ContainedIn,
+        ThetaOp::ReachableWithin {
+            minutes: 10.0,
+            speed: 2.5,
+        },
+        ThetaOp::Adjacent,
+    ];
+    ops.extend(Direction::ALL.iter().map(|d| ThetaOp::DirectionOf(*d)));
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// θ(o1, o2) on the objects themselves implies Θ on their own MBRs.
+    #[test]
+    fn theta_implies_filter_on_own_mbrs(a in arb_geometry(), b in arb_geometry()) {
+        for op in all_ops() {
+            if op.eval(&a, &b) {
+                prop_assert!(
+                    op.filter(&a.mbr(), &b.mbr()),
+                    "Θ must hold on MBRs when θ holds: {op:?}\n a={a:?}\n b={b:?}"
+                );
+            }
+        }
+    }
+
+    /// θ(o1, o2) implies Θ on arbitrary *ancestor* rectangles — the full
+    /// generalization-tree pruning property.
+    #[test]
+    fn theta_implies_filter_on_ancestors(
+        (a, anc_a) in arb_geometry().prop_flat_map(|g| {
+            let anc = arb_ancestor(&g);
+            (Just(g), anc)
+        }),
+        (b, anc_b) in arb_geometry().prop_flat_map(|g| {
+            let anc = arb_ancestor(&g);
+            (Just(g), anc)
+        }),
+    ) {
+        prop_assert!(anc_a.contains_rect(&a.mbr()));
+        prop_assert!(anc_b.contains_rect(&b.mbr()));
+        for op in all_ops() {
+            if op.eval(&a, &b) {
+                prop_assert!(
+                    op.filter(&anc_a, &anc_b),
+                    "Θ must hold on ancestors when θ holds on descendants: {op:?}"
+                );
+            }
+        }
+    }
+
+    /// Θ filters are monotone under MBR growth: enlarging either argument
+    /// can never turn a passing filter into a failing one.
+    #[test]
+    fn filter_is_monotone_in_mbr_growth(
+        a in arb_rect(), b in arb_rect(),
+        grow in 0.0..50.0f64,
+    ) {
+        let (Geometry::Rect(ra), Geometry::Rect(rb)) = (&a, &b) else { unreachable!() };
+        for op in all_ops() {
+            if op.filter(ra, rb) {
+                prop_assert!(op.filter(&ra.expand(grow), rb));
+                prop_assert!(op.filter(ra, &rb.expand(grow)));
+                prop_assert!(op.filter(&ra.expand(grow), &rb.expand(grow)));
+            }
+        }
+    }
+
+    /// Symmetric operators evaluate symmetrically; `swapped` inverts the
+    /// asymmetric ones.
+    #[test]
+    fn symmetry_and_swapping(a in arb_geometry(), b in arb_geometry()) {
+        for op in all_ops() {
+            if op.is_symmetric() {
+                prop_assert_eq!(op.eval(&a, &b), op.eval(&b, &a), "{:?}", op);
+            }
+            prop_assert_eq!(op.eval(&a, &b), op.swapped().eval(&b, &a), "{:?}", op);
+        }
+    }
+
+    /// `overlaps` agrees with a zero closest-point distance.
+    #[test]
+    fn overlap_iff_zero_distance(a in arb_geometry(), b in arb_geometry()) {
+        // Guard against borderline touching configurations where exactness
+        // of the distance and of the boolean predicate legitimately differ.
+        let d = a.distance(&b);
+        if d > 1e-6 {
+            prop_assert!(!a.overlaps(&b));
+        }
+        if a.overlaps(&b) {
+            prop_assert!(d <= 1e-6);
+        }
+    }
+
+    /// Includes implies overlaps and MBR containment.
+    #[test]
+    fn includes_implies_overlap(a in arb_geometry(), b in arb_geometry()) {
+        if a.includes(&b) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(a.mbr().expand(1e-9).contains_rect(&b.mbr()));
+        }
+    }
+
+    /// Distance is symmetric and satisfies d(a, a) == 0.
+    #[test]
+    fn distance_metric_basics(a in arb_geometry(), b in arb_geometry()) {
+        let d1 = a.distance(&b);
+        let d2 = b.distance(&a);
+        prop_assert!((d1 - d2).abs() <= 1e-9, "distance must be symmetric: {d1} vs {d2}");
+        prop_assert!(d1 >= 0.0);
+        prop_assert_eq!(a.distance(&a), 0.0);
+    }
+
+    /// The MBR min-distance is a lower bound on the true object distance.
+    #[test]
+    fn mbr_distance_lower_bounds_object_distance(a in arb_geometry(), b in arb_geometry()) {
+        prop_assert!(a.mbr().min_distance(&b.mbr()) <= a.distance(&b) + 1e-9);
+    }
+
+    /// Rect algebra: union contains both, intersection is contained in both.
+    #[test]
+    fn rect_union_intersection_laws(
+        (ax, ay, aw, ah) in (COORD, COORD, SIZE, SIZE),
+        (bx, by, bw, bh) in (COORD, COORD, SIZE, SIZE),
+    ) {
+        let a = Rect::from_bounds(ax, ay, ax + aw, ay + ah);
+        let b = Rect::from_bounds(bx, by, bx + bw, by + bh);
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i) && b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+            prop_assert_eq!(a.min_distance(&b), 0.0);
+        } else {
+            prop_assert!(!a.intersects(&b));
+            prop_assert!(a.min_distance(&b) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Grid-partitioned spatial join — the index-supported baseline the paper
+//! credits to Rotem (\[Rote91\]) over the grid file (\[Niev84\]) of §2.2.
+//!
+//! Both relations are hashed into the cells of a uniform grid; candidate
+//! pairs are the co-resident tuples of each cell (deduplicated, since
+//! extended objects span several cells), refined with the exact θ.
+//! Distance operators are handled by expanding the `R`-side cell
+//! assignment by the distance bound, so every matching pair shares at
+//! least one cell.
+
+use std::collections::HashSet;
+
+use sj_geom::{Bounded, Rect, ThetaOp};
+use sj_storage::BufferPool;
+
+use crate::relation::StoredRelation;
+use crate::stats::JoinRun;
+
+/// Grid geometry for [`grid_join`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// World rectangle covered by the grid.
+    pub world: Rect,
+    /// Cells along x.
+    pub nx: u32,
+    /// Cells along y.
+    pub ny: u32,
+}
+
+impl GridConfig {
+    fn cell_span(&self, mbr: &Rect) -> Option<(u32, u32, u32, u32)> {
+        let clipped = self.world.intersection(mbr)?;
+        let w = self.world.width() / self.nx as f64;
+        let h = self.world.height() / self.ny as f64;
+        let cx0 = (((clipped.lo.x - self.world.lo.x) / w).floor() as i64)
+            .clamp(0, (self.nx - 1) as i64) as u32;
+        let cy0 = (((clipped.lo.y - self.world.lo.y) / h).floor() as i64)
+            .clamp(0, (self.ny - 1) as i64) as u32;
+        let cx1 = (((clipped.hi.x - self.world.lo.x) / w).floor() as i64)
+            .clamp(0, (self.nx - 1) as i64) as u32;
+        let cy1 = (((clipped.hi.y - self.world.lo.y) / h).floor() as i64)
+            .clamp(0, (self.ny - 1) as i64) as u32;
+        Some((cx0, cy0, cx1, cy1))
+    }
+}
+
+/// The distance by which the Θ-filter of `theta` extends beyond MBR
+/// overlap, or `None` for operators a shared-cell grid cannot support
+/// (directional predicates have unbounded filter regions).
+fn filter_slack(theta: ThetaOp) -> Option<f64> {
+    match theta {
+        ThetaOp::Overlaps | ThetaOp::Includes | ThetaOp::ContainedIn => Some(0.0),
+        ThetaOp::WithinDistance(d) | ThetaOp::WithinCenterDistance(d) => Some(d),
+        ThetaOp::ReachableWithin { minutes, speed } => Some(minutes * speed),
+        ThetaOp::Adjacent => Some(sj_geom::EPSILON),
+        ThetaOp::DirectionOf(_) => None,
+    }
+}
+
+/// Grid-partitioned join `R ⋈_θ S`.
+///
+/// # Panics
+///
+/// Panics for directional θ-operators, whose qualifying region is a
+/// half-plane and cannot be localized to grid cells.
+pub fn grid_join(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    config: GridConfig,
+    theta: ThetaOp,
+) -> JoinRun {
+    let slack = filter_slack(theta).unwrap_or_else(|| {
+        panic!("grid join cannot support {theta:?}: its filter region is unbounded")
+    });
+    let before = pool.stats();
+    let mut run = JoinRun::default();
+
+    let r_rows = r.scan(pool);
+    let s_rows = s.scan(pool);
+
+    // Bucket S by cell.
+    let cells = (config.nx as usize) * (config.ny as usize);
+    let mut s_cells: Vec<Vec<usize>> = vec![Vec::new(); cells];
+    for (idx, (_, g)) in s_rows.iter().enumerate() {
+        if let Some((x0, y0, x1, y1)) = config.cell_span(&g.mbr()) {
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    s_cells[(cy * config.nx + cx) as usize].push(idx);
+                }
+            }
+        }
+    }
+
+    // Probe with R, expanding by the filter slack so distance matches
+    // land in a shared cell.
+    let mut candidates: HashSet<(usize, usize)> = HashSet::new();
+    for (r_idx, (_, g)) in r_rows.iter().enumerate() {
+        let probe = g.mbr().expand(slack);
+        if let Some((x0, y0, x1, y1)) = config.cell_span(&probe) {
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    for &s_idx in &s_cells[(cy * config.nx + cx) as usize] {
+                        candidates.insert((r_idx, s_idx));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(usize, usize)> = candidates.into_iter().collect();
+    pairs.sort_unstable();
+    for (ri, si) in pairs {
+        run.stats.theta_evals += 1;
+        let (r_id, r_geom) = &r_rows[ri];
+        let (s_id, s_geom) = &s_rows[si];
+        if theta.eval(r_geom, s_geom) {
+            run.pairs.push((*r_id, *s_id));
+        }
+    }
+    run.stats.passes = 1;
+    run.stats.add_io(pool.stats().since(&before));
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested_loop::nested_loop_join;
+    use sj_geom::{Geometry, Point};
+    use sj_storage::{Disk, DiskConfig, Layout};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Disk::new(DiskConfig::paper()), 64)
+    }
+
+    fn cfg() -> GridConfig {
+        GridConfig {
+            world: Rect::from_bounds(0.0, 0.0, 100.0, 100.0),
+            nx: 10,
+            ny: 10,
+        }
+    }
+
+    fn points_rel(pool: &mut BufferPool, n: usize, step: f64, id0: u64) -> StoredRelation {
+        let tuples: Vec<(u64, Geometry)> = (0..n * n)
+            .map(|i| {
+                (
+                    id0 + i as u64,
+                    Geometry::Point(Point::new(
+                        (i % n) as f64 * step + 0.5,
+                        (i / n) as f64 * step + 0.5,
+                    )),
+                )
+            })
+            .collect();
+        StoredRelation::build(pool, &tuples, 300, Layout::Clustered)
+    }
+
+    #[test]
+    fn overlap_and_distance_match_nested_loop() {
+        let mut p = pool();
+        let r = points_rel(&mut p, 8, 12.0, 0);
+        let s = points_rel(&mut p, 8, 12.0, 1000);
+        for theta in [
+            ThetaOp::WithinDistance(12.5),
+            ThetaOp::WithinDistance(0.1),
+            ThetaOp::Overlaps,
+        ] {
+            let mut got = grid_join(&mut p, &r, &s, cfg(), theta).pairs;
+            got.sort_unstable();
+            let mut want = nested_loop_join(&mut p, &r, &s, theta).pairs;
+            want.sort_unstable();
+            assert_eq!(got, want, "{theta:?}");
+        }
+    }
+
+    #[test]
+    fn rect_objects_spanning_cells() {
+        let mut p = pool();
+        let r = StoredRelation::build(
+            &mut p,
+            &[
+                (0, Geometry::Rect(Rect::from_bounds(5.0, 5.0, 45.0, 15.0))),
+                (1, Geometry::Rect(Rect::from_bounds(60.0, 60.0, 61.0, 61.0))),
+            ],
+            300,
+            Layout::Clustered,
+        );
+        let s = StoredRelation::build(
+            &mut p,
+            &[
+                (
+                    100,
+                    Geometry::Rect(Rect::from_bounds(40.0, 10.0, 50.0, 20.0)),
+                ),
+                (
+                    101,
+                    Geometry::Rect(Rect::from_bounds(90.0, 90.0, 95.0, 95.0)),
+                ),
+            ],
+            300,
+            Layout::Clustered,
+        );
+        let run = grid_join(&mut p, &r, &s, cfg(), ThetaOp::Overlaps);
+        assert_eq!(run.pairs, vec![(0, 100)]);
+        // Each candidate pair is θ-tested exactly once despite sharing
+        // several cells.
+        assert!(run.stats.theta_evals <= 4);
+    }
+
+    #[test]
+    fn fewer_theta_evals_than_nested_loop() {
+        let mut p = pool();
+        let r = points_rel(&mut p, 8, 12.0, 0);
+        let s = points_rel(&mut p, 8, 12.0, 1000);
+        let theta = ThetaOp::WithinDistance(1.0);
+        let g = grid_join(&mut p, &r, &s, cfg(), theta);
+        let nl = nested_loop_join(&mut p, &r, &s, theta);
+        assert!(
+            g.stats.theta_evals * 4 < nl.stats.theta_evals,
+            "grid should prune most pairs: {} vs {}",
+            g.stats.theta_evals,
+            nl.stats.theta_evals
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn directional_theta_rejected() {
+        let mut p = pool();
+        let r = points_rel(&mut p, 2, 10.0, 0);
+        let s = points_rel(&mut p, 2, 10.0, 100);
+        let _ = grid_join(
+            &mut p,
+            &r,
+            &s,
+            cfg(),
+            ThetaOp::DirectionOf(sj_geom::Direction::NorthWest),
+        );
+    }
+
+    #[test]
+    fn objects_outside_world_are_ignored() {
+        let mut p = pool();
+        let r = StoredRelation::build(
+            &mut p,
+            &[(0, Geometry::Point(Point::new(500.0, 500.0)))],
+            300,
+            Layout::Clustered,
+        );
+        let s = points_rel(&mut p, 2, 10.0, 100);
+        let run = grid_join(&mut p, &r, &s, cfg(), ThetaOp::Overlaps);
+        assert!(run.pairs.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # sj-joins — executable spatial-join strategies
+//!
+//! Storage-backed executors for every join-processing strategy the paper
+//! analyzes (§2, §4), all reporting [`ExecStats`] in the cost model's own
+//! units (θ/Θ-evaluations and physical page I/O through an LRU buffer
+//! pool):
+//!
+//! | Paper strategy | Executor |
+//! |---|---|
+//! | I — nested loop (with Valduriez's memory passes) | [`nested_loop`] |
+//! | IIa/IIb — generalization tree, unclustered/clustered | [`tree_join`] over a [`TreeRelation`] with the corresponding [`Layout`] |
+//! | III — join index on a B⁺-tree | [`join_index`] |
+//! | sort-merge for `overlaps` via z-elements (Orenstein) | [`sort_merge`] |
+//! | §5's *local join indices* (future work, implemented) | [`local_index`] |
+//! | grid-file join (Rotem's index-supported baseline) | [`grid`] |
+//! | z-value B⁺-tree index (UB-tree style, §2.2) | [`zindex`] |
+//!
+//! Every executor is validated (unit + property tests) to return exactly
+//! the same match set as the nested-loop reference.
+//!
+//! [`Layout`]: sj_storage::Layout
+
+pub mod grid;
+pub mod join_index;
+pub mod local_index;
+pub mod nested_loop;
+pub mod paged_tree;
+pub mod relation;
+pub mod sort_merge;
+pub mod stats;
+pub mod tree_join;
+pub mod zindex;
+
+pub use join_index::JoinIndex;
+pub use local_index::LocalJoinIndex;
+pub use paged_tree::{ClusterOrder, PagedTree, TreeRelation};
+pub use relation::StoredRelation;
+pub use stats::{ExecStats, JoinRun, SelectRun};
+pub use zindex::ZIndex;

@@ -1,0 +1,233 @@
+//! Storage mapping for generalization trees.
+//!
+//! §4.1: "the tree nodes contain the complete tuples that correspond to
+//! the spatial object represented in that node" — i.e. the tree *is* the
+//! relation's storage, and visiting a node costs the I/O of its tuple
+//! record. [`PagedTree`] assigns every tree node a fixed-size record on a
+//! heap file, in breadth-first order under [`Layout::Clustered`]
+//! (strategy IIb) or scattered under [`Layout::Unclustered`]
+//! (strategy IIa), and charges a record read per visit.
+
+use sj_gentree::{GenTree, NodeId};
+use sj_geom::{codec, Geometry};
+use sj_storage::{BufferPool, HeapFile, Layout, RecordId};
+
+/// Sentinel id for directory nodes (R-tree interiors), which carry no
+/// application tuple but still occupy a stored record.
+const DIRECTORY_ID: u64 = u64::MAX;
+
+/// Logical node order used for clustered placement — §3.2's observation
+/// that the efficiency of depth-first vs. breadth-first traversal depends
+/// on the physical clustering of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterOrder {
+    /// Level-by-level (the paper's default for strategy IIb).
+    #[default]
+    BreadthFirst,
+    /// Pre-order.
+    DepthFirst,
+}
+
+/// The node→record mapping for one generalization tree.
+#[derive(Debug)]
+pub struct PagedTree {
+    file: HeapFile,
+    /// `record[n.index()]` = the record that stores node `n`. Indexed by
+    /// arena slot; only slots for live nodes are meaningful.
+    record: Vec<RecordId>,
+}
+
+impl PagedTree {
+    /// Lays the tree's nodes out on a heap file in breadth-first logical
+    /// order, placed per `layout`.
+    pub fn build(
+        pool: &mut BufferPool,
+        tree: &GenTree,
+        record_size: usize,
+        layout: Layout,
+    ) -> Self {
+        Self::build_ordered(pool, tree, record_size, layout, ClusterOrder::BreadthFirst)
+    }
+
+    /// Like [`PagedTree::build`] with an explicit logical clustering
+    /// order.
+    pub fn build_ordered(
+        pool: &mut BufferPool,
+        tree: &GenTree,
+        record_size: usize,
+        layout: Layout,
+        cluster: ClusterOrder,
+    ) -> Self {
+        let order = match cluster {
+            ClusterOrder::BreadthFirst => tree.bfs_order(),
+            ClusterOrder::DepthFirst => tree.dfs_order(),
+        };
+        let max_slot = order.iter().map(|n| n.index()).max().unwrap_or(0);
+        let file = HeapFile::bulk_load_with(pool, record_size, order.len(), layout, |i| {
+            let node = order[i];
+            match tree.entry(node) {
+                Some(e) => codec::encode_record(e.id, &e.geometry, record_size),
+                None => {
+                    codec::encode_record(DIRECTORY_ID, &Geometry::Rect(tree.mbr(node)), record_size)
+                }
+            }
+        });
+        let mut record = vec![file.rid(0); max_slot + 1];
+        for (i, node) in order.iter().enumerate() {
+            record[node.index()] = file.rid(i);
+        }
+        PagedTree { file, record }
+    }
+
+    /// Charges the I/O of visiting `node` (a record read through the
+    /// pool) and returns the stored bytes' decoded content.
+    pub fn touch(&self, pool: &mut BufferPool, node: NodeId) -> (u64, Geometry) {
+        let bytes = pool.read_record(&self.file, self.record[node.index()]);
+        codec::decode_record(&bytes)
+    }
+
+    /// Pages occupied by the stored tree.
+    pub fn page_count(&self) -> usize {
+        self.file.page_count()
+    }
+
+    /// Records per page (the model's `m`).
+    pub fn records_per_page(&self) -> usize {
+        self.file.records_per_page()
+    }
+}
+
+/// A relation stored *as* its generalization tree: the operand type of the
+/// strategy-II executors.
+#[derive(Debug)]
+pub struct TreeRelation {
+    /// The generalization tree (R-tree, cartographic hierarchy, balanced
+    /// k-ary tree, …).
+    pub tree: GenTree,
+    /// Its storage mapping.
+    pub paged: PagedTree,
+}
+
+impl TreeRelation {
+    /// Stores `tree` with the given record size and layout.
+    pub fn new(pool: &mut BufferPool, tree: GenTree, record_size: usize, layout: Layout) -> Self {
+        let paged = PagedTree::build(pool, &tree, record_size, layout);
+        TreeRelation { tree, paged }
+    }
+
+    /// Number of application tuples (entry-bearing nodes).
+    pub fn tuple_count(&self) -> usize {
+        self.tree.entry_nodes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_gentree::balanced::build_balanced;
+    use sj_geom::{Point, Rect};
+    use sj_storage::{Disk, DiskConfig};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Disk::new(DiskConfig::paper()), 64)
+    }
+
+    #[test]
+    fn roundtrips_node_contents() {
+        let mut p = pool();
+        let tree = build_balanced(3, 2, Rect::from_bounds(0.0, 0.0, 9.0, 9.0));
+        let pt = PagedTree::build(&mut p, &tree, 300, Layout::Clustered);
+        for node in tree.bfs_order() {
+            let (id, g) = pt.touch(&mut p, node);
+            let e = tree
+                .entry(node)
+                .expect("balanced trees have entries everywhere");
+            assert_eq!(id, e.id);
+            assert_eq!(&g, &e.geometry);
+        }
+    }
+
+    #[test]
+    fn clustered_bfs_sweep_is_sequential() {
+        let mut p = pool();
+        let tree = build_balanced(4, 3, Rect::from_bounds(0.0, 0.0, 64.0, 64.0));
+        let pt = PagedTree::build(&mut p, &tree, 300, Layout::Clustered);
+        p.clear();
+        p.reset_stats();
+        for node in tree.bfs_order() {
+            pt.touch(&mut p, node);
+        }
+        // A BFS sweep over a clustered tree touches each page exactly once.
+        assert_eq!(p.stats().physical_reads as usize, pt.page_count());
+    }
+
+    #[test]
+    fn unclustered_bfs_sweep_thrashes_with_tiny_pool() {
+        let tree = build_balanced(4, 3, Rect::from_bounds(0.0, 0.0, 64.0, 64.0));
+        let mut p = BufferPool::new(Disk::new(DiskConfig::paper()), 4);
+        let pt = PagedTree::build(&mut p, &tree, 300, Layout::Unclustered { seed: 11 });
+        p.clear();
+        p.reset_stats();
+        for node in tree.bfs_order() {
+            pt.touch(&mut p, node);
+        }
+        assert!(
+            p.stats().physical_reads as usize > pt.page_count(),
+            "random placement with a tiny pool must exceed one read per page"
+        );
+    }
+
+    #[test]
+    fn dfs_clustering_favors_dfs_sweeps() {
+        let tree = build_balanced(4, 4, Rect::from_bounds(0.0, 0.0, 256.0, 256.0));
+        // Tiny pool: only matching traversal order stays sequential.
+        let mut p = BufferPool::new(Disk::new(DiskConfig::paper()), 2);
+        let pt = PagedTree::build_ordered(
+            &mut p,
+            &tree,
+            300,
+            Layout::Clustered,
+            ClusterOrder::DepthFirst,
+        );
+        p.clear();
+        p.reset_stats();
+        for node in tree.dfs_order() {
+            pt.touch(&mut p, node);
+        }
+        let dfs_reads = p.stats().physical_reads;
+        assert_eq!(
+            dfs_reads as usize,
+            pt.page_count(),
+            "DFS sweep is sequential"
+        );
+
+        p.clear();
+        p.reset_stats();
+        for node in tree.bfs_order() {
+            pt.touch(&mut p, node);
+        }
+        let bfs_reads = p.stats().physical_reads;
+        assert!(
+            bfs_reads > dfs_reads,
+            "BFS over DFS-clustered storage must thrash: {bfs_reads} vs {dfs_reads}"
+        );
+    }
+
+    #[test]
+    fn directory_nodes_store_their_mbr() {
+        let mut p = pool();
+        let mut tree = GenTree::new(Rect::from_bounds(0.0, 0.0, 10.0, 10.0), None);
+        tree.add_child(
+            tree.root(),
+            Rect::from_point(Point::new(1.0, 1.0)),
+            Some(sj_gentree::Entry {
+                id: 3,
+                geometry: Geometry::Point(Point::new(1.0, 1.0)),
+            }),
+        );
+        let pt = PagedTree::build(&mut p, &tree, 300, Layout::Clustered);
+        let (id, g) = pt.touch(&mut p, tree.root());
+        assert_eq!(id, u64::MAX);
+        assert_eq!(g, Geometry::Rect(Rect::from_bounds(0.0, 0.0, 10.0, 10.0)));
+    }
+}

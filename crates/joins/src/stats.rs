@@ -1,0 +1,92 @@
+//! Execution statistics in the cost model's units.
+
+use sj_storage::IoStats;
+
+/// Work performed by one executor run: the measured counterparts of the
+/// model's `C_Θ`-priced comparisons and `C_IO`-priced page transfers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Physical page reads through the buffer pool.
+    pub physical_reads: u64,
+    /// Physical page writes.
+    pub physical_writes: u64,
+    /// Buffer-pool requests (hits + misses).
+    pub logical_reads: u64,
+    /// Exact θ-evaluations on geometries.
+    pub theta_evals: u64,
+    /// Conservative Θ-filter evaluations on MBRs.
+    pub filter_evals: u64,
+    /// Memory passes over the inner input (block-nested-loop style).
+    pub passes: u64,
+}
+
+impl ExecStats {
+    /// Folds a buffer-pool I/O delta into the counters.
+    pub fn add_io(&mut self, delta: IoStats) {
+        self.physical_reads += delta.physical_reads;
+        self.physical_writes += delta.physical_writes;
+        self.logical_reads += delta.logical_reads;
+    }
+
+    /// Total comparison work (the model prices θ and Θ identically).
+    pub fn comparisons(&self) -> u64 {
+        self.theta_evals + self.filter_evals
+    }
+
+    /// Total cost in model units given `C_Θ` and `C_IO` weights.
+    pub fn cost(&self, c_theta: f64, c_io: f64) -> f64 {
+        self.comparisons() as f64 * c_theta
+            + (self.physical_reads + self.physical_writes) as f64 * c_io
+    }
+}
+
+/// Result of a join executor: matching `(r_id, s_id)` pairs plus stats.
+#[derive(Debug, Clone, Default)]
+pub struct JoinRun {
+    pub pairs: Vec<(u64, u64)>,
+    pub stats: ExecStats,
+}
+
+/// Result of a selection executor: matching tuple ids plus stats.
+#[derive(Debug, Clone, Default)]
+pub struct SelectRun {
+    pub matches: Vec<u64>,
+    pub stats: ExecStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_weights_components() {
+        let s = ExecStats {
+            physical_reads: 3,
+            physical_writes: 1,
+            logical_reads: 10,
+            theta_evals: 5,
+            filter_evals: 7,
+            passes: 1,
+        };
+        assert_eq!(s.comparisons(), 12);
+        assert_eq!(s.cost(1.0, 1000.0), 12.0 + 4000.0);
+    }
+
+    #[test]
+    fn add_io_accumulates() {
+        let mut s = ExecStats::default();
+        s.add_io(IoStats {
+            physical_reads: 2,
+            physical_writes: 1,
+            logical_reads: 5,
+        });
+        s.add_io(IoStats {
+            physical_reads: 1,
+            physical_writes: 0,
+            logical_reads: 2,
+        });
+        assert_eq!(s.physical_reads, 3);
+        assert_eq!(s.physical_writes, 1);
+        assert_eq!(s.logical_reads, 7);
+    }
+}

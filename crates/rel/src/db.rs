@@ -1,0 +1,535 @@
+//! The database: disk-backed tables with spatial secondary structures.
+
+use std::collections::HashMap;
+
+use sj_gentree::rtree::{RTree, RTreeConfig};
+use sj_geom::{Geometry, ThetaOp};
+use sj_joins::{JoinIndex, LocalJoinIndex, StoredRelation, TreeRelation};
+use sj_storage::{BufferPool, Disk, DiskConfig, HeapFile, IoStats, Layout};
+
+use crate::schema::Schema;
+use crate::tuple::{decode_tuple, encode_tuple, Tuple};
+
+/// A stored table: the row file plus, per spatial column, a column file
+/// (the `(rowid, geometry)` projection used by the join executors) and an
+/// optional R-tree generalization tree.
+pub struct Table {
+    pub(crate) schema: Schema,
+    record_size: usize,
+    file: HeapFile,
+    rows: usize,
+    pub(crate) spatial: HashMap<String, SpatialColumn>,
+}
+
+impl Table {
+    pub(crate) fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    pub(crate) fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    pub(crate) fn file(&self) -> &HeapFile {
+        &self.file
+    }
+}
+
+/// Secondary structures of one spatial column.
+pub struct SpatialColumn {
+    /// `(rowid, geometry)` projection, stored as its own file.
+    pub(crate) column: StoredRelation,
+    /// R-tree index, tagged with the row count at build time so stale
+    /// indices are rebuilt transparently.
+    pub(crate) index: Option<(TreeRelation, usize)>,
+    /// Layout and fan-out requested for the index.
+    pub(crate) index_layout: Layout,
+    pub(crate) index_fanout: usize,
+}
+
+/// An in-process spatial database over the storage simulator.
+pub struct Database {
+    pub(crate) pool: BufferPool,
+    pub(crate) tables: HashMap<String, Table>,
+    pub(crate) join_indices: HashMap<String, (JoinIndex, String, String, String, String)>,
+    pub(crate) local_join_indices:
+        HashMap<String, (LocalJoinIndex, String, String, String, String)>,
+}
+
+impl Database {
+    /// Creates a database on a fresh simulated disk with `mem_pages`
+    /// buffer-pool frames.
+    pub fn new(config: DiskConfig, mem_pages: usize) -> Self {
+        Database {
+            pool: BufferPool::new(Disk::new(config), mem_pages),
+            tables: HashMap::new(),
+            join_indices: HashMap::new(),
+            local_join_indices: HashMap::new(),
+        }
+    }
+
+    /// A database with the paper's disk geometry and a 256-page pool —
+    /// convenient for examples and tests.
+    pub fn in_memory() -> Self {
+        Database::new(DiskConfig::paper(), 256)
+    }
+
+    /// Wraps an existing pool (used by [`Database::open`]).
+    pub(crate) fn from_pool(pool: BufferPool) -> Self {
+        Database {
+            pool,
+            tables: HashMap::new(),
+            join_indices: HashMap::new(),
+            local_join_indices: HashMap::new(),
+        }
+    }
+
+    /// The simulated disk behind the pool (for persistence).
+    pub(crate) fn pool_disk(&self) -> &sj_storage::Disk {
+        self.pool.disk()
+    }
+
+    /// The pool's page capacity (persisted so reopening restores `M`).
+    pub(crate) fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Installs a fully reconstructed table (used by [`Database::open`]);
+    /// errors on duplicates or schema/catalog mismatches.
+    pub(crate) fn install_table(
+        &mut self,
+        name: String,
+        schema: Schema,
+        record_size: usize,
+        rows: usize,
+        file: HeapFile,
+        spatial: Vec<(String, StoredRelation)>,
+    ) -> Result<(), String> {
+        if self.tables.contains_key(&name) {
+            return Err(format!("duplicate table {name:?} in catalog"));
+        }
+        let mut spatial_map = HashMap::new();
+        for (col, column) in spatial {
+            if schema.index_of(&col).is_none() {
+                return Err(format!("catalog column {col:?} missing from schema"));
+            }
+            if column.len() != rows {
+                return Err(format!("spatial column {col:?} length mismatch"));
+            }
+            spatial_map.insert(
+                col,
+                SpatialColumn {
+                    column,
+                    index: None,
+                    index_layout: Layout::Clustered,
+                    index_fanout: 10,
+                },
+            );
+        }
+        self.tables.insert(
+            name,
+            Table {
+                schema,
+                record_size,
+                file,
+                rows,
+                spatial: spatial_map,
+            },
+        );
+        Ok(())
+    }
+
+    /// Physical/logical I/O counters accumulated so far.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the I/O counters (e.g. to measure one query).
+    pub fn reset_io(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    /// Drops all cached pages, forcing cold reads.
+    pub fn drop_caches(&mut self) {
+        self.pool.clear();
+    }
+
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema, record_size: usize) {
+        assert!(
+            !self.tables.contains_key(name),
+            "table {name:?} already exists"
+        );
+        let file = HeapFile::bulk_load(&mut self.pool, record_size, 0, Layout::Clustered);
+        let mut spatial = HashMap::new();
+        for c in schema.columns() {
+            if c.ty == crate::value::ValueType::Spatial {
+                let column =
+                    StoredRelation::build(&mut self.pool, &[], record_size, Layout::Clustered);
+                spatial.insert(
+                    c.name.clone(),
+                    SpatialColumn {
+                        column,
+                        index: None,
+                        index_layout: Layout::Clustered,
+                        index_fanout: 10,
+                    },
+                );
+            }
+        }
+        self.tables.insert(
+            name.to_string(),
+            Table {
+                schema,
+                record_size,
+                file,
+                rows: 0,
+                spatial,
+            },
+        );
+    }
+
+    fn table(&self, name: &str) -> &Table {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no table named {name:?}"))
+    }
+
+    fn table_mut(&mut self, name: &str) -> &mut Table {
+        self.tables
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no table named {name:?}"))
+    }
+
+    /// The schema of a table.
+    pub fn schema(&self, table: &str) -> &Schema {
+        &self.table(table).schema
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.table(table).rows
+    }
+
+    /// Inserts a row, returning its rowid. Spatial column files are
+    /// extended; R-tree indices become stale and are rebuilt lazily on the
+    /// next spatial query.
+    pub fn insert(&mut self, table: &str, row: Tuple) -> u64 {
+        let pool = &mut self.pool;
+        let t = self
+            .tables
+            .get_mut(table)
+            .unwrap_or_else(|| panic!("no table named {table:?}"));
+        t.schema.check_row(&row);
+        let rowid = t.rows as u64;
+        let record = encode_tuple(&row, t.record_size);
+        t.file.append(pool, record);
+        for (col, sc) in &mut t.spatial {
+            let idx = t.schema.expect_column(col);
+            let g = row[idx].as_spatial().expect("validated spatial column");
+            sc.column.append(pool, rowid, g);
+        }
+        t.rows += 1;
+        rowid
+    }
+
+    /// Bulk insert.
+    pub fn insert_many(&mut self, table: &str, rows: impl IntoIterator<Item = Tuple>) -> usize {
+        let mut n = 0;
+        for row in rows {
+            self.insert(table, row);
+            n += 1;
+        }
+        n
+    }
+
+    /// Reads one row by rowid.
+    pub fn get(&mut self, table: &str, rowid: u64) -> Tuple {
+        let t = self
+            .tables
+            .get(table)
+            .unwrap_or_else(|| panic!("no table named {table:?}"));
+        assert!((rowid as usize) < t.rows, "rowid {rowid} out of range");
+        let bytes = self.pool.read_record(&t.file, t.file.rid(rowid as usize));
+        decode_tuple(&bytes, &t.schema)
+    }
+
+    /// Full scan of a table.
+    pub fn scan(&mut self, table: &str) -> Vec<(u64, Tuple)> {
+        let t = self
+            .tables
+            .get(table)
+            .unwrap_or_else(|| panic!("no table named {table:?}"));
+        let mut rows: Vec<(u64, Tuple)> = t
+            .file
+            .scan(&mut self.pool)
+            .into_iter()
+            .map(|(i, bytes)| (i as u64, decode_tuple(&bytes, &t.schema)))
+            .collect();
+        rows.sort_by_key(|(id, _)| *id);
+        rows
+    }
+
+    /// Scalar selection: all rows satisfying `pred`.
+    pub fn select(&mut self, table: &str, pred: impl Fn(&Tuple) -> bool) -> Vec<(u64, Tuple)> {
+        self.scan(table)
+            .into_iter()
+            .filter(|(_, row)| pred(row))
+            .collect()
+    }
+
+    /// Projection of rows onto the named columns (the relational π; the
+    /// paper applies it after joins to strip redundant columns).
+    pub fn project(schema: &Schema, rows: &[Tuple], columns: &[&str]) -> (Schema, Vec<Tuple>) {
+        let idxs: Vec<usize> = columns.iter().map(|c| schema.expect_column(c)).collect();
+        let out_schema = schema.project(columns);
+        let out_rows = rows
+            .iter()
+            .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        (out_schema, out_rows)
+    }
+
+    /// Declares (and builds) an R-tree index on a spatial column with the
+    /// given generalization-tree fan-out and storage layout — the choice
+    /// between the paper's strategies IIa (`Unclustered`) and IIb
+    /// (`Clustered`).
+    pub fn create_spatial_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        fanout: usize,
+        layout: Layout,
+    ) {
+        {
+            let t = self.table_mut(table);
+            let sc = t
+                .spatial
+                .get_mut(column)
+                .unwrap_or_else(|| panic!("no spatial column {column:?} on {table:?}"));
+            sc.index_fanout = fanout;
+            sc.index_layout = layout;
+            sc.index = None;
+        }
+        self.ensure_index(table, column);
+    }
+
+    /// Rebuilds the R-tree for `table.column` if missing or stale.
+    pub(crate) fn ensure_index(&mut self, table: &str, column: &str) {
+        let needs = {
+            let t = self.table(table);
+            let sc = t
+                .spatial
+                .get(column)
+                .unwrap_or_else(|| panic!("no spatial column {column:?} on {table:?}"));
+            match &sc.index {
+                Some((_, built_at)) => *built_at != t.rows,
+                None => true,
+            }
+        };
+        if !needs {
+            return;
+        }
+        let pool = &mut self.pool;
+        let t = self.tables.get_mut(table).expect("checked above");
+        let record_size = t.record_size;
+        let sc = t.spatial.get_mut(column).expect("checked above");
+        let entries = sc.column.scan(pool);
+        let rt = RTree::bulk_load(RTreeConfig::with_fanout(sc.index_fanout), entries);
+        let tree_rel = TreeRelation::new(pool, rt.tree().clone(), record_size, sc.index_layout);
+        sc.index = Some((tree_rel, t.rows));
+    }
+
+    /// Precomputes a named join index for
+    /// `r_table.r_col θ s_table.s_col` (strategy III). The build cost — a
+    /// full nested-loop pass — is charged to the I/O and returned
+    /// θ-evaluation counters.
+    pub fn create_join_index(
+        &mut self,
+        name: &str,
+        r_table: &str,
+        r_col: &str,
+        s_table: &str,
+        s_col: &str,
+        theta: ThetaOp,
+    ) -> u64 {
+        assert!(
+            !self.join_indices.contains_key(name),
+            "join index {name:?} already exists"
+        );
+        let pool = &mut self.pool;
+        let r = &self.tables[r_table].spatial[r_col].column;
+        let s = &self.tables[s_table].spatial[s_col].column;
+        let (idx, stats) = JoinIndex::build(pool, r, s, theta, 100);
+        self.join_indices.insert(
+            name.to_string(),
+            (
+                idx,
+                r_table.to_string(),
+                r_col.to_string(),
+                s_table.to_string(),
+                s_col.to_string(),
+            ),
+        );
+        stats.theta_evals
+    }
+
+    /// Precomputes a named **local** join index (the paper's §5 mixed
+    /// strategy) anchored at tree level `level`, over the R-tree indices
+    /// of both spatial columns (built on demand). Returns the number of
+    /// θ-evaluations spent — compare with the `N²` of a global index.
+    #[allow(clippy::too_many_arguments)] // mirrors the query surface: two (table, column) pairs + θ + level
+    pub fn create_local_join_index(
+        &mut self,
+        name: &str,
+        r_table: &str,
+        r_col: &str,
+        s_table: &str,
+        s_col: &str,
+        theta: ThetaOp,
+        level: usize,
+    ) -> u64 {
+        assert!(
+            !self.local_join_indices.contains_key(name),
+            "local join index {name:?} already exists"
+        );
+        self.ensure_index(r_table, r_col);
+        self.ensure_index(s_table, s_col);
+        let pool = &mut self.pool;
+        let (r_tree, _) = self.tables[r_table].spatial[r_col]
+            .index
+            .as_ref()
+            .expect("built above");
+        let (s_tree, _) = self.tables[s_table].spatial[s_col]
+            .index
+            .as_ref()
+            .expect("built above");
+        let (idx, stats) = LocalJoinIndex::build(pool, r_tree, s_tree, theta, level, 100);
+        self.local_join_indices.insert(
+            name.to_string(),
+            (
+                idx,
+                r_table.to_string(),
+                r_col.to_string(),
+                s_table.to_string(),
+                s_col.to_string(),
+            ),
+        );
+        stats.theta_evals
+    }
+
+    /// The geometry of `table.column` for a given rowid (reads through the
+    /// column file).
+    pub fn geometry(&mut self, table: &str, column: &str, rowid: u64) -> Geometry {
+        let t = self
+            .tables
+            .get(table)
+            .unwrap_or_else(|| panic!("no table named {table:?}"));
+        let sc = t
+            .spatial
+            .get(column)
+            .unwrap_or_else(|| panic!("no spatial column {column:?} on {table:?}"));
+        sc.column.read_by_id(&mut self.pool, rowid).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{Value, ValueType};
+    use sj_geom::Point;
+
+    fn db_with_points(n: usize) -> Database {
+        let mut db = Database::in_memory();
+        db.create_table(
+            "pts",
+            Schema::new(vec![
+                Column::new("id", ValueType::Int),
+                Column::new("loc", ValueType::Spatial),
+            ]),
+            300,
+        );
+        for i in 0..n {
+            db.insert(
+                "pts",
+                vec![
+                    Value::Int(i as i64),
+                    Value::Spatial(Geometry::Point(Point::new(i as f64, 0.0))),
+                ],
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut db = db_with_points(10);
+        assert_eq!(db.row_count("pts"), 10);
+        let row = db.get("pts", 7);
+        assert_eq!(row[0], Value::Int(7));
+        let all = db.scan("pts");
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[3].0, 3);
+    }
+
+    #[test]
+    fn select_and_project() {
+        let mut db = db_with_points(10);
+        let rows = db.select("pts", |r| r[0].as_int().unwrap() % 2 == 0);
+        assert_eq!(rows.len(), 5);
+        let tuples: Vec<Tuple> = rows.into_iter().map(|(_, t)| t).collect();
+        let schema = db.schema("pts").clone();
+        let (ps, prows) = Database::project(&schema, &tuples, &["id"]);
+        assert_eq!(ps.arity(), 1);
+        assert_eq!(prows[0], vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn stale_index_is_rebuilt() {
+        let mut db = db_with_points(20);
+        db.create_spatial_index("pts", "loc", 4, Layout::Clustered);
+        // Insert after building → stale.
+        db.insert(
+            "pts",
+            vec![
+                Value::Int(999),
+                Value::Spatial(Geometry::Point(Point::new(100.0, 100.0))),
+            ],
+        );
+        db.ensure_index("pts", "loc");
+        let t = &db.tables["pts"];
+        let (tree_rel, built_at) = t.spatial["loc"].index.as_ref().unwrap();
+        assert_eq!(*built_at, 21);
+        assert_eq!(tree_rel.tuple_count(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "no table named")]
+    fn missing_table_panics() {
+        let mut db = Database::in_memory();
+        db.scan("nope");
+    }
+
+    #[test]
+    fn io_counters_move() {
+        let mut db = db_with_points(50);
+        db.drop_caches();
+        db.reset_io();
+        let _ = db.scan("pts");
+        assert!(db.io_stats().physical_reads > 0);
+    }
+
+    #[test]
+    fn geometry_accessor() {
+        let mut db = db_with_points(3);
+        assert_eq!(
+            db.geometry("pts", "loc", 2),
+            Geometry::Point(Point::new(2.0, 0.0))
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! # sj-rel — a minimal extended-relational substrate
+//!
+//! The paper frames spatial joins inside "a relational data model that is
+//! extended by spatial data types and operators" (§1, citing POSTGRES and
+//! DASDBS). This crate provides exactly that frame:
+//!
+//! * typed schemas with scalar **and spatial** columns ([`Schema`],
+//!   [`Value`]),
+//! * disk-backed tables with fixed-size tuple records ([`Database`]),
+//! * secondary structures per spatial column: a column file (for scans and
+//!   join-index builds) and an optional R-tree generalization tree,
+//! * the query operators the paper's examples need — scalar selection,
+//!   projection, **spatial selection** and **spatial join** with a
+//!   pluggable [`JoinStrategy`] that dispatches to the executors of
+//!   `sj-joins`.
+//!
+//! ## The paper's running example
+//!
+//! ```
+//! use sj_geom::{Geometry, Point, Polygon, Rect, ThetaOp};
+//! use sj_rel::{Column, Database, JoinStrategy, Schema, Value, ValueType};
+//!
+//! let mut db = Database::in_memory();
+//! db.create_table(
+//!     "house",
+//!     Schema::new(vec![
+//!         Column::new("hid", ValueType::Int),
+//!         Column::new("hprice", ValueType::Float),
+//!         Column::new("hlocation", ValueType::Spatial),
+//!     ]),
+//!     300,
+//! );
+//! db.insert(
+//!     "house",
+//!     vec![
+//!         Value::Int(1),
+//!         Value::Float(250_000.0),
+//!         Value::Spatial(Geometry::Point(Point::new(3.0, 4.0))),
+//!     ],
+//! );
+//! db.create_table(
+//!     "lake",
+//!     Schema::new(vec![
+//!         Column::new("lid", ValueType::Int),
+//!         Column::new("name", ValueType::Str),
+//!         Column::new("larea", ValueType::Spatial),
+//!     ]),
+//!     300,
+//! );
+//! db.insert(
+//!     "lake",
+//!     vec![
+//!         Value::Int(10),
+//!         Value::Str("Lake Tahoe".into()),
+//!         Value::Spatial(Geometry::Polygon(Polygon::from_rect(
+//!             &Rect::from_bounds(0.0, 0.0, 2.0, 2.0),
+//!         ).unwrap())),
+//!     ],
+//! );
+//!
+//! // "Find all houses within 10 kilometers from a lake."
+//! let pairs = db.spatial_join(
+//!     "house", "hlocation",
+//!     "lake", "larea",
+//!     ThetaOp::WithinDistance(10.0),
+//!     JoinStrategy::NestedLoop,
+//! );
+//! assert_eq!(pairs.len(), 1);
+//! ```
+
+pub mod db;
+pub mod persist;
+pub mod planner;
+pub mod query;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use db::Database;
+pub use planner::{Plan, PlannerConfig};
+pub use query::JoinStrategy;
+pub use schema::{Column, Schema};
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};

@@ -1,0 +1,170 @@
+//! Table schemas.
+
+use crate::value::{Value, ValueType};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names or an empty column list.
+    pub fn new(columns: Vec<Column>) -> Self {
+        assert!(!columns.is_empty(), "a schema needs at least one column");
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|d| d.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The position of a column, panicking with a helpful message when it
+    /// does not exist (query-surface convenience).
+    pub fn expect_column(&self, name: &str) -> usize {
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("no column named {name:?} in schema {:?}", self.names()))
+    }
+
+    /// All column names.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Validates a row against the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity or type mismatch.
+    pub fn check_row(&self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} does not match schema arity {}",
+            row.len(),
+            self.columns.len()
+        );
+        for (v, c) in row.iter().zip(&self.columns) {
+            assert_eq!(
+                v.value_type(),
+                c.ty,
+                "type mismatch in column {:?}: expected {:?}, got {:?}",
+                c.name,
+                c.ty,
+                v.value_type()
+            );
+        }
+    }
+
+    /// Restriction of the schema to the named columns (projection).
+    pub fn project(&self, names: &[&str]) -> Schema {
+        Schema::new(
+            names
+                .iter()
+                .map(|n| self.columns[self.expect_column(n)].clone())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geom::{Geometry, Point};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ValueType::Int),
+            Column::new("name", ValueType::Str),
+            Column::new("loc", ValueType::Spatial),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.names(), vec!["id", "name", "loc"]);
+    }
+
+    #[test]
+    fn check_row_accepts_valid() {
+        schema().check_row(&[
+            Value::Int(1),
+            Value::Str("a".into()),
+            Value::Spatial(Geometry::Point(Point::new(0.0, 0.0))),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn check_row_rejects_wrong_type() {
+        schema().check_row(&[
+            Value::Int(1),
+            Value::Int(2),
+            Value::Spatial(Geometry::Point(Point::new(0.0, 0.0))),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn check_row_rejects_wrong_arity() {
+        schema().check_row(&[Value::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            Column::new("x", ValueType::Int),
+            Column::new("x", ValueType::Int),
+        ]);
+    }
+
+    #[test]
+    fn projection() {
+        let p = schema().project(&["loc", "id"]);
+        assert_eq!(p.names(), vec!["loc", "id"]);
+        assert_eq!(p.columns()[0].ty, ValueType::Spatial);
+    }
+}

@@ -1,0 +1,169 @@
+//! Tuples and their binary encoding into fixed-size records.
+//!
+//! Layout: per value a 1-byte tag, then
+//! * `Int` — 8 bytes little-endian,
+//! * `Float` — 8 bytes little-endian,
+//! * `Str` — u16 length + UTF-8 bytes,
+//! * `Spatial` — u16 length + the `sj_geom::codec` encoding.
+//!
+//! Records are zero-padded to the table's fixed record size (the model's
+//! tuple size `v`); a leading `u16` stores the encoded length so padding
+//! is unambiguous.
+
+use sj_geom::codec;
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row: one value per schema column.
+pub type Tuple = Vec<Value>;
+
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_SPATIAL: u8 = 4;
+
+/// Encodes a tuple into exactly `record_size` bytes.
+///
+/// # Panics
+///
+/// Panics if the encoding exceeds `record_size` (choose a larger tuple
+/// size `v` for the table) or a string/geometry exceeds `u16::MAX` bytes.
+pub fn encode_tuple(row: &Tuple, record_size: usize) -> Vec<u8> {
+    let mut body = Vec::with_capacity(record_size);
+    for v in row {
+        match v {
+            Value::Int(x) => {
+                body.push(TAG_INT);
+                body.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Float(x) => {
+                body.push(TAG_FLOAT);
+                body.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Str(s) => {
+                body.push(TAG_STR);
+                let len = u16::try_from(s.len()).expect("string longer than u16::MAX");
+                body.extend_from_slice(&len.to_le_bytes());
+                body.extend_from_slice(s.as_bytes());
+            }
+            Value::Spatial(g) => {
+                body.push(TAG_SPATIAL);
+                let enc = codec::encode_record(0, g, codec::encoded_len(g));
+                let len = u16::try_from(enc.len()).expect("geometry longer than u16::MAX");
+                body.extend_from_slice(&len.to_le_bytes());
+                body.extend_from_slice(&enc);
+            }
+        }
+    }
+    let total = 2 + body.len();
+    assert!(
+        total <= record_size,
+        "tuple needs {total} bytes but the record size is {record_size}"
+    );
+    let mut out = Vec::with_capacity(record_size);
+    out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.resize(record_size, 0);
+    out
+}
+
+/// Decodes a record produced by [`encode_tuple`], validating against the
+/// schema.
+///
+/// # Panics
+///
+/// Panics on malformed records (a storage-layer bug) or schema mismatch.
+pub fn decode_tuple(bytes: &[u8], schema: &Schema) -> Tuple {
+    let body_len = u16::from_le_bytes(bytes[0..2].try_into().expect("length prefix")) as usize;
+    let mut cur = &bytes[2..2 + body_len];
+    let mut out = Vec::with_capacity(schema.arity());
+    let mut take = |n: usize| -> &[u8] {
+        let (head, tail) = cur.split_at(n);
+        cur = tail;
+        head
+    };
+    for _ in 0..schema.arity() {
+        let tag = take(1)[0];
+        let v = match tag {
+            TAG_INT => Value::Int(i64::from_le_bytes(take(8).try_into().expect("int"))),
+            TAG_FLOAT => Value::Float(f64::from_le_bytes(take(8).try_into().expect("float"))),
+            TAG_STR => {
+                let len = u16::from_le_bytes(take(2).try_into().expect("len")) as usize;
+                Value::Str(String::from_utf8(take(len).to_vec()).expect("stored UTF-8"))
+            }
+            TAG_SPATIAL => {
+                let len = u16::from_le_bytes(take(2).try_into().expect("len")) as usize;
+                let (_, g) = codec::decode_record(take(len));
+                Value::Spatial(g)
+            }
+            other => panic!("unknown value tag {other}"),
+        };
+        out.push(v);
+    }
+    schema.check_row(&out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+    use sj_geom::{Geometry, Point, Polygon, Rect};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ValueType::Int),
+            Column::new("price", ValueType::Float),
+            Column::new("name", ValueType::Str),
+            Column::new("shape", ValueType::Spatial),
+        ])
+    }
+
+    fn sample() -> Tuple {
+        vec![
+            Value::Int(-42),
+            Value::Float(3.5),
+            Value::Str("Lake Tahoe".into()),
+            Value::Spatial(Geometry::Polygon(
+                Polygon::from_rect(&Rect::from_bounds(0.0, 0.0, 2.0, 3.0)).unwrap(),
+            )),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rec = encode_tuple(&sample(), 300);
+        assert_eq!(rec.len(), 300);
+        assert_eq!(decode_tuple(&rec, &schema()), sample());
+    }
+
+    #[test]
+    fn empty_string_and_point() {
+        let s = Schema::new(vec![
+            Column::new("s", ValueType::Str),
+            Column::new("p", ValueType::Spatial),
+        ]);
+        let row = vec![
+            Value::Str(String::new()),
+            Value::Spatial(Geometry::Point(Point::new(-1.0, 1.0))),
+        ];
+        let rec = encode_tuple(&row, 128);
+        assert_eq!(decode_tuple(&rec, &s), row);
+    }
+
+    #[test]
+    #[should_panic(expected = "record size")]
+    fn oversized_tuple_rejected() {
+        let _ = encode_tuple(&sample(), 32);
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let s = Schema::new(vec![Column::new("s", ValueType::Str)]);
+        let row = vec![Value::Str("Grüße, 測試 🚀".into())];
+        let rec = encode_tuple(&row, 64);
+        assert_eq!(decode_tuple(&rec, &s), row);
+    }
+}

@@ -1,0 +1,117 @@
+//! Typed column values, including the spatial extension.
+
+use sj_geom::Geometry;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    Int,
+    Float,
+    Str,
+    /// A spatial value: point, rectangle, polygon, or polyline.
+    Spatial,
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Spatial(Geometry),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Spatial(_) => ValueType::Spatial,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The geometry payload, if this is `Spatial`.
+    pub fn as_spatial(&self) -> Option<&Geometry> {
+        match self {
+            Value::Spatial(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Spatial(g) => match g {
+                Geometry::Point(p) => write!(f, "POINT{p}"),
+                Geometry::Rect(r) => write!(f, "RECT[{}, {}]", r.lo, r.hi),
+                Geometry::Polygon(p) => write!(f, "POLYGON({} vertices)", p.len()),
+                Geometry::Polyline(l) => write!(f, "LINE({} vertices)", l.len()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geom::Point;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), None);
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        let g = Geometry::Point(Point::new(1.0, 2.0));
+        assert_eq!(Value::Spatial(g.clone()).as_spatial(), Some(&g));
+    }
+
+    #[test]
+    fn types_report_correctly() {
+        assert_eq!(Value::Int(0).value_type(), ValueType::Int);
+        assert_eq!(
+            Value::Spatial(Geometry::Point(Point::new(0.0, 0.0))).value_type(),
+            ValueType::Spatial
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(
+            Value::Spatial(Geometry::Point(Point::new(1.0, 2.0))).to_string(),
+            "POINT(1, 2)"
+        );
+    }
+}

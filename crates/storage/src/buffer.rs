@@ -1,0 +1,328 @@
+//! An exact-LRU buffer pool.
+//!
+//! The pool's page capacity plays the role of the model's `M` (main memory
+//! size in pages, Table 2). Only buffer misses reach the disk's physical
+//! read counter, so an executor's `physical_reads` after a run is directly
+//! comparable with the I/O terms of the cost formulas. Recency is tracked
+//! with an intrusive doubly-linked list, giving O(1) hits, misses, and
+//! evictions.
+
+use std::collections::HashMap;
+
+use crate::disk::{Disk, DiskConfig};
+use crate::heap::{HeapFile, RecordId};
+use crate::page::{Page, PageId};
+use crate::stats::IoStats;
+
+const NIL: usize = usize::MAX;
+
+struct Frame {
+    id: PageId,
+    page: Page,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU buffer pool in front of a [`Disk`].
+pub struct BufferPool {
+    disk: Disk,
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    /// Most recently used frame (list head), or `NIL` when empty.
+    head: usize,
+    /// Least recently used frame (list tail), or `NIL` when empty.
+    tail: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool caching up to `capacity` pages (must be ≥ 1).
+    pub fn new(disk: Disk, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Page capacity of the pool (the model's `M`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Disk geometry.
+    #[inline]
+    pub fn config(&self) -> DiskConfig {
+        self.disk.config()
+    }
+
+    /// Combined I/O counters (physical counts from the disk, logical from
+    /// the pool).
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Zeroes all counters. Cached pages stay resident; combine with
+    /// [`BufferPool::clear`] for a fully cold measurement.
+    pub fn reset_stats(&mut self) {
+        self.disk.reset_stats();
+    }
+
+    /// Evicts every cached page (without counting I/O — the simulator uses
+    /// write-through, so frames are never dirty).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// True if the page is currently resident.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Allocates a fresh page on the underlying disk and makes it resident
+    /// (no read is charged: newly allocated pages have no prior disk image).
+    pub fn allocate(&mut self) -> PageId {
+        let id = self.disk.allocate();
+        let page = Page::new(self.disk.config().effective_capacity());
+        self.install(id, page);
+        id
+    }
+
+    /// Fetches a page, charging a physical read only on a miss.
+    pub fn fetch(&mut self, id: PageId) -> &Page {
+        self.disk.add_logical_read();
+        if let Some(&idx) = self.map.get(&id) {
+            self.touch(idx);
+            return &self.frames[idx].page;
+        }
+        let page = self.disk.read(id).clone();
+        let idx = self.install(id, page);
+        &self.frames[idx].page
+    }
+
+    /// Mutates a page through the pool with write-through semantics: the
+    /// page is fetched (possibly charging a read), modified, and written
+    /// back (charging a write).
+    pub fn update(&mut self, id: PageId, f: impl FnOnce(&mut Page)) {
+        self.disk.add_logical_read();
+        let idx = match self.map.get(&id) {
+            Some(&idx) => {
+                self.touch(idx);
+                idx
+            }
+            None => {
+                let page = self.disk.read(id).clone();
+                self.install(id, page)
+            }
+        };
+        f(&mut self.frames[idx].page);
+        self.disk.write(id, self.frames[idx].page.clone());
+    }
+
+    /// The underlying disk (read-only; e.g. for [`Disk::save`]).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Consumes the pool, returning the underlying disk (e.g. to persist
+    /// it with [`Disk::save`]). All cached state is discarded — the
+    /// simulator is write-through, so the disk is always current.
+    pub fn into_disk(self) -> Disk {
+        self.disk
+    }
+
+    /// Reads one record through the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record does not exist (heap files never hand out
+    /// dangling ids).
+    pub fn read_record(&mut self, file: &HeapFile, rid: RecordId) -> Vec<u8> {
+        debug_assert!(file.owns_page(rid.page), "record id from a different file");
+        self.fetch(rid.page)
+            .get(rid.slot)
+            .unwrap_or_else(|| panic!("dangling record id {rid:?}"))
+            .to_vec()
+    }
+
+    /// Unlinks frame `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.frames[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.frames[next].prev = prev;
+        }
+    }
+
+    /// Links frame `idx` at the MRU end.
+    fn link_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Marks frame `idx` most recently used.
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.link_front(idx);
+    }
+
+    fn install(&mut self, id: PageId, page: Page) -> usize {
+        let idx = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                id,
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            self.frames.len() - 1
+        } else {
+            // Evict the LRU frame and reuse it.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity ≥ 1 and pool full");
+            self.unlink(victim);
+            self.map.remove(&self.frames[victim].id);
+            self.frames[victim] = Frame {
+                id,
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            victim
+        };
+        self.map.insert(id, idx);
+        self.link_front(idx);
+        idx
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(Disk::new(DiskConfig::paper()), capacity)
+    }
+
+    #[test]
+    fn hit_does_not_touch_disk() {
+        let mut p = pool(4);
+        let id = p.allocate();
+        p.reset_stats();
+        p.fetch(id);
+        p.fetch(id);
+        let s = p.stats();
+        assert_eq!(s.physical_reads, 0);
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.hits(), 2);
+    }
+
+    #[test]
+    fn eviction_causes_reread() {
+        let mut p = pool(2);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate()).collect();
+        p.clear();
+        p.reset_stats();
+        p.fetch(ids[0]); // miss
+        p.fetch(ids[1]); // miss
+        p.fetch(ids[2]); // miss, evicts ids[0]
+        assert_eq!(p.stats().physical_reads, 3);
+        assert_eq!(p.resident(), 2);
+        assert!(!p.contains(ids[0]));
+        p.fetch(ids[0]); // miss again
+        assert_eq!(p.stats().physical_reads, 4);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_page() {
+        let mut p = pool(2);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate()).collect();
+        p.clear();
+        p.reset_stats();
+        p.fetch(ids[0]);
+        p.fetch(ids[1]);
+        p.fetch(ids[0]); // ids[0] is now MRU
+        p.fetch(ids[2]); // evicts LRU = ids[1]
+        assert!(p.contains(ids[0]));
+        assert!(!p.contains(ids[1]));
+        let before = p.stats().physical_reads;
+        p.fetch(ids[0]); // still a hit
+        assert_eq!(p.stats().physical_reads, before);
+    }
+
+    #[test]
+    fn sequential_scan_larger_than_pool_thrashes() {
+        let mut p = pool(4);
+        let ids: Vec<_> = (0..8).map(|_| p.allocate()).collect();
+        p.clear();
+        p.reset_stats();
+        // Two full sequential scans over 8 pages with a 4-page pool: LRU
+        // gives zero reuse (the classic sequential-flooding pattern).
+        for _ in 0..2 {
+            for &id in &ids {
+                p.fetch(id);
+            }
+        }
+        assert_eq!(p.stats().physical_reads, 16);
+    }
+
+    #[test]
+    fn update_is_write_through() {
+        let mut p = pool(2);
+        let id = p.allocate();
+        p.reset_stats();
+        p.update(id, |page| {
+            page.push(vec![42; 8]);
+        });
+        let s = p.stats();
+        assert_eq!(s.physical_writes, 1);
+        // The disk image reflects the change even after clearing the pool.
+        p.clear();
+        assert_eq!(p.fetch(id).used(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = pool(0);
+    }
+}

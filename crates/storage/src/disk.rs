@@ -1,0 +1,172 @@
+//! The simulated disk: a growable array of pages with physical-I/O
+//! counters. All access normally goes through [`crate::BufferPool`].
+
+use crate::page::{Page, PageId};
+use crate::stats::IoStats;
+
+/// Disk geometry, mirroring the model parameters `s` (page size in bytes)
+/// and `l` (average space utilization).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Page size in bytes (the model's `s`; Table 3 uses 2000).
+    pub page_size: usize,
+    /// Average space utilization in `(0, 1]` (the model's `l`; Table 3 uses
+    /// 0.75). The effective record capacity of a page is
+    /// `page_size * utilization`.
+    pub utilization: f64,
+}
+
+impl DiskConfig {
+    /// The paper's Table 3 configuration: s = 2000 bytes, l = 0.75.
+    pub fn paper() -> Self {
+        DiskConfig {
+            page_size: 2000,
+            utilization: 0.75,
+        }
+    }
+
+    /// Effective per-page byte capacity `⌊s · l⌋`.
+    pub fn effective_capacity(&self) -> usize {
+        assert!(
+            self.utilization > 0.0 && self.utilization <= 1.0,
+            "utilization must be in (0, 1], got {}",
+            self.utilization
+        );
+        (self.page_size as f64 * self.utilization).floor() as usize
+    }
+
+    /// Records of `record_size` bytes that fit on one page — the model's
+    /// derived variable `m = ⌊l·s / v⌋`.
+    pub fn records_per_page(&self, record_size: usize) -> usize {
+        assert!(record_size > 0, "record size must be positive");
+        let m = self.effective_capacity() / record_size;
+        assert!(
+            m > 0,
+            "record of {record_size} bytes exceeds effective page capacity {}",
+            self.effective_capacity()
+        );
+        m
+    }
+}
+
+/// The simulated disk.
+#[derive(Debug)]
+pub struct Disk {
+    config: DiskConfig,
+    pages: Vec<Page>,
+    stats: IoStats,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new(config: DiskConfig) -> Self {
+        // Validate eagerly.
+        let _ = config.effective_capacity();
+        Disk {
+            config,
+            pages: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Disk geometry.
+    #[inline]
+    pub fn config(&self) -> DiskConfig {
+        self.config
+    }
+
+    /// Number of allocated pages.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Allocates a fresh empty page.
+    pub fn allocate(&mut self) -> PageId {
+        let id = PageId(u32::try_from(self.pages.len()).expect("disk full"));
+        self.pages.push(Page::new(self.config.effective_capacity()));
+        id
+    }
+
+    /// Reads a page from disk, charging one physical read.
+    pub fn read(&mut self, id: PageId) -> &Page {
+        self.stats.physical_reads += 1;
+        &self.pages[id.index()]
+    }
+
+    /// Writes a page image back to disk, charging one physical write.
+    pub fn write(&mut self, id: PageId, page: Page) {
+        self.stats.physical_writes += 1;
+        self.pages[id.index()] = page;
+    }
+
+    /// Inspects a page without charging I/O (test/debug use).
+    pub fn peek(&self, id: PageId) -> &Page {
+        &self.pages[id.index()]
+    }
+
+    /// Physical I/O counters.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    pub(crate) fn add_logical_read(&mut self) {
+        self.stats.logical_reads += 1;
+    }
+
+    /// Zeroes all counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_yields_m_equals_5() {
+        // Table 3: v = 300, s = 2000, l = 0.75 → m = ⌊1500/300⌋ = 5.
+        assert_eq!(DiskConfig::paper().records_per_page(300), 5);
+    }
+
+    #[test]
+    fn effective_capacity_floor() {
+        let c = DiskConfig {
+            page_size: 1000,
+            utilization: 0.66,
+        };
+        assert_eq!(c.effective_capacity(), 660);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn zero_utilization_rejected() {
+        let _ = DiskConfig {
+            page_size: 100,
+            utilization: 0.0,
+        }
+        .effective_capacity();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds effective page capacity")]
+    fn oversized_record_rejected() {
+        let _ = DiskConfig::paper().records_per_page(1600);
+    }
+
+    #[test]
+    fn read_write_counts() {
+        let mut d = Disk::new(DiskConfig::paper());
+        let id = d.allocate();
+        let mut p = d.read(id).clone();
+        p.push(vec![1, 2, 3]);
+        d.write(id, p);
+        assert_eq!(d.stats().physical_reads, 1);
+        assert_eq!(d.stats().physical_writes, 1);
+        assert_eq!(d.peek(id).used(), 3);
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+}

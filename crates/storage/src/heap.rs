@@ -1,0 +1,362 @@
+//! Heap files: fixed-record-size files with *clustered* or *unclustered*
+//! record placement.
+//!
+//! The placement distinction is the heart of the paper's strategy IIa vs.
+//! IIb comparison (§4.1): with `Layout::Clustered`, logically consecutive
+//! records (e.g. a generalization tree in breadth-first order) are packed
+//! onto consecutive pages; with `Layout::Unclustered`, records are strewn
+//! across the file in a seeded random permutation, so fetching a set of
+//! logically adjacent records touches ≈ Yao-many distinct pages.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::buffer::BufferPool;
+use crate::page::PageId;
+
+/// Physical address of a record: page plus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+/// Record placement policy for [`HeapFile::bulk_load`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Logical record order = physical order (strategy IIb's premise).
+    Clustered,
+    /// Records are placed in a seeded random permutation of the physical
+    /// slots (strategy IIa's premise: "the participating nodes are randomly
+    /// distributed in the file").
+    Unclustered {
+        /// Seed for the placement permutation, for reproducible runs.
+        seed: u64,
+    },
+}
+
+/// A file of fixed-size records with a logical-to-physical directory.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    /// `directory[i]` is the physical address of logical record `i`.
+    directory: Vec<RecordId>,
+    record_size: usize,
+    records_per_page: usize,
+}
+
+impl HeapFile {
+    /// Bulk-loads `count` records of `record_size` bytes produced by
+    /// `make_record(i)` (logical order), placing them per `layout`.
+    pub fn bulk_load_with(
+        pool: &mut BufferPool,
+        record_size: usize,
+        count: usize,
+        layout: Layout,
+        mut make_record: impl FnMut(usize) -> Vec<u8>,
+    ) -> Self {
+        let m = pool.config().records_per_page(record_size);
+        let page_count = count.div_ceil(m).max(1);
+        let pages: Vec<PageId> = (0..page_count).map(|_| pool.allocate()).collect();
+
+        // physical_of[i] = physical position of logical record i.
+        let mut physical_of: Vec<usize> = (0..count).collect();
+        if let Layout::Unclustered { seed } = layout {
+            let mut rng = StdRng::seed_from_u64(seed);
+            physical_of.shuffle(&mut rng);
+        }
+
+        // Fill pages slot by slot in physical order; remember each record's
+        // slot as assigned.
+        let mut directory = vec![
+            RecordId {
+                page: pages[0],
+                slot: 0,
+            };
+            count
+        ];
+        // Order logical records by their physical position so that pushes
+        // happen sequentially per page.
+        let mut by_physical: Vec<(usize, usize)> = physical_of
+            .iter()
+            .enumerate()
+            .map(|(logical, &phys)| (phys, logical))
+            .collect();
+        by_physical.sort_unstable();
+        for (phys, logical) in by_physical {
+            let page = pages[phys / m];
+            let record = make_record(logical);
+            assert_eq!(
+                record.len(),
+                record_size,
+                "make_record must produce records of exactly {record_size} bytes"
+            );
+            let mut slot = 0;
+            pool.update(page, |p| {
+                slot = p.push(record);
+            });
+            directory[logical] = RecordId { page, slot };
+        }
+
+        HeapFile {
+            pages,
+            directory,
+            record_size,
+            records_per_page: m,
+        }
+    }
+
+    /// Bulk-loads zero-filled records (sufficient when only I/O patterns,
+    /// not contents, matter).
+    pub fn bulk_load(
+        pool: &mut BufferPool,
+        record_size: usize,
+        count: usize,
+        layout: Layout,
+    ) -> Self {
+        Self::bulk_load_with(pool, record_size, count, layout, |_| vec![0; record_size])
+    }
+
+    /// Appends one record at the end of the file, allocating a page if
+    /// needed. Returns the logical index of the new record.
+    pub fn append(&mut self, pool: &mut BufferPool, record: Vec<u8>) -> usize {
+        assert_eq!(record.len(), self.record_size, "record size mismatch");
+        let last = *self.pages.last().expect("heap file has at least one page");
+        let has_room = pool.fetch(last).slot_count() < self.records_per_page;
+        let page = if has_room {
+            last
+        } else {
+            let p = pool.allocate();
+            self.pages.push(p);
+            p
+        };
+        let mut slot = 0;
+        pool.update(page, |p| {
+            slot = p.push(record);
+        });
+        self.directory.push(RecordId { page, slot });
+        self.directory.len() - 1
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// True if the file holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Number of pages (the model's `⌈N/m⌉`).
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Records per page (the model's `m`).
+    #[inline]
+    pub fn records_per_page(&self) -> usize {
+        self.records_per_page
+    }
+
+    /// Record size in bytes (the model's `v`).
+    #[inline]
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Physical address of logical record `i`.
+    #[inline]
+    pub fn rid(&self, i: usize) -> RecordId {
+        self.directory[i]
+    }
+
+    /// Physical addresses of all records in logical order.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.directory.iter().copied()
+    }
+
+    /// The file's pages in physical order (used by full scans).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    pub(crate) fn owns_page(&self, page: PageId) -> bool {
+        self.pages.contains(&page)
+    }
+
+    /// Decomposes the file into raw parts for external serialization:
+    /// `(pages, directory, record_size, records_per_page)`.
+    pub fn to_parts(&self) -> (Vec<PageId>, Vec<RecordId>, usize, usize) {
+        (
+            self.pages.clone(),
+            self.directory.clone(),
+            self.record_size,
+            self.records_per_page,
+        )
+    }
+
+    /// Reassembles a file from parts produced by [`HeapFile::to_parts`]
+    /// against the same (e.g. reloaded) disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally impossible parts (empty page list or a
+    /// directory entry pointing at a foreign page).
+    pub fn from_parts(
+        pages: Vec<PageId>,
+        directory: Vec<RecordId>,
+        record_size: usize,
+        records_per_page: usize,
+    ) -> Self {
+        assert!(!pages.is_empty(), "heap files own at least one page");
+        assert!(record_size > 0 && records_per_page > 0);
+        for rid in &directory {
+            assert!(
+                pages.contains(&rid.page),
+                "directory entry outside the file"
+            );
+        }
+        HeapFile {
+            pages,
+            directory,
+            record_size,
+            records_per_page,
+        }
+    }
+
+    /// Full sequential scan through the pool, yielding every record. Costs
+    /// `page_count()` physical reads on a cold pool.
+    pub fn scan<'a>(&'a self, pool: &'a mut BufferPool) -> Vec<(usize, Vec<u8>)> {
+        // Read page by page, then map physical slots back to logical ids.
+        let mut phys_to_logical = std::collections::HashMap::new();
+        for (logical, rid) in self.directory.iter().enumerate() {
+            phys_to_logical.insert(*rid, logical);
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for &page in &self.pages {
+            let p = pool.fetch(page);
+            let records: Vec<(u16, Vec<u8>)> = p.records().map(|(s, r)| (s, r.to_vec())).collect();
+            for (slot, bytes) in records {
+                if let Some(&logical) = phys_to_logical.get(&RecordId { page, slot }) {
+                    out.push((logical, bytes));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{Disk, DiskConfig};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Disk::new(DiskConfig::paper()), 64)
+    }
+
+    #[test]
+    fn clustered_packs_sequentially() {
+        let mut p = pool();
+        let f =
+            HeapFile::bulk_load_with(&mut p, 300, 12, Layout::Clustered, |i| vec![i as u8; 300]);
+        assert_eq!(f.page_count(), 3); // ⌈12/5⌉
+        assert_eq!(f.records_per_page(), 5);
+        // Logical record i sits on page i/5.
+        for i in 0..12 {
+            assert_eq!(f.rid(i).page, f.pages()[i / 5]);
+        }
+        // Contents round-trip.
+        for i in 0..12 {
+            assert_eq!(p.read_record(&f, f.rid(i))[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn unclustered_scatters_but_preserves_contents() {
+        let mut p = pool();
+        let f = HeapFile::bulk_load_with(&mut p, 300, 50, Layout::Unclustered { seed: 7 }, |i| {
+            vec![i as u8; 300]
+        });
+        assert_eq!(f.page_count(), 10);
+        // Contents still round-trip through the directory.
+        for i in 0..50 {
+            assert_eq!(p.read_record(&f, f.rid(i))[0], i as u8);
+        }
+        // The first 5 logical records should *not* all be on the first page
+        // (they would be, if clustered). With seed 7 this is deterministic.
+        let first_page = f.pages()[0];
+        let on_first = (0..5).filter(|&i| f.rid(i).page == first_page).count();
+        assert!(on_first < 5, "placement should be scattered");
+    }
+
+    #[test]
+    fn unclustered_fetching_a_run_costs_more_pages() {
+        // Fetching 10 consecutive logical records: clustered = 2 pages,
+        // unclustered ≈ Yao(10, 20, 100) ≈ 8 pages.
+        let mut pc = pool();
+        let fc = HeapFile::bulk_load(&mut pc, 300, 100, Layout::Clustered);
+        pc.clear();
+        pc.reset_stats();
+        for i in 0..10 {
+            pc.read_record(&fc, fc.rid(i));
+        }
+        let clustered_reads = pc.stats().physical_reads;
+
+        let mut pu = pool();
+        let fu = HeapFile::bulk_load(&mut pu, 300, 100, Layout::Unclustered { seed: 42 });
+        pu.clear();
+        pu.reset_stats();
+        for i in 0..10 {
+            pu.read_record(&fu, fu.rid(i));
+        }
+        let unclustered_reads = pu.stats().physical_reads;
+
+        assert_eq!(clustered_reads, 2);
+        assert!(
+            unclustered_reads > clustered_reads,
+            "unclustered ({unclustered_reads}) should exceed clustered ({clustered_reads})"
+        );
+    }
+
+    #[test]
+    fn append_extends_file() {
+        let mut p = pool();
+        let mut f = HeapFile::bulk_load(&mut p, 300, 5, Layout::Clustered);
+        assert_eq!(f.page_count(), 1);
+        let idx = f.append(&mut p, vec![9; 300]);
+        assert_eq!(idx, 5);
+        assert_eq!(f.page_count(), 2); // page 0 held exactly m = 5
+        assert_eq!(p.read_record(&f, f.rid(5)), vec![9; 300]);
+    }
+
+    #[test]
+    fn scan_returns_all_records_once() {
+        let mut p = pool();
+        let f = HeapFile::bulk_load_with(&mut p, 300, 23, Layout::Unclustered { seed: 3 }, |i| {
+            vec![i as u8; 300]
+        });
+        p.clear();
+        p.reset_stats();
+        let mut rows = f.scan(&mut p);
+        assert_eq!(p.stats().physical_reads as usize, f.page_count());
+        rows.sort_by_key(|(i, _)| *i);
+        assert_eq!(rows.len(), 23);
+        for (i, bytes) in rows {
+            assert_eq!(bytes[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn empty_bulk_load_is_valid() {
+        let mut p = pool();
+        let f = HeapFile::bulk_load(&mut p, 300, 0, Layout::Clustered);
+        assert!(f.is_empty());
+        assert_eq!(f.page_count(), 1); // one pre-allocated page for appends
+    }
+}

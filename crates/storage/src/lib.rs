@@ -1,0 +1,54 @@
+//! # sj-storage — paged storage simulator with exact I/O accounting
+//!
+//! Günther's cost model (ICDE 1993, §4.1) charges `C_IO` per disk-page
+//! access against a database stored on pages of size `s` bytes with average
+//! space utilization `l`, accessed through a main memory of `M` pages.
+//! This crate simulates exactly that environment:
+//!
+//! * [`Disk`] — an array of byte-capacity [`Page`]s with physical-I/O
+//!   counters,
+//! * [`BufferPool`] — an LRU page cache of configurable capacity (the
+//!   model's `M`); only misses reach the disk counters,
+//! * [`HeapFile`] — a record file with *clustered* or *unclustered*
+//!   placement ([`Layout`]), the distinction between the paper's
+//!   strategies IIa and IIb,
+//! * [`IoStats`] — the measurement interface every join-strategy executor
+//!   reports through.
+//!
+//! The simulator is deliberately single-threaded: the paper's model is a
+//! single query stream, and determinism is what lets the test-suite compare
+//! measured I/O counts against the analytic formulas.
+//!
+//! ## Example
+//!
+//! ```
+//! use sj_storage::{BufferPool, Disk, DiskConfig, HeapFile, Layout};
+//!
+//! // Pages of 2000 bytes at 75% utilization hold m = 5 records of 300 bytes
+//! // (the paper's Table 3 parameters).
+//! let config = DiskConfig { page_size: 2000, utilization: 0.75 };
+//! let mut pool = BufferPool::new(Disk::new(config), 8);
+//! let file = HeapFile::bulk_load(&mut pool, 300, 100, Layout::Clustered);
+//! assert_eq!(file.records_per_page(), 5);
+//! assert_eq!(file.page_count(), 20);
+//!
+//! // Scanning the whole file through a cold pool costs one read per page.
+//! pool.reset_stats();
+//! for rid in file.record_ids() {
+//!     pool.read_record(&file, rid);
+//! }
+//! assert_eq!(pool.stats().physical_reads, 20);
+//! ```
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod persist;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use disk::{Disk, DiskConfig};
+pub use heap::{HeapFile, Layout, RecordId};
+pub use page::{Page, PageId};
+pub use stats::IoStats;

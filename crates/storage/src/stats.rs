@@ -1,0 +1,74 @@
+//! I/O and computation counters — the measurement units of the cost model.
+
+/// Counters for the quantities the paper's cost model prices:
+/// physical page I/O (`C_IO` each) and record accesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched from disk (buffer-pool misses).
+    pub physical_reads: u64,
+    /// Pages written back to disk.
+    pub physical_writes: u64,
+    /// Page requests served from the buffer pool (hits + misses).
+    pub logical_reads: u64,
+}
+
+impl IoStats {
+    /// Buffer-pool hits.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.logical_reads - self.physical_reads
+    }
+
+    /// Total physical page transfers in either direction.
+    #[inline]
+    pub fn physical_total(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Component-wise difference `self - earlier`, for windowed measurement.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            logical_reads: self.logical_reads - earlier.logical_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_totals() {
+        let s = IoStats {
+            physical_reads: 3,
+            physical_writes: 2,
+            logical_reads: 10,
+        };
+        assert_eq!(s.hits(), 7);
+        assert_eq!(s.physical_total(), 5);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = IoStats {
+            physical_reads: 1,
+            physical_writes: 1,
+            logical_reads: 2,
+        };
+        let b = IoStats {
+            physical_reads: 4,
+            physical_writes: 1,
+            logical_reads: 9,
+        };
+        assert_eq!(
+            b.since(&a),
+            IoStats {
+                physical_reads: 3,
+                physical_writes: 0,
+                logical_reads: 7,
+            }
+        );
+    }
+}

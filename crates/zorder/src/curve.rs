@@ -1,0 +1,102 @@
+//! Bit interleaving — the Morton / Peano / z-order encoding.
+
+/// Spreads the low 32 bits of `v` so that bit `i` of the input lands at bit
+/// `2i` of the output (the classic "part-1-by-1" bit trick).
+#[inline]
+fn part1by1(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`part1by1`]: collects every second bit.
+#[inline]
+fn compact1by1(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Z-value of grid cell `(x, y)`: bits of `x` at even positions, bits of
+/// `y` at odd positions. Cells are enumerated in the "Z" (Peano) pattern of
+/// the paper's Figure 1.
+#[inline]
+pub fn interleave(x: u32, y: u32) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse of [`interleave`].
+#[inline]
+pub fn deinterleave(z: u64) -> (u32, u32) {
+    (compact1by1(z), compact1by1(z >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cells_follow_the_z_pattern() {
+        // The 2x2 block order is (0,0), (1,0), (0,1), (1,1) — the "Z".
+        assert_eq!(interleave(0, 0), 0);
+        assert_eq!(interleave(1, 0), 1);
+        assert_eq!(interleave(0, 1), 2);
+        assert_eq!(interleave(1, 1), 3);
+        // The next 2x2 block (x in 2..4) starts at 4.
+        assert_eq!(interleave(2, 0), 4);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        for x in 0..64u32 {
+            for y in 0..64u32 {
+                assert_eq!(deinterleave(interleave(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_values() {
+        for &(x, y) in &[
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0xDEAD_BEEF, 0x1234_5678),
+        ] {
+            assert_eq!(deinterleave(interleave(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn z_is_monotone_in_each_coordinate_within_block() {
+        // Within an aligned block, increasing x or y increases z.
+        assert!(interleave(2, 3) < interleave(3, 3));
+        assert!(interleave(2, 2) < interleave(2, 3));
+    }
+
+    #[test]
+    fn spatial_neighbors_can_be_z_distant() {
+        // The paper's core observation: cells (3, y) and (4, y) are
+        // spatially adjacent but live in different top-level quadrants of
+        // an 8x8 grid, so their z-values differ wildly.
+        let a = interleave(3, 3); // last cell of the lower-left 4x4 quadrant
+        let b = interleave(4, 3); // adjacent cell in the lower-right quadrant
+        assert_eq!(a, 15);
+        assert_eq!(b, 26); // 11 z-positions away despite touching `a`
+                           // The definitive check: there exist adjacent cells at distance > half
+                           // the grid in z-rank.
+        let gap = interleave(3, 0).abs_diff(interleave(4, 0));
+        assert!(
+            gap > 8,
+            "adjacent cells (3,0) and (4,0) are {gap} apart in z-order"
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! A finite z-ordered grid over a world rectangle and Orenstein's
+//! decomposition of rectangles into *z-elements* (aligned quadtree blocks,
+//! which are contiguous z-ranges).
+
+use sj_geom::{Point, Rect};
+
+use crate::curve::interleave;
+
+/// An inclusive range of z-values — one *z-element* of an object's
+/// decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ZRange {
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl ZRange {
+    /// True if the ranges share at least one z-value.
+    #[inline]
+    pub fn overlaps(&self, other: &ZRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Number of cells covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Never true — construction sites guarantee `lo ≤ hi`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A `2ᵇ × 2ᵇ` z-ordered grid covering a world rectangle.
+#[derive(Debug, Clone, Copy)]
+pub struct ZGrid {
+    world: Rect,
+    bits: u8,
+}
+
+impl ZGrid {
+    /// Creates a grid of `2^bits × 2^bits` cells over `world`
+    /// (`1 ≤ bits ≤ 16`).
+    pub fn new(world: Rect, bits: u8) -> Self {
+        assert!(
+            (1..=16).contains(&bits),
+            "bits must be in 1..=16, got {bits}"
+        );
+        assert!(
+            world.width() > 0.0 && world.height() > 0.0,
+            "world rectangle must have positive area"
+        );
+        ZGrid { world, bits }
+    }
+
+    /// Cells per side.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Total cell count.
+    #[inline]
+    pub fn cell_count(&self) -> u64 {
+        (self.side() as u64) * (self.side() as u64)
+    }
+
+    /// The covered world rectangle.
+    #[inline]
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+
+    /// Grid coordinates of the cell containing `p` (points on the far
+    /// boundary are clamped into the last cell).
+    pub fn cell_of(&self, p: &Point) -> (u32, u32) {
+        let side = self.side();
+        let fx = (p.x - self.world.lo.x) / self.world.width();
+        let fy = (p.y - self.world.lo.y) / self.world.height();
+        let cx = ((fx * side as f64).floor() as i64).clamp(0, (side - 1) as i64) as u32;
+        let cy = ((fy * side as f64).floor() as i64).clamp(0, (side - 1) as i64) as u32;
+        (cx, cy)
+    }
+
+    /// Z-value of the cell containing `p`.
+    pub fn z_of_point(&self, p: &Point) -> u64 {
+        let (cx, cy) = self.cell_of(p);
+        interleave(cx, cy)
+    }
+
+    /// World rectangle of cell `(cx, cy)`.
+    pub fn cell_rect(&self, cx: u32, cy: u32) -> Rect {
+        let side = self.side() as f64;
+        let w = self.world.width() / side;
+        let h = self.world.height() / side;
+        let x0 = self.world.lo.x + cx as f64 * w;
+        let y0 = self.world.lo.y + cy as f64 * h;
+        Rect::from_bounds(x0, y0, x0 + w, y0 + h)
+    }
+
+    /// Inclusive grid-coordinate span of the cells overlapping `r`
+    /// (clamped to the grid), or `None` when `r` lies outside the world.
+    pub fn cell_span(&self, r: &Rect) -> Option<(u32, u32, u32, u32)> {
+        let clipped = self.world.intersection(r)?;
+        let (x0, y0) = self.cell_of(&clipped.lo);
+        // The far corner needs care: a boundary exactly on a cell edge must
+        // not drag in the next cell.
+        let eps_x = self.world.width() / self.side() as f64 * 1e-9;
+        let eps_y = self.world.height() / self.side() as f64 * 1e-9;
+        let far = Point::new(
+            (clipped.hi.x - eps_x).max(clipped.lo.x),
+            (clipped.hi.y - eps_y).max(clipped.lo.y),
+        );
+        let (x1, y1) = self.cell_of(&far);
+        Some((x0, y0, x1, y1))
+    }
+
+    /// Decomposes `r` into maximal aligned quadtree blocks — Orenstein's
+    /// z-elements — *without* coalescing: every returned range is an
+    /// aligned block `[b, b + 4^k)`, the property index structures rely on
+    /// (an aligned block either contains a z-value's position or starts at
+    /// one of its prefix-aligned offsets). Sorted by `lo`.
+    pub fn decompose_aligned(&self, r: &Rect) -> Vec<ZRange> {
+        let Some((x0, y0, x1, y1)) = self.cell_span(r) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.decompose_block(0, 0, self.bits, (x0, y0, x1, y1), &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Decomposes `r` into maximal aligned quadtree blocks — Orenstein's
+    /// z-elements. Each block is a contiguous z-range; together they cover
+    /// exactly the cells overlapping `r`. Returns ranges sorted by `lo`,
+    /// with adjacent ranges coalesced.
+    pub fn decompose(&self, r: &Rect) -> Vec<ZRange> {
+        let out = self.decompose_aligned(r);
+        // Coalesce ranges that touch.
+        let mut merged: Vec<ZRange> = Vec::with_capacity(out.len());
+        for range in out {
+            match merged.last_mut() {
+                Some(last) if last.hi + 1 >= range.lo => {
+                    last.hi = last.hi.max(range.hi);
+                }
+                _ => merged.push(range),
+            }
+        }
+        merged
+    }
+
+    /// Recursion over aligned blocks: block at `(bx, by)` with side
+    /// `2^level` cells.
+    fn decompose_block(
+        &self,
+        bx: u32,
+        by: u32,
+        level: u8,
+        span: (u32, u32, u32, u32),
+        out: &mut Vec<ZRange>,
+    ) {
+        let size = 1u32 << level;
+        let (qx0, qy0) = (bx, by);
+        let (qx1, qy1) = (bx + size - 1, by + size - 1);
+        let (x0, y0, x1, y1) = span;
+        // Disjoint?
+        if qx1 < x0 || x1 < qx0 || qy1 < y0 || y1 < qy0 {
+            return;
+        }
+        // Fully covered → one contiguous z-range (aligned blocks are
+        // contiguous in Morton order).
+        if x0 <= qx0 && qx1 <= x1 && y0 <= qy0 && qy1 <= y1 {
+            let lo = interleave(qx0, qy0);
+            out.push(ZRange {
+                lo,
+                hi: lo + (size as u64) * (size as u64) - 1,
+            });
+            return;
+        }
+        debug_assert!(
+            level > 0,
+            "cell-level blocks are either disjoint or covered"
+        );
+        let half = size / 2;
+        let next = level - 1;
+        self.decompose_block(bx, by, next, span, out);
+        self.decompose_block(bx + half, by, next, span, out);
+        self.decompose_block(bx, by + half, next, span, out);
+        self.decompose_block(bx + half, by + half, next, span, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::deinterleave;
+
+    fn grid8() -> ZGrid {
+        ZGrid::new(Rect::from_bounds(0.0, 0.0, 8.0, 8.0), 3)
+    }
+
+    /// Brute-force set of z-values of cells overlapping `r`.
+    fn brute_cells(g: &ZGrid, r: &Rect) -> Vec<u64> {
+        let mut zs = Vec::new();
+        for cx in 0..g.side() {
+            for cy in 0..g.side() {
+                if g.cell_rect(cx, cy).interiors_intersect(r)
+                    || r.contains_rect(&g.cell_rect(cx, cy))
+                {
+                    zs.push(interleave(cx, cy));
+                }
+            }
+        }
+        zs.sort_unstable();
+        zs
+    }
+
+    fn expand_ranges(ranges: &[ZRange]) -> Vec<u64> {
+        let mut zs = Vec::new();
+        for r in ranges {
+            zs.extend(r.lo..=r.hi);
+        }
+        zs
+    }
+
+    #[test]
+    fn cell_of_boundaries() {
+        let g = grid8();
+        assert_eq!(g.cell_of(&Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.cell_of(&Point::new(7.99, 7.99)), (7, 7));
+        // The far world boundary is clamped into the last cell.
+        assert_eq!(g.cell_of(&Point::new(8.0, 8.0)), (7, 7));
+        assert_eq!(g.cell_of(&Point::new(3.5, 1.2)), (3, 1));
+    }
+
+    #[test]
+    fn full_world_is_one_range() {
+        let g = grid8();
+        let d = g.decompose(&Rect::from_bounds(0.0, 0.0, 8.0, 8.0));
+        assert_eq!(d, vec![ZRange { lo: 0, hi: 63 }]);
+    }
+
+    #[test]
+    fn aligned_quadrant_is_one_range() {
+        let g = grid8();
+        // Lower-left 4x4 quadrant = z 0..15.
+        let d = g.decompose(&Rect::from_bounds(0.0, 0.0, 4.0, 4.0));
+        assert_eq!(d, vec![ZRange { lo: 0, hi: 15 }]);
+    }
+
+    #[test]
+    fn straddling_rect_covers_exactly_overlapping_cells() {
+        let g = grid8();
+        // A rect straddling the central cross of the grid.
+        let r = Rect::from_bounds(2.5, 3.5, 5.5, 4.5);
+        let d = g.decompose(&r);
+        assert_eq!(expand_ranges(&d), brute_cells(&g, &r));
+    }
+
+    #[test]
+    fn decomposition_matches_brute_force_on_a_sweep() {
+        let g = ZGrid::new(Rect::from_bounds(0.0, 0.0, 16.0, 16.0), 4);
+        let cases = [
+            Rect::from_bounds(0.1, 0.1, 0.2, 0.2),
+            Rect::from_bounds(1.0, 1.0, 15.0, 2.0),
+            Rect::from_bounds(7.2, 7.2, 8.8, 8.8),
+            Rect::from_bounds(0.0, 15.5, 16.0, 16.0),
+            Rect::from_bounds(3.3, 9.9, 12.1, 13.7),
+        ];
+        for r in cases {
+            let d = g.decompose(&r);
+            assert_eq!(expand_ranges(&d), brute_cells(&g, &r), "rect {r:?}");
+            // Ranges are sorted and non-touching after coalescing.
+            for w in d.windows(2) {
+                assert!(w[0].hi + 1 < w[1].lo);
+            }
+        }
+    }
+
+    #[test]
+    fn outside_world_is_empty() {
+        let g = grid8();
+        assert!(g
+            .decompose(&Rect::from_bounds(10.0, 10.0, 12.0, 12.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn zrange_overlap() {
+        let a = ZRange { lo: 0, hi: 10 };
+        let b = ZRange { lo: 10, hi: 20 };
+        let c = ZRange { lo: 11, hi: 20 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.len(), 11);
+    }
+
+    #[test]
+    fn cell_rect_tiles_the_world() {
+        let g = grid8();
+        let mut area = 0.0;
+        for cx in 0..8 {
+            for cy in 0..8 {
+                area += g.cell_rect(cx, cy).area();
+            }
+        }
+        assert!((area - 64.0).abs() < 1e-9);
+        // Deinterleave sanity on one cell.
+        let z = g.z_of_point(&Point::new(5.5, 2.5));
+        assert_eq!(deinterleave(z), (5, 2));
+    }
+}

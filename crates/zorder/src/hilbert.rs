@@ -1,0 +1,224 @@
+//! The Hilbert curve — a second space-filling total order.
+//!
+//! §2.2 claims that the sort-merge counterexample is not specific to
+//! Peano curves: "Similar examples can be constructed for any other
+//! spatial ordering." This module provides the standard alternative
+//! ordering so that claim can be demonstrated empirically (see the
+//! `hilbert_vs_zorder` binary in `sj-bench`): the Hilbert curve clusters
+//! range queries into fewer contiguous index runs than z-order, yet still
+//! admits spatially adjacent cell pairs that are arbitrarily far apart in
+//! curve order — so the paper's impossibility argument stands for it too.
+
+/// Hilbert index of cell `(x, y)` on a `2^order × 2^order` grid
+/// (`1 ≤ order ≤ 31`). The classic rotate-and-accumulate formulation.
+pub fn hilbert_index(order: u32, mut x: u32, mut y: u32) -> u64 {
+    assert!((1..=31).contains(&order), "order must be in 1..=31");
+    let side = 1u32 << order;
+    assert!(
+        x < side && y < side,
+        "cell ({x}, {y}) outside 2^{order} grid"
+    );
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s = side / 2;
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s.wrapping_sub(1).wrapping_sub(x) & (side - 1);
+                y = s.wrapping_sub(1).wrapping_sub(y) & (side - 1);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`hilbert_index`]: the cell at curve position `d`.
+pub fn hilbert_cell(order: u32, mut d: u64) -> (u32, u32) {
+    assert!((1..=31).contains(&order), "order must be in 1..=31");
+    let side = 1u64 << order;
+    assert!(d < side * side, "index {d} outside the curve");
+    let (mut x, mut y) = (0u32, 0u32);
+    let mut s = 1u64;
+    while s < side {
+        let rx = 1 & (d / 2) as u32;
+        let ry = 1 & ((d as u32) ^ rx);
+        // Rotate.
+        if ry == 0 {
+            if rx == 1 {
+                x = (s as u32 - 1) - x;
+                y = (s as u32 - 1) - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += (s as u32) * rx;
+        y += (s as u32) * ry;
+        d /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Mean number of contiguous curve-index runs ("clusters") needed to
+/// cover a sliding `window × window` query region — the standard locality
+/// metric for space-filling curves (fewer clusters = fewer disk seeks for
+/// a range query). Hilbert beats z-order on this metric.
+pub fn mean_cluster_count(order: u32, window: u32, index_of: impl Fn(u32, u32) -> u64) -> f64 {
+    let side = 1u32 << order;
+    assert!(window >= 1 && window <= side);
+    let mut total_runs = 0u64;
+    let mut windows = 0u64;
+    for y0 in 0..=(side - window) {
+        for x0 in 0..=(side - window) {
+            let mut idx: Vec<u64> = Vec::with_capacity((window * window) as usize);
+            for y in y0..y0 + window {
+                for x in x0..x0 + window {
+                    idx.push(index_of(x, y));
+                }
+            }
+            idx.sort_unstable();
+            let runs = 1 + idx.windows(2).filter(|w| w[1] > w[0] + 1).count() as u64;
+            total_runs += runs;
+            windows += 1;
+        }
+    }
+    total_runs as f64 / windows as f64
+}
+
+/// Mean curve-index distance between all horizontally/vertically adjacent
+/// cell pairs of a `2^order` grid, for a given cell→index function.
+pub fn mean_adjacent_gap(order: u32, index_of: impl Fn(u32, u32) -> u64) -> f64 {
+    let side = 1u32 << order;
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for y in 0..side {
+        for x in 0..side {
+            let here = index_of(x, y);
+            if x + 1 < side {
+                total += here.abs_diff(index_of(x + 1, y));
+                count += 1;
+            }
+            if y + 1 < side {
+                total += here.abs_diff(index_of(x, y + 1));
+                count += 1;
+            }
+        }
+    }
+    total as f64 / count as f64
+}
+
+/// Largest curve-index distance over all adjacent cell pairs — the
+/// quantity the paper's impossibility argument is about: it grows with the
+/// grid for *every* total order.
+pub fn max_adjacent_gap(order: u32, index_of: impl Fn(u32, u32) -> u64) -> u64 {
+    let side = 1u32 << order;
+    let mut max = 0u64;
+    for y in 0..side {
+        for x in 0..side {
+            let here = index_of(x, y);
+            if x + 1 < side {
+                max = max.max(here.abs_diff(index_of(x + 1, y)));
+            }
+            if y + 1 < side {
+                max = max.max(here.abs_diff(index_of(x, y + 1)));
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::interleave;
+
+    #[test]
+    fn first_order_curve() {
+        // Order 1: the U-shape (0,0) → (0,1) → (1,1) → (1,0).
+        assert_eq!(hilbert_index(1, 0, 0), 0);
+        assert_eq!(hilbert_index(1, 0, 1), 1);
+        assert_eq!(hilbert_index(1, 1, 1), 2);
+        assert_eq!(hilbert_index(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive() {
+        for order in 1..=5u32 {
+            let side = 1u32 << order;
+            for x in 0..side {
+                for y in 0..side {
+                    let d = hilbert_index(order, x, y);
+                    assert_eq!(
+                        hilbert_cell(order, d),
+                        (x, y),
+                        "order {order} cell ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_visiting_neighbors() {
+        // Consecutive curve positions are always spatially adjacent —
+        // Hilbert's defining property (unlike z-order's jumps).
+        let order = 4;
+        let side = 1u64 << order;
+        for d in 0..(side * side - 1) {
+            let (x0, y0) = hilbert_cell(order as u32, d);
+            let (x1, y1) = hilbert_cell(order as u32, d + 1);
+            let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(dist, 1, "positions {d} and {} not adjacent", d + 1);
+        }
+    }
+
+    #[test]
+    fn hilbert_has_better_clustering_than_zorder() {
+        // The classic result (Moon et al.): a range query over a Hilbert-
+        // ordered grid touches fewer contiguous index runs than over a
+        // z-ordered grid.
+        for order in 3..=6 {
+            for window in [2u32, 4] {
+                let h = mean_cluster_count(order, window, |x, y| hilbert_index(order, x, y));
+                let z = mean_cluster_count(order, window, interleave);
+                assert!(
+                    h <= z,
+                    "order {order}, window {window}: Hilbert clusters {h} vs z-order {z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_adjacent_gap_is_finite_and_grows() {
+        let g3 = mean_adjacent_gap(3, interleave);
+        let g5 = mean_adjacent_gap(5, interleave);
+        assert!(g3 > 1.0 && g5 > g3, "gaps grow with the grid: {g3} vs {g5}");
+    }
+
+    #[test]
+    fn but_hilbert_still_has_distant_adjacent_pairs() {
+        // The paper's point: *any* total order tears some neighbours far
+        // apart. For Hilbert the worst adjacent pair is Θ(4^order) apart.
+        for order in 3..=6u32 {
+            let side = 1u64 << order;
+            let worst = max_adjacent_gap(order, |x, y| hilbert_index(order, x, y));
+            assert!(
+                worst as f64 > (side * side) as f64 / 4.0,
+                "order {order}: worst gap {worst} must grow with the grid"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_grid_rejected() {
+        let _ = hilbert_index(3, 8, 0);
+    }
+}

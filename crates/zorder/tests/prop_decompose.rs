@@ -1,0 +1,75 @@
+//! Property tests: a rectangle's z-element decomposition covers exactly the
+//! grid cells the rectangle overlaps, and two rectangles overlap iff their
+//! z-element sets share a z-value (the soundness/completeness basis of the
+//! Orenstein sort-merge join).
+
+use proptest::prelude::*;
+use sj_geom::Rect;
+use sj_zorder::{interleave, ZGrid};
+
+fn brute_cells(g: &ZGrid, r: &Rect) -> Vec<u64> {
+    let mut zs = Vec::new();
+    for cx in 0..g.side() {
+        for cy in 0..g.side() {
+            let cell = g.cell_rect(cx, cy);
+            if cell.interiors_intersect(r) || r.contains_rect(&cell) {
+                zs.push(interleave(cx, cy));
+            }
+        }
+    }
+    zs.sort_unstable();
+    zs
+}
+
+fn expand(g: &ZGrid, r: &Rect) -> Vec<u64> {
+    let mut zs = Vec::new();
+    for range in g.decompose(r) {
+        zs.extend(range.lo..=range.hi);
+    }
+    zs
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..31.0f64, 0.0..31.0f64, 0.01..8.0f64, 0.01..8.0f64)
+        .prop_map(|(x, y, w, h)| Rect::from_bounds(x, y, (x + w).min(32.0), (y + h).min(32.0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decomposition_equals_brute_force(r in arb_rect()) {
+        let g = ZGrid::new(Rect::from_bounds(0.0, 0.0, 32.0, 32.0), 5);
+        prop_assert_eq!(expand(&g, &r), brute_cells(&g, &r));
+    }
+
+    /// If two rectangles' interiors overlap, their z-element sets share a
+    /// value; if the decomposed cell sets are disjoint, the rectangles'
+    /// interiors are disjoint (completeness of the z-overlap filter).
+    #[test]
+    fn z_overlap_filter_is_complete(a in arb_rect(), b in arb_rect()) {
+        let g = ZGrid::new(Rect::from_bounds(0.0, 0.0, 32.0, 32.0), 5);
+        let da = g.decompose(&a);
+        let db = g.decompose(&b);
+        let z_hit = da.iter().any(|ra| db.iter().any(|rb| ra.overlaps(rb)));
+        if a.interiors_intersect(&b) {
+            prop_assert!(z_hit, "interior-overlapping rects must share a z-element");
+        }
+        if !z_hit {
+            prop_assert!(!a.interiors_intersect(&b));
+        }
+    }
+
+    /// Decompositions are compact: no more than O(side) ranges for any
+    /// rectangle (quadtree decomposition of a rectangle yields at most
+    /// ~4·side blocks; coalescing only shrinks that).
+    #[test]
+    fn decomposition_is_compact(r in arb_rect()) {
+        let g = ZGrid::new(Rect::from_bounds(0.0, 0.0, 32.0, 32.0), 5);
+        let d = g.decompose(&r);
+        prop_assert!(d.len() <= 4 * 32, "got {} ranges", d.len());
+        for w in d.windows(2) {
+            prop_assert!(w[0].hi + 1 < w[1].lo, "ranges must be coalesced and sorted");
+        }
+    }
+}

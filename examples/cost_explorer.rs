@@ -1,0 +1,76 @@
+//! Interactive-ish cost-model explorer: evaluates the §4 formulas over a
+//! selectivity sweep for any distribution, at the paper's Table 3
+//! parameters or a custom scale.
+//!
+//! Run with:
+//! `cargo run --release --example cost_explorer -- [select|join] [uniform|noloc|hiloc]`
+
+use spatial_joins::costmodel::series::{join_figure, log_grid, select_figure};
+use spatial_joins::costmodel::{update, Distribution, ModelParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let op = args.get(1).map(String::as_str).unwrap_or("join");
+    let dist = match args.get(2).map(String::as_str).unwrap_or("uniform") {
+        "noloc" => Distribution::NoLoc,
+        "hiloc" => Distribution::HiLoc,
+        _ => Distribution::Uniform,
+    };
+
+    let params = ModelParams::paper();
+    println!(
+        "parameters (Table 3): n={} k={} N={} m={} M={} z={} d={} C_Θ={} C_IO={}",
+        params.n,
+        params.k,
+        params.n_tuples(),
+        params.m(),
+        params.m_mem,
+        params.z,
+        params.d,
+        params.c_theta,
+        params.c_io
+    );
+    println!(
+        "update costs: U_I = 0, U_IIa = {:.0}, U_IIb = {:.0}, U_III = {:.0}\n",
+        update::u_iia(&params),
+        update::u_iib(&params),
+        update::u_iii(&params)
+    );
+
+    let grid = log_grid(1e-10, 1.0, 21);
+    let series = match op {
+        "select" => select_figure(&params, dist, &grid),
+        _ => join_figure(&params, dist, &grid),
+    };
+    let series: Vec<_> = series
+        .into_iter()
+        .filter(|s| !s.label.starts_with("U_"))
+        .collect();
+
+    print!("{:>12}", "p");
+    for s in &series {
+        print!(" {:>14}", s.label);
+    }
+    println!();
+    for (i, &p) in grid.iter().enumerate() {
+        print!("{:>12.3e}", p);
+        for s in &series {
+            print!(" {:>14.4e}", s.points[i].1);
+        }
+        println!();
+    }
+
+    // Who wins where?
+    println!(
+        "\ncheapest strategy per selectivity ({op}, {}):",
+        dist.name()
+    );
+    for (i, &p) in grid.iter().enumerate() {
+        let (label, cost) = series
+            .iter()
+            .map(|s| (s.label, s.points[i].1))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .expect("non-empty");
+        println!("  p = {p:>10.3e} → {label} ({cost:.3e})");
+    }
+}

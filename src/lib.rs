@@ -1,0 +1,28 @@
+//! # spatial-joins — reproduction of Günther, *Efficient Computation of
+//! Spatial Joins* (ICDE 1993)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geom`] — spatial data types and the θ/Θ operator pairs (Table 1),
+//! * [`storage`] — paged storage simulator with exact I/O accounting,
+//! * [`btree`] — the B+-tree substrate for join indices,
+//! * [`zorder`] — Peano/z-order curves (Figure 1, Orenstein sort-merge),
+//! * [`gentree`] — generalization trees and the SELECT/JOIN algorithms (§3),
+//! * [`joins`] — executable join strategies (nested loop, tree join,
+//!   join index, z-order sort-merge, grid file),
+//! * [`costmodel`] — the analytical cost model of §4 (Figures 7–13),
+//! * [`rel`] — a minimal extended-relational layer,
+//! * [`core`] — workload generators and the experiment runner.
+//!
+//! See the `examples/` directory for end-to-end usage and `crates/bench`
+//! for the per-figure reproduction binaries.
+
+pub use sj_btree as btree;
+pub use sj_core as core;
+pub use sj_costmodel as costmodel;
+pub use sj_gentree as gentree;
+pub use sj_geom as geom;
+pub use sj_joins as joins;
+pub use sj_rel as rel;
+pub use sj_storage as storage;
+pub use sj_zorder as zorder;

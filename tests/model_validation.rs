@@ -1,0 +1,43 @@
+//! Cross-crate validation: the analytic cost model's structure against the
+//! measured executors, over several tree shapes and selectivities.
+
+use spatial_joins::core::experiment::{validate_join, validate_select};
+
+#[test]
+fn select_model_structure_holds_across_shapes() {
+    for (k, n, radius, seed) in [
+        (4usize, 4usize, 40.0, 7u64),
+        (6, 3, 100.0, 13),
+        (3, 5, 20.0, 3),
+        (8, 3, 60.0, 99),
+    ] {
+        let report = validate_select(k, n, radius, seed);
+        assert!(
+            report.within(2.0),
+            "k={k}, n={n}, radius={radius}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn select_model_structure_holds_across_selectivities() {
+    for radius in [5.0, 25.0, 80.0, 200.0] {
+        let report = validate_select(4, 4, radius, 11);
+        assert!(report.within(2.0), "radius={radius}:\n{report}");
+    }
+}
+
+#[test]
+fn join_model_structure_holds() {
+    for (k, n, radius, seed) in [
+        (4usize, 3usize, 6.0, 21u64),
+        (3, 4, 4.0, 5),
+        (6, 2, 10.0, 77),
+    ] {
+        let report = validate_join(k, n, radius, seed);
+        assert!(
+            report.within(2.5),
+            "k={k}, n={n}, radius={radius}:\n{report}"
+        );
+    }
+}
