@@ -1,0 +1,113 @@
+//! Wall-clock scaling of the PBSM-style parallel partition join on the
+//! paper's house–lake scenario with UNIFORM placement (the filter-heavy
+//! workload: tens of thousands of point houses against polygonal lakes).
+//!
+//! Run: `cargo run --release -p sj-bench --bin parallel_scaling`
+//!
+//! Prints a CSV of wall-clock milliseconds and speedup per thread count
+//! and writes the same series to `BENCH_parallel_join.json`.
+
+use std::time::Instant;
+
+use sj_core::workload::{generate, GeometryKind, Placement, WorkloadSpec};
+use sj_costmodel::series::Series;
+use sj_geom::{Rect, ThetaOp};
+use sj_joins::parallel::{partition_join, Parallelism};
+use sj_joins::StoredRelation;
+use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
+
+const HOUSES: usize = 20_000;
+const LAKES: usize = 2_000;
+const REPS: usize = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+    let houses = generate(
+        &WorkloadSpec {
+            count: HOUSES,
+            world,
+            kind: GeometryKind::Point,
+            placement: Placement::Uniform,
+            max_extent: 0.0,
+            seed: 42,
+        },
+        0,
+    );
+    let lakes = generate(
+        &WorkloadSpec {
+            count: LAKES,
+            world,
+            kind: GeometryKind::Polygon,
+            placement: Placement::Uniform,
+            max_extent: 40.0,
+            seed: 43,
+        },
+        1_000_000,
+    );
+    let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), 256);
+    let r = StoredRelation::build(&mut pool, &houses, 300, Layout::Clustered);
+    let s = StoredRelation::build(&mut pool, &lakes, 300, Layout::Clustered);
+    let theta = ThetaOp::WithinDistance(10.0);
+
+    println!(
+        "# parallel partition join, house-lake UNIFORM: |R|={HOUSES} points, \
+         |S|={LAKES} polygons, theta=WithinDistance(10), best of {REPS} runs"
+    );
+    println!(
+        "# host reports {} available core(s)",
+        Parallelism::auto().threads
+    );
+    println!("threads,wall_ms,speedup,pairs,comparisons");
+
+    let mut wall = Series {
+        label: "wall_ms",
+        points: Vec::new(),
+    };
+    let mut speedup = Series {
+        label: "speedup",
+        points: Vec::new(),
+    };
+    let mut base_ms = 0.0;
+    let mut base_pairs = usize::MAX;
+    let mut base_comparisons = u64::MAX;
+    for threads in THREADS {
+        let par = Parallelism::with_threads(threads);
+        let mut best_ms = f64::INFINITY;
+        let mut run = None;
+        for _ in 0..REPS {
+            pool.clear();
+            pool.reset_stats();
+            let t0 = Instant::now();
+            let out = partition_join(&mut pool, &r, &s, theta, par);
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            run = Some(out);
+        }
+        let run = run.expect("REPS >= 1");
+        if threads == 1 {
+            base_ms = best_ms;
+            base_pairs = run.pairs.len();
+            base_comparisons = run.stats.comparisons();
+        }
+        // The match set and the comparison totals are thread-invariant;
+        // fail loudly if a regression breaks that.
+        assert_eq!(run.pairs.len(), base_pairs, "match set changed");
+        assert_eq!(
+            run.stats.comparisons(),
+            base_comparisons,
+            "comparison count changed"
+        );
+        let sp = base_ms / best_ms;
+        println!(
+            "{threads},{best_ms:.2},{sp:.3},{},{}",
+            run.pairs.len(),
+            run.stats.comparisons()
+        );
+        wall.points.push((threads as f64, best_ms));
+        speedup.points.push((threads as f64, sp));
+    }
+
+    let path = "BENCH_parallel_join.json";
+    sj_bench::write_bench_json(path, &[wall, speedup]).expect("write bench json");
+    println!("# wrote {path}");
+}

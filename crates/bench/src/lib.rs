@@ -49,6 +49,46 @@ pub fn print_series_csv(series: &[Series]) {
     }
 }
 
+/// Serializes figure series as a JSON document (hand-rolled — the
+/// harness has no serde dependency) and writes it to `path`:
+///
+/// ```json
+/// {"series": [{"label": "...", "points": [[x, y], ...]}, ...]}
+/// ```
+///
+/// Non-finite samples are emitted as `null` to keep the document valid.
+pub fn write_bench_json(path: &str, series: &[Series]) -> std::io::Result<()> {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            // `{:?}` keeps a decimal point/exponent, so the value reads
+            // back as a float.
+            format!("{v:?}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"points\": [",
+            s.label.escape_default()
+        ));
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{}, {}]", num(x), num(y)));
+        }
+        out.push_str("]}");
+        if i + 1 < series.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Renders a compact ASCII log-log chart of the series (y = cost,
 /// x = selectivity), good enough to eyeball the crossovers in a terminal.
 pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
@@ -150,6 +190,36 @@ mod tests {
     use super::*;
     use sj_costmodel::series::{join_figure, log_grid};
     use sj_costmodel::Distribution;
+
+    #[test]
+    fn write_bench_json_emits_valid_document() {
+        let series = vec![
+            Series {
+                label: "wall_ms",
+                points: vec![(1.0, 120.5), (2.0, 64.25)],
+            },
+            Series {
+                label: "speedup",
+                points: vec![(1.0, 1.0), (2.0, f64::NAN)],
+            },
+        ];
+        let path = std::env::temp_dir().join("sj_bench_json_test.json");
+        let path = path.to_str().unwrap();
+        write_bench_json(path, &series).unwrap();
+        let doc = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(doc.contains("\"label\": \"wall_ms\""));
+        assert!(doc.contains("[1.0, 120.5]"));
+        assert!(doc.contains("[2.0, null]"), "NaN must become null: {doc}");
+        // Balanced braces/brackets — a cheap structural validity check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                doc.matches(open).count(),
+                doc.matches(close).count(),
+                "unbalanced {open}{close} in {doc}"
+            );
+        }
+    }
 
     #[test]
     fn ascii_chart_renders_all_series() {

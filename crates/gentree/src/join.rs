@@ -191,86 +191,117 @@ pub fn join_depth_first(
     tree_r: &GenTree,
     tree_s: &GenTree,
     theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId),
+    on_visit_s: impl FnMut(NodeId),
+) -> JoinOutcome {
+    join_pair(
+        tree_r,
+        tree_s,
+        tree_r.root(),
+        tree_s.root(),
+        0,
+        theta,
+        on_visit_r,
+        on_visit_s,
+    )
+}
+
+/// Depth-first JOIN restricted to one qualifying pair: produces exactly the
+/// matches of `subtree(a) × subtree(b)` (both subtree roots included).
+///
+/// This is the unit of work for parallel tree joins: the root×root problem
+/// decomposes into the independent pairs `(a, b)` for children `a` of
+/// `tree_r.root()` and `b` of `tree_s.root()` (plus the root entries'
+/// cross-products, which the parallel driver handles separately), and each
+/// pair can run on its own thread. `depth` is only used for the per-level
+/// visit histogram in [`TraversalStats`].
+#[allow(clippy::too_many_arguments)]
+pub fn join_pair(
+    tree_r: &GenTree,
+    tree_s: &GenTree,
+    a: NodeId,
+    b: NodeId,
+    depth: usize,
+    theta: ThetaOp,
     mut on_visit_r: impl FnMut(NodeId),
     mut on_visit_s: impl FnMut(NodeId),
 ) -> JoinOutcome {
-    let mut out = JoinOutcome::default();
     // Explicit work stack of closures would obscure accounting; use a
     // recursive helper instead (tree heights are far below stack limits).
-    struct Ctx<'a> {
-        tree_r: &'a GenTree,
-        tree_s: &'a GenTree,
-        theta: ThetaOp,
-        out: JoinOutcome,
-        on_visit_r: &'a mut dyn FnMut(NodeId),
-        on_visit_s: &'a mut dyn FnMut(NodeId),
-    }
-
-    fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize) {
-        (ctx.on_visit_r)(a);
-        (ctx.on_visit_s)(b);
-        ctx.out.stats.visit(depth);
-        ctx.out.stats.filter_evals += 1;
-        let (a_mbr, b_mbr) = (ctx.tree_r.mbr(a), ctx.tree_s.mbr(b));
-        if !ctx.theta.filter(&a_mbr, &b_mbr) {
-            return;
-        }
-        if let (Some(ea), Some(eb)) = (ctx.tree_r.entry(a), ctx.tree_s.entry(b)) {
-            ctx.out.stats.theta_evals += 1;
-            if ctx.theta.eval(&ea.geometry, &eb.geometry) {
-                ctx.out.pairs.push((ea.id, eb.id));
-            }
-        }
-        // {a} × strict descendants of b.
-        if let Some(ea) = ctx.tree_r.entry(a) {
-            let (ea_id, ea_geom) = (ea.id, ea.geometry.clone());
-            for &b2 in ctx.tree_s.children(b) {
-                fixed_left(ctx, &ea_geom, &a_mbr, ea_id, b2, depth + 1);
-            }
-        }
-        // Strict descendants of a × subtree(b).
-        for &a2 in ctx.tree_r.children(a) {
-            process(ctx, a2, b, depth + 1);
-        }
-    }
-
-    /// Handles `{fixed a} × subtree(c)` where `a` is an application object
-    /// of `R` with geometry `o` and MBR `o_mbr`.
-    fn fixed_left(
-        ctx: &mut Ctx<'_>,
-        o: &Geometry,
-        o_mbr: &sj_geom::Rect,
-        a_id: u64,
-        c: NodeId,
-        depth: usize,
-    ) {
-        (ctx.on_visit_s)(c);
-        ctx.out.stats.visit(depth);
-        ctx.out.stats.filter_evals += 1;
-        if !ctx.theta.filter(o_mbr, &ctx.tree_s.mbr(c)) {
-            return;
-        }
-        if let Some(ec) = ctx.tree_s.entry(c) {
-            ctx.out.stats.theta_evals += 1;
-            if ctx.theta.eval(o, &ec.geometry) {
-                ctx.out.pairs.push((a_id, ec.id));
-            }
-        }
-        for &c2 in ctx.tree_s.children(c) {
-            fixed_left(ctx, o, o_mbr, a_id, c2, depth + 1);
-        }
-    }
-
     let mut ctx = Ctx {
         tree_r,
         tree_s,
         theta,
-        out: std::mem::take(&mut out),
+        out: JoinOutcome::default(),
         on_visit_r: &mut on_visit_r,
         on_visit_s: &mut on_visit_s,
     };
-    process(&mut ctx, tree_r.root(), tree_s.root(), 0);
+    process(&mut ctx, a, b, depth);
     ctx.out
+}
+
+struct Ctx<'a> {
+    tree_r: &'a GenTree,
+    tree_s: &'a GenTree,
+    theta: ThetaOp,
+    out: JoinOutcome,
+    on_visit_r: &'a mut dyn FnMut(NodeId),
+    on_visit_s: &'a mut dyn FnMut(NodeId),
+}
+
+fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize) {
+    (ctx.on_visit_r)(a);
+    (ctx.on_visit_s)(b);
+    ctx.out.stats.visit(depth);
+    ctx.out.stats.filter_evals += 1;
+    let (a_mbr, b_mbr) = (ctx.tree_r.mbr(a), ctx.tree_s.mbr(b));
+    if !ctx.theta.filter(&a_mbr, &b_mbr) {
+        return;
+    }
+    if let (Some(ea), Some(eb)) = (ctx.tree_r.entry(a), ctx.tree_s.entry(b)) {
+        ctx.out.stats.theta_evals += 1;
+        if ctx.theta.eval(&ea.geometry, &eb.geometry) {
+            ctx.out.pairs.push((ea.id, eb.id));
+        }
+    }
+    // {a} × strict descendants of b.
+    if let Some(ea) = ctx.tree_r.entry(a) {
+        let (ea_id, ea_geom) = (ea.id, ea.geometry.clone());
+        for &b2 in ctx.tree_s.children(b) {
+            fixed_left(ctx, &ea_geom, &a_mbr, ea_id, b2, depth + 1);
+        }
+    }
+    // Strict descendants of a × subtree(b).
+    for &a2 in ctx.tree_r.children(a) {
+        process(ctx, a2, b, depth + 1);
+    }
+}
+
+/// Handles `{fixed a} × subtree(c)` where `a` is an application object
+/// of `R` with geometry `o` and MBR `o_mbr`.
+fn fixed_left(
+    ctx: &mut Ctx<'_>,
+    o: &Geometry,
+    o_mbr: &sj_geom::Rect,
+    a_id: u64,
+    c: NodeId,
+    depth: usize,
+) {
+    (ctx.on_visit_s)(c);
+    ctx.out.stats.visit(depth);
+    ctx.out.stats.filter_evals += 1;
+    if !ctx.theta.filter(o_mbr, &ctx.tree_s.mbr(c)) {
+        return;
+    }
+    if let Some(ec) = ctx.tree_s.entry(c) {
+        ctx.out.stats.theta_evals += 1;
+        if ctx.theta.eval(o, &ec.geometry) {
+            ctx.out.pairs.push((a_id, ec.id));
+        }
+    }
+    for &c2 in ctx.tree_s.children(c) {
+        fixed_left(ctx, o, o_mbr, a_id, c2, depth + 1);
+    }
 }
 
 /// Reference nested-loop join over the trees' entries (used by tests and by

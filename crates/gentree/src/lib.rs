@@ -50,7 +50,7 @@ pub mod select;
 pub mod stats;
 pub mod tree;
 
-pub use join::{join, JoinOutcome};
+pub use join::{join, join_depth_first, join_pair, JoinOutcome};
 pub use knn::{nearest_k, Neighbor};
 pub use select::{select, select_dfs, SelectOutcome};
 pub use stats::TraversalStats;

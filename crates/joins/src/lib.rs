@@ -14,6 +14,7 @@
 //! | §5's *local join indices* (future work, implemented) | [`local_index`] |
 //! | grid-file join (Rotem's index-supported baseline) | [`grid`] |
 //! | z-value B⁺-tree index (UB-tree style, §2.2) | [`zindex`] |
+//! | PBSM-style partition-parallel filter-and-refine | [`parallel::partition_join`] (plus [`parallel::parallel_tree_join`] for strategy II) |
 //!
 //! Every executor is validated (unit + property tests) to return exactly
 //! the same match set as the nested-loop reference.
@@ -25,6 +26,7 @@ pub mod join_index;
 pub mod local_index;
 pub mod nested_loop;
 pub mod paged_tree;
+pub mod parallel;
 pub mod relation;
 pub mod sort_merge;
 pub mod stats;
@@ -34,6 +36,7 @@ pub mod zindex;
 pub use join_index::JoinIndex;
 pub use local_index::LocalJoinIndex;
 pub use paged_tree::{ClusterOrder, PagedTree, TreeRelation};
+pub use parallel::{parallel_tree_join, partition_join, Parallelism};
 pub use relation::StoredRelation;
 pub use stats::{ExecStats, JoinRun, SelectRun};
 pub use zindex::ZIndex;

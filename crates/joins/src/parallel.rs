@@ -1,0 +1,784 @@
+//! Data-parallel join execution: PBSM-style partition-parallel
+//! filter-and-refine over `std::thread::scope`.
+//!
+//! [`partition_join`] grid-partitions both relations' MBRs into tiles,
+//! fans tiles out to worker threads, runs Θ-filter + θ-refine per tile,
+//! and deduplicates pairs that share several tiles with the
+//! *reference-point rule*: a candidate pair is refined only in the tile
+//! containing the lower-left corner of the intersection of its (expanded)
+//! MBRs. [`parallel_tree_join`] parallelizes Algorithm JOIN by splitting
+//! at the top-level subtrees of the R generalization tree.
+//!
+//! Cost-model accounting under concurrency:
+//!
+//! * Every worker runs over a private [`BufferPool`] shard
+//!   ([`BufferPool::fork_view`]) whose counters are merged into the run's
+//!   [`ExecStats`] afterwards, so physical/logical I/O stays exact.
+//! * Comparison counts (`filter_evals`, `theta_evals`) depend only on the
+//!   tile decomposition, which is a function of the data — **not** of the
+//!   thread count — so `threads = N` reports exactly the comparison
+//!   totals of `threads = 1` (a tested invariant). I/O counts may differ
+//!   with the thread count because each worker shard has its own cold
+//!   LRU state.
+//! * `threads = 1` never spawns and runs every tile on the calling
+//!   thread against the caller's own pool — the model-validation mode,
+//!   directly comparable with the sequential executors.
+
+use std::collections::HashMap;
+use std::thread;
+
+use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp, EPSILON};
+use sj_storage::BufferPool;
+
+use crate::paged_tree::TreeRelation;
+use crate::relation::StoredRelation;
+use crate::stats::JoinRun;
+use crate::tree_join::tree_join;
+
+/// Degree of parallelism for the executors in this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads (≥ 1). `1` means: run sequentially on the
+    /// calling thread, with no pool sharding.
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+impl Parallelism {
+    /// One worker per available hardware core (≥ 1).
+    pub fn auto() -> Self {
+        let threads = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Parallelism { threads }
+    }
+
+    /// Strictly sequential execution on the calling thread.
+    pub fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// An explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "parallelism needs at least one thread");
+        Parallelism { threads }
+    }
+}
+
+/// The L∞ radius by which an R-side MBR must be expanded so that the
+/// Θ-filter region of `theta` is covered by rectangle intersection:
+/// `filter(a, b)` implies `a.expand(radius)` intersects `b`. Returns
+/// `None` for operators whose filter region is unbounded (directional
+/// half-planes), which [`partition_join`] handles with a chunk-parallel
+/// nested loop instead of tiling.
+fn filter_radius(theta: ThetaOp) -> Option<f64> {
+    match theta {
+        // Euclidean min_distance ≤ d implies per-axis gap ≤ d.
+        ThetaOp::WithinCenterDistance(d) | ThetaOp::WithinDistance(d) => Some(d.max(0.0)),
+        ThetaOp::Overlaps | ThetaOp::Includes | ThetaOp::ContainedIn => Some(0.0),
+        ThetaOp::ReachableWithin { minutes, speed } => Some((minutes * speed).max(0.0)),
+        ThetaOp::Adjacent => Some(EPSILON),
+        ThetaOp::DirectionOf(_) => None,
+    }
+}
+
+/// A uniform grid over the data's bounding box. Tile membership is
+/// computed with the monotone maps [`TileGrid::tile_x_of`] /
+/// [`TileGrid::tile_y_of`] applied to rectangle corners, so a rectangle's
+/// tile range and any interior point's tile are always consistent — the
+/// property the reference-point rule relies on (no floating-point
+/// boundary disagreements).
+#[derive(Debug, Clone, Copy)]
+struct TileGrid {
+    origin: Point,
+    tile_w: f64,
+    tile_h: f64,
+    tiles_x: usize,
+    tiles_y: usize,
+}
+
+impl TileGrid {
+    fn new(world: Rect, tiles_x: usize, tiles_y: usize) -> Self {
+        let tile_w = (world.hi.x - world.lo.x) / tiles_x as f64;
+        let tile_h = (world.hi.y - world.lo.y) / tiles_y as f64;
+        TileGrid {
+            origin: world.lo,
+            tile_w,
+            tile_h,
+            tiles_x,
+            tiles_y,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    fn tile_x_of(&self, x: f64) -> usize {
+        if self.tile_w <= 0.0 {
+            return 0;
+        }
+        let t = ((x - self.origin.x) / self.tile_w).floor();
+        // `as usize` saturates negatives and NaN to 0.
+        (t as usize).min(self.tiles_x - 1)
+    }
+
+    fn tile_y_of(&self, y: f64) -> usize {
+        if self.tile_h <= 0.0 {
+            return 0;
+        }
+        let t = ((y - self.origin.y) / self.tile_h).floor();
+        (t as usize).min(self.tiles_y - 1)
+    }
+
+    fn tile_of_point(&self, p: Point) -> usize {
+        self.tile_y_of(p.y) * self.tiles_x + self.tile_x_of(p.x)
+    }
+
+    /// Indices of every tile the rectangle overlaps.
+    fn tiles_overlapping(&self, r: &Rect) -> impl Iterator<Item = usize> + '_ {
+        let x0 = self.tile_x_of(r.lo.x);
+        let x1 = self.tile_x_of(r.hi.x);
+        let y0 = self.tile_y_of(r.lo.y);
+        let y1 = self.tile_y_of(r.hi.y);
+        (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| y * self.tiles_x + x))
+    }
+}
+
+/// Tiles per axis, scaled to the input size so that tiles hold a few
+/// dozen tuples on average. Depends only on the data — never on the
+/// thread count — which keeps comparison totals invariant under
+/// parallelism.
+fn tiles_per_axis(total_tuples: usize) -> usize {
+    ((total_tuples as f64 / 32.0).sqrt().ceil() as usize).clamp(2, 64)
+}
+
+/// Matches and comparison counters produced by one tile.
+struct TileOut {
+    pairs: Vec<(u64, u64)>,
+    filter_evals: u64,
+    theta_evals: u64,
+}
+
+/// PBSM-style parallel spatial join `R ⋈_θ S`.
+///
+/// Returns exactly the match set of
+/// [`nested_loop_join`](crate::nested_loop::nested_loop_join) (as a set;
+/// pair order follows tile order) for every `theta`, at any thread
+/// count. See the module docs for the accounting guarantees.
+pub fn partition_join(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+) -> JoinRun {
+    match filter_radius(theta) {
+        Some(eps) => pbsm_join(pool, r, s, theta, par, eps),
+        None => chunked_nested_loop(pool, r, s, theta, par),
+    }
+}
+
+fn pbsm_join(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+    eps: f64,
+) -> JoinRun {
+    let before = pool.stats();
+    let mut run = JoinRun::default();
+    run.stats.passes = 1;
+
+    // Phase 1 (sequential): one scan per relation to extract MBRs. These
+    // stay in executor memory for the filter step; geometries are
+    // re-fetched lazily during refinement (the filter/refine I/O split).
+    let r_mbrs: Vec<(u64, Rect)> = (0..r.len())
+        .map(|i| {
+            let (id, g) = r.read_at(pool, i);
+            (id, g.mbr())
+        })
+        .collect();
+    let s_mbrs: Vec<(u64, Rect)> = (0..s.len())
+        .map(|j| {
+            let (id, g) = s.read_at(pool, j);
+            (id, g.mbr())
+        })
+        .collect();
+    if r_mbrs.is_empty() || s_mbrs.is_empty() {
+        run.stats.add_io(pool.stats().since(&before));
+        return run;
+    }
+
+    // Phase 2: tile decomposition with multi-assignment. R-side MBRs are
+    // expanded by the filter radius so every Θ-qualifying pair shares at
+    // least one tile.
+    let world = r_mbrs
+        .iter()
+        .chain(s_mbrs.iter())
+        .map(|(_, m)| *m)
+        .reduce(|a, b| a.union(&b))
+        .expect("non-empty inputs");
+    let axis = tiles_per_axis(r_mbrs.len() + s_mbrs.len());
+    let grid = TileGrid::new(world, axis, axis);
+
+    let mut r_tiles: Vec<Vec<u32>> = vec![Vec::new(); grid.len()];
+    for (i, (_, mbr)) in r_mbrs.iter().enumerate() {
+        for t in grid.tiles_overlapping(&mbr.expand(eps)) {
+            r_tiles[t].push(i as u32);
+        }
+    }
+    let mut s_tiles: Vec<Vec<u32>> = vec![Vec::new(); grid.len()];
+    for (j, (_, mbr)) in s_mbrs.iter().enumerate() {
+        for t in grid.tiles_overlapping(mbr) {
+            s_tiles[t].push(j as u32);
+        }
+    }
+    let tasks: Vec<usize> = (0..grid.len())
+        .filter(|&t| !r_tiles[t].is_empty() && !s_tiles[t].is_empty())
+        .collect();
+
+    // Phase 3: filter + refine per tile, fanned out to workers. Tiles are
+    // assigned to workers in contiguous chunks and results concatenated
+    // in tile order, so the output is identical at every thread count.
+    let tile_outs: Vec<TileOut> = if par.threads <= 1 {
+        tasks
+            .iter()
+            .map(|&t| {
+                process_tile(
+                    t,
+                    &grid,
+                    eps,
+                    theta,
+                    r,
+                    s,
+                    &r_mbrs,
+                    &s_mbrs,
+                    &r_tiles[t],
+                    &s_tiles[t],
+                    pool,
+                )
+            })
+            .collect()
+    } else {
+        let shard_cap = (pool.capacity() / par.threads).max(4);
+        let chunk_len = tasks.len().div_ceil(par.threads).max(1);
+        let mut outs: Vec<TileOut> = Vec::with_capacity(tasks.len());
+        let chunk_results = thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let mut shard = pool.fork_view(shard_cap);
+                    let (r_mbrs, s_mbrs) = (&r_mbrs, &s_mbrs);
+                    let (r_tiles, s_tiles) = (&r_tiles, &s_tiles);
+                    let grid = &grid;
+                    scope.spawn(move || {
+                        let outs: Vec<TileOut> = chunk
+                            .iter()
+                            .map(|&t| {
+                                process_tile(
+                                    t,
+                                    grid,
+                                    eps,
+                                    theta,
+                                    r,
+                                    s,
+                                    r_mbrs,
+                                    s_mbrs,
+                                    &r_tiles[t],
+                                    &s_tiles[t],
+                                    &mut shard,
+                                )
+                            })
+                            .collect();
+                        (outs, shard.stats())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (chunk_outs, io) in chunk_results {
+            outs.extend(chunk_outs);
+            run.stats.add_io(io);
+        }
+        outs
+    };
+
+    for out in tile_outs {
+        run.pairs.extend(out.pairs);
+        run.stats.filter_evals += out.filter_evals;
+        run.stats.theta_evals += out.theta_evals;
+    }
+    run.stats.add_io(pool.stats().since(&before));
+    run
+}
+
+/// Filter + refine for one tile. Geometries are fetched through `pool`
+/// only when a candidate survives the Θ-filter *and* the reference-point
+/// rule, and are cached per tile so each tuple is read at most once per
+/// tile it participates in.
+#[allow(clippy::too_many_arguments)]
+fn process_tile(
+    tile: usize,
+    grid: &TileGrid,
+    eps: f64,
+    theta: ThetaOp,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    r_mbrs: &[(u64, Rect)],
+    s_mbrs: &[(u64, Rect)],
+    r_list: &[u32],
+    s_list: &[u32],
+    pool: &mut BufferPool,
+) -> TileOut {
+    let mut out = TileOut {
+        pairs: Vec::new(),
+        filter_evals: 0,
+        theta_evals: 0,
+    };
+    let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
+    let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
+    for &i in r_list {
+        let (r_id, r_mbr) = r_mbrs[i as usize];
+        let r_expanded = r_mbr.expand(eps);
+        for &j in s_list {
+            let (s_id, s_mbr) = s_mbrs[j as usize];
+            out.filter_evals += 1;
+            if !theta.filter(&r_mbr, &s_mbr) {
+                continue;
+            }
+            // Reference-point rule: of all tiles this candidate pair
+            // shares, only the one containing the lower-left corner of
+            // the expanded-MBR intersection refines it. The intersection
+            // is non-empty whenever the filter passes (Euclidean
+            // min-distance ≤ eps bounds both axis gaps by eps); if
+            // floating-point rounding ever disagrees, the pair cannot be
+            // a true match either, so skipping it is sound.
+            let Some(inter) = r_expanded.intersection(&s_mbr) else {
+                continue;
+            };
+            if grid.tile_of_point(inter.lo) != tile {
+                continue;
+            }
+            out.theta_evals += 1;
+            let rg = r_geo
+                .entry(i)
+                .or_insert_with(|| r.read_at(pool, i as usize).1);
+            let matched = {
+                let rg = rg.clone();
+                let sg = s_geo
+                    .entry(j)
+                    .or_insert_with(|| s.read_at(pool, j as usize).1);
+                theta.eval(&rg, sg)
+            };
+            if matched {
+                out.pairs.push((r_id, s_id));
+            }
+        }
+    }
+    out
+}
+
+/// Fallback for operators with unbounded Θ-filter regions (directional
+/// predicates): a block-nested-loop join whose R chunks are processed in
+/// parallel. Each R tuple belongs to exactly one chunk, so no
+/// deduplication is needed; `theta_evals` totals `|R|·|S|` at every
+/// thread count. With one thread this is exactly
+/// [`nested_loop_join`](crate::nested_loop::nested_loop_join).
+fn chunked_nested_loop(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+) -> JoinRun {
+    if par.threads <= 1 {
+        return crate::nested_loop::nested_loop_join(pool, r, s, theta);
+    }
+    let before = pool.stats();
+    let mut run = JoinRun::default();
+    if r.is_empty() || s.is_empty() {
+        run.stats.add_io(pool.stats().since(&before));
+        return run;
+    }
+    let shard_cap = (pool.capacity() / par.threads).max(4);
+    let chunk_tuples = r.len().div_ceil(par.threads).max(1);
+    let bounds: Vec<(usize, usize)> = (0..r.len())
+        .step_by(chunk_tuples)
+        .map(|lo| (lo, (lo + chunk_tuples).min(r.len())))
+        .collect();
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut shard = pool.fork_view(shard_cap);
+                scope.spawn(move || {
+                    let mut out = TileOut {
+                        pairs: Vec::new(),
+                        filter_evals: 0,
+                        theta_evals: 0,
+                    };
+                    let chunk: Vec<(u64, Geometry)> =
+                        (lo..hi).map(|i| r.read_at(&mut shard, i)).collect();
+                    for j in 0..s.len() {
+                        let (s_id, s_geom) = s.read_at(&mut shard, j);
+                        for (r_id, r_geom) in &chunk {
+                            out.theta_evals += 1;
+                            if theta.eval(r_geom, &s_geom) {
+                                out.pairs.push((*r_id, s_id));
+                            }
+                        }
+                    }
+                    (out, shard.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("nested-loop worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (out, io) in results {
+        run.pairs.extend(out.pairs);
+        run.stats.theta_evals += out.theta_evals;
+        run.stats.passes += 1;
+        run.stats.add_io(io);
+    }
+    run.stats.add_io(pool.stats().since(&before));
+    run
+}
+
+/// Parallel Algorithm JOIN over two stored generalization trees: the
+/// independent subproblems `subtree(aᵢ) × subtree(root_S)` — one per
+/// top-level subtree `aᵢ` of R — run on worker threads via
+/// [`sj_gentree::join::join_pair`], each charging record-touch I/O to its
+/// own pool shard.
+///
+/// Returns exactly the match set of [`tree_join`] (as a set). Falls back
+/// to the sequential [`tree_join`] byte-for-byte when `threads == 1`,
+/// when either root carries an application object (degenerate
+/// single-object trees), or when R's root has fewer than two subtrees to
+/// split.
+pub fn parallel_tree_join(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    s: &TreeRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+) -> JoinRun {
+    let (root_r, root_s) = (r.tree.root(), s.tree.root());
+    let top: Vec<_> = r.tree.children(root_r).to_vec();
+    if par.threads <= 1
+        || r.tree.entry(root_r).is_some()
+        || s.tree.entry(root_s).is_some()
+        || top.len() < 2
+    {
+        return tree_join(pool, r, s, theta);
+    }
+
+    let before = pool.stats();
+    let mut run = JoinRun::default();
+    run.stats.passes = 1;
+
+    // The root pair itself is handled on the calling thread (it has no
+    // application objects by the check above, so only the filter gate
+    // remains).
+    r.paged.touch(pool, root_r);
+    s.paged.touch(pool, root_s);
+    run.stats.filter_evals += 1;
+    if theta.filter(&r.tree.mbr(root_r), &s.tree.mbr(root_s)) {
+        let shard_cap = (pool.capacity() / par.threads).max(4);
+        let chunk_len = top.len().div_ceil(par.threads).max(1);
+        let results = thread::scope(|scope| {
+            let handles: Vec<_> = top
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let shard = pool.fork_view(shard_cap);
+                    scope.spawn(move || {
+                        let shard_cell = std::cell::RefCell::new(shard);
+                        let mut pairs = Vec::new();
+                        let mut filter_evals = 0u64;
+                        let mut theta_evals = 0u64;
+                        for &a in chunk {
+                            let outcome = sj_gentree::join::join_pair(
+                                &r.tree,
+                                &s.tree,
+                                a,
+                                root_s,
+                                1,
+                                theta,
+                                |node| {
+                                    r.paged.touch(&mut shard_cell.borrow_mut(), node);
+                                },
+                                |node| {
+                                    s.paged.touch(&mut shard_cell.borrow_mut(), node);
+                                },
+                            );
+                            pairs.extend(outcome.pairs);
+                            filter_evals += outcome.stats.filter_evals;
+                            theta_evals += outcome.stats.theta_evals;
+                        }
+                        (
+                            pairs,
+                            filter_evals,
+                            theta_evals,
+                            shard_cell.into_inner().stats(),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tree-join worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (pairs, filter_evals, theta_evals, io) in results {
+            run.pairs.extend(pairs);
+            run.stats.filter_evals += filter_evals;
+            run.stats.theta_evals += theta_evals;
+            run.stats.add_io(io);
+        }
+    }
+    run.stats.add_io(pool.stats().since(&before));
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested_loop::nested_loop_join;
+    use sj_gentree::rtree::{RTree, RTreeConfig};
+    use sj_geom::Direction;
+    use sj_storage::{Disk, DiskConfig, Layout};
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Disk::new(DiskConfig::paper()), frames)
+    }
+
+    fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministic mixed point/rect workload spread over the world.
+    fn mixed_rel(pool: &mut BufferPool, n: usize, id0: u64, salt: u64) -> StoredRelation {
+        let tuples: Vec<(u64, Geometry)> = (0..n)
+            .map(|i| {
+                let k = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                let x = (k % 1000) as f64;
+                let y = (k / 1000 % 1000) as f64;
+                let g = if i % 3 == 0 {
+                    Geometry::Point(Point::new(x, y))
+                } else {
+                    let w = (k % 23) as f64;
+                    let h = (k % 17) as f64;
+                    Geometry::Rect(Rect::from_bounds(x, y, x + w, y + h))
+                };
+                (id0 + i as u64, g)
+            })
+            .collect();
+        StoredRelation::build(pool, &tuples, 300, Layout::Clustered)
+    }
+
+    #[test]
+    fn partition_join_matches_nested_loop_across_operators() {
+        let mut p = pool(64);
+        let r = mixed_rel(&mut p, 120, 0, 7);
+        let s = mixed_rel(&mut p, 140, 10_000, 99);
+        for theta in [
+            ThetaOp::WithinDistance(25.0),
+            ThetaOp::WithinCenterDistance(40.0),
+            ThetaOp::Overlaps,
+            ThetaOp::Includes,
+            ThetaOp::ContainedIn,
+            ThetaOp::Adjacent,
+            ThetaOp::ReachableWithin {
+                minutes: 10.0,
+                speed: 3.0,
+            },
+            ThetaOp::DirectionOf(Direction::NorthWest),
+        ] {
+            let want = sorted(nested_loop_join(&mut p, &r, &s, theta).pairs);
+            for threads in [1, 2, 3, 8] {
+                let got = sorted(
+                    partition_join(&mut p, &r, &s, theta, Parallelism::with_threads(threads)).pairs,
+                );
+                assert_eq!(got, want, "theta {theta:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_totals_are_thread_invariant() {
+        let mut p = pool(64);
+        let r = mixed_rel(&mut p, 150, 0, 3);
+        let s = mixed_rel(&mut p, 150, 5_000, 11);
+        let theta = ThetaOp::WithinDistance(15.0);
+        let seq = partition_join(&mut p, &r, &s, theta, Parallelism::sequential());
+        for threads in [2, 4, 8] {
+            let par = partition_join(&mut p, &r, &s, theta, Parallelism::with_threads(threads));
+            assert_eq!(
+                par.stats.comparisons(),
+                seq.stats.comparisons(),
+                "{threads} threads"
+            );
+            assert_eq!(par.stats.filter_evals, seq.stats.filter_evals);
+            assert_eq!(par.stats.theta_evals, seq.stats.theta_evals);
+            // Identical tile order means identical pair order, too.
+            assert_eq!(par.pairs, seq.pairs);
+        }
+    }
+
+    #[test]
+    fn reference_point_rule_handles_tile_border_duplicates() {
+        // Large rectangles spanning many tiles joined against each other:
+        // every candidate pair shares many tiles and must be reported
+        // exactly once.
+        let mut p = pool(64);
+        let r_tuples: Vec<(u64, Geometry)> = (0..40)
+            .map(|i| {
+                let x = (i % 8) as f64 * 120.0;
+                let y = (i / 8) as f64 * 190.0;
+                (
+                    i as u64,
+                    Geometry::Rect(Rect::from_bounds(x, y, x + 400.0, y + 350.0)),
+                )
+            })
+            .collect();
+        let s_tuples: Vec<(u64, Geometry)> = (0..40)
+            .map(|i| {
+                let x = (i % 5) as f64 * 170.0 + 60.0;
+                let y = (i / 5) as f64 * 110.0 + 45.0;
+                (
+                    1_000 + i as u64,
+                    Geometry::Rect(Rect::from_bounds(x, y, x + 380.0, y + 300.0)),
+                )
+            })
+            .collect();
+        let r = StoredRelation::build(&mut p, &r_tuples, 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut p, &s_tuples, 300, Layout::Clustered);
+        let theta = ThetaOp::Overlaps;
+        let want = sorted(nested_loop_join(&mut p, &r, &s, theta).pairs);
+        for threads in [1, 4] {
+            let run = partition_join(&mut p, &r, &s, theta, Parallelism::with_threads(threads));
+            let mut got = run.pairs.clone();
+            let n_raw = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got.len(), n_raw, "duplicate pairs emitted");
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut p = pool(16);
+        let empty = StoredRelation::build(&mut p, &[], 300, Layout::Clustered);
+        let r = mixed_rel(&mut p, 10, 0, 1);
+        for threads in [1, 4] {
+            let par = Parallelism::with_threads(threads);
+            assert!(partition_join(&mut p, &empty, &r, ThetaOp::Overlaps, par)
+                .pairs
+                .is_empty());
+            assert!(partition_join(&mut p, &r, &empty, ThetaOp::Overlaps, par)
+                .pairs
+                .is_empty());
+        }
+    }
+
+    fn grid_tree(pool: &mut BufferPool, n: usize, step: f64, id0: u64) -> TreeRelation {
+        let entries: Vec<(u64, Geometry)> = (0..n * n)
+            .map(|i| {
+                (
+                    id0 + i as u64,
+                    Geometry::Point(Point::new((i % n) as f64 * step, (i / n) as f64 * step)),
+                )
+            })
+            .collect();
+        let rt = RTree::bulk_load(RTreeConfig::with_fanout(5), entries);
+        TreeRelation::new(pool, rt.tree().clone(), 300, Layout::Clustered)
+    }
+
+    #[test]
+    fn parallel_tree_join_matches_sequential() {
+        let mut p = pool(128);
+        let r = grid_tree(&mut p, 7, 10.0, 0);
+        let s = grid_tree(&mut p, 7, 10.0, 1_000);
+        for theta in [ThetaOp::WithinDistance(10.5), ThetaOp::Overlaps] {
+            let want = sorted(tree_join(&mut p, &r, &s, theta).pairs);
+            for threads in [1, 2, 4] {
+                let got = sorted(
+                    parallel_tree_join(&mut p, &r, &s, theta, Parallelism::with_threads(threads))
+                        .pairs,
+                );
+                assert_eq!(got, want, "theta {theta:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tree_join_charges_io() {
+        let mut p = pool(128);
+        let r = grid_tree(&mut p, 6, 10.0, 0);
+        let s = grid_tree(&mut p, 6, 10.0, 1_000);
+        p.clear();
+        p.reset_stats();
+        let run = parallel_tree_join(
+            &mut p,
+            &r,
+            &s,
+            ThetaOp::WithinDistance(10.5),
+            Parallelism::with_threads(4),
+        );
+        assert!(!run.pairs.is_empty());
+        assert!(run.stats.physical_reads > 0);
+        assert!(run.stats.theta_evals > 0);
+        assert!(run.stats.filter_evals > 0);
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert_eq!(Parallelism::sequential().threads, 1);
+        assert!(Parallelism::auto().threads >= 1);
+        assert_eq!(Parallelism::with_threads(6).threads, 6);
+        assert!(Parallelism::default().threads >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Parallelism::with_threads(0);
+    }
+
+    #[test]
+    fn tile_grid_maps_are_consistent_on_borders() {
+        let grid = TileGrid::new(Rect::from_bounds(0.0, 0.0, 100.0, 100.0), 10, 10);
+        // A rect ending exactly on a tile border and a point on that
+        // border must agree about which tile the border belongs to.
+        let r = Rect::from_bounds(5.0, 5.0, 30.0, 30.0);
+        let tiles: Vec<usize> = grid.tiles_overlapping(&r).collect();
+        assert!(tiles.contains(&grid.tile_of_point(Point::new(30.0, 30.0))));
+        assert!(tiles.contains(&grid.tile_of_point(Point::new(5.0, 5.0))));
+        // Degenerate world: everything maps to tile 0.
+        let flat = TileGrid::new(Rect::from_bounds(3.0, 4.0, 3.0, 4.0), 4, 4);
+        assert_eq!(flat.tile_of_point(Point::new(3.0, 4.0)), 0);
+        assert_eq!(
+            flat.tiles_overlapping(&Rect::from_bounds(3.0, 4.0, 3.0, 4.0))
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+}

@@ -38,6 +38,26 @@ impl ExecStats {
         self.comparisons() as f64 * c_theta
             + (self.physical_reads + self.physical_writes) as f64 * c_io
     }
+
+    /// Folds another counter set into this one (alias for `+=`, usable in
+    /// iterator folds without importing the operator trait). This is how
+    /// parallel executors combine per-worker stats into run totals.
+    pub fn merge(&mut self, other: &ExecStats) {
+        *self += *other;
+    }
+}
+
+/// Component-wise accumulation, the merge operation for per-worker
+/// counters in parallel executors.
+impl std::ops::AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        self.physical_reads += rhs.physical_reads;
+        self.physical_writes += rhs.physical_writes;
+        self.logical_reads += rhs.logical_reads;
+        self.theta_evals += rhs.theta_evals;
+        self.filter_evals += rhs.filter_evals;
+        self.passes += rhs.passes;
+    }
 }
 
 /// Result of a join executor: matching `(r_id, s_id)` pairs plus stats.
@@ -70,6 +90,43 @@ mod tests {
         };
         assert_eq!(s.comparisons(), 12);
         assert_eq!(s.cost(1.0, 1000.0), 12.0 + 4000.0);
+    }
+
+    #[test]
+    fn add_assign_is_field_wise_sum() {
+        let mut a = ExecStats {
+            physical_reads: 1,
+            physical_writes: 2,
+            logical_reads: 3,
+            theta_evals: 4,
+            filter_evals: 5,
+            passes: 6,
+        };
+        let b = ExecStats {
+            physical_reads: 10,
+            physical_writes: 20,
+            logical_reads: 30,
+            theta_evals: 40,
+            filter_evals: 50,
+            passes: 60,
+        };
+        a += b;
+        assert_eq!(
+            a,
+            ExecStats {
+                physical_reads: 11,
+                physical_writes: 22,
+                logical_reads: 33,
+                theta_evals: 44,
+                filter_evals: 55,
+                passes: 66,
+            }
+        );
+        let mut c = ExecStats::default();
+        c.merge(&a);
+        c.merge(&b);
+        assert_eq!(c.theta_evals, 84);
+        assert_eq!(c.comparisons(), 84 + 105);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! evictions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::disk::{Disk, DiskConfig};
 use crate::heap::{HeapFile, RecordId};
@@ -18,7 +19,7 @@ const NIL: usize = usize::MAX;
 
 struct Frame {
     id: PageId,
-    page: Page,
+    page: Arc<Page>,
     prev: usize,
     next: usize,
 }
@@ -97,19 +98,20 @@ impl BufferPool {
     /// (no read is charged: newly allocated pages have no prior disk image).
     pub fn allocate(&mut self) -> PageId {
         let id = self.disk.allocate();
-        let page = Page::new(self.disk.config().effective_capacity());
+        let page = Arc::new(Page::new(self.disk.config().effective_capacity()));
         self.install(id, page);
         id
     }
 
-    /// Fetches a page, charging a physical read only on a miss.
+    /// Fetches a page, charging a physical read only on a miss. The miss
+    /// path clones an `Arc` handle, not page bytes.
     pub fn fetch(&mut self, id: PageId) -> &Page {
         self.disk.add_logical_read();
         if let Some(&idx) = self.map.get(&id) {
             self.touch(idx);
             return &self.frames[idx].page;
         }
-        let page = self.disk.read(id).clone();
+        let page = self.disk.read_shared(id);
         let idx = self.install(id, page);
         &self.frames[idx].page
     }
@@ -125,12 +127,22 @@ impl BufferPool {
                 idx
             }
             None => {
-                let page = self.disk.read(id).clone();
+                let page = self.disk.read_shared(id);
                 self.install(id, page)
             }
         };
-        f(&mut self.frames[idx].page);
-        self.disk.write(id, self.frames[idx].page.clone());
+        f(Arc::make_mut(&mut self.frames[idx].page));
+        self.disk
+            .write_shared(id, Arc::clone(&self.frames[idx].page));
+    }
+
+    /// A private pool shard for one parallel worker: a cold pool of
+    /// `capacity` frames over a copy-on-write snapshot of the underlying
+    /// disk (see [`Disk::read_view`]). The shard starts with zeroed I/O
+    /// counters so a worker's physical and logical reads can be merged
+    /// back into the coordinator's totals after the join.
+    pub fn fork_view(&self, capacity: usize) -> BufferPool {
+        BufferPool::new(self.disk.read_view(), capacity)
     }
 
     /// The underlying disk (read-only; e.g. for [`Disk::save`]).
@@ -196,7 +208,7 @@ impl BufferPool {
         self.link_front(idx);
     }
 
-    fn install(&mut self, id: PageId, page: Page) -> usize {
+    fn install(&mut self, id: PageId, page: Arc<Page>) -> usize {
         let idx = if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 id,
@@ -324,5 +336,48 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         let _ = pool(0);
+    }
+
+    #[test]
+    fn fork_view_isolates_stats_and_writes() {
+        let mut p = pool(4);
+        let id = p.allocate();
+        p.update(id, |page| {
+            page.push(vec![5; 4]);
+        });
+        p.reset_stats();
+
+        let mut shard = p.fork_view(2);
+        assert_eq!(shard.stats(), IoStats::default());
+        assert_eq!(shard.fetch(id).used(), 4);
+        assert_eq!(shard.stats().physical_reads, 1);
+        assert_eq!(shard.stats().logical_reads, 1);
+
+        // A worker-side update is invisible to the parent pool and disk.
+        shard.update(id, |page| {
+            page.push(vec![6; 2]);
+        });
+        assert_eq!(shard.fetch(id).used(), 6);
+        p.clear();
+        assert_eq!(p.fetch(id).used(), 4);
+        // Parent counters saw only the parent's own fetch.
+        assert_eq!(p.stats().physical_reads, 1);
+    }
+
+    #[test]
+    fn update_through_shared_frame_does_not_corrupt_snapshot() {
+        // A fork taken while the parent has the page resident must not
+        // observe subsequent parent mutations (Arc copy-on-write).
+        let mut p = pool(4);
+        let id = p.allocate();
+        p.update(id, |page| {
+            page.push(vec![1; 3]);
+        });
+        let mut shard = p.fork_view(2);
+        p.update(id, |page| {
+            page.push(vec![2; 5]);
+        });
+        assert_eq!(p.fetch(id).used(), 8);
+        assert_eq!(shard.fetch(id).used(), 3);
     }
 }

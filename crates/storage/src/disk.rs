@@ -1,6 +1,8 @@
 //! The simulated disk: a growable array of pages with physical-I/O
 //! counters. All access normally goes through [`crate::BufferPool`].
 
+use std::sync::Arc;
+
 use crate::page::{Page, PageId};
 use crate::stats::IoStats;
 
@@ -50,10 +52,14 @@ impl DiskConfig {
 }
 
 /// The simulated disk.
+///
+/// Pages are stored behind [`Arc`] so that a read costs an O(1) handle
+/// clone rather than a byte copy, and so that [`Disk::read_view`] can hand
+/// out cheap copy-on-write snapshots to parallel workers.
 #[derive(Debug)]
 pub struct Disk {
     config: DiskConfig,
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     stats: IoStats,
 }
 
@@ -84,7 +90,8 @@ impl Disk {
     /// Allocates a fresh empty page.
     pub fn allocate(&mut self) -> PageId {
         let id = PageId(u32::try_from(self.pages.len()).expect("disk full"));
-        self.pages.push(Page::new(self.config.effective_capacity()));
+        self.pages
+            .push(Arc::new(Page::new(self.config.effective_capacity())));
         id
     }
 
@@ -94,10 +101,36 @@ impl Disk {
         &self.pages[id.index()]
     }
 
+    /// Reads a page as a shared handle — an O(1) pointer clone, no byte
+    /// copy — charging one physical read.
+    pub fn read_shared(&mut self, id: PageId) -> Arc<Page> {
+        self.stats.physical_reads += 1;
+        Arc::clone(&self.pages[id.index()])
+    }
+
     /// Writes a page image back to disk, charging one physical write.
     pub fn write(&mut self, id: PageId, page: Page) {
+        self.write_shared(id, Arc::new(page));
+    }
+
+    /// Writes an already-shared page image back, charging one physical
+    /// write (no byte copy).
+    pub fn write_shared(&mut self, id: PageId, page: Arc<Page>) {
         self.stats.physical_writes += 1;
         self.pages[id.index()] = page;
+    }
+
+    /// A copy-on-write snapshot of this disk for read-mostly parallel
+    /// work: the snapshot shares page storage with `self` (O(pages)
+    /// pointer clones, no byte copies) and starts with zeroed counters so
+    /// each worker's I/O is accounted independently. Writes to either
+    /// disk are invisible to the other (`Arc` copy-on-write).
+    pub fn read_view(&self) -> Disk {
+        Disk {
+            config: self.config,
+            pages: self.pages.clone(),
+            stats: IoStats::default(),
+        }
     }
 
     /// Inspects a page without charging I/O (test/debug use).
@@ -154,6 +187,42 @@ mod tests {
     #[should_panic(expected = "exceeds effective page capacity")]
     fn oversized_record_rejected() {
         let _ = DiskConfig::paper().records_per_page(1600);
+    }
+
+    #[test]
+    fn read_view_shares_pages_but_not_stats_or_writes() {
+        let mut d = Disk::new(DiskConfig::paper());
+        let id = d.allocate();
+        let mut p = d.read(id).clone();
+        p.push(vec![7; 4]);
+        d.write(id, p);
+
+        let mut view = d.read_view();
+        assert_eq!(view.stats(), IoStats::default());
+        assert_eq!(view.read(id).used(), 4);
+        assert_eq!(view.stats().physical_reads, 1);
+
+        // Writes to the view are invisible to the original (copy-on-write).
+        let mut q = view.read(id).clone();
+        q.push(vec![9; 6]);
+        view.write(id, q);
+        assert_eq!(view.peek(id).used(), 10);
+        assert_eq!(d.peek(id).used(), 4);
+        // ...and the original's counters never moved.
+        assert_eq!(d.stats().physical_reads, 1);
+        assert_eq!(d.stats().physical_writes, 1);
+    }
+
+    #[test]
+    fn read_shared_is_the_same_image() {
+        let mut d = Disk::new(DiskConfig::paper());
+        let id = d.allocate();
+        let mut p = d.read(id).clone();
+        p.push(vec![1; 3]);
+        d.write(id, p);
+        let shared = d.read_shared(id);
+        assert_eq!(shared.used(), 3);
+        assert_eq!(d.stats().physical_reads, 2);
     }
 
     #[test]

@@ -33,6 +33,22 @@ impl IoStats {
             logical_reads: self.logical_reads - earlier.logical_reads,
         }
     }
+
+    /// Folds another counter set into this one (alias for `+=`, usable in
+    /// iterator folds without importing the operator trait).
+    pub fn merge(&mut self, other: &IoStats) {
+        *self += *other;
+    }
+}
+
+/// Component-wise accumulation, the merge operation for per-worker
+/// counters in parallel executors.
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.physical_reads += rhs.physical_reads;
+        self.physical_writes += rhs.physical_writes;
+        self.logical_reads += rhs.logical_reads;
+    }
 }
 
 #[cfg(test)]
@@ -48,6 +64,35 @@ mod tests {
         };
         assert_eq!(s.hits(), 7);
         assert_eq!(s.physical_total(), 5);
+    }
+
+    #[test]
+    fn add_assign_is_field_wise_sum() {
+        let mut a = IoStats {
+            physical_reads: 3,
+            physical_writes: 2,
+            logical_reads: 10,
+        };
+        let b = IoStats {
+            physical_reads: 5,
+            physical_writes: 1,
+            logical_reads: 20,
+        };
+        a += b;
+        assert_eq!(
+            a,
+            IoStats {
+                physical_reads: 8,
+                physical_writes: 3,
+                logical_reads: 30,
+            }
+        );
+        let mut c = IoStats::default();
+        c.merge(&a);
+        c.merge(&b);
+        assert_eq!(c.physical_reads, 13);
+        assert_eq!(c.physical_writes, 4);
+        assert_eq!(c.logical_reads, 50);
     }
 
     #[test]

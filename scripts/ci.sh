@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors), and the full
+# test suite. Everything runs offline — the workspace routes rand,
+# proptest, and criterion to the vendored shims under shims/.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (criterion benches, microbench feature)"
+cargo clippy -p sj-bench --all-targets --features microbench -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -1,0 +1,348 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, registry-free stand-in for the `criterion` crate, covering
+//! the harness surface this workspace's benches use: [`Criterion`]
+//! configuration, [`BenchmarkGroup`] with `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark runs a warm-up loop for
+//! `warm_up_time`, then `sample_size` timed samples, each sample iterating
+//! the routine enough times to fill `measurement_time / sample_size`.
+//! Reported numbers are mean / min / max nanoseconds per iteration —
+//! honest wall-clock measurements, but without criterion's outlier
+//! analysis, regression detection, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times `routine`, reporting under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.run(&label, &mut routine);
+        self
+    }
+
+    /// Times `routine` with a borrowed input, reporting under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.run(&label, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Marks the group complete (parity with criterion; prints nothing).
+    pub fn finish(self) {}
+
+    fn run(&self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+            },
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        bencher.mode = Mode::Measure {
+            sample_size: self.sample_size,
+            per_sample,
+        };
+        bencher.samples.clear();
+        routine(&mut bencher);
+
+        if bencher.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+        let min = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = bencher
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{label:<50} mean {:>12} min {:>12} max {:>12}",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    WarmUp {
+        until: Instant,
+    },
+    Measure {
+        sample_size: usize,
+        per_sample: Duration,
+    },
+}
+
+/// Timer handle passed to benchmark routines.
+pub struct Bencher {
+    mode: Mode,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                }
+            }
+            Mode::Measure {
+                sample_size,
+                per_sample,
+            } => {
+                // Calibrate iterations-per-sample from a single timed call.
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, u128::MAX) as u64;
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// A parameterized benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id shapes accepted by `bench_function` /
+/// `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// The final display label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Re-export for code written against criterion's own `black_box` (the
+/// workspace's benches use `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions with an optional harness configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(6))
+    }
+
+    #[test]
+    fn groups_record_samples_and_finish() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = named_form;
+        config = quick();
+        targets = trivial_target
+    );
+    criterion_group!(plain_form, trivial_target);
+
+    fn trivial_target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macros_produce_runnable_fns() {
+        named_form();
+        plain_form();
+    }
+}

@@ -1,0 +1,129 @@
+//! # rand (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the `rand` crate, implementing
+//! exactly the API surface this workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`RngExt::random_range`] over integer
+//! and float ranges, and [`seq::SliceRandom::shuffle`].
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace routes its `rand` dependency to this path crate. The
+//! generator is xoshiro256++ seeded via SplitMix64 — deterministic across
+//! platforms, which is what the reproduction's seeded workloads and the
+//! unclustered-layout placement permutations require. It is **not**
+//! cryptographically secure, exactly like the real `StdRng`'s contract
+//! of "no stability or security guarantees across versions".
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random 64-bit words (the shim's `RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of reproducible generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a range (the shim's
+/// `SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_closed<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Convenience sampling methods available on every generator (the shim's
+/// counterpart of rand's `Rng` extension trait).
+pub trait RngExt: RngCore {
+    /// Uniform draw from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<G: RngCore + ?Sized> RngExt for G {}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_closed(rng, lo, hi)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + (hi - lo) * u;
+        // Guard against rounding up to `hi` when the span is tiny.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+
+    fn sample_closed<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        (lo + (hi - lo) * u).clamp(lo, hi)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+
+    fn sample_closed<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        f64::sample_closed(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                // Widening to u128 keeps the span arithmetic overflow-free
+                // for every integer width up to 64 bits.
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+
+            fn sample_closed<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
