@@ -3,6 +3,8 @@
 //! workload: tens of thousands of point houses against polygonal lakes).
 //!
 //! Run: `cargo run --release -p sj-bench --bin parallel_scaling`
+//! (`--smoke` shrinks to 64 tuples per side and skips the JSON artifact
+//! — CI mode).
 //!
 //! Prints a CSV of wall-clock milliseconds and speedup per thread count
 //! and writes the same series to `BENCH_parallel_join.json`.
@@ -22,10 +24,12 @@ const REPS: usize = 3;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
+    let smoke = sj_bench::smoke_mode();
+    let (houses_n, lakes_n) = if smoke { (64, 64) } else { (HOUSES, LAKES) };
     let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
     let houses = generate(
         &WorkloadSpec {
-            count: HOUSES,
+            count: houses_n,
             world,
             kind: GeometryKind::Point,
             placement: Placement::Uniform,
@@ -36,7 +40,7 @@ fn main() {
     );
     let lakes = generate(
         &WorkloadSpec {
-            count: LAKES,
+            count: lakes_n,
             world,
             kind: GeometryKind::Polygon,
             placement: Placement::Uniform,
@@ -51,8 +55,8 @@ fn main() {
     let theta = ThetaOp::WithinDistance(10.0);
 
     println!(
-        "# parallel partition join, house-lake UNIFORM: |R|={HOUSES} points, \
-         |S|={LAKES} polygons, theta=WithinDistance(10), best of {REPS} runs"
+        "# parallel partition join, house-lake UNIFORM: |R|={houses_n} points, \
+         |S|={lakes_n} polygons, theta=WithinDistance(10), best of {REPS} runs"
     );
     println!(
         "# host reports {} available core(s)",
@@ -107,6 +111,10 @@ fn main() {
         speedup.points.push((threads as f64, sp));
     }
 
+    if smoke {
+        println!("# smoke mode: skipping BENCH_parallel_join.json");
+        return;
+    }
     let path = "BENCH_parallel_join.json";
     sj_bench::write_bench_json(path, &[wall, speedup]).expect("write bench json");
     println!("# wrote {path}");

@@ -1,0 +1,135 @@
+//! Nested-loop vs plane-sweep filter scaling: wall-clock and comparison
+//! counts for `sweep_join` against `nested_loop_join` on uniform
+//! point–rect workloads of growing size.
+//!
+//! Run: `cargo run --release -p sj-bench --bin sweep_scaling`
+//! (`--smoke` shrinks to n=64 and skips the JSON artifact — CI mode).
+//!
+//! Prints a CSV row per size and writes the series to
+//! `BENCH_sweep_join.json`. The match sets are asserted identical; the
+//! comparison counts are the cost model's `C_Θ`-priced units, so the
+//! crossover is directly interpretable: the sweep's `O(n log n + k)`
+//! filter must examine fewer pairs than the nested loop's `n·m` from the
+//! smallest size up, and win wall-clock once the workload outgrows
+//! constant overheads.
+
+use std::time::Instant;
+
+use sj_core::workload::{generate, GeometryKind, Placement, WorkloadSpec};
+use sj_costmodel::series::Series;
+use sj_geom::{Rect, ThetaOp};
+use sj_joins::nested_loop::nested_loop_join;
+use sj_joins::sweep::sweep_join;
+use sj_joins::StoredRelation;
+use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
+
+const SIZES: [usize; 3] = [1_000, 4_000, 16_000];
+const SMOKE_SIZES: [usize; 1] = [64];
+const REPS: usize = 3;
+
+fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    v
+}
+
+fn main() {
+    let smoke = sj_bench::smoke_mode();
+    let sizes: &[usize] = if smoke { &SMOKE_SIZES } else { &SIZES };
+    let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+    let theta = ThetaOp::WithinDistance(5.0);
+
+    println!(
+        "# plane-sweep vs nested-loop filter, uniform points vs rects, \
+         theta=WithinDistance(5), |R|=|S|=n, best of {REPS} runs"
+    );
+    println!("n,nested_ms,sweep_ms,nested_cmp,sweep_cmp,pairs");
+
+    let mut nested_ms = Series {
+        label: "nested_ms",
+        points: Vec::new(),
+    };
+    let mut sweep_ms = Series {
+        label: "sweep_ms",
+        points: Vec::new(),
+    };
+    let mut nested_cmp = Series {
+        label: "nested_comparisons",
+        points: Vec::new(),
+    };
+    let mut sweep_cmp = Series {
+        label: "sweep_comparisons",
+        points: Vec::new(),
+    };
+
+    for &n in sizes {
+        let points = generate(
+            &WorkloadSpec {
+                count: n,
+                world,
+                kind: GeometryKind::Point,
+                placement: Placement::Uniform,
+                max_extent: 0.0,
+                seed: 42,
+            },
+            0,
+        );
+        let rects = generate(
+            &WorkloadSpec {
+                count: n,
+                world,
+                kind: GeometryKind::Rect,
+                placement: Placement::Uniform,
+                max_extent: 8.0,
+                seed: 43,
+            },
+            1_000_000,
+        );
+        let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), 256);
+        let r = StoredRelation::build(&mut pool, &points, 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut pool, &rects, 300, Layout::Clustered);
+
+        let mut best = [f64::INFINITY; 2];
+        let mut runs = (None, None);
+        for _ in 0..REPS {
+            pool.clear();
+            pool.reset_stats();
+            let t0 = Instant::now();
+            let nl = nested_loop_join(&mut pool, &r, &s, theta);
+            best[0] = best[0].min(t0.elapsed().as_secs_f64() * 1e3);
+            pool.clear();
+            pool.reset_stats();
+            let t1 = Instant::now();
+            let sw = sweep_join(&mut pool, &r, &s, theta);
+            best[1] = best[1].min(t1.elapsed().as_secs_f64() * 1e3);
+            runs = (Some(nl), Some(sw));
+        }
+        let (nl, sw) = (runs.0.expect("REPS >= 1"), runs.1.expect("REPS >= 1"));
+        assert_eq!(
+            sorted(nl.pairs.clone()),
+            sorted(sw.pairs.clone()),
+            "sweep match set diverges from nested loop at n={n}"
+        );
+        println!(
+            "{n},{:.2},{:.2},{},{},{}",
+            best[0],
+            best[1],
+            nl.stats.comparisons(),
+            sw.stats.comparisons(),
+            sw.pairs.len()
+        );
+        let x = n as f64;
+        nested_ms.points.push((x, best[0]));
+        sweep_ms.points.push((x, best[1]));
+        nested_cmp.points.push((x, nl.stats.comparisons() as f64));
+        sweep_cmp.points.push((x, sw.stats.comparisons() as f64));
+    }
+
+    if smoke {
+        println!("# smoke mode: skipping BENCH_sweep_join.json");
+        return;
+    }
+    let path = "BENCH_sweep_join.json";
+    sj_bench::write_bench_json(path, &[nested_ms, sweep_ms, nested_cmp, sweep_cmp])
+        .expect("write bench json");
+    println!("# wrote {path}");
+}

@@ -8,6 +8,15 @@
 use sj_costmodel::series::Series;
 use sj_costmodel::ModelParams;
 
+/// True when the binary was invoked with `--smoke`: bench binaries
+/// shrink their workloads to a few dozen tuples and skip (re)writing
+/// committed `BENCH_*.json` artifacts, so `scripts/ci.sh` can execute
+/// every bin as a cheap runtime regression test — bench code can no
+/// longer bit-rot outside the test suite.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
 /// Prints the standard parameter header used by all figure binaries.
 pub fn print_params(params: &ModelParams) {
     println!(

@@ -8,11 +8,17 @@
 //! and `b` against the strict descendants of `a` — and seeds
 //! `QualPairs[j+1]` with the Θ-qualifying combinations of direct children.
 //!
-//! [`join`] is the verbatim level-synchronized formulation;
-//! [`join_depth_first`] is an equivalent depth-first reformulation that
-//! avoids the redundant Θ-evaluations of the embedded SELECT passes (both
-//! return the same match set — a property-tested invariant).
+//! [`join`] is the level-synchronized formulation, with one deviation
+//! from the paper's letter: for bounded-filter operators the child cross
+//! product `qual_a × qual_b` is seeded through a forward-scan plane
+//! sweep over the child MBRs ([`sj_geom::sweep`]) instead of a double
+//! loop, which prunes filter-failing pairs before they are ever visited
+//! (see [`seed_child_pairs`]). [`join_depth_first`] is an equivalent
+//! depth-first reformulation that avoids the redundant Θ-evaluations of
+//! the embedded SELECT passes. All variants return the same match set —
+//! a property-tested invariant.
 
+use sj_geom::sweep::{sweep_candidates, SweepItem};
 use sj_geom::{Geometry, ThetaOp};
 
 use crate::stats::TraversalStats;
@@ -169,16 +175,63 @@ pub fn join(
                     qual_b.push(b2);
                 }
             }
-            for &a2 in &qual_a {
-                for &b2 in &qual_b {
-                    next.push((a2, b2));
-                }
-            }
+            seed_child_pairs(tree_r, tree_s, &qual_a, &qual_b, theta, &mut out, &mut next);
         }
         qual_pairs = next;
         depth += 1;
     }
     out
+}
+
+/// Seeds the next level's QualPairs from the individually-qualifying
+/// children of a node pair.
+///
+/// The paper's formulation pushes the full cross product `qual_a ×
+/// qual_b` and lets the next level's Θ-filter discard non-qualifying
+/// pairs — quadratic in the fanout at every interior node pair. For
+/// operators with a bounded filter region ([`ThetaOp::filter_radius`])
+/// the same surviving set is produced by a forward-scan plane sweep over
+/// the child MBRs ([`sj_geom::sweep`]): only pairs passing the exact
+/// Θ-filter are seeded, so the next level skips the visits and filter
+/// evaluations the cross product would have wasted on them (sweep
+/// comparisons are charged to `filter_evals` in their place). Since a
+/// pair failing the Θ-filter contributes nothing downstream, the match
+/// set is unchanged. Directional predicates have unbounded filter
+/// regions and keep the verbatim cross product.
+fn seed_child_pairs(
+    tree_r: &GenTree,
+    tree_s: &GenTree,
+    qual_a: &[NodeId],
+    qual_b: &[NodeId],
+    theta: ThetaOp,
+    out: &mut JoinOutcome,
+    next: &mut Vec<(NodeId, NodeId)>,
+) {
+    match theta.filter_radius() {
+        Some(eps) => {
+            let mut left: Vec<SweepItem> = qual_a
+                .iter()
+                .enumerate()
+                .map(|(i, &a2)| SweepItem::expanded(i as u32, tree_r.mbr(a2), eps))
+                .collect();
+            let mut right: Vec<SweepItem> = qual_b
+                .iter()
+                .enumerate()
+                .map(|(j, &b2)| SweepItem::new(j as u32, tree_s.mbr(b2)))
+                .collect();
+            out.stats.filter_evals +=
+                sweep_candidates(&mut left, &mut right, theta, &mut |i, j| {
+                    next.push((qual_a[i as usize], qual_b[j as usize]));
+                });
+        }
+        None => {
+            for &a2 in qual_a {
+                for &b2 in qual_b {
+                    next.push((a2, b2));
+                }
+            }
+        }
+    }
 }
 
 /// Depth-first reformulation of Algorithm JOIN producing the identical

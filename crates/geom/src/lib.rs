@@ -45,6 +45,7 @@ pub mod polygon;
 pub mod polyline;
 pub mod rect;
 pub mod segment;
+pub mod sweep;
 pub mod theta;
 
 pub use geometry::{Bounded, Geometry};
@@ -53,6 +54,7 @@ pub use polygon::{Polygon, PolygonError};
 pub use polyline::{Polyline, PolylineError};
 pub use rect::Rect;
 pub use segment::Segment;
+pub use sweep::{sweep_candidates, SweepItem};
 pub use theta::{Direction, ThetaOp};
 
 /// Tolerance used by predicates that compare floating point coordinates for

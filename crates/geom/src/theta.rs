@@ -136,6 +136,26 @@ impl ThetaOp {
         }
     }
 
+    /// The L∞ radius by which the left MBR must be expanded so that the
+    /// Θ-filter region is covered by rectangle intersection:
+    /// `filter(a, b)` implies `a.expand(radius)` intersects `b`. This is
+    /// what makes an operator eligible for partitioned and plane-sweep
+    /// filtering ([`crate::sweep`]): a bounded radius means every
+    /// Θ-qualifying pair is found among expanded-rectangle overlaps.
+    /// Returns `None` for operators whose filter region is unbounded
+    /// (directional half-planes), which executors must serve with a
+    /// nested-loop fallback.
+    pub fn filter_radius(&self) -> Option<f64> {
+        match self {
+            // Euclidean min_distance ≤ d implies per-axis gap ≤ d.
+            ThetaOp::WithinCenterDistance(d) | ThetaOp::WithinDistance(d) => Some(d.max(0.0)),
+            ThetaOp::Overlaps | ThetaOp::Includes | ThetaOp::ContainedIn => Some(0.0),
+            ThetaOp::ReachableWithin { minutes, speed } => Some((minutes * speed).max(0.0)),
+            ThetaOp::Adjacent => Some(EPSILON),
+            ThetaOp::DirectionOf(_) => None,
+        }
+    }
+
     /// True if `θ(a, b) ⇔ θ(b, a)` for all inputs.
     pub fn is_symmetric(&self) -> bool {
         matches!(

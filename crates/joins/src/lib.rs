@@ -15,6 +15,7 @@
 //! | grid-file join (Rotem's index-supported baseline) | [`grid`] |
 //! | z-value B⁺-tree index (UB-tree style, §2.2) | [`zindex`] |
 //! | PBSM-style partition-parallel filter-and-refine | [`parallel::partition_join`] (plus [`parallel::parallel_tree_join`] for strategy II) |
+//! | forward-scan plane-sweep filter (sequential) | [`sweep::sweep_join`] |
 //!
 //! Every executor is validated (unit + property tests) to return exactly
 //! the same match set as the nested-loop reference.
@@ -30,6 +31,7 @@ pub mod parallel;
 pub mod relation;
 pub mod sort_merge;
 pub mod stats;
+pub mod sweep;
 pub mod tree_join;
 pub mod zindex;
 
@@ -39,4 +41,5 @@ pub use paged_tree::{ClusterOrder, PagedTree, TreeRelation};
 pub use parallel::{parallel_tree_join, partition_join, Parallelism};
 pub use relation::StoredRelation;
 pub use stats::{ExecStats, JoinRun, SelectRun};
+pub use sweep::sweep_join;
 pub use zindex::ZIndex;

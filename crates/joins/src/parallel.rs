@@ -6,15 +6,19 @@
 //! and deduplicates pairs that share several tiles with the
 //! *reference-point rule*: a candidate pair is refined only in the tile
 //! containing the lower-left corner of the intersection of its (expanded)
-//! MBRs. [`parallel_tree_join`] parallelizes Algorithm JOIN by splitting
-//! at the top-level subtrees of the R generalization tree.
+//! MBRs. The per-tile Θ-filter is a forward-scan plane sweep
+//! ([`sj_geom::sweep`]) rather than an all-pairs loop, so tile filter
+//! cost is `O(n log n + k)` in the tile size. [`parallel_tree_join`]
+//! parallelizes Algorithm JOIN by splitting at the top-level subtrees of
+//! the R generalization tree.
 //!
 //! Cost-model accounting under concurrency:
 //!
 //! * Every worker runs over a private [`BufferPool`] shard
 //!   ([`BufferPool::fork_view`]) whose counters are merged into the run's
 //!   [`ExecStats`] afterwards, so physical/logical I/O stays exact.
-//! * Comparison counts (`filter_evals`, `theta_evals`) depend only on the
+//! * Comparison counts (`filter_evals` — sweep comparisons since the
+//!   plane-sweep filter landed — and `theta_evals`) depend only on the
 //!   tile decomposition, which is a function of the data — **not** of the
 //!   thread count — so `threads = N` reports exactly the comparison
 //!   totals of `threads = 1` (a tested invariant). I/O counts may differ
@@ -27,7 +31,8 @@
 use std::collections::HashMap;
 use std::thread;
 
-use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp, EPSILON};
+use sj_geom::sweep::{sweep_candidates, SweepItem};
+use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
 use sj_storage::BufferPool;
 
 use crate::paged_tree::TreeRelation;
@@ -71,23 +76,6 @@ impl Parallelism {
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads >= 1, "parallelism needs at least one thread");
         Parallelism { threads }
-    }
-}
-
-/// The L∞ radius by which an R-side MBR must be expanded so that the
-/// Θ-filter region of `theta` is covered by rectangle intersection:
-/// `filter(a, b)` implies `a.expand(radius)` intersects `b`. Returns
-/// `None` for operators whose filter region is unbounded (directional
-/// half-planes), which [`partition_join`] handles with a chunk-parallel
-/// nested loop instead of tiling.
-fn filter_radius(theta: ThetaOp) -> Option<f64> {
-    match theta {
-        // Euclidean min_distance ≤ d implies per-axis gap ≤ d.
-        ThetaOp::WithinCenterDistance(d) | ThetaOp::WithinDistance(d) => Some(d.max(0.0)),
-        ThetaOp::Overlaps | ThetaOp::Includes | ThetaOp::ContainedIn => Some(0.0),
-        ThetaOp::ReachableWithin { minutes, speed } => Some((minutes * speed).max(0.0)),
-        ThetaOp::Adjacent => Some(EPSILON),
-        ThetaOp::DirectionOf(_) => None,
     }
 }
 
@@ -182,7 +170,7 @@ pub fn partition_join(
     theta: ThetaOp,
     par: Parallelism,
 ) -> JoinRun {
-    match filter_radius(theta) {
+    match theta.filter_radius() {
         Some(eps) => pbsm_join(pool, r, s, theta, par, eps),
         None => chunked_nested_loop(pool, r, s, theta, par),
     }
@@ -326,10 +314,13 @@ fn pbsm_join(
     run
 }
 
-/// Filter + refine for one tile. Geometries are fetched through `pool`
-/// only when a candidate survives the Θ-filter *and* the reference-point
-/// rule, and are cached per tile so each tuple is read at most once per
-/// tile it participates in.
+/// Filter + refine for one tile. The Θ-filter runs as a forward-scan
+/// plane sweep ([`sweep_candidates`]) over the tile's MBR lists instead
+/// of an all-pairs loop, so `filter_evals` counts sweep comparisons —
+/// still a pure function of the tile contents, hence thread-invariant.
+/// Geometries are fetched through `pool` only when a candidate survives
+/// the Θ-filter *and* the reference-point rule, and are cached per tile
+/// so each tuple is read at most once per tile it participates in.
 #[allow(clippy::too_many_arguments)]
 fn process_tile(
     tile: usize,
@@ -349,46 +340,58 @@ fn process_tile(
         filter_evals: 0,
         theta_evals: 0,
     };
+    // Expanded R-side MBRs, computed once per tile list: they drive both
+    // the sweep intervals and the reference-point rule, and must be the
+    // exact same rectangles used for tile assignment in `pbsm_join`.
+    let r_expanded: Vec<Rect> = r_list
+        .iter()
+        .map(|&i| r_mbrs[i as usize].1.expand(eps))
+        .collect();
+    let mut sweep_r: Vec<SweepItem> = r_list
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| {
+            SweepItem::with_sweep_rect(pos as u32, r_expanded[pos], r_mbrs[i as usize].1)
+        })
+        .collect();
+    let mut sweep_s: Vec<SweepItem> = s_list
+        .iter()
+        .enumerate()
+        .map(|(pos, &j)| SweepItem::new(pos as u32, s_mbrs[j as usize].1))
+        .collect();
+
     let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
     let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
-    for &i in r_list {
-        let (r_id, r_mbr) = r_mbrs[i as usize];
-        let r_expanded = r_mbr.expand(eps);
-        for &j in s_list {
-            let (s_id, s_mbr) = s_mbrs[j as usize];
-            out.filter_evals += 1;
-            if !theta.filter(&r_mbr, &s_mbr) {
-                continue;
-            }
-            // Reference-point rule: of all tiles this candidate pair
-            // shares, only the one containing the lower-left corner of
-            // the expanded-MBR intersection refines it. The intersection
-            // is non-empty whenever the filter passes (Euclidean
-            // min-distance ≤ eps bounds both axis gaps by eps); if
-            // floating-point rounding ever disagrees, the pair cannot be
-            // a true match either, so skipping it is sound.
-            let Some(inter) = r_expanded.intersection(&s_mbr) else {
-                continue;
-            };
-            if grid.tile_of_point(inter.lo) != tile {
-                continue;
-            }
-            out.theta_evals += 1;
-            let rg = r_geo
-                .entry(i)
-                .or_insert_with(|| r.read_at(pool, i as usize).1);
-            let matched = {
-                let rg = rg.clone();
-                let sg = s_geo
-                    .entry(j)
-                    .or_insert_with(|| s.read_at(pool, j as usize).1);
-                theta.eval(&rg, sg)
-            };
-            if matched {
-                out.pairs.push((r_id, s_id));
-            }
+    let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |pi, pj| {
+        let i = r_list[pi as usize];
+        let j = s_list[pj as usize];
+        let (r_id, _) = r_mbrs[i as usize];
+        let (s_id, s_mbr) = s_mbrs[j as usize];
+        // Reference-point rule: of all tiles this candidate pair shares,
+        // only the one containing the lower-left corner of the
+        // expanded-MBR intersection refines it. The intersection is
+        // non-empty whenever the filter passes (Euclidean min-distance
+        // ≤ eps bounds both axis gaps by eps); if floating-point rounding
+        // ever disagrees, the pair cannot be a true match either, so
+        // skipping it is sound.
+        let Some(inter) = r_expanded[pi as usize].intersection(&s_mbr) else {
+            return;
+        };
+        if grid.tile_of_point(inter.lo) != tile {
+            return;
         }
-    }
+        out.theta_evals += 1;
+        let rg = r_geo
+            .entry(i)
+            .or_insert_with(|| r.read_at(pool, i as usize).1);
+        let sg = s_geo
+            .entry(j)
+            .or_insert_with(|| s.read_at(pool, j as usize).1);
+        if theta.eval(rg, sg) {
+            out.pairs.push((r_id, s_id));
+        }
+    });
+    out.filter_evals = comparisons;
     out
 }
 

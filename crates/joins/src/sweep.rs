@@ -1,0 +1,202 @@
+//! Sequential plane-sweep join: the forward-scan filter of
+//! [`sj_geom::sweep`] applied to whole stored relations.
+//!
+//! [`sweep_join`] is strategy I's drop-in replacement for the filter
+//! step: one MBR-extraction scan per relation, one `O(n log n + k)`
+//! forward scan instead of the `O(n·m)` all-pairs Θ-filter, lazy
+//! geometry fetches for refinement. It has the same signature and
+//! returns exactly the same match set as
+//! [`nested_loop_join`](crate::nested_loop::nested_loop_join) for every
+//! θ-operator (property-tested), so the cost-model and bench layers can
+//! compare strategy I against the sweep directly. Directional predicates
+//! have unbounded Θ-filter regions ([`ThetaOp::filter_radius`] is
+//! `None`) and fall back to the nested loop.
+
+use std::collections::HashMap;
+
+use sj_geom::sweep::{sweep_candidates, SweepItem};
+use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
+use sj_storage::BufferPool;
+
+use crate::nested_loop::nested_loop_join;
+use crate::relation::StoredRelation;
+use crate::stats::JoinRun;
+
+/// Plane-sweep spatial join `R ⋈_θ S`.
+///
+/// `filter_evals` counts forward-scan comparisons (pairs whose
+/// x-intervals were examined), `theta_evals` exact refinements — the
+/// same units as the quadratic executors, so comparison counts are
+/// directly comparable.
+pub fn sweep_join(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+) -> JoinRun {
+    let Some(eps) = theta.filter_radius() else {
+        // Unbounded (directional) filter region: no sweep interval
+        // covers it; serve the operator with strategy I.
+        return nested_loop_join(pool, r, s, theta);
+    };
+    let before = pool.stats();
+    let mut run = JoinRun::default();
+    run.stats.passes = 1;
+
+    // One scan per relation to extract MBRs; geometries are re-fetched
+    // lazily during refinement (the filter/refine I/O split).
+    let r_mbrs: Vec<(u64, Rect)> = (0..r.len())
+        .map(|i| {
+            let (id, g) = r.read_at(pool, i);
+            (id, g.mbr())
+        })
+        .collect();
+    let s_mbrs: Vec<(u64, Rect)> = (0..s.len())
+        .map(|j| {
+            let (id, g) = s.read_at(pool, j);
+            (id, g.mbr())
+        })
+        .collect();
+
+    let mut sweep_r: Vec<SweepItem> = r_mbrs
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, mbr))| SweepItem::expanded(i as u32, mbr, eps))
+        .collect();
+    let mut sweep_s: Vec<SweepItem> = s_mbrs
+        .iter()
+        .enumerate()
+        .map(|(j, &(_, mbr))| SweepItem::new(j as u32, mbr))
+        .collect();
+
+    let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
+    let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
+    let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |i, j| {
+        run.stats.theta_evals += 1;
+        let rg = r_geo
+            .entry(i)
+            .or_insert_with(|| r.read_at(pool, i as usize).1);
+        let sg = s_geo
+            .entry(j)
+            .or_insert_with(|| s.read_at(pool, j as usize).1);
+        if theta.eval(rg, sg) {
+            run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0));
+        }
+    });
+    run.stats.filter_evals = comparisons;
+    run.stats.add_io(pool.stats().since(&before));
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geom::{Direction, Point};
+    use sj_storage::{Disk, DiskConfig, Layout};
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Disk::new(DiskConfig::paper()), frames)
+    }
+
+    fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministic mixed point/rect workload spread over the world.
+    fn mixed_rel(pool: &mut BufferPool, n: usize, id0: u64, salt: u64) -> StoredRelation {
+        let tuples: Vec<(u64, Geometry)> = (0..n)
+            .map(|i| {
+                let k = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                let x = (k % 1000) as f64;
+                let y = (k / 1000 % 1000) as f64;
+                let g = if i % 3 == 0 {
+                    Geometry::Point(Point::new(x, y))
+                } else {
+                    let w = (k % 23) as f64;
+                    let h = (k % 17) as f64;
+                    Geometry::Rect(Rect::from_bounds(x, y, x + w, y + h))
+                };
+                (id0 + i as u64, g)
+            })
+            .collect();
+        StoredRelation::build(pool, &tuples, 300, Layout::Clustered)
+    }
+
+    #[test]
+    fn sweep_join_matches_nested_loop_across_operators() {
+        let mut p = pool(64);
+        let r = mixed_rel(&mut p, 130, 0, 5);
+        let s = mixed_rel(&mut p, 110, 10_000, 77);
+        for theta in [
+            ThetaOp::WithinDistance(25.0),
+            ThetaOp::WithinCenterDistance(40.0),
+            ThetaOp::Overlaps,
+            ThetaOp::Includes,
+            ThetaOp::ContainedIn,
+            ThetaOp::Adjacent,
+            ThetaOp::ReachableWithin {
+                minutes: 10.0,
+                speed: 3.0,
+            },
+            ThetaOp::DirectionOf(Direction::SouthEast),
+        ] {
+            let want = sorted(nested_loop_join(&mut p, &r, &s, theta).pairs);
+            let got = sorted(sweep_join(&mut p, &r, &s, theta).pairs);
+            assert_eq!(got, want, "theta {theta:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_beats_nested_loop_comparisons_on_spread_data() {
+        let mut p = pool(64);
+        let r = mixed_rel(&mut p, 200, 0, 5);
+        let s = mixed_rel(&mut p, 200, 10_000, 77);
+        let theta = ThetaOp::Overlaps;
+        let nl = nested_loop_join(&mut p, &r, &s, theta);
+        let sw = sweep_join(&mut p, &r, &s, theta);
+        assert_eq!(sorted(nl.pairs), sorted(sw.pairs));
+        assert!(
+            sw.stats.comparisons() < nl.stats.comparisons() / 4,
+            "sweep {} vs nested {}",
+            sw.stats.comparisons(),
+            nl.stats.comparisons()
+        );
+    }
+
+    #[test]
+    fn refinement_io_is_lazy() {
+        // Disjoint clusters far apart: the sweep should refine nothing
+        // and touch only the MBR-extraction scans.
+        let mut p = pool(64);
+        let left: Vec<(u64, Geometry)> = (0..40)
+            .map(|i| (i, Geometry::Point(Point::new(i as f64, 0.0))))
+            .collect();
+        let right: Vec<(u64, Geometry)> = (0..40)
+            .map(|i| {
+                (
+                    1_000 + i,
+                    Geometry::Point(Point::new(10_000.0 + i as f64, 0.0)),
+                )
+            })
+            .collect();
+        let r = StoredRelation::build(&mut p, &left, 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut p, &right, 300, Layout::Clustered);
+        let run = sweep_join(&mut p, &r, &s, ThetaOp::WithinDistance(5.0));
+        assert!(run.pairs.is_empty());
+        assert_eq!(run.stats.theta_evals, 0);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut p = pool(16);
+        let empty = StoredRelation::build(&mut p, &[], 300, Layout::Clustered);
+        let r = mixed_rel(&mut p, 10, 0, 1);
+        assert!(sweep_join(&mut p, &empty, &r, ThetaOp::Overlaps)
+            .pairs
+            .is_empty());
+        assert!(sweep_join(&mut p, &r, &empty, ThetaOp::Overlaps)
+            .pairs
+            .is_empty());
+    }
+}

@@ -51,14 +51,20 @@ proptest! {
     fn parallel_join_equals_nested_loop(
         r_tuples in arb_tuples(0),
         s_tuples in arb_tuples(10_000),
-        theta_pick in 0usize..5,
+        theta_pick in 0usize..7,
     ) {
+        // All bounded-filter operators run the sweep-backed tile path;
+        // Adjacent and ReachableWithin were added when the plane-sweep
+        // kernel landed so its ε-gap rule is exercised at ε = EPSILON
+        // and ε = minutes·speed too.
         let theta = [
             ThetaOp::Overlaps,
             ThetaOp::WithinDistance(9.0),
             ThetaOp::Includes,
             ThetaOp::ContainedIn,
             ThetaOp::WithinCenterDistance(14.0),
+            ThetaOp::Adjacent,
+            ThetaOp::ReachableWithin { minutes: 4.0, speed: 2.0 },
         ][theta_pick];
 
         let mut p = pool();

@@ -19,4 +19,17 @@ cargo clippy -p sj-bench --all-targets --features microbench -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
+echo "==> bench binaries (smoke mode)"
+# Every bench bin must *run*, not just compile, so bench code can't
+# bit-rot outside the test suite. --smoke shrinks workloads to a few
+# dozen tuples and skips (re)writing the committed BENCH_*.json
+# artifacts; bins without size knobs are already tiny and ignore the
+# flag.
+cargo build --release -q -p sj-bench
+for bin in crates/bench/src/bin/*.rs; do
+    name="$(basename "$bin" .rs)"
+    echo "    -> $name --smoke"
+    "./target/release/$name" --smoke >/dev/null
+done
+
 echo "CI OK"
