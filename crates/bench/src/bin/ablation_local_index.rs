@@ -69,7 +69,7 @@ fn main() {
         };
         // Rebuild for the query so the extra tuple does not pollute it.
         let (idx, _) = LocalJoinIndex::build(&mut pool, &r, &s, theta, level, 100);
-        let run = idx.join();
+        let run = idx.join(&mut pool);
         match &reference {
             Some(want) => assert_eq!(&run.pairs, want, "level {level} result differs"),
             None => reference = Some(run.pairs.clone()),

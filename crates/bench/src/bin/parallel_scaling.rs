@@ -4,18 +4,22 @@
 //!
 //! Run: `cargo run --release -p sj-bench --bin parallel_scaling`
 //! (`--smoke` shrinks to 64 tuples per side and skips the JSON artifact
-//! — CI mode).
+//! — CI mode; `--trace out.jsonl` records per-phase/per-tile/per-worker
+//! spans of the last run at each thread count as JSONL).
 //!
 //! Prints a CSV of wall-clock milliseconds and speedup per thread count
-//! and writes the same series to `BENCH_parallel_join.json`.
+//! and writes the same series — plus a per-phase cost breakdown in the
+//! model's units — to `BENCH_parallel_join.json`.
 
 use std::time::Instant;
 
 use sj_core::workload::{generate, GeometryKind, Placement, WorkloadSpec};
 use sj_costmodel::series::Series;
+use sj_costmodel::ModelParams;
 use sj_geom::{Rect, ThetaOp};
-use sj_joins::parallel::{partition_join, Parallelism};
-use sj_joins::StoredRelation;
+use sj_joins::parallel::Parallelism;
+use sj_joins::{JoinOperands, JoinRequest, Phase, StoredRelation, Strategy, TraceSink};
+use sj_obs::CounterRegistry;
 use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
 
 const HOUSES: usize = 20_000;
@@ -23,8 +27,22 @@ const LAKES: usize = 2_000;
 const REPS: usize = 3;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Static per-phase series labels (Series carries `&'static str`).
+fn phase_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Partition => "partition_cost",
+        Phase::Filter => "filter_cost",
+        Phase::Refine => "refine_cost",
+        Phase::IndexProbe => "index_probe_cost",
+    }
+}
+
 fn main() {
     let smoke = sj_bench::smoke_mode();
+    let mut sink = match sj_bench::trace_path() {
+        Some(p) => TraceSink::file(&p).expect("open --trace file"),
+        None => TraceSink::Null,
+    };
     let (houses_n, lakes_n) = if smoke { (64, 64) } else { (HOUSES, LAKES) };
     let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
     let houses = generate(
@@ -53,6 +71,7 @@ fn main() {
     let r = StoredRelation::build(&mut pool, &houses, 300, Layout::Clustered);
     let s = StoredRelation::build(&mut pool, &lakes, 300, Layout::Clustered);
     let theta = ThetaOp::WithinDistance(10.0);
+    let ops = JoinOperands::flat(&r, &s, world);
 
     println!(
         "# parallel partition join, house-lake UNIFORM: |R|={houses_n} points, \
@@ -72,19 +91,48 @@ fn main() {
         label: "speedup",
         points: Vec::new(),
     };
+    let mut phase_series: Vec<Series> = Phase::ALL
+        .iter()
+        .map(|&p| Series {
+            label: phase_label(p),
+            points: Vec::new(),
+        })
+        .collect();
     let mut base_ms = 0.0;
     let mut base_pairs = usize::MAX;
     let mut base_comparisons = u64::MAX;
     for threads in THREADS {
         let par = Parallelism::with_threads(threads);
+        let mut exec = Strategy::Partition
+            .executor(&ops)
+            .expect("flat operands present");
         let mut best_ms = f64::INFINITY;
         let mut run = None;
-        for _ in 0..REPS {
+        for rep in 0..REPS {
             pool.clear();
             pool.reset_stats();
+            // Only the last rep is traced, so the timed reps pay nothing
+            // for instrumentation (TraceSink::Null short-circuits).
+            let req = if rep + 1 == REPS {
+                JoinRequest::new(theta)
+                    .with_parallelism(par)
+                    .with_trace(std::mem::take(&mut sink))
+            } else {
+                JoinRequest::new(theta).with_parallelism(par)
+            };
             let t0 = Instant::now();
-            let out = partition_join(&mut pool, &r, &s, theta, par);
+            let out = exec.execute(&req, &mut pool);
             best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            if rep + 1 == REPS {
+                sink = req.take_trace();
+            }
+            // Bench-smoke guard: per-phase deltas must sum exactly to
+            // the run's totals on every strategy (sealed invariant).
+            assert_eq!(
+                out.phases.total(),
+                out.stats,
+                "phase deltas must sum to run totals"
+            );
             run = Some(out);
         }
         let run = run.expect("REPS >= 1");
@@ -109,6 +157,20 @@ fn main() {
         );
         wall.points.push((threads as f64, best_ms));
         speedup.points.push((threads as f64, sp));
+        let prices = ModelParams::paper();
+        for (series, &phase) in phase_series.iter_mut().zip(Phase::ALL.iter()) {
+            let cost = run.phases.get(phase).cost(prices.c_theta, prices.c_io);
+            series.points.push((threads as f64, cost));
+        }
+    }
+
+    // Fold the pool's lifetime counters into the trace so a JSONL
+    // consumer sees storage-layer behavior next to the executor spans.
+    if sink.is_enabled() {
+        let mut reg = CounterRegistry::default();
+        pool.export_counters(&mut reg);
+        sink.emit("bufferpool", 0, reg.as_counters());
+        sink.flush().expect("flush trace");
     }
 
     if smoke {
@@ -116,6 +178,8 @@ fn main() {
         return;
     }
     let path = "BENCH_parallel_join.json";
-    sj_bench::write_bench_json(path, &[wall, speedup]).expect("write bench json");
+    let mut series = vec![wall, speedup];
+    series.extend(phase_series);
+    sj_bench::write_bench_json(path, &series).expect("write bench json");
     println!("# wrote {path}");
 }

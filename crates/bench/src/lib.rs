@@ -17,6 +17,20 @@ pub fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
 }
 
+/// The argument of `--trace <path>`, when the binary was invoked with
+/// one: bench binaries that support it open a JSONL
+/// [`TraceSink`](sj_obs::TraceSink) there and record per-phase spans for
+/// their measured runs.
+pub fn trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next();
+        }
+    }
+    None
+}
+
 /// Prints the standard parameter header used by all figure binaries.
 pub fn print_params(params: &ModelParams) {
     println!(

@@ -18,9 +18,8 @@ use sj_costmodel::yao::yao;
 use sj_gentree::balanced::build_balanced;
 use sj_gentree::{join as gt_join, select as gt_select};
 use sj_geom::{Geometry, Rect, ThetaOp};
-use sj_joins::nested_loop::nested_loop_join;
-use sj_joins::tree_join::{tree_join, tree_select, TraversalOrder};
-use sj_joins::{StoredRelation, TreeRelation};
+use sj_joins::tree_join::{tree_select, TraversalOrder};
+use sj_joins::{JoinOperands, JoinRequest, StoredRelation, Strategy, TreeRelation};
 use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
 
 /// One predicted/measured pair.
@@ -293,7 +292,14 @@ pub fn validate_join(k: usize, n: usize, radius: f64, seed: u64) -> ValidationRe
     );
     pool.clear();
     pool.reset_stats();
-    let nl = nested_loop_join(&mut pool, &r_flat, &s_flat, theta);
+    // All executors below dispatch through the unified Strategy surface;
+    // with a sequential, untraced request each is exactly its legacy
+    // free-function twin.
+    let flat_ops = JoinOperands::flat(&r_flat, &s_flat, world);
+    let nl = Strategy::NestedLoop
+        .executor(&flat_ops)
+        .expect("flat operands present")
+        .execute(&JoinRequest::new(theta), &mut pool);
     let passes = (total_nodes / (m * (mem_pages as f64 - 10.0))).ceil();
     report.push(
         "I: page reads ((passes+1)·⌈N/m⌉)",
@@ -342,7 +348,10 @@ pub fn validate_join(k: usize, n: usize, radius: f64, seed: u64) -> ValidationRe
         let ts = TreeRelation::new(&mut pool, tree_s.clone(), RECORD_SIZE, layout);
         pool.clear();
         pool.reset_stats();
-        let run = tree_join(&mut pool, &tr, &ts, theta);
+        let run = Strategy::Tree
+            .executor(&JoinOperands::trees(&tr, &ts, world))
+            .expect("tree operands present")
+            .execute(&JoinRequest::new(theta), &mut pool);
         let predicted = predict(&seen_r, clustered) + predict(&seen_s, clustered);
         report.push(
             format!("{label}: page reads (Σ Yao per level)"),
@@ -373,7 +382,10 @@ pub fn validate_join(k: usize, n: usize, radius: f64, seed: u64) -> ValidationRe
         RECORD_SIZE,
         Layout::Clustered,
     );
-    let stored = tree_join(&mut stored_pool, &tr, &ts, theta);
+    let stored = Strategy::Tree
+        .executor(&JoinOperands::trees(&tr, &ts, world))
+        .expect("tree operands present")
+        .execute(&JoinRequest::new(theta), &mut stored_pool);
     report.push(
         "II: Θ+θ comparisons (dry vs stored)",
         (dry.stats.filter_evals + dry.stats.theta_evals) as f64,

@@ -56,6 +56,7 @@ fn select_subtree(
         on_visit(node);
         stats.visit(depth);
         stats.filter_evals += 1;
+        stats.eval_at(depth, 1);
         let node_mbr = tree.mbr(node);
         let passes = if o_is_left {
             theta.filter(o_mbr, &node_mbr)
@@ -68,6 +69,7 @@ fn select_subtree(
         if !is_start {
             if let Some(entry) = tree.entry(node) {
                 stats.theta_evals += 1;
+                stats.eval_at(depth, 1);
                 let matched = if o_is_left {
                     theta.eval(o, &entry.geometry)
                 } else {
@@ -112,6 +114,7 @@ pub fn join(
             on_visit_s(b);
             out.stats.visit(depth);
             out.stats.filter_evals += 1;
+            out.stats.eval_at(depth, 1);
             let (a_mbr, b_mbr) = (tree_r.mbr(a), tree_s.mbr(b));
             if !theta.filter(&a_mbr, &b_mbr) {
                 continue;
@@ -120,6 +123,7 @@ pub fn join(
             // JOIN3 [Check for θ-match].
             if let (Some(ea), Some(eb)) = (tree_r.entry(a), tree_s.entry(b)) {
                 out.stats.theta_evals += 1;
+                out.stats.eval_at(depth, 1);
                 if theta.eval(&ea.geometry, &eb.geometry) {
                     out.pairs.push((ea.id, eb.id));
                 }
@@ -164,6 +168,7 @@ pub fn join(
             let mut qual_a: Vec<NodeId> = Vec::new();
             for &a2 in tree_r.children(a) {
                 out.stats.filter_evals += 1;
+                out.stats.eval_at(depth, 1);
                 if theta.filter(&tree_r.mbr(a2), &b_mbr) {
                     qual_a.push(a2);
                 }
@@ -171,11 +176,14 @@ pub fn join(
             let mut qual_b: Vec<NodeId> = Vec::new();
             for &b2 in tree_s.children(b) {
                 out.stats.filter_evals += 1;
+                out.stats.eval_at(depth, 1);
                 if theta.filter(&a_mbr, &tree_s.mbr(b2)) {
                     qual_b.push(b2);
                 }
             }
-            seed_child_pairs(tree_r, tree_s, &qual_a, &qual_b, theta, &mut out, &mut next);
+            seed_child_pairs(
+                tree_r, tree_s, &qual_a, &qual_b, theta, depth, &mut out, &mut next,
+            );
         }
         qual_pairs = next;
         depth += 1;
@@ -197,13 +205,16 @@ pub fn join(
 /// comparisons are charged to `filter_evals` in their place). Since a
 /// pair failing the Θ-filter contributes nothing downstream, the match
 /// set is unchanged. Directional predicates have unbounded filter
-/// regions and keep the verbatim cross product.
+/// regions and keep the verbatim cross product. Sweep comparisons are
+/// charged at the parent pair's `depth` in the per-level histogram.
+#[allow(clippy::too_many_arguments)]
 fn seed_child_pairs(
     tree_r: &GenTree,
     tree_s: &GenTree,
     qual_a: &[NodeId],
     qual_b: &[NodeId],
     theta: ThetaOp,
+    depth: usize,
     out: &mut JoinOutcome,
     next: &mut Vec<(NodeId, NodeId)>,
 ) {
@@ -219,10 +230,11 @@ fn seed_child_pairs(
                 .enumerate()
                 .map(|(j, &b2)| SweepItem::new(j as u32, tree_s.mbr(b2)))
                 .collect();
-            out.stats.filter_evals +=
-                sweep_candidates(&mut left, &mut right, theta, &mut |i, j| {
-                    next.push((qual_a[i as usize], qual_b[j as usize]));
-                });
+            let swept = sweep_candidates(&mut left, &mut right, theta, &mut |i, j| {
+                next.push((qual_a[i as usize], qual_b[j as usize]));
+            });
+            out.stats.filter_evals += swept;
+            out.stats.eval_at(depth, swept);
         }
         None => {
             for &a2 in qual_a {
@@ -307,12 +319,14 @@ fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize) {
     (ctx.on_visit_s)(b);
     ctx.out.stats.visit(depth);
     ctx.out.stats.filter_evals += 1;
+    ctx.out.stats.eval_at(depth, 1);
     let (a_mbr, b_mbr) = (ctx.tree_r.mbr(a), ctx.tree_s.mbr(b));
     if !ctx.theta.filter(&a_mbr, &b_mbr) {
         return;
     }
     if let (Some(ea), Some(eb)) = (ctx.tree_r.entry(a), ctx.tree_s.entry(b)) {
         ctx.out.stats.theta_evals += 1;
+        ctx.out.stats.eval_at(depth, 1);
         if ctx.theta.eval(&ea.geometry, &eb.geometry) {
             ctx.out.pairs.push((ea.id, eb.id));
         }
@@ -343,11 +357,13 @@ fn fixed_left(
     (ctx.on_visit_s)(c);
     ctx.out.stats.visit(depth);
     ctx.out.stats.filter_evals += 1;
+    ctx.out.stats.eval_at(depth, 1);
     if !ctx.theta.filter(o_mbr, &ctx.tree_s.mbr(c)) {
         return;
     }
     if let Some(ec) = ctx.tree_s.entry(c) {
         ctx.out.stats.theta_evals += 1;
+        ctx.out.stats.eval_at(depth, 1);
         if ctx.theta.eval(o, &ec.geometry) {
             ctx.out.pairs.push((a_id, ec.id));
         }
@@ -545,6 +561,35 @@ mod tests {
         assert_eq!(inc, vec![(1, 9)]);
         let cont = join(&tr, &ts, ThetaOp::ContainedIn, |_| {}, |_| {}).pairs;
         assert!(cont.is_empty());
+    }
+
+    #[test]
+    fn per_level_evals_sum_to_comparisons() {
+        let world = Rect::from_bounds(0.0, 0.0, 100.0, 100.0);
+        let r_pts: Vec<(u64, f64, f64)> = (0..25)
+            .map(|i| (i, (i % 5) as f64 * 20.0, (i / 5) as f64 * 20.0))
+            .collect();
+        let s_pts: Vec<(u64, f64, f64)> = (0..25)
+            .map(|i| (i + 100, (i % 5) as f64 * 20.0 + 3.0, (i / 5) as f64 * 20.0))
+            .collect();
+        let tr = point_tree(&r_pts, world, 4);
+        let ts = point_tree(&s_pts, world, 6);
+        for theta in [
+            ThetaOp::WithinDistance(5.0),
+            ThetaOp::DirectionOf(sj_geom::Direction::NorthWest),
+            ThetaOp::Overlaps,
+        ] {
+            for out in [
+                join(&tr, &ts, theta, |_| {}, |_| {}),
+                join_depth_first(&tr, &ts, theta, |_| {}, |_| {}),
+            ] {
+                assert_eq!(
+                    out.stats.evals_per_level.iter().sum::<u64>(),
+                    out.stats.comparisons(),
+                    "per-level eval histogram must cover all comparisons ({theta:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub struct TraversalStats {
     /// Nodes visited per tree level (index = depth), for comparison with
     /// the per-height terms `π·k^{i+1}` of the model.
     pub visited_per_level: Vec<u64>,
+    /// Comparison work (Θ-filter + θ) charged per tree level (index =
+    /// depth of the node pair under comparison). Populated by the join
+    /// traversals; selection keeps it empty. Feeds the per-level trace
+    /// spans of the observability layer.
+    pub evals_per_level: Vec<u64>,
 }
 
 impl TraversalStats {
@@ -33,6 +38,16 @@ impl TraversalStats {
         self.visited_per_level[depth] += 1;
     }
 
+    /// Charges `n` comparison evaluations to `depth` (per-level
+    /// accounting only — callers bump `filter_evals`/`theta_evals`
+    /// themselves).
+    pub(crate) fn eval_at(&mut self, depth: usize, n: u64) {
+        if self.evals_per_level.len() <= depth {
+            self.evals_per_level.resize(depth + 1, 0);
+        }
+        self.evals_per_level[depth] += n;
+    }
+
     /// Merges another traversal's counters into this one.
     pub fn absorb(&mut self, other: &TraversalStats) {
         self.filter_evals += other.filter_evals;
@@ -44,6 +59,12 @@ impl TraversalStats {
         }
         for (i, v) in other.visited_per_level.iter().enumerate() {
             self.visited_per_level[i] += v;
+        }
+        if self.evals_per_level.len() < other.evals_per_level.len() {
+            self.evals_per_level.resize(other.evals_per_level.len(), 0);
+        }
+        for (i, v) in other.evals_per_level.iter().enumerate() {
+            self.evals_per_level[i] += v;
         }
     }
 }
@@ -69,18 +90,30 @@ mod tests {
             theta_evals: 2,
             nodes_visited: 3,
             visited_per_level: vec![1, 2],
+            evals_per_level: vec![3],
         };
         let b = TraversalStats {
             filter_evals: 10,
             theta_evals: 20,
             nodes_visited: 30,
             visited_per_level: vec![0, 1, 5],
+            evals_per_level: vec![1, 4],
         };
         a.absorb(&b);
         assert_eq!(a.filter_evals, 11);
         assert_eq!(a.theta_evals, 22);
         assert_eq!(a.nodes_visited, 33);
         assert_eq!(a.visited_per_level, vec![1, 3, 5]);
+        assert_eq!(a.evals_per_level, vec![4, 4]);
         assert_eq!(a.comparisons(), 33);
+    }
+
+    #[test]
+    fn eval_at_tracks_levels() {
+        let mut s = TraversalStats::default();
+        s.eval_at(1, 2);
+        s.eval_at(3, 1);
+        s.eval_at(1, 1);
+        assert_eq!(s.evals_per_level, vec![0, 3, 0, 1]);
     }
 }

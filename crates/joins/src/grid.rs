@@ -11,10 +11,11 @@
 use std::collections::HashSet;
 
 use sj_geom::{Bounded, Rect, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
 use crate::relation::StoredRelation;
-use crate::stats::JoinRun;
+use crate::stats::{ExecStats, JoinRun};
 
 /// Grid geometry for [`grid_join`].
 #[derive(Debug, Clone, Copy)]
@@ -70,11 +71,32 @@ pub fn grid_join(
     config: GridConfig,
     theta: ThetaOp,
 ) -> JoinRun {
+    grid_join_traced(pool, r, s, config, theta, &mut TraceSink::Null)
+}
+
+/// [`grid_join`] with phase instrumentation: the scans plus cell
+/// bucketing are the `partition` phase, cell-probing the `filter` phase
+/// (cell co-residency needs no per-pair comparisons, so it carries only
+/// wall-clock time), exact θ-tests the `refine` phase.
+pub fn grid_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    config: GridConfig,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> JoinRun {
     let slack = filter_slack(theta).unwrap_or_else(|| {
         panic!("grid join cannot support {theta:?}: its filter region is unbounded")
     });
-    let before = pool.stats();
+    let mut timer = PhaseTimer::for_sink(trace);
+    timer.enter(Phase::Partition);
+    let window = pool.stats();
     let mut run = JoinRun::default();
+    let mut partition = ExecStats {
+        passes: 1,
+        ..Default::default()
+    };
 
     let r_rows = r.scan(pool);
     let s_rows = s.scan(pool);
@@ -92,8 +114,12 @@ pub fn grid_join(
         }
     }
 
+    partition.add_io(pool.stats().since(&window));
+    run.phases.record(Phase::Partition, partition);
+
     // Probe with R, expanding by the filter slack so distance matches
     // land in a shared cell.
+    timer.enter(Phase::Filter);
     let mut candidates: HashSet<(usize, usize)> = HashSet::new();
     for (r_idx, (_, g)) in r_rows.iter().enumerate() {
         let probe = g.mbr().expand(slack);
@@ -108,18 +134,21 @@ pub fn grid_join(
         }
     }
 
+    timer.enter(Phase::Refine);
+    let mut refine = ExecStats::default();
     let mut pairs: Vec<(usize, usize)> = candidates.into_iter().collect();
     pairs.sort_unstable();
     for (ri, si) in pairs {
-        run.stats.theta_evals += 1;
+        refine.theta_evals += 1;
         let (r_id, r_geom) = &r_rows[ri];
         let (s_id, s_geom) = &s_rows[si];
         if theta.eval(r_geom, s_geom) {
             run.pairs.push((*r_id, *s_id));
         }
     }
-    run.stats.passes = 1;
-    run.stats.add_io(pool.stats().since(&before));
+    timer.stop();
+    run.phases.record(Phase::Refine, refine);
+    run.seal("grid", &timer, trace);
     run
 }
 

@@ -12,6 +12,7 @@
 
 use sj_btree::BPlusTree;
 use sj_geom::{Geometry, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
 use crate::relation::StoredRelation;
@@ -79,9 +80,26 @@ impl JoinIndex {
     /// Computes the full join from the index: read the index (leaf chain)
     /// and fetch every matching tuple pair through the pool.
     pub fn join(&self, pool: &mut BufferPool, r: &StoredRelation, s: &StoredRelation) -> JoinRun {
-        let before = pool.stats();
+        self.join_traced(pool, r, s, &mut TraceSink::Null)
+    }
+
+    /// [`join`](JoinIndex::join) with phase instrumentation: index node
+    /// accesses are the `index-probe` phase, tuple fetches the `refine`
+    /// phase (strategy III does zero comparison work at query time).
+    pub fn join_traced(
+        &self,
+        pool: &mut BufferPool,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        trace: &mut TraceSink,
+    ) -> JoinRun {
+        let mut timer = PhaseTimer::for_sink(trace);
+        timer.enter(Phase::IndexProbe);
+        let window = pool.stats();
         self.forward.reset_accesses();
         let mut run = JoinRun::default();
+        timer.enter(Phase::Refine);
+        let mut refine = ExecStats::default();
         for ((r_id, s_id), ()) in self.forward.iter_all() {
             // Fetch the joined tuples — the buffer pool plays the role of
             // the model's (M − 10)-page memory window.
@@ -89,9 +107,18 @@ impl JoinIndex {
             let _ = s.read_by_id(pool, s_id);
             run.pairs.push((r_id, s_id));
         }
-        run.stats.add_io(pool.stats().since(&before));
-        run.stats.physical_reads += self.forward.accesses();
-        run.stats.passes = 1;
+        refine.add_io(pool.stats().since(&window));
+        timer.stop();
+        run.phases.record(
+            Phase::IndexProbe,
+            ExecStats {
+                physical_reads: self.forward.accesses(),
+                passes: 1,
+                ..Default::default()
+            },
+        );
+        run.phases.record(Phase::Refine, refine);
+        run.seal("join_index", &timer, trace);
         run
     }
 

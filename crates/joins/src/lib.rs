@@ -20,8 +20,40 @@
 //! Every executor is validated (unit + property tests) to return exactly
 //! the same match set as the nested-loop reference.
 //!
+//! ## The unified executor API
+//!
+//! All nine strategies are also reachable through one surface: build a
+//! [`JoinRequest`] (θ, parallelism, optional trace sink), pick a
+//! [`Strategy`], and run [`JoinExecutor::execute`] over
+//! [`JoinOperands`]. This is what the experiment harness and benchmark
+//! bins dispatch through; the free functions below remain as thin
+//! low-level entry points.
+//!
+//! ## Call conventions
+//!
+//! Every join entry point follows one convention: **the [`BufferPool`]
+//! is the first argument (or the first after `&self`), operands follow
+//! in `R`-before-`S` order, θ comes after the operands.** Index-backed
+//! joins take the pool too, even when the index can answer from its own
+//! structures (e.g. [`LocalJoinIndex::join`]) — all I/O accounting flows
+//! through one pool argument at one position:
+//!
+//! | Entry point | Shape |
+//! |---|---|
+//! | free functions | `join(pool, r, s, theta)` |
+//! | [`JoinIndex::join`] | `join(&self, pool, r, s)` (θ fixed at build) |
+//! | [`LocalJoinIndex::join`] | `join(&self, pool)` (operands and θ fixed at build) |
+//! | [`ZIndex::join`] | `join(&self, pool, r, s, theta)` |
+//! | [`JoinExecutor::execute`] | `execute(&mut self, req, pool)` |
+//!
+//! Every entry point also has a `*_traced` twin taking a trailing
+//! `&mut TraceSink` ([`sj_obs`]) that emits per-phase spans; the
+//! untraced form is a forwarding wrapper passing [`TraceSink::Null`].
+//!
 //! [`Layout`]: sj_storage::Layout
+//! [`BufferPool`]: sj_storage::BufferPool
 
+pub mod executor;
 pub mod grid;
 pub mod join_index;
 pub mod local_index;
@@ -35,11 +67,13 @@ pub mod sweep;
 pub mod tree_join;
 pub mod zindex;
 
+pub use executor::{JoinExecutor, JoinOperands, JoinRequest, Strategy};
 pub use join_index::JoinIndex;
 pub use local_index::LocalJoinIndex;
 pub use paged_tree::{ClusterOrder, PagedTree, TreeRelation};
 pub use parallel::{parallel_tree_join, partition_join, Parallelism};
 pub use relation::StoredRelation;
-pub use stats::{ExecStats, JoinRun, SelectRun};
+pub use sj_obs::{Phase, PhaseTimer, TraceEvent, TraceSink};
+pub use stats::{ExecStats, JoinRun, PhaseStats, SelectRun};
 pub use sweep::sweep_join;
 pub use zindex::ZIndex;

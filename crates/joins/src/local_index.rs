@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use sj_btree::BPlusTree;
 use sj_gentree::{GenTree, NodeId};
 use sj_geom::{Bounded, Geometry, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
 use crate::paged_tree::TreeRelation;
@@ -177,18 +178,39 @@ impl LocalJoinIndex {
 
     /// The full join: unions all local indices, charging one simulated
     /// page read per B⁺-tree node visited.
-    pub fn join(&self) -> JoinRun {
+    ///
+    /// The pool parameter exists for call-surface consistency with every
+    /// other executor (and any future spill of local indices to heap
+    /// pages); the union itself reads only index nodes, so the pool
+    /// window normally contributes nothing.
+    pub fn join(&self, pool: &mut BufferPool) -> JoinRun {
+        self.join_traced(pool, &mut TraceSink::Null)
+    }
+
+    /// [`join`](LocalJoinIndex::join) with phase instrumentation: the
+    /// whole union is `index-probe` work.
+    pub fn join_traced(&self, pool: &mut BufferPool, trace: &mut TraceSink) -> JoinRun {
+        let mut timer = PhaseTimer::for_sink(trace);
+        timer.enter(Phase::IndexProbe);
+        let window = pool.stats();
         let mut run = JoinRun::default();
+        let mut probe = ExecStats {
+            passes: 1,
+            ..Default::default()
+        };
         for local in self.partitions.values() {
             local.reset_accesses();
             for (pair, ()) in local.iter_all() {
                 run.pairs.push(pair);
             }
-            run.stats.physical_reads += local.accesses();
+            probe.physical_reads += local.accesses();
         }
         run.pairs.sort_unstable();
         run.pairs.dedup(); // overlapping subtrees can duplicate pairs
-        run.stats.passes = 1;
+        probe.add_io(pool.stats().since(&window));
+        timer.stop();
+        run.phases.record(Phase::IndexProbe, probe);
+        run.seal("local_index", &timer, trace);
         run
     }
 
@@ -293,7 +315,7 @@ mod tests {
 
         for level in 0..=3 {
             let (idx, _) = LocalJoinIndex::build(&mut p, &r, &s, theta, level, 16);
-            let got = idx.join().pairs;
+            let got = idx.join(&mut p).pairs;
             assert_eq!(got, reference, "level {level}");
         }
     }
@@ -351,7 +373,7 @@ mod tests {
             local_maint.theta_evals
         );
         // And the resulting join includes the new match.
-        let joined = local.join().pairs;
+        let joined = local.join(&mut p).pairs;
         assert!(joined.contains(&(9999, 1044)));
     }
 
@@ -367,7 +389,7 @@ mod tests {
 
         let new_geom = Geometry::Point(Point::new(20.5, 30.5)); // on top of an S point
         idx.maintain_insert_r(&r.tree, &s.tree, 777, &new_geom);
-        let mut incremental = idx.join().pairs;
+        let mut incremental = idx.join(&mut p).pairs;
         incremental.sort_unstable();
 
         // Rebuild from scratch with the extra R tuple.
@@ -375,7 +397,7 @@ mod tests {
         r_all.push((777, new_geom));
         let r2 = tree_rel(&mut p, r_all.clone());
         let (fresh, _) = LocalJoinIndex::build(&mut p, &r2, &s, theta, 1, 16);
-        let mut rebuilt = fresh.join().pairs;
+        let mut rebuilt = fresh.join(&mut p).pairs;
         rebuilt.sort_unstable();
         assert_eq!(incremental, rebuilt);
         assert!(incremental.iter().any(|&(a, _)| a == 777));
@@ -419,6 +441,6 @@ mod tests {
         let mut want = nested_loop_join(&mut p, &flat_r, &flat_s, theta).pairs;
         want.sort_unstable();
         let (idx, _) = LocalJoinIndex::build(&mut p, &r, &s, theta, 1, 16);
-        assert_eq!(idx.join().pairs, want);
+        assert_eq!(idx.join(&mut p).pairs, want);
     }
 }

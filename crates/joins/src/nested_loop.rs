@@ -6,10 +6,11 @@
 //! of `R`, scan `S` once per chunk.
 
 use sj_geom::{Geometry, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
 use crate::relation::StoredRelation;
-use crate::stats::{JoinRun, SelectRun};
+use crate::stats::{ExecStats, JoinRun, SelectRun};
 
 /// Block nested-loop join `R ⋈_θ S`. The chunk size is
 /// `(pool capacity − 10) · m` tuples, mirroring `m · (M − 10)` in `D_I`.
@@ -19,8 +20,22 @@ pub fn nested_loop_join(
     s: &StoredRelation,
     theta: ThetaOp,
 ) -> JoinRun {
-    let before = pool.stats();
+    nested_loop_join_traced(pool, r, s, theta, &mut TraceSink::Null)
+}
+
+/// [`nested_loop_join`] with phase instrumentation: chunk loads are the
+/// `partition` phase, the S-scan with its θ-tests the `refine` phase.
+pub fn nested_loop_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> JoinRun {
+    let mut timer = PhaseTimer::for_sink(trace);
     let mut run = JoinRun::default();
+    let mut partition = ExecStats::default();
+    let mut refine = ExecStats::default();
 
     let m = r.tuples_per_page();
     let chunk_tuples = (pool.capacity().saturating_sub(10)).max(1) * m;
@@ -29,21 +44,30 @@ pub fn nested_loop_join(
     while start < r.len() {
         let end = (start + chunk_tuples).min(r.len());
         // Load the R chunk into (executor) memory.
+        timer.enter(Phase::Partition);
+        let window = pool.stats();
         let chunk: Vec<(u64, Geometry)> = (start..end).map(|i| r.read_at(pool, i)).collect();
-        run.stats.passes += 1;
+        partition.add_io(pool.stats().since(&window));
+        partition.passes += 1;
         // Scan all of S against the resident chunk.
+        timer.enter(Phase::Refine);
+        let window = pool.stats();
         for j in 0..s.len() {
             let (s_id, s_geom) = s.read_at(pool, j);
             for (r_id, r_geom) in &chunk {
-                run.stats.theta_evals += 1;
+                refine.theta_evals += 1;
                 if theta.eval(r_geom, &s_geom) {
                     run.pairs.push((*r_id, s_id));
                 }
             }
         }
+        refine.add_io(pool.stats().since(&window));
         start = end;
     }
-    run.stats.add_io(pool.stats().since(&before));
+    timer.stop();
+    run.phases.record(Phase::Partition, partition);
+    run.phases.record(Phase::Refine, refine);
+    run.seal("nested_loop", &timer, trace);
     run
 }
 

@@ -30,15 +30,17 @@
 
 use std::collections::HashMap;
 use std::thread;
+use std::time::Instant;
 
 use sj_geom::sweep::{sweep_candidates, SweepItem};
 use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
 use crate::paged_tree::TreeRelation;
 use crate::relation::StoredRelation;
-use crate::stats::JoinRun;
-use crate::tree_join::tree_join;
+use crate::stats::{ExecStats, JoinRun};
+use crate::tree_join::tree_join_traced;
 
 /// Degree of parallelism for the executors in this module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,11 +152,15 @@ fn tiles_per_axis(total_tuples: usize) -> usize {
     ((total_tuples as f64 / 32.0).sqrt().ceil() as usize).clamp(2, 64)
 }
 
-/// Matches and comparison counters produced by one tile.
+/// Matches and comparison counters produced by one tile (or one
+/// nested-loop chunk). `dur_us` is the tile's wall-clock span, measured
+/// only when a trace sink is attached — with [`TraceSink::Null`] no
+/// clock is ever read.
 struct TileOut {
     pairs: Vec<(u64, u64)>,
     filter_evals: u64,
     theta_evals: u64,
+    dur_us: u64,
 }
 
 /// PBSM-style parallel spatial join `R ⋈_θ S`.
@@ -170,9 +176,28 @@ pub fn partition_join(
     theta: ThetaOp,
     par: Parallelism,
 ) -> JoinRun {
+    partition_join_traced(pool, r, s, theta, par, &mut TraceSink::Null)
+}
+
+/// [`partition_join`] with phase instrumentation. The MBR scans and tile
+/// decomposition are the `partition` phase; the fanned-out Θ-filter
+/// sweeps are the `filter` phase; exact θ-tests plus lazy geometry
+/// fetches (worker-shard I/O included) are the `refine` phase. When the
+/// sink is live, each tile additionally emits a
+/// `partition_join/tile:<t>` span and each worker a
+/// `partition_join/worker:<w>` span, in deterministic tile/worker order
+/// regardless of the thread count.
+pub fn partition_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+    trace: &mut TraceSink,
+) -> JoinRun {
     match theta.filter_radius() {
-        Some(eps) => pbsm_join(pool, r, s, theta, par, eps),
-        None => chunked_nested_loop(pool, r, s, theta, par),
+        Some(eps) => pbsm_join(pool, r, s, theta, par, eps, trace),
+        None => chunked_nested_loop(pool, r, s, theta, par, trace),
     }
 }
 
@@ -183,10 +208,17 @@ fn pbsm_join(
     theta: ThetaOp,
     par: Parallelism,
     eps: f64,
+    trace: &mut TraceSink,
 ) -> JoinRun {
-    let before = pool.stats();
+    let mut timer = PhaseTimer::for_sink(trace);
+    let timed = trace.is_enabled();
+    timer.enter(Phase::Partition);
+    let window = pool.stats();
     let mut run = JoinRun::default();
-    run.stats.passes = 1;
+    let mut partition = ExecStats {
+        passes: 1,
+        ..Default::default()
+    };
 
     // Phase 1 (sequential): one scan per relation to extract MBRs. These
     // stay in executor memory for the filter step; geometries are
@@ -204,7 +236,10 @@ fn pbsm_join(
         })
         .collect();
     if r_mbrs.is_empty() || s_mbrs.is_empty() {
-        run.stats.add_io(pool.stats().since(&before));
+        partition.add_io(pool.stats().since(&window));
+        timer.stop();
+        run.phases.record(Phase::Partition, partition);
+        run.seal("partition_join", &timer, trace);
         return run;
     }
 
@@ -236,9 +271,18 @@ fn pbsm_join(
         .filter(|&t| !r_tiles[t].is_empty() && !s_tiles[t].is_empty())
         .collect();
 
+    partition.add_io(pool.stats().since(&window));
+    run.phases.record(Phase::Partition, partition);
+
     // Phase 3: filter + refine per tile, fanned out to workers. Tiles are
     // assigned to workers in contiguous chunks and results concatenated
     // in tile order, so the output is identical at every thread count.
+    // Tile-local Θ-filtering and θ-refinement are interleaved inside
+    // `process_tile`; the coordinator attributes the whole fan-out's
+    // wall-clock to the `filter` phase and books counters per phase.
+    timer.enter(Phase::Filter);
+    let window = pool.stats();
+    let mut refine = ExecStats::default();
     let tile_outs: Vec<TileOut> = if par.threads <= 1 {
         tasks
             .iter()
@@ -255,6 +299,7 @@ fn pbsm_join(
                     &r_tiles[t],
                     &s_tiles[t],
                     pool,
+                    timed,
                 )
             })
             .collect()
@@ -286,6 +331,7 @@ fn pbsm_join(
                                     &r_tiles[t],
                                     &s_tiles[t],
                                     &mut shard,
+                                    timed,
                                 )
                             })
                             .collect();
@@ -298,19 +344,46 @@ fn pbsm_join(
                 .map(|h| h.join().expect("partition worker panicked"))
                 .collect::<Vec<_>>()
         });
-        for (chunk_outs, io) in chunk_results {
+        // Worker merge happens on the coordinator in spawn (= chunk)
+        // order, so span emission and stats totals are deterministic.
+        for (w, (chunk_outs, io)) in chunk_results.into_iter().enumerate() {
+            if trace.is_enabled() {
+                let mut ws = ExecStats::default();
+                ws.add_io(io);
+                let dur: u64 = chunk_outs.iter().map(|o| o.dur_us).sum();
+                trace.emit(&format!("partition_join/worker:{w}"), dur, &ws.counters());
+            }
             outs.extend(chunk_outs);
-            run.stats.add_io(io);
+            refine.add_io(io);
         }
         outs
     };
 
+    timer.enter(Phase::Refine);
+    let mut filter = ExecStats::default();
+    if trace.is_enabled() {
+        for (&t, out) in tasks.iter().zip(tile_outs.iter()) {
+            trace.emit(
+                &format!("partition_join/tile:{t}"),
+                out.dur_us,
+                &[
+                    ("filter_evals", out.filter_evals),
+                    ("theta_evals", out.theta_evals),
+                    ("pairs", out.pairs.len() as u64),
+                ],
+            );
+        }
+    }
     for out in tile_outs {
         run.pairs.extend(out.pairs);
-        run.stats.filter_evals += out.filter_evals;
-        run.stats.theta_evals += out.theta_evals;
+        filter.filter_evals += out.filter_evals;
+        refine.theta_evals += out.theta_evals;
     }
-    run.stats.add_io(pool.stats().since(&before));
+    refine.add_io(pool.stats().since(&window));
+    timer.stop();
+    run.phases.record(Phase::Filter, filter);
+    run.phases.record(Phase::Refine, refine);
+    run.seal("partition_join", &timer, trace);
     run
 }
 
@@ -334,11 +407,14 @@ fn process_tile(
     r_list: &[u32],
     s_list: &[u32],
     pool: &mut BufferPool,
+    timed: bool,
 ) -> TileOut {
+    let t0 = timed.then(Instant::now);
     let mut out = TileOut {
         pairs: Vec::new(),
         filter_evals: 0,
         theta_evals: 0,
+        dur_us: 0,
     };
     // Expanded R-side MBRs, computed once per tile list: they drive both
     // the sweep intervals and the reference-point rule, and must be the
@@ -392,6 +468,9 @@ fn process_tile(
         }
     });
     out.filter_evals = comparisons;
+    if let Some(t0) = t0 {
+        out.dur_us = t0.elapsed().as_micros() as u64;
+    }
     out
 }
 
@@ -407,14 +486,22 @@ fn chunked_nested_loop(
     s: &StoredRelation,
     theta: ThetaOp,
     par: Parallelism,
+    trace: &mut TraceSink,
 ) -> JoinRun {
     if par.threads <= 1 {
-        return crate::nested_loop::nested_loop_join(pool, r, s, theta);
+        return crate::nested_loop::nested_loop_join_traced(pool, r, s, theta, trace);
     }
-    let before = pool.stats();
+    let mut timer = PhaseTimer::for_sink(trace);
+    let timed = trace.is_enabled();
+    timer.enter(Phase::Partition);
+    let window = pool.stats();
     let mut run = JoinRun::default();
     if r.is_empty() || s.is_empty() {
-        run.stats.add_io(pool.stats().since(&before));
+        let mut partition = ExecStats::default();
+        partition.add_io(pool.stats().since(&window));
+        timer.stop();
+        run.phases.record(Phase::Partition, partition);
+        run.seal("partition_join", &timer, trace);
         return run;
     }
     let shard_cap = (pool.capacity() / par.threads).max(4);
@@ -423,16 +510,24 @@ fn chunked_nested_loop(
         .step_by(chunk_tuples)
         .map(|lo| (lo, (lo + chunk_tuples).min(r.len())))
         .collect();
+    // One pass per chunk, as in the sequential block-nested loop: the
+    // chunk decomposition is the `partition` phase, the scans plus exact
+    // θ-tests (all worker I/O included) the `refine` phase.
+    let mut partition = ExecStats::default();
+    timer.enter(Phase::Refine);
+    let mut refine = ExecStats::default();
     let results = thread::scope(|scope| {
         let handles: Vec<_> = bounds
             .iter()
             .map(|&(lo, hi)| {
                 let mut shard = pool.fork_view(shard_cap);
                 scope.spawn(move || {
+                    let t0 = timed.then(Instant::now);
                     let mut out = TileOut {
                         pairs: Vec::new(),
                         filter_evals: 0,
                         theta_evals: 0,
+                        dur_us: 0,
                     };
                     let chunk: Vec<(u64, Geometry)> =
                         (lo..hi).map(|i| r.read_at(&mut shard, i)).collect();
@@ -445,6 +540,9 @@ fn chunked_nested_loop(
                             }
                         }
                     }
+                    if let Some(t0) = t0 {
+                        out.dur_us = t0.elapsed().as_micros() as u64;
+                    }
                     (out, shard.stats())
                 })
             })
@@ -454,13 +552,29 @@ fn chunked_nested_loop(
             .map(|h| h.join().expect("nested-loop worker panicked"))
             .collect::<Vec<_>>()
     });
-    for (out, io) in results {
+    for (w, (out, io)) in results.into_iter().enumerate() {
+        if trace.is_enabled() {
+            let mut ws = ExecStats {
+                theta_evals: out.theta_evals,
+                ..Default::default()
+            };
+            ws.add_io(io);
+            trace.emit(
+                &format!("partition_join/worker:{w}"),
+                out.dur_us,
+                &ws.counters(),
+            );
+        }
         run.pairs.extend(out.pairs);
-        run.stats.theta_evals += out.theta_evals;
-        run.stats.passes += 1;
-        run.stats.add_io(io);
+        refine.theta_evals += out.theta_evals;
+        partition.passes += 1;
+        refine.add_io(io);
     }
-    run.stats.add_io(pool.stats().since(&before));
+    refine.add_io(pool.stats().since(&window));
+    timer.stop();
+    run.phases.record(Phase::Partition, partition);
+    run.phases.record(Phase::Refine, refine);
+    run.seal("partition_join", &timer, trace);
     run
 }
 
@@ -482,6 +596,22 @@ pub fn parallel_tree_join(
     theta: ThetaOp,
     par: Parallelism,
 ) -> JoinRun {
+    parallel_tree_join_traced(pool, r, s, theta, par, &mut TraceSink::Null)
+}
+
+/// [`parallel_tree_join`] with phase instrumentation: node touches (all
+/// worker-shard I/O included) are the `index-probe` phase, MBR filter
+/// gates the `filter` phase, exact θ-tests the `refine` phase. When the
+/// sink is live, each worker additionally emits a
+/// `parallel_tree_join/worker:<w>` span in deterministic chunk order.
+pub fn parallel_tree_join_traced(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    s: &TreeRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+    trace: &mut TraceSink,
+) -> JoinRun {
     let (root_r, root_s) = (r.tree.root(), s.tree.root());
     let top: Vec<_> = r.tree.children(root_r).to_vec();
     if par.threads <= 1
@@ -489,20 +619,29 @@ pub fn parallel_tree_join(
         || s.tree.entry(root_s).is_some()
         || top.len() < 2
     {
-        return tree_join(pool, r, s, theta);
+        return tree_join_traced(pool, r, s, theta, trace);
     }
 
-    let before = pool.stats();
+    let mut timer = PhaseTimer::for_sink(trace);
+    let timed = trace.is_enabled();
+    timer.enter(Phase::IndexProbe);
+    let window = pool.stats();
     let mut run = JoinRun::default();
-    run.stats.passes = 1;
+    let mut probe = ExecStats {
+        passes: 1,
+        ..Default::default()
+    };
+    let mut filter = ExecStats::default();
+    let mut refine = ExecStats::default();
 
     // The root pair itself is handled on the calling thread (it has no
     // application objects by the check above, so only the filter gate
     // remains).
     r.paged.touch(pool, root_r);
     s.paged.touch(pool, root_s);
-    run.stats.filter_evals += 1;
+    filter.filter_evals += 1;
     if theta.filter(&r.tree.mbr(root_r), &s.tree.mbr(root_s)) {
+        timer.enter(Phase::Filter);
         let shard_cap = (pool.capacity() / par.threads).max(4);
         let chunk_len = top.len().div_ceil(par.threads).max(1);
         let results = thread::scope(|scope| {
@@ -511,6 +650,7 @@ pub fn parallel_tree_join(
                 .map(|chunk| {
                     let shard = pool.fork_view(shard_cap);
                     scope.spawn(move || {
+                        let t0 = timed.then(Instant::now);
                         let shard_cell = std::cell::RefCell::new(shard);
                         let mut pairs = Vec::new();
                         let mut filter_evals = 0u64;
@@ -539,6 +679,7 @@ pub fn parallel_tree_join(
                             filter_evals,
                             theta_evals,
                             shard_cell.into_inner().stats(),
+                            t0.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                         )
                     })
                 })
@@ -548,14 +689,34 @@ pub fn parallel_tree_join(
                 .map(|h| h.join().expect("tree-join worker panicked"))
                 .collect::<Vec<_>>()
         });
-        for (pairs, filter_evals, theta_evals, io) in results {
+        // Coordinator-side merge in spawn (= chunk) order keeps both the
+        // stats totals and the span stream deterministic.
+        for (w, (pairs, filter_evals, theta_evals, io, dur_us)) in results.into_iter().enumerate() {
+            if trace.is_enabled() {
+                let mut ws = ExecStats {
+                    filter_evals,
+                    theta_evals,
+                    ..Default::default()
+                };
+                ws.add_io(io);
+                trace.emit(
+                    &format!("parallel_tree_join/worker:{w}"),
+                    dur_us,
+                    &ws.counters(),
+                );
+            }
             run.pairs.extend(pairs);
-            run.stats.filter_evals += filter_evals;
-            run.stats.theta_evals += theta_evals;
-            run.stats.add_io(io);
+            filter.filter_evals += filter_evals;
+            refine.theta_evals += theta_evals;
+            probe.add_io(io);
         }
     }
-    run.stats.add_io(pool.stats().since(&before));
+    probe.add_io(pool.stats().since(&window));
+    timer.stop();
+    run.phases.record(Phase::IndexProbe, probe);
+    run.phases.record(Phase::Filter, filter);
+    run.phases.record(Phase::Refine, refine);
+    run.seal("parallel_tree_join", &timer, trace);
     run
 }
 
@@ -563,6 +724,7 @@ pub fn parallel_tree_join(
 mod tests {
     use super::*;
     use crate::nested_loop::nested_loop_join;
+    use crate::tree_join::tree_join;
     use sj_gentree::rtree::{RTree, RTreeConfig};
     use sj_geom::Direction;
     use sj_storage::{Disk, DiskConfig, Layout};

@@ -19,11 +19,12 @@ use std::collections::BTreeSet;
 use std::collections::HashSet;
 
 use sj_geom::{Bounded, Geometry, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 use sj_zorder::ZGrid;
 
 use crate::relation::StoredRelation;
-use crate::stats::JoinRun;
+use crate::stats::{ExecStats, JoinRun};
 
 /// True if `theta`'s Θ-filter is plain MBR overlap, which makes the
 /// z-element candidate set complete for it.
@@ -47,12 +48,30 @@ pub fn zorder_overlap_join(
     grid: &ZGrid,
     theta: ThetaOp,
 ) -> JoinRun {
+    zorder_overlap_join_traced(pool, r, s, grid, theta, &mut TraceSink::Null)
+}
+
+/// [`zorder_overlap_join`] with phase instrumentation: the scans,
+/// z-decomposition, and sort are the `partition` phase; the merge sweep
+/// (whose duplicate reports land in `passes`) the `filter` phase; exact
+/// θ-tests on deduplicated candidates the `refine` phase.
+pub fn zorder_overlap_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    grid: &ZGrid,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> JoinRun {
     assert!(
         supported_by_zorder(theta),
         "sort-merge on z-order only supports overlap-family operators, got {theta:?}"
     );
-    let before = pool.stats();
+    let mut timer = PhaseTimer::for_sink(trace);
+    timer.enter(Phase::Partition);
+    let window = pool.stats();
     let mut run = JoinRun::default();
+    let mut partition = ExecStats::default();
 
     // Scan both relations and decompose every object's MBR into
     // z-elements. (The scans are the strategy's "sort phase" input; the
@@ -91,8 +110,11 @@ pub fn zorder_overlap_join(
     }
     // Sort phase (by z-interval start).
     elems.sort_by_key(|e| (e.lo, e.hi));
+    partition.add_io(pool.stats().since(&window));
+    run.phases.record(Phase::Partition, partition);
 
     // Merge phase: sweep with two active sets ordered by interval end.
+    timer.enter(Phase::Filter);
     let mut active_r: BTreeSet<(u64, usize, usize)> = BTreeSet::new(); // (hi, idx, seq)
     let mut active_s: BTreeSet<(u64, usize, usize)> = BTreeSet::new();
     let mut candidates: HashSet<(usize, usize)> = HashSet::new();
@@ -126,20 +148,30 @@ pub fn zorder_overlap_join(
         }
         own.insert((e.hi, e.idx, seq));
     }
-    run.stats.passes = reported; // exposed as "reports incl. duplicates"
+    run.phases.record(
+        Phase::Filter,
+        ExecStats {
+            passes: reported, // exposed as "reports incl. duplicates"
+            ..Default::default()
+        },
+    );
 
     // Refinement: exact θ on the deduplicated candidates.
+    timer.enter(Phase::Refine);
+    let mut refine = ExecStats::default();
     let mut pairs: Vec<(usize, usize)> = candidates.into_iter().collect();
     pairs.sort_unstable();
     for (ri, si) in pairs {
-        run.stats.theta_evals += 1;
+        refine.theta_evals += 1;
         let (r_id, r_geom) = &r_rows[ri];
         let (s_id, s_geom) = &s_rows[si];
         if theta.eval(r_geom, s_geom) {
             run.pairs.push((*r_id, *s_id));
         }
     }
-    run.stats.add_io(pool.stats().since(&before));
+    timer.stop();
+    run.phases.record(Phase::Refine, refine);
+    run.seal("zorder_merge", &timer, trace);
     run
 }
 

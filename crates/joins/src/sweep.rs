@@ -16,11 +16,12 @@ use std::collections::HashMap;
 
 use sj_geom::sweep::{sweep_candidates, SweepItem};
 use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
-use crate::nested_loop::nested_loop_join;
+use crate::nested_loop::nested_loop_join_traced;
 use crate::relation::StoredRelation;
-use crate::stats::JoinRun;
+use crate::stats::{ExecStats, JoinRun};
 
 /// Plane-sweep spatial join `R ⋈_θ S`.
 ///
@@ -34,17 +35,36 @@ pub fn sweep_join(
     s: &StoredRelation,
     theta: ThetaOp,
 ) -> JoinRun {
+    sweep_join_traced(pool, r, s, theta, &mut TraceSink::Null)
+}
+
+/// [`sweep_join`] with phase instrumentation: MBR-extraction scans are
+/// the `partition` phase, forward-scan comparisons the `filter` phase,
+/// exact θ-tests plus their lazy geometry fetches the `refine` phase.
+/// (Filter and refine interleave during the sweep; the sweep's wall
+/// clock is charged to `filter`, its counters split exactly.)
+pub fn sweep_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> JoinRun {
     let Some(eps) = theta.filter_radius() else {
         // Unbounded (directional) filter region: no sweep interval
         // covers it; serve the operator with strategy I.
-        return nested_loop_join(pool, r, s, theta);
+        return nested_loop_join_traced(pool, r, s, theta, trace);
     };
-    let before = pool.stats();
+    let mut timer = PhaseTimer::for_sink(trace);
     let mut run = JoinRun::default();
-    run.stats.passes = 1;
+    let mut partition = ExecStats::default();
+    let mut refine = ExecStats::default();
+    partition.passes = 1;
 
     // One scan per relation to extract MBRs; geometries are re-fetched
     // lazily during refinement (the filter/refine I/O split).
+    timer.enter(Phase::Partition);
+    let window = pool.stats();
     let r_mbrs: Vec<(u64, Rect)> = (0..r.len())
         .map(|i| {
             let (id, g) = r.read_at(pool, i);
@@ -68,11 +88,14 @@ pub fn sweep_join(
         .enumerate()
         .map(|(j, &(_, mbr))| SweepItem::new(j as u32, mbr))
         .collect();
+    partition.add_io(pool.stats().since(&window));
 
+    timer.enter(Phase::Filter);
+    let window = pool.stats();
     let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
     let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
     let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |i, j| {
-        run.stats.theta_evals += 1;
+        refine.theta_evals += 1;
         let rg = r_geo
             .entry(i)
             .or_insert_with(|| r.read_at(pool, i as usize).1);
@@ -83,14 +106,26 @@ pub fn sweep_join(
             run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0));
         }
     });
-    run.stats.filter_evals = comparisons;
-    run.stats.add_io(pool.stats().since(&before));
+    refine.add_io(pool.stats().since(&window));
+    timer.stop();
+
+    run.phases.record(Phase::Partition, partition);
+    run.phases.record(
+        Phase::Filter,
+        ExecStats {
+            filter_evals: comparisons,
+            ..Default::default()
+        },
+    );
+    run.phases.record(Phase::Refine, refine);
+    run.seal("sweep", &timer, trace);
     run
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nested_loop::nested_loop_join;
     use sj_geom::{Direction, Point};
     use sj_storage::{Disk, DiskConfig, Layout};
 

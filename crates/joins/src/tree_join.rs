@@ -6,10 +6,11 @@
 
 use sj_gentree::{join, select};
 use sj_geom::{Geometry, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 
 use crate::paged_tree::TreeRelation;
-use crate::stats::{JoinRun, SelectRun};
+use crate::stats::{ExecStats, JoinRun, SelectRun};
 
 /// Traversal order for the stored SELECT executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +59,24 @@ pub fn tree_join(
     s: &TreeRelation,
     theta: ThetaOp,
 ) -> JoinRun {
-    let before = pool.stats();
+    tree_join_traced(pool, r, s, theta, &mut TraceSink::Null)
+}
+
+/// [`tree_join`] with phase instrumentation: node touches (the stored
+/// tree's record I/O) are the `index-probe` phase, Θ-filter work the
+/// `filter` phase, θ-evaluations the `refine` phase. With an observing
+/// sink, one `tree_join/level:<depth>` span per tree level reports the
+/// traversal's per-level visit and comparison histograms.
+pub fn tree_join_traced(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    s: &TreeRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> JoinRun {
+    let mut timer = PhaseTimer::for_sink(trace);
+    timer.enter(Phase::IndexProbe);
+    let window = pool.stats();
     // Both visitor callbacks need the pool; a local RefCell arbitrates the
     // (strictly alternating, single-threaded) accesses.
     let pool_cell = std::cell::RefCell::new(&mut *pool);
@@ -73,14 +91,47 @@ pub fn tree_join(
             s.paged.touch(&mut pool_cell.borrow_mut(), node);
         },
     );
+    timer.stop();
     let mut run = JoinRun {
         pairs: outcome.pairs,
-        stats: Default::default(),
+        ..Default::default()
     };
-    run.stats.theta_evals = outcome.stats.theta_evals;
-    run.stats.filter_evals = outcome.stats.filter_evals;
-    run.stats.passes = 1;
-    run.stats.add_io(pool.stats().since(&before));
+    let mut probe = ExecStats {
+        passes: 1,
+        ..Default::default()
+    };
+    probe.add_io(pool.stats().since(&window));
+    run.phases.record(Phase::IndexProbe, probe);
+    run.phases.record(
+        Phase::Filter,
+        ExecStats {
+            filter_evals: outcome.stats.filter_evals,
+            ..Default::default()
+        },
+    );
+    run.phases.record(
+        Phase::Refine,
+        ExecStats {
+            theta_evals: outcome.stats.theta_evals,
+            ..Default::default()
+        },
+    );
+    if trace.is_enabled() {
+        for (depth, &visits) in outcome.stats.visited_per_level.iter().enumerate() {
+            let evals = outcome
+                .stats
+                .evals_per_level
+                .get(depth)
+                .copied()
+                .unwrap_or(0);
+            trace.emit(
+                &format!("tree_join/level:{depth}"),
+                0,
+                &[("nodes_visited", visits), ("comparisons", evals)],
+            );
+        }
+    }
+    run.seal("tree_join", &timer, trace);
     run
 }
 

@@ -14,11 +14,12 @@ use std::collections::HashSet;
 
 use sj_btree::BPlusTree;
 use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
+use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::BufferPool;
 use sj_zorder::ZGrid;
 
 use crate::relation::StoredRelation;
-use crate::stats::{JoinRun, SelectRun};
+use crate::stats::{ExecStats, JoinRun, SelectRun};
 
 /// A secondary index mapping z-elements to tuple ids.
 #[derive(Debug)]
@@ -160,26 +161,60 @@ impl ZIndex {
         s: &StoredRelation,
         theta: ThetaOp,
     ) -> JoinRun {
+        self.join_traced(pool, r, s, theta, &mut TraceSink::Null)
+    }
+
+    /// [`join`](ZIndex::join) with phase instrumentation: the S-scan is
+    /// the `partition` phase, B⁺-tree node accesses the `index-probe`
+    /// phase, candidate fetches plus θ-tests the `refine` phase.
+    pub fn join_traced(
+        &self,
+        pool: &mut BufferPool,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        theta: ThetaOp,
+        trace: &mut TraceSink,
+    ) -> JoinRun {
         assert!(
             crate::sort_merge::supported_by_zorder(theta),
             "z-index join supports overlap-family operators only, got {theta:?}"
         );
-        let before = pool.stats();
+        let mut timer = PhaseTimer::for_sink(trace);
+        timer.enter(Phase::Partition);
+        let window = pool.stats();
         self.tree.reset_accesses();
         let mut run = JoinRun::default();
-        for (s_id, s_geom) in s.scan(pool) {
+        let mut partition = ExecStats::default();
+        let s_rows = s.scan(pool);
+        partition.add_io(pool.stats().since(&window));
+
+        timer.enter(Phase::Refine);
+        let window = pool.stats();
+        let mut refine = ExecStats::default();
+        for (s_id, s_geom) in s_rows {
             for r_id in self.candidates(&s_geom.mbr()) {
                 let (_, r_geom) = r.read_by_id(pool, r_id);
-                run.stats.theta_evals += 1;
+                refine.theta_evals += 1;
                 if theta.eval(&r_geom, &s_geom) {
                     run.pairs.push((r_id, s_id));
                 }
             }
         }
         run.pairs.sort_unstable();
-        run.stats.add_io(pool.stats().since(&before));
-        run.stats.physical_reads += self.tree.accesses();
-        run.stats.passes = 1;
+        refine.add_io(pool.stats().since(&window));
+        timer.stop();
+
+        run.phases.record(Phase::Partition, partition);
+        run.phases.record(
+            Phase::IndexProbe,
+            ExecStats {
+                physical_reads: self.tree.accesses(),
+                passes: 1,
+                ..Default::default()
+            },
+        );
+        run.phases.record(Phase::Refine, refine);
+        run.seal("zindex", &timer, trace);
         run
     }
 }

@@ -1,0 +1,204 @@
+//! Properties of the unified executor surface and the observability
+//! layer:
+//!
+//! 1. Every [`Strategy`] reachable through [`JoinExecutor::execute`]
+//!    returns exactly the legacy entry point's match set (and, for the
+//!    free-function strategies, its exact [`ExecStats`]) — the executors
+//!    are thin wrappers, not reimplementations.
+//! 2. Per-phase [`PhaseStats`] deltas sum *exactly* to the run's
+//!    [`ExecStats`] totals, on every strategy × every θ-operator it
+//!    supports (the `seal` invariant).
+//! 3. A run with [`TraceSink::Null`] and a run with [`TraceSink::Vec`]
+//!    produce identical [`JoinRun`]s — tracing observes, never perturbs —
+//!    and the Vec sink actually captures well-formed span events.
+
+use proptest::prelude::*;
+// `sj_joins::Strategy` shadows the prelude's generator trait; re-import it
+// anonymously so `prop_map` et al. stay in scope.
+use proptest::Strategy as _;
+use sj_gentree::rtree::{RTree, RTreeConfig};
+use sj_geom::{Direction, Geometry, Point, Rect, ThetaOp};
+use sj_joins::nested_loop::nested_loop_join;
+use sj_joins::parallel::{partition_join, Parallelism};
+use sj_joins::sweep::sweep_join;
+use sj_joins::tree_join::tree_join;
+use sj_joins::{JoinOperands, JoinRequest, StoredRelation, Strategy, TraceSink, TreeRelation};
+use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
+
+const WORLD: f64 = 128.0;
+
+fn pool() -> BufferPool {
+    BufferPool::new(Disk::new(DiskConfig::paper()), 64)
+}
+
+fn arb_geom() -> impl proptest::Strategy<Value = Geometry> {
+    prop_oneof![
+        (0.0..WORLD, 0.0..WORLD).prop_map(|(x, y)| Geometry::Point(Point::new(x, y))),
+        (0.0..WORLD - 9.0, 0.0..WORLD - 9.0, 0.1..8.0f64, 0.1..8.0f64)
+            .prop_map(|(x, y, w, h)| Geometry::Rect(Rect::from_bounds(x, y, x + w, y + h))),
+    ]
+}
+
+fn arb_tuples(id0: u64) -> impl proptest::Strategy<Value = Vec<(u64, Geometry)>> {
+    prop::collection::vec(arb_geom(), 1..32).prop_map(move |gs| {
+        gs.into_iter()
+            .enumerate()
+            .map(|(i, g)| (id0 + i as u64, g))
+            .collect()
+    })
+}
+
+fn sorted(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    v
+}
+
+/// All eight θ-operators of the paper's Table 1.
+const ALL_THETAS: [ThetaOp; 8] = [
+    ThetaOp::Overlaps,
+    ThetaOp::Includes,
+    ThetaOp::ContainedIn,
+    ThetaOp::WithinDistance(6.0),
+    ThetaOp::WithinCenterDistance(10.0),
+    ThetaOp::Adjacent,
+    ThetaOp::ReachableWithin {
+        minutes: 4.0,
+        speed: 2.0,
+    },
+    ThetaOp::DirectionOf(Direction::NorthWest),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn executors_wrap_trace_and_phase_sum(
+        r_tuples in arb_tuples(0),
+        s_tuples in arb_tuples(10_000),
+        theta_pick in 0usize..8,
+    ) {
+        let theta = ALL_THETAS[theta_pick];
+        let world = Rect::from_bounds(0.0, 0.0, WORLD, WORLD);
+        let mut p = pool();
+        let r = StoredRelation::build(&mut p, &r_tuples, 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut p, &s_tuples, 300, Layout::Clustered);
+        let tr = TreeRelation::new(
+            &mut p,
+            RTree::bulk_load(RTreeConfig::with_fanout(5), r_tuples.clone()).tree().clone(),
+            300,
+            Layout::Clustered,
+        );
+        let ts = TreeRelation::new(
+            &mut p,
+            RTree::bulk_load(RTreeConfig::with_fanout(4), s_tuples.clone()).tree().clone(),
+            300,
+            Layout::Clustered,
+        );
+        let ops = JoinOperands::flat(&r, &s, world).with_trees(&tr, &ts);
+
+        p.clear();
+        p.reset_stats();
+        let reference = sorted(nested_loop_join(&mut p, &r, &s, theta).pairs);
+
+        for strat in Strategy::ALL {
+            if !strat.supports(theta) {
+                continue;
+            }
+            let mut exec = strat.executor(&ops).expect("both operand kinds present");
+            prop_assert_eq!(exec.strategy(), strat);
+
+            // Untraced run.
+            p.clear();
+            p.reset_stats();
+            let run = exec.execute(&JoinRequest::new(theta), &mut p);
+
+            // Property 2: phase deltas sum exactly to run totals.
+            prop_assert_eq!(
+                run.phases.total(), run.stats,
+                "phase sums diverge for {} under {:?}", strat.name(), theta
+            );
+
+            // Property 1: same match set as the legacy surface (the
+            // nested-loop reference, which the legacy entry points are
+            // already property-tested against).
+            prop_assert_eq!(
+                sorted(run.pairs.clone()), reference.clone(),
+                "{} diverges from reference for {:?}", strat.name(), theta
+            );
+
+            // Property 3: a Vec-traced run of a fresh executor is
+            // indistinguishable in pairs, totals, and phase deltas.
+            let mut exec2 = strat.executor(&ops).expect("both operand kinds present");
+            p.clear();
+            p.reset_stats();
+            let req = JoinRequest::new(theta).with_trace(TraceSink::vec());
+            let traced = exec2.execute(&req, &mut p);
+            prop_assert_eq!(&run.pairs, &traced.pairs, "{} trace perturbed pairs", strat.name());
+            prop_assert_eq!(run.stats, traced.stats, "{} trace perturbed stats", strat.name());
+            prop_assert_eq!(
+                run.phases.clone(), traced.phases.clone(),
+                "{} trace perturbed phase deltas", strat.name()
+            );
+            let sink = req.take_trace();
+            let events = sink.events();
+            prop_assert!(!events.is_empty(), "{} emitted no spans", strat.name());
+            for ev in events {
+                prop_assert!(!ev.span.is_empty());
+                prop_assert!(
+                    ev.counters.iter().all(|(name, _)| !name.is_empty()),
+                    "unnamed counter in span {}", ev.span
+                );
+            }
+        }
+    }
+
+    /// The free-function strategies' executors reproduce not just the
+    /// match set but the *exact* `ExecStats` of their legacy twins.
+    #[test]
+    fn free_function_executors_preserve_exact_stats(
+        r_tuples in arb_tuples(0),
+        s_tuples in arb_tuples(10_000),
+        theta_pick in 0usize..8,
+    ) {
+        let theta = ALL_THETAS[theta_pick];
+        let world = Rect::from_bounds(0.0, 0.0, WORLD, WORLD);
+        let mut p = pool();
+        let r = StoredRelation::build(&mut p, &r_tuples, 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut p, &s_tuples, 300, Layout::Clustered);
+        let tr = TreeRelation::new(
+            &mut p,
+            RTree::bulk_load(RTreeConfig::with_fanout(5), r_tuples.clone()).tree().clone(),
+            300,
+            Layout::Clustered,
+        );
+        let ts = TreeRelation::new(
+            &mut p,
+            RTree::bulk_load(RTreeConfig::with_fanout(4), s_tuples.clone()).tree().clone(),
+            300,
+            Layout::Clustered,
+        );
+        let ops = JoinOperands::flat(&r, &s, world).with_trees(&tr, &ts);
+
+        type Legacy<'a> = Box<dyn FnMut(&mut BufferPool) -> sj_joins::JoinRun + 'a>;
+        let legacy_pairs: Vec<(Strategy, Legacy)> = vec![
+            (Strategy::NestedLoop, Box::new(|p: &mut BufferPool| nested_loop_join(p, &r, &s, theta))),
+            (Strategy::Sweep, Box::new(|p: &mut BufferPool| sweep_join(p, &r, &s, theta))),
+            (Strategy::Tree, Box::new(|p: &mut BufferPool| tree_join(p, &tr, &ts, theta))),
+            (Strategy::Partition, Box::new(|p: &mut BufferPool| {
+                partition_join(p, &r, &s, theta, Parallelism::sequential())
+            })),
+        ];
+        for (strat, mut legacy) in legacy_pairs {
+            p.clear();
+            p.reset_stats();
+            let want = legacy(&mut p);
+
+            let mut exec = strat.executor(&ops).expect("operands present");
+            p.clear();
+            p.reset_stats();
+            let got = exec.execute(&JoinRequest::new(theta), &mut p);
+            prop_assert_eq!(&got.pairs, &want.pairs, "{} pairs diverge", strat.name());
+            prop_assert_eq!(got.stats, want.stats, "{} stats diverge", strat.name());
+        }
+    }
+}

@@ -118,7 +118,7 @@ proptest! {
                 Layout::Clustered,
             );
             let (idx, _) = sj_joins::LocalJoinIndex::build(&mut p, &tr, &ts, theta, level, 16);
-            let got = idx.join().pairs;
+            let got = idx.join(&mut p).pairs;
             prop_assert_eq!(&got, &reference, "local join index (L={}) diverges for {:?}", level, theta);
         }
 

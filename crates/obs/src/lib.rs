@@ -1,0 +1,453 @@
+//! `sj-obs`: zero-dependency structured observability.
+//!
+//! Three small pieces, designed to be wired through hot join loops
+//! without perturbing the counters the cost model depends on:
+//!
+//! - [`Phase`] / [`PhaseTimer`]: the four-phase taxonomy every join
+//!   executor reports against (`partition`, `filter`, `refine`,
+//!   `index-probe`) plus a wall-clock accumulator for them. With a
+//!   disabled timer (the [`TraceSink::Null`] case) `enter`/`stop` are
+//!   plain branches — no `Instant::now()` calls, so instrumented
+//!   executors reduce to the counter adds they always did.
+//! - [`CounterRegistry`]: monotonic named counters keyed by `&'static
+//!   str` (e.g. `bufferpool.hits`). Counters only ever go up; `add`
+//!   merges by name.
+//! - [`TraceSink`] / [`TraceEvent`] / [`Span`]: a JSONL trace emitter.
+//!   Each event is one line: `{"span":…,"dur_us":…,"counters":{…}}`.
+//!   `Null` drops everything, `Vec` buffers in memory (for tests),
+//!   `File` streams to disk via a `BufWriter`.
+//!
+//! The crate is deliberately free of dependencies (not even the
+//! vendored shims) so every other crate in the workspace can use it.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// The phase taxonomy shared by all join executors.
+///
+/// - `Partition`: building the working set — chunk loads, MBR
+///   extraction scans, tile/bucket decomposition, sorting by z-value.
+/// - `Filter`: approximate candidate tests on MBRs / cells / z-ranges.
+/// - `Refine`: exact θ-evaluation on fetched geometries (and the lazy
+///   geometry I/O it triggers).
+/// - `IndexProbe`: traversing a prebuilt structure (B⁺-tree,
+///   generalization tree, precomputed join index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Partition,
+    Filter,
+    Refine,
+    IndexProbe,
+}
+
+impl Phase {
+    /// All phases, in canonical reporting order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Partition,
+        Phase::Filter,
+        Phase::Refine,
+        Phase::IndexProbe,
+    ];
+
+    /// Stable lowercase name used in trace spans and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Partition => "partition",
+            Phase::Filter => "filter",
+            Phase::Refine => "refine",
+            Phase::IndexProbe => "index-probe",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Partition => 0,
+            Phase::Filter => 1,
+            Phase::Refine => 2,
+            Phase::IndexProbe => 3,
+        }
+    }
+}
+
+/// Monotonic counter registry keyed by static names.
+///
+/// Backed by a small vector (registries hold a handful of counters);
+/// `add` merges deltas into an existing entry by name.
+#[derive(Debug, Default, Clone)]
+pub struct CounterRegistry {
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl CounterRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter, creating it at zero first if
+    /// this is the first sighting. Counters are monotonic: there is no
+    /// way to decrement or reset an individual entry.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += delta;
+        } else {
+            self.counters.push((name, delta));
+        }
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// All counters in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Borrow the counters as the slice shape [`TraceSink::emit`] takes.
+    pub fn as_counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// One emitted trace record: a named span, its wall-clock duration in
+/// microseconds, and the counter deltas attributed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub span: String,
+    pub dur_us: u64,
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// Render as a single JSONL line (no trailing newline):
+    /// `{"span":"nested_loop/refine","dur_us":42,"counters":{"theta_evals":100}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(48 + self.counters.len() * 24);
+        out.push_str("{\"span\":\"");
+        escape_into(&self.span, &mut out);
+        let _ = write!(out, "\",\"dur_us\":{},\"counters\":{{", self.dur_us);
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Where trace events go.
+///
+/// `Null` is the default and costs nothing: emitters check
+/// [`is_enabled`](TraceSink::is_enabled) before building events, and
+/// [`PhaseTimer::for_sink`] skips clock reads entirely.
+#[derive(Debug, Default)]
+pub enum TraceSink {
+    #[default]
+    Null,
+    Vec(Vec<TraceEvent>),
+    File(BufWriter<File>),
+}
+
+impl TraceSink {
+    pub fn null() -> Self {
+        TraceSink::Null
+    }
+
+    /// In-memory sink; inspect with [`events`](TraceSink::events).
+    pub fn vec() -> Self {
+        TraceSink::Vec(Vec::new())
+    }
+
+    /// Streaming JSONL sink (one event per line).
+    pub fn file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(TraceSink::File(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Whether emitting to this sink can observe anything. Callers use
+    /// this to skip span construction and wall-clock reads.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, TraceSink::Null)
+    }
+
+    /// Record one event. A no-op on `Null`.
+    pub fn emit(&mut self, span: &str, dur_us: u64, counters: &[(&'static str, u64)]) {
+        match self {
+            TraceSink::Null => {}
+            TraceSink::Vec(events) => events.push(TraceEvent {
+                span: span.to_string(),
+                dur_us,
+                counters: counters.to_vec(),
+            }),
+            TraceSink::File(w) => {
+                let event = TraceEvent {
+                    span: span.to_string(),
+                    dur_us,
+                    counters: counters.to_vec(),
+                };
+                // Trace I/O errors must not abort a join; drop the line.
+                let _ = writeln!(w, "{}", event.to_json());
+            }
+        }
+    }
+
+    /// Buffered events (`Vec` sink only; empty slice otherwise).
+    pub fn events(&self) -> &[TraceEvent] {
+        match self {
+            TraceSink::Vec(events) => events,
+            _ => &[],
+        }
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        match self {
+            TraceSink::File(w) => w.flush(),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// A named wall-clock span; finish it against a sink to emit one event.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    pub fn begin(name: impl Into<String>) -> Self {
+        Span {
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Emit `{span, dur_us, counters}` into the sink and consume the span.
+    pub fn finish(self, sink: &mut TraceSink, counters: &[(&'static str, u64)]) {
+        let dur = self.elapsed_us();
+        sink.emit(&self.name, dur, counters);
+    }
+}
+
+/// Per-phase wall-clock accumulator.
+///
+/// At most one phase is active at a time; `enter` closes the previous
+/// phase and opens the next, `stop` closes the current one. When
+/// constructed disabled (the `TraceSink::Null` path) every method is a
+/// branch on a bool — no clock reads — so instrumented executors cost
+/// the same as uninstrumented ones.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    enabled: bool,
+    acc_us: [u64; 4],
+    current: Option<(Phase, Instant)>,
+}
+
+impl PhaseTimer {
+    pub fn new(enabled: bool) -> Self {
+        PhaseTimer {
+            enabled,
+            acc_us: [0; 4],
+            current: None,
+        }
+    }
+
+    /// Enabled exactly when the sink can observe durations.
+    pub fn for_sink(sink: &TraceSink) -> Self {
+        Self::new(sink.is_enabled())
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Switch the active phase (closing the previous one, if any).
+    pub fn enter(&mut self, phase: Phase) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        self.settle(now);
+        self.current = Some((phase, now));
+    }
+
+    /// Close the active phase without opening a new one.
+    pub fn stop(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        self.settle(now);
+    }
+
+    fn settle(&mut self, now: Instant) {
+        if let Some((phase, since)) = self.current.take() {
+            self.acc_us[phase.index()] += now.duration_since(since).as_micros() as u64;
+        }
+    }
+
+    /// Accumulated microseconds for a phase (zero when disabled).
+    pub fn elapsed_us(&self, phase: Phase) -> u64 {
+        self.acc_us[phase.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_monotonic_and_merges_by_name() {
+        let mut reg = CounterRegistry::new();
+        assert!(reg.is_empty());
+        reg.add("bufferpool.hits", 3);
+        reg.add("bufferpool.misses", 1);
+        reg.add("bufferpool.hits", 4);
+        assert_eq!(reg.get("bufferpool.hits"), 7);
+        assert_eq!(reg.get("bufferpool.misses"), 1);
+        assert_eq!(reg.get("never.touched"), 0);
+        assert_eq!(reg.len(), 2);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["bufferpool.hits", "bufferpool.misses"]);
+    }
+
+    #[test]
+    fn trace_event_renders_jsonl() {
+        let ev = TraceEvent {
+            span: "nested_loop/refine".to_string(),
+            dur_us: 42,
+            counters: vec![("theta_evals", 100), ("physical_reads", 7)],
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"span":"nested_loop/refine","dur_us":42,"counters":{"theta_evals":100,"physical_reads":7}}"#
+        );
+    }
+
+    #[test]
+    fn span_names_are_escaped() {
+        let ev = TraceEvent {
+            span: "weird\"span\\n".to_string(),
+            dur_us: 0,
+            counters: vec![],
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"span":"weird\"span\\n","dur_us":0,"counters":{}}"#
+        );
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_drops_events() {
+        let mut sink = TraceSink::null();
+        assert!(!sink.is_enabled());
+        sink.emit("x", 1, &[("c", 1)]);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn vec_sink_buffers_events_in_order() {
+        let mut sink = TraceSink::vec();
+        assert!(sink.is_enabled());
+        sink.emit("a", 1, &[("c", 1)]);
+        sink.emit("b", 2, &[]);
+        let spans: Vec<&str> = sink.events().iter().map(|e| e.span.as_str()).collect();
+        assert_eq!(spans, ["a", "b"]);
+        assert_eq!(sink.events()[0].counters, vec![("c", 1)]);
+    }
+
+    #[test]
+    fn file_sink_writes_one_json_object_per_line() {
+        let path = std::env::temp_dir().join("sj_obs_test_trace.jsonl");
+        {
+            let mut sink = TraceSink::file(&path).unwrap();
+            sink.emit("a/partition", 5, &[("passes", 1)]);
+            sink.emit("a/refine", 9, &[("theta_evals", 12)]);
+            sink.flush().unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with("{\"span\":\""));
+            assert!(line.contains("\"dur_us\":"));
+            assert!(line.contains("\"counters\":{"));
+            assert!(line.ends_with("}}"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn phase_timer_accumulates_only_when_enabled() {
+        let mut t = PhaseTimer::new(true);
+        t.enter(Phase::Partition);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.enter(Phase::Refine);
+        t.stop();
+        assert!(t.elapsed_us(Phase::Partition) > 0);
+        assert_eq!(t.elapsed_us(Phase::Filter), 0);
+
+        let mut off = PhaseTimer::for_sink(&TraceSink::Null);
+        off.enter(Phase::Partition);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        off.stop();
+        assert_eq!(off.elapsed_us(Phase::Partition), 0);
+    }
+
+    #[test]
+    fn span_emits_into_sink() {
+        let mut sink = TraceSink::vec();
+        let span = Span::begin("tile:3");
+        span.finish(&mut sink, &[("pairs", 4)]);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].span, "tile:3");
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["partition", "filter", "refine", "index-probe"]);
+    }
+}

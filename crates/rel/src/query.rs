@@ -170,7 +170,8 @@ impl Database {
                     ir == r_table && ic == r_col && is == s_table && isc == s_col,
                     "local join index {name:?} was built for {ir}.{ic} ⋈ {is}.{isc}"
                 );
-                idx.join().pairs
+                let pool = &mut self.pool;
+                idx.join(pool).pairs
             }
             JoinStrategy::ZOrderSortMerge { bits } => {
                 let world = self.data_world(&[(r_table, r_col), (s_table, s_col)]);

@@ -34,6 +34,8 @@ pub struct BufferPool {
     head: usize,
     /// Least recently used frame (list tail), or `NIL` when empty.
     tail: usize,
+    /// Pages displaced by LRU replacement since the last stats reset.
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -47,6 +49,7 @@ impl BufferPool {
             map: HashMap::new(),
             head: NIL,
             tail: NIL,
+            evictions: 0,
         }
     }
 
@@ -69,10 +72,31 @@ impl BufferPool {
         self.disk.stats()
     }
 
-    /// Zeroes all counters. Cached pages stay resident; combine with
-    /// [`BufferPool::clear`] for a fully cold measurement.
+    /// Pages displaced by LRU replacement since the last stats reset.
+    /// (Buffer hits are `stats().hits()`, misses `stats().physical_reads`.)
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Exposes the pool's hit/miss/eviction counters into a monotonic
+    /// [`CounterRegistry`](sj_obs::CounterRegistry) under the
+    /// `bufferpool.*` namespace. Call at a measurement boundary; the
+    /// registry accumulates across calls.
+    pub fn export_counters(&self, reg: &mut sj_obs::CounterRegistry) {
+        let io = self.stats();
+        reg.add("bufferpool.hits", io.hits());
+        reg.add("bufferpool.misses", io.physical_reads);
+        reg.add("bufferpool.evictions", self.evictions);
+        reg.add("bufferpool.physical_writes", io.physical_writes);
+    }
+
+    /// Zeroes all counters (including the eviction count). Cached pages
+    /// stay resident; combine with [`BufferPool::clear`] for a fully
+    /// cold measurement.
     pub fn reset_stats(&mut self) {
         self.disk.reset_stats();
+        self.evictions = 0;
     }
 
     /// Evicts every cached page (without counting I/O — the simulator uses
@@ -221,6 +245,7 @@ impl BufferPool {
             // Evict the LRU frame and reuse it.
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "capacity ≥ 1 and pool full");
+            self.evictions += 1;
             self.unlink(victim);
             self.map.remove(&self.frames[victim].id);
             self.frames[victim] = Frame {
@@ -280,8 +305,33 @@ mod tests {
         assert_eq!(p.stats().physical_reads, 3);
         assert_eq!(p.resident(), 2);
         assert!(!p.contains(ids[0]));
-        p.fetch(ids[0]); // miss again
+        assert_eq!(p.evictions(), 1);
+        p.fetch(ids[0]); // miss again, evicts ids[1]
         assert_eq!(p.stats().physical_reads, 4);
+        assert_eq!(p.evictions(), 2);
+    }
+
+    #[test]
+    fn counters_export_into_registry() {
+        let mut p = pool(2);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate()).collect();
+        p.clear();
+        p.reset_stats();
+        p.fetch(ids[0]); // miss
+        p.fetch(ids[0]); // hit
+        p.fetch(ids[1]); // miss
+        p.fetch(ids[2]); // miss + eviction
+        let mut reg = sj_obs::CounterRegistry::new();
+        p.export_counters(&mut reg);
+        assert_eq!(reg.get("bufferpool.hits"), 1);
+        assert_eq!(reg.get("bufferpool.misses"), 3);
+        assert_eq!(reg.get("bufferpool.evictions"), 1);
+        // Monotonic: a second export accumulates rather than overwrites.
+        p.export_counters(&mut reg);
+        assert_eq!(reg.get("bufferpool.misses"), 6);
+        // reset_stats clears the eviction count too.
+        p.reset_stats();
+        assert_eq!(p.evictions(), 0);
     }
 
     #[test]

@@ -32,4 +32,27 @@ for bin in crates/bench/src/bin/*.rs; do
     "./target/release/$name" --smoke >/dev/null
 done
 
+echo "==> trace smoke (--trace JSONL structural validation)"
+# One bench bin runs with a live trace sink; every emitted line must be
+# a JSON object carrying the span/dur_us/counters schema that external
+# consumers rely on.
+./target/release/parallel_scaling --smoke --trace /tmp/sj_trace_smoke.jsonl >/dev/null
+python3 - /tmp/sj_trace_smoke.jsonl <<'PY'
+import json, sys
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        ev = json.loads(line)
+        assert isinstance(ev, dict), f"not an object: {line!r}"
+        for key in ("span", "dur_us", "counters"):
+            assert key in ev, f"missing {key!r}: {line!r}"
+        assert isinstance(ev["span"], str) and ev["span"]
+        assert isinstance(ev["dur_us"], int) and ev["dur_us"] >= 0
+        assert isinstance(ev["counters"], dict)
+        n += 1
+assert n > 0, "trace file is empty"
+print(f"    -> {n} trace events OK")
+PY
+rm -f /tmp/sj_trace_smoke.jsonl
+
 echo "CI OK"
