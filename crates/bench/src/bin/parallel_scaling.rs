@@ -18,7 +18,7 @@ use sj_costmodel::series::Series;
 use sj_costmodel::ModelParams;
 use sj_geom::{Rect, ThetaOp};
 use sj_joins::parallel::Parallelism;
-use sj_joins::{JoinOperands, JoinRequest, Phase, StoredRelation, Strategy, TraceSink};
+use sj_joins::{JoinOperands, JoinRequest, Phase, StoredRelation, Strategy};
 use sj_obs::CounterRegistry;
 use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
 
@@ -38,11 +38,9 @@ fn phase_label(phase: Phase) -> &'static str {
 }
 
 fn main() {
-    let smoke = sj_bench::smoke_mode();
-    let mut sink = match sj_bench::trace_path() {
-        Some(p) => TraceSink::file(&p).expect("open --trace file"),
-        None => TraceSink::Null,
-    };
+    let args = sj_bench::BenchArgs::parse();
+    let smoke = args.smoke();
+    let mut sink = args.trace_sink();
     let (houses_n, lakes_n) = if smoke { (64, 64) } else { (HOUSES, LAKES) };
     let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
     let houses = generate(

@@ -1,0 +1,357 @@
+//! Closed-loop scaling of the spatial query service: replays a seeded
+//! mixed SELECT/JOIN query pool (uniform probes + probes clustered on
+//! the skewed operand's hotspots) against `sj-service` at several
+//! worker counts, validating every response against a sequential
+//! replay, then drives an overload burst to demonstrate admission- and
+//! deadline-based load shedding.
+//!
+//! Run: `cargo run --release -p sj-bench --bin service_scaling`
+//!
+//! Flags (shared [`sj_bench::BenchArgs`] conventions):
+//! - `--smoke` — shrink the workload (CI mode) and skip the JSON
+//!   artifact unless `--out` is given;
+//! - `--requests N` — requests per worker-count series (default 10000);
+//! - `--inflight N` — closed-loop window: outstanding requests per
+//!   series (default 16);
+//! - `--out <path>` — where to write the JSON artifact (default
+//!   `BENCH_service.json`);
+//! - `--trace <path>` — JSONL service metrics (latency histograms,
+//!   cache/admission counters, pool gauges).
+//!
+//! Prints one CSV row per worker count and writes series for
+//! throughput, p50/p95/p99/max latency, queue-wait and execution p95,
+//! cache hit rate, and the overload phase's shed counts.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Receiver;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sj_core::workload::{generate, GeometryKind, Placement, WorkloadSpec};
+use sj_costmodel::series::Series;
+use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
+use sj_joins::Strategy;
+use sj_service::{Rejection, Reply, Request, ServiceConfig, ServiceResult, Side, SpatialService};
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Join strategies exercised by the mix — all support every θ-operator,
+/// so any (strategy, θ) pair from the pool is admissible.
+const JOIN_STRATEGIES: [Strategy; 5] = [
+    Strategy::Auto,
+    Strategy::NestedLoop,
+    Strategy::Sweep,
+    Strategy::Tree,
+    Strategy::Partition,
+];
+
+const JOIN_THETAS: [ThetaOp; 4] = [
+    ThetaOp::Overlaps,
+    ThetaOp::WithinDistance(25.0),
+    ThetaOp::ContainedIn,
+    ThetaOp::WithinCenterDistance(40.0),
+];
+
+/// The finite query pool the mix draws from: `probes` SELECTs
+/// alternating uniform positions with positions clustered on `s`'s
+/// geometry (the skewed operand), plus every (strategy, θ) join combo.
+fn build_query_pool(
+    world: Rect,
+    s_tuples: &[(u64, Geometry)],
+    probes: usize,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::new();
+    for i in 0..probes {
+        let probe = if i % 2 == 0 {
+            // Uniform: anywhere in the world.
+            let x = rng.random_range(0..1000) as f64 * (world.width() / 1000.0);
+            let y = rng.random_range(0..1000) as f64 * (world.height() / 1000.0);
+            Geometry::Point(Point::new(x, y))
+        } else {
+            // Clustered: a window around a random S object, so probes
+            // concentrate where the skewed data does.
+            let (_, g) = &s_tuples[rng.random_range(0..s_tuples.len())];
+            Geometry::Rect(g.mbr().expand(10.0))
+        };
+        let side = if i % 4 < 2 { Side::R } else { Side::S };
+        let theta = JOIN_THETAS[i % JOIN_THETAS.len()];
+        pool.push(Request::select(side, probe, theta));
+    }
+    for strategy in JOIN_STRATEGIES {
+        for theta in JOIN_THETAS {
+            pool.push(Request::join(strategy, theta));
+        }
+    }
+    pool
+}
+
+/// Drains the front of the in-flight window, comparing each response
+/// against the sequential reference. Returns the number of divergences.
+fn drain_one(
+    window: &mut VecDeque<(usize, Receiver<ServiceResult>)>,
+    reference: &[Reply],
+) -> usize {
+    let (query_idx, rx) = window.pop_front().expect("window non-empty");
+    let resp = rx
+        .recv()
+        .expect("worker responds")
+        .expect("mix phase sheds nothing");
+    usize::from(resp.reply != reference[query_idx])
+}
+
+fn main() {
+    let args = sj_bench::BenchArgs::parse();
+    let smoke = args.smoke();
+    let mut sink = args.trace_sink();
+    let total_requests = args.usize_of("--requests", if smoke { 240 } else { 10_000 });
+    let inflight = args.usize_of("--inflight", 16).max(1);
+    let probes = if smoke { 8 } else { 40 };
+
+    let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+    let (nr, ns) = if smoke { (96, 64) } else { (1_200, 400) };
+    let r_tuples = generate(
+        &WorkloadSpec {
+            count: nr,
+            world,
+            kind: GeometryKind::Point,
+            placement: Placement::Uniform,
+            max_extent: 0.0,
+            seed: 42,
+        },
+        0,
+    );
+    let s_tuples = generate(
+        &WorkloadSpec {
+            count: ns,
+            world,
+            kind: GeometryKind::Rect,
+            placement: Placement::Clustered {
+                clusters: 8,
+                sigma: 40.0,
+            },
+            max_extent: 12.0,
+            seed: 43,
+        },
+        1_000_000,
+    );
+    let queries = build_query_pool(world, &s_tuples, probes, 7);
+
+    println!(
+        "# service scaling: |R|={nr} uniform points, |S|={ns} clustered rects, \
+         {} unique queries ({probes} selects + {} joins), {total_requests} requests \
+         per worker count, window={inflight}",
+        queries.len(),
+        JOIN_STRATEGIES.len() * JOIN_THETAS.len(),
+    );
+
+    let config = ServiceConfig {
+        queue_depth: (inflight + 8).max(64),
+        ..ServiceConfig::default()
+    };
+
+    // Sequential reference: every unique query executed once, directly,
+    // single-threaded. The concurrent runs must reproduce these replies
+    // byte for byte.
+    let reference_svc = {
+        let mut c = config;
+        c.workers = 1;
+        SpatialService::start(c, &r_tuples, &s_tuples, world)
+    };
+    let reference: Vec<Reply> = queries
+        .iter()
+        .map(|req| reference_svc.execute_reference(req))
+        .collect();
+
+    println!("workers,throughput_rps,p50_us,p95_us,p99_us,max_us,cache_hit_rate,divergence");
+
+    let mut throughput = Series {
+        label: "throughput_rps",
+        points: Vec::new(),
+    };
+    let mut p50 = Series {
+        label: "p50_us",
+        points: Vec::new(),
+    };
+    let mut p95 = Series {
+        label: "p95_us",
+        points: Vec::new(),
+    };
+    let mut p99 = Series {
+        label: "p99_us",
+        points: Vec::new(),
+    };
+    let mut max_us = Series {
+        label: "max_us",
+        points: Vec::new(),
+    };
+    let mut queue_p95 = Series {
+        label: "queue_p95_us",
+        points: Vec::new(),
+    };
+    let mut exec_p95 = Series {
+        label: "exec_p95_us",
+        points: Vec::new(),
+    };
+    let mut hit_rate = Series {
+        label: "cache_hit_rate",
+        points: Vec::new(),
+    };
+
+    for workers in WORKERS {
+        let mut c = config;
+        c.workers = workers;
+        let svc = SpatialService::start(c, &r_tuples, &s_tuples, world);
+        // Seeded mix over the pool, identical for every worker count.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut window: VecDeque<(usize, Receiver<ServiceResult>)> = VecDeque::new();
+        let mut divergence = 0usize;
+        let started = Instant::now();
+        for _ in 0..total_requests {
+            let query_idx = rng.random_range(0..queries.len());
+            let rx = svc
+                .submit(queries[query_idx].clone())
+                .expect("window never exceeds queue depth");
+            window.push_back((query_idx, rx));
+            if window.len() >= inflight {
+                divergence += drain_one(&mut window, &reference);
+            }
+        }
+        while !window.is_empty() {
+            divergence += drain_one(&mut window, &reference);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+
+        assert_eq!(
+            divergence, 0,
+            "concurrent responses diverged from the sequential replay at {workers} workers"
+        );
+        let m = svc.metrics();
+        assert_eq!(m.completed, total_requests as u64, "every request answered");
+        let rate = svc.cache_hit_rate();
+        assert!(rate > 0.0, "the repeated-query mix must produce cache hits");
+        let rps = total_requests as f64 / elapsed.max(1e-9);
+        println!(
+            "{workers},{rps:.0},{},{},{},{},{rate:.4},{divergence}",
+            m.latency_us.quantile(0.5),
+            m.latency_us.quantile(0.95),
+            m.latency_us.quantile(0.99),
+            m.latency_us.max(),
+        );
+        let x = workers as f64;
+        throughput.points.push((x, rps));
+        p50.points.push((x, m.latency_us.quantile(0.5) as f64));
+        p95.points.push((x, m.latency_us.quantile(0.95) as f64));
+        p99.points.push((x, m.latency_us.quantile(0.99) as f64));
+        max_us.points.push((x, m.latency_us.max() as f64));
+        queue_p95
+            .points
+            .push((x, m.queue_wait_us.quantile(0.95) as f64));
+        exec_p95.points.push((x, m.exec_us.quantile(0.95) as f64));
+        hit_rate.points.push((x, rate));
+        if workers == *WORKERS.last().expect("non-empty") {
+            svc.emit_metrics(&mut sink);
+        }
+    }
+
+    // Cache-invalidation spot check: a repeated SELECT is cache-served,
+    // then an insert bumps the version and forces recomputation.
+    {
+        let probe = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(0.0, 0.0)),
+            ThetaOp::WithinDistance(50.0),
+        );
+        reference_svc.call(probe.clone()).expect("ok");
+        let warm = reference_svc.call(probe.clone()).expect("ok");
+        assert!(warm.cached, "repeat query must be cache-served");
+        let version =
+            reference_svc.update(&[(Side::R, 9_999_999, Geometry::Point(Point::new(1.0, 1.0)))]);
+        let fresh = reference_svc.call(probe).expect("ok");
+        assert!(!fresh.cached, "update must invalidate the cached reply");
+        assert_eq!(fresh.version, version);
+        println!("# update phase: version bump to {version} invalidated the cache");
+    }
+
+    // Overload phase: one worker, shallow queue, no cache — a burst of
+    // expensive joins interleaved with deadline-1µs requests must shed
+    // at admission (queue full) AND at dequeue (deadline exceeded).
+    let (shed_full, shed_deadline) = {
+        let mut c = config;
+        c.workers = 1;
+        c.queue_depth = 4;
+        c.cache_capacity = 0;
+        let svc = SpatialService::start(c, &r_tuples, &s_tuples, world);
+        let mut receivers = Vec::new();
+        let mut shed_full = 0u64;
+        for i in 0..40 {
+            let req = if i % 2 == 0 {
+                Request::join(Strategy::NestedLoop, ThetaOp::Overlaps)
+            } else {
+                Request::select(
+                    Side::R,
+                    Geometry::Point(Point::new(500.0, 500.0)),
+                    ThetaOp::WithinDistance(50.0),
+                )
+                .with_deadline_us(1)
+            };
+            match svc.submit(req) {
+                Ok(rx) => receivers.push(rx),
+                Err(Rejection::QueueFull) => shed_full += 1,
+                Err(other) => panic!("unexpected admission rejection {other:?}"),
+            }
+        }
+        let mut shed_deadline = 0u64;
+        for rx in receivers {
+            match rx.recv().expect("worker responds") {
+                Ok(_) => {}
+                Err(Rejection::DeadlineExceeded { queue_us }) => {
+                    assert!(queue_us > 1);
+                    shed_deadline += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(shed_full > 0, "burst must overflow the depth-4 queue");
+        assert!(
+            shed_deadline > 0,
+            "deadline-1µs requests behind slow joins must be shed"
+        );
+        let (q, d) = svc.shed_counts();
+        assert_eq!(q, shed_full);
+        assert_eq!(d, shed_deadline);
+        svc.emit_metrics(&mut sink);
+        (shed_full, shed_deadline)
+    };
+    println!("# overload phase: shed_queue_full={shed_full} shed_deadline={shed_deadline}");
+    sink.flush().expect("flush trace");
+
+    let series = vec![
+        throughput,
+        p50,
+        p95,
+        p99,
+        max_us,
+        queue_p95,
+        exec_p95,
+        hit_rate,
+        Series {
+            label: "shed_queue_full",
+            points: vec![(1.0, shed_full as f64)],
+        },
+        Series {
+            label: "shed_deadline",
+            points: vec![(1.0, shed_deadline as f64)],
+        },
+    ];
+    match (smoke, args.value_of("--out")) {
+        (true, None) => println!("# smoke mode: skipping BENCH_service.json"),
+        (_, maybe_path) => {
+            let path = maybe_path.unwrap_or("BENCH_service.json");
+            sj_bench::write_bench_json(path, &series).expect("write bench json");
+            println!("# wrote {path}");
+        }
+    }
+}

@@ -7,28 +7,87 @@
 
 use sj_costmodel::series::Series;
 use sj_costmodel::ModelParams;
+use sj_obs::TraceSink;
 
-/// True when the binary was invoked with `--smoke`: bench binaries
-/// shrink their workloads to a few dozen tuples and skip (re)writing
-/// committed `BENCH_*.json` artifacts, so `scripts/ci.sh` can execute
-/// every bin as a cheap runtime regression test — bench code can no
-/// longer bit-rot outside the test suite.
-pub fn smoke_mode() -> bool {
-    std::env::args().any(|a| a == "--smoke")
+/// The shared command-line surface of every bench binary, replacing the
+/// per-bin hand-rolled loops over `std::env::args()`.
+///
+/// Conventions (identical across bins):
+/// - `--smoke` — shrink the workload to a few dozen tuples and skip
+///   (re)writing committed `BENCH_*.json` artifacts unless `--out` is
+///   passed explicitly, so `scripts/ci.sh` can execute every bin as a
+///   cheap runtime regression test.
+/// - `--trace <path>` — open a JSONL [`TraceSink`] there and record
+///   structured spans for the measured runs.
+/// - any `--name <value>` pair — bin-specific knobs, read with
+///   [`BenchArgs::value_of`] / [`BenchArgs::usize_of`].
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    argv: Vec<String>,
 }
 
-/// The argument of `--trace <path>`, when the binary was invoked with
-/// one: bench binaries that support it open a JSONL
-/// [`TraceSink`](sj_obs::TraceSink) there and record per-phase spans for
-/// their measured runs.
-pub fn trace_path() -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            return args.next();
+impl BenchArgs {
+    /// Parses the process arguments (exclusive of `argv[0]`).
+    pub fn parse() -> Self {
+        BenchArgs {
+            argv: std::env::args().skip(1).collect(),
         }
     }
-    None
+
+    /// Builds from an explicit vector (tests).
+    pub fn from_vec(argv: Vec<String>) -> Self {
+        BenchArgs { argv }
+    }
+
+    /// True when the bare flag (e.g. `--smoke`) is present.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.argv.iter().any(|a| a == name)
+    }
+
+    /// The value following `--name`, when present.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The value of `--name` parsed as `usize`, or `default` when the
+    /// flag is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the flag is present but its value does not parse —
+    /// a user error worth failing loudly on.
+    pub fn usize_of(&self, name: &str, default: usize) -> usize {
+        match self.value_of(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} expects an integer, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// True when the binary was invoked with `--smoke` (CI mode).
+    pub fn smoke(&self) -> bool {
+        self.has_flag("--smoke")
+    }
+
+    /// The argument of `--trace <path>`, when given.
+    pub fn trace(&self) -> Option<&str> {
+        self.value_of("--trace")
+    }
+
+    /// Opens the JSONL trace sink named by `--trace`, or
+    /// [`TraceSink::Null`] (which compiles instrumentation down to
+    /// nothing) when untraced.
+    pub fn trace_sink(&self) -> TraceSink {
+        match self.trace() {
+            Some(path) => TraceSink::file(path).expect("open --trace file"),
+            None => TraceSink::Null,
+        }
+    }
 }
 
 /// Prints the standard parameter header used by all figure binaries.
@@ -213,6 +272,39 @@ mod tests {
     use super::*;
     use sj_costmodel::series::{join_figure, log_grid};
     use sj_costmodel::Distribution;
+
+    #[test]
+    fn bench_args_parse_flags_and_values() {
+        let args = BenchArgs::from_vec(
+            ["--smoke", "--trace", "/tmp/t.jsonl", "--requests", "500"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        );
+        assert!(args.smoke());
+        assert_eq!(args.trace(), Some("/tmp/t.jsonl"));
+        assert_eq!(args.usize_of("--requests", 10_000), 500);
+        assert_eq!(args.usize_of("--workers", 4), 4);
+        assert_eq!(args.value_of("--out"), None);
+        assert!(!args.has_flag("--out"));
+
+        let empty = BenchArgs::from_vec(Vec::new());
+        assert!(!empty.smoke());
+        assert_eq!(empty.trace(), None);
+        assert!(matches!(empty.trace_sink(), sj_obs::TraceSink::Null));
+    }
+
+    #[test]
+    #[should_panic(expected = "--requests expects an integer")]
+    fn bench_args_reject_malformed_numbers() {
+        let args = BenchArgs::from_vec(
+            ["--requests", "many"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        );
+        let _ = args.usize_of("--requests", 1);
+    }
 
     #[test]
     fn write_bench_json_emits_valid_document() {

@@ -129,6 +129,63 @@ pub fn recommend(profile: &WorkloadProfile) -> (Candidate, Vec<Scored>) {
     (best.candidate, scores)
 }
 
+/// The executor strategy implementing a cost-model candidate.
+///
+/// The model scores the paper's four §4 strategies; the executor layer
+/// has more (sweep, z-order, grid, partition), but those are outside the
+/// §4 cost formulas, so `Auto` dispatch only ever names these three.
+fn candidate_strategy(c: Candidate) -> sj_joins::Strategy {
+    match c {
+        Candidate::NestedLoop => sj_joins::Strategy::NestedLoop,
+        Candidate::TreeUnclustered | Candidate::TreeClustered => sj_joins::Strategy::Tree,
+        Candidate::JoinIndex => sj_joins::Strategy::JoinIndex,
+    }
+}
+
+/// Picks the executor [`Strategy`](sj_joins::Strategy) for a join with
+/// operator `theta` under `profile`: walks the §4 scoreboard
+/// cheapest-first (query cost plus amortized update cost) and returns
+/// the first candidate whose executor strategy
+/// [`supports`](sj_joins::Strategy::supports) the operator — so `Auto`
+/// never dispatches an inapplicable strategy.
+pub fn choose_join_strategy(profile: &WorkloadProfile, theta: ThetaOp) -> sj_joins::Strategy {
+    let mut scores = score(profile);
+    scores.sort_by(|a, b| {
+        a.total(profile.updates_per_query)
+            .partial_cmp(&b.total(profile.updates_per_query))
+            .expect("finite costs")
+    });
+    scores
+        .iter()
+        .map(|s| candidate_strategy(s.candidate))
+        .find(|strategy| strategy.supports(theta))
+        // All three mapped strategies handle all eight operators today;
+        // the fallback guards against a future restricted candidate.
+        .unwrap_or(sj_joins::Strategy::NestedLoop)
+}
+
+/// Builds the closure for
+/// [`JoinOperands::with_chooser`](sj_joins::JoinOperands::with_chooser):
+/// per request it estimates the operator's selectivity by seeded
+/// sampling over `(r, s)` — charged through the pool like any other I/O
+/// — then scores the §4 candidates via [`choose_join_strategy`].
+/// Deterministic for a fixed seed, so repeated identical requests
+/// resolve identically.
+pub fn auto_chooser<'a>(
+    base: WorkloadProfile,
+    r: &'a StoredRelation,
+    s: &'a StoredRelation,
+    samples: usize,
+    seed: u64,
+) -> impl Fn(ThetaOp, &mut BufferPool) -> sj_joins::Strategy + 'a {
+    move |theta, pool| {
+        let mut profile = base;
+        profile.operation = Operation::Join;
+        profile.selectivity = estimate_selectivity(pool, r, s, theta, samples, seed);
+        choose_join_strategy(&profile, theta)
+    }
+}
+
 /// Monte-Carlo selectivity estimation: θ-tests `samples` random tuple
 /// pairs and returns the matching fraction — the `p` to feed the model
 /// when only the data is known.
@@ -245,6 +302,89 @@ mod tests {
             assert!(s.update_cost.is_finite() && s.update_cost >= 0.0);
             assert!(s.total(0.25) >= s.query_cost);
         }
+    }
+
+    #[test]
+    fn choose_join_strategy_tracks_the_recommendation() {
+        // Static low-selectivity joins → join index; add updates → tree.
+        let static_low = profile(Operation::Join, Distribution::Uniform, 1e-11, 0.0);
+        assert_eq!(
+            choose_join_strategy(&static_low, ThetaOp::Overlaps),
+            sj_joins::Strategy::JoinIndex
+        );
+        let updating = profile(Operation::Join, Distribution::Uniform, 1e-11, 1.0);
+        assert_eq!(
+            choose_join_strategy(&updating, ThetaOp::Overlaps),
+            sj_joins::Strategy::Tree
+        );
+    }
+
+    #[test]
+    fn chosen_strategy_always_supports_the_operator() {
+        let thetas = [
+            ThetaOp::WithinCenterDistance(2.0),
+            ThetaOp::WithinDistance(2.0),
+            ThetaOp::Overlaps,
+            ThetaOp::Includes,
+            ThetaOp::ContainedIn,
+            ThetaOp::DirectionOf(sj_geom::Direction::NorthWest),
+            ThetaOp::ReachableWithin {
+                minutes: 5.0,
+                speed: 1.0,
+            },
+            ThetaOp::Adjacent,
+        ];
+        for d in Distribution::ALL {
+            for sel in [1e-11, 1e-6, 1e-2] {
+                for upd in [0.0, 1.0] {
+                    let p = profile(Operation::Join, d, sel, upd);
+                    for theta in thetas {
+                        let s = choose_join_strategy(&p, theta);
+                        assert!(s.supports(theta), "{s:?} cannot run {theta:?}");
+                        assert_ne!(s, sj_joins::Strategy::Auto);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_chooser_drives_the_auto_executor() {
+        use sj_joins::{JoinOperands, JoinRequest, Strategy};
+
+        let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), 128);
+        let mk = |id0: u64| -> Vec<(u64, Geometry)> {
+            (0..100)
+                .map(|i| {
+                    (
+                        id0 + i as u64,
+                        Geometry::Point(Point::new((i % 10) as f64, (i / 10) as f64)),
+                    )
+                })
+                .collect()
+        };
+        let r = StoredRelation::build(&mut pool, &mk(0), 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut pool, &mk(1000), 300, Layout::Clustered);
+        let base = profile(Operation::Join, Distribution::Uniform, 0.0, 0.0);
+        let chooser = auto_chooser(base, &r, &s, 200, 42);
+        let world = sj_geom::Rect::from_bounds(0.0, 0.0, 16.0, 16.0);
+        let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
+        let theta = ThetaOp::WithinDistance(1.1);
+
+        let mut want = Strategy::NestedLoop
+            .executor(&ops)
+            .unwrap()
+            .execute(&JoinRequest::new(theta), &mut pool)
+            .pairs;
+        want.sort_unstable();
+
+        let mut exec = Strategy::Auto.executor(&ops).expect("chooser attached");
+        let mut got = exec.execute(&JoinRequest::new(theta), &mut pool).pairs;
+        got.sort_unstable();
+        assert_eq!(got, want, "auto dispatch must preserve the join result");
+        let resolved = exec.resolved_strategy();
+        assert_ne!(resolved, Strategy::Auto);
+        assert!(resolved.supports(theta));
     }
 
     #[test]

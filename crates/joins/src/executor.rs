@@ -113,12 +113,30 @@ pub trait JoinExecutor {
         self.strategy().supports(theta)
     }
 
+    /// The concrete strategy the *last* [`JoinExecutor::execute`] call
+    /// dispatched to. Identical to [`JoinExecutor::strategy`] for every
+    /// concrete executor; [`Strategy::Auto`] overrides it to report the
+    /// per-request advisor choice.
+    fn resolved_strategy(&self) -> Strategy {
+        self.strategy()
+    }
+
     /// Runs the join, charging all I/O through `pool` and writing spans
     /// into `req.trace` when it is live.
     fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun;
 }
 
-/// The nine join strategies of this crate, as data.
+/// Per-request strategy chooser consulted by [`Strategy::Auto`]: given
+/// the θ-operator and the pool (for sampling-based selectivity
+/// estimation, charged like any other I/O), name a concrete strategy.
+/// `sj-core::advisor` provides the cost-model-backed implementation;
+/// the executor layer only defines the hook so the dependency points
+/// upward.
+pub type StrategyChooser<'a> = &'a (dyn Fn(ThetaOp, &mut BufferPool) -> Strategy + 'a);
+
+/// The nine concrete join strategies of this crate as data, plus
+/// [`Strategy::Auto`], which resolves to one of them per request via a
+/// cost-model chooser (see [`StrategyChooser`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Strategy I: block-nested loop with memory passes.
@@ -139,6 +157,11 @@ pub enum Strategy {
     Grid,
     /// PBSM-style partition-parallel filter-and-refine.
     Partition,
+    /// Per-request cost-model dispatch: consult the operands' chooser
+    /// ([`JoinOperands::with_chooser`]), fall back to the first
+    /// applicable concrete strategy if the choice cannot run the
+    /// request's θ-operator or lacks operands.
+    Auto,
 }
 
 impl Strategy {
@@ -167,22 +190,27 @@ impl Strategy {
             Strategy::ZIndex => "zindex",
             Strategy::Grid => "grid",
             Strategy::Partition => "partition",
+            Strategy::Auto => "auto",
         }
     }
 
     /// Parses [`Strategy::name`] back into a strategy.
     pub fn from_name(name: &str) -> Option<Strategy> {
+        if name == Strategy::Auto.name() {
+            return Some(Strategy::Auto);
+        }
         Strategy::ALL.into_iter().find(|s| s.name() == name)
     }
 
     /// Whether the strategy can evaluate `theta`. Z-order strategies are
     /// complete only for the overlap family; the grid cannot localize
     /// directional half-planes. Everything else handles all eight
-    /// operators.
+    /// operators; `Auto` resolves to a concrete strategy that does.
     pub fn supports(self, theta: ThetaOp) -> bool {
         match self {
             Strategy::ZOrderMerge | Strategy::ZIndex => supported_by_zorder(theta),
             Strategy::Grid => !matches!(theta, ThetaOp::DirectionOf(_)),
+            Strategy::Auto => Strategy::ALL.into_iter().any(|s| s.supports(theta)),
             _ => true,
         }
     }
@@ -239,6 +267,18 @@ impl Strategy {
                 let (r, s) = ops.flat?;
                 Some(Box::new(PartitionExec { r, s }))
             }
+            Strategy::Auto => {
+                let chooser = ops.chooser?;
+                if ops.flat.is_none() && ops.trees.is_none() {
+                    return None;
+                }
+                Some(Box::new(AutoExec {
+                    ops: *ops,
+                    chooser,
+                    cache: Vec::new(),
+                    resolved: None,
+                }))
+            }
         }
     }
 }
@@ -256,6 +296,9 @@ pub struct JoinOperands<'a> {
     pub trees: Option<(&'a TreeRelation, &'a TreeRelation)>,
     /// World rectangle enclosing all data.
     pub world: Rect,
+    /// Cost-model hook for [`Strategy::Auto`]; `None` disables `Auto`
+    /// (its [`Strategy::executor`] returns `None`).
+    pub chooser: Option<StrategyChooser<'a>>,
 }
 
 impl<'a> JoinOperands<'a> {
@@ -265,6 +308,7 @@ impl<'a> JoinOperands<'a> {
             flat: Some((r, s)),
             trees: None,
             world,
+            chooser: None,
         }
     }
 
@@ -274,6 +318,7 @@ impl<'a> JoinOperands<'a> {
             flat: None,
             trees: Some((r, s)),
             world,
+            chooser: None,
         }
     }
 
@@ -281,6 +326,14 @@ impl<'a> JoinOperands<'a> {
     /// operand set can serve all nine strategies.
     pub fn with_trees(mut self, r: &'a TreeRelation, s: &'a TreeRelation) -> Self {
         self.trees = Some((r, s));
+        self
+    }
+
+    /// Attaches a per-request strategy chooser, enabling
+    /// [`Strategy::Auto`]. `sj-core::advisor::auto_chooser` builds one
+    /// from the cost model of §6.
+    pub fn with_chooser(mut self, chooser: StrategyChooser<'a>) -> Self {
+        self.chooser = Some(chooser);
         self
     }
 }
@@ -483,6 +536,66 @@ impl JoinExecutor for PartitionExec<'_> {
     }
 }
 
+/// [`Strategy::Auto`]: asks the operands' chooser for a concrete
+/// strategy per request, guards the answer with [`Strategy::supports`]
+/// and operand availability, and delegates. Concrete executors are
+/// cached per strategy so their lazily built indices survive across
+/// requests that resolve the same way.
+struct AutoExec<'a> {
+    ops: JoinOperands<'a>,
+    chooser: StrategyChooser<'a>,
+    cache: Vec<(Strategy, Box<dyn JoinExecutor + 'a>)>,
+    resolved: Option<Strategy>,
+}
+
+impl<'a> AutoExec<'a> {
+    fn resolve(&self, theta: ThetaOp, pool: &mut BufferPool) -> Strategy {
+        let pick = (self.chooser)(theta, pool);
+        if pick != Strategy::Auto && pick.supports(theta) && pick.executor(&self.ops).is_some() {
+            return pick;
+        }
+        // The chooser named Auto itself, an inapplicable strategy for
+        // this θ, or one whose operands are absent: fall back to the
+        // first concrete strategy that can run. NestedLoop (flat) and
+        // Tree (trees) support all eight operators, so with operands
+        // present — checked at executor construction — this never fails.
+        Strategy::ALL
+            .into_iter()
+            .find(|s| s.supports(theta) && s.executor(&self.ops).is_some())
+            .expect("a universal strategy exists for the available operands")
+    }
+}
+
+impl JoinExecutor for AutoExec<'_> {
+    fn strategy(&self) -> Strategy {
+        Strategy::Auto
+    }
+
+    fn resolved_strategy(&self) -> Strategy {
+        self.resolved.unwrap_or(Strategy::Auto)
+    }
+
+    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
+        let chosen = self.resolve(req.theta, pool);
+        self.resolved = Some(chosen);
+        req.trace
+            .borrow_mut()
+            .emit(&format!("auto/choose:{}", chosen.name()), 0, &[]);
+        if !self.cache.iter().any(|(s, _)| *s == chosen) {
+            let exec = chosen
+                .executor(&self.ops)
+                .expect("resolve() verified operand availability");
+            self.cache.push((chosen, exec));
+        }
+        let (_, exec) = self
+            .cache
+            .iter_mut()
+            .find(|(s, _)| *s == chosen)
+            .expect("cache entry was just ensured");
+        exec.execute(req, pool)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,7 +623,97 @@ mod tests {
         for s in Strategy::ALL {
             assert_eq!(Strategy::from_name(s.name()), Some(s));
         }
+        assert_eq!(Strategy::from_name("auto"), Some(Strategy::Auto));
         assert_eq!(Strategy::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn auto_requires_a_chooser() {
+        let mut p = pool();
+        let r = grid_rel(&mut p, 4, 10.0, 0);
+        let s = grid_rel(&mut p, 4, 10.0, 500);
+        let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
+        let ops = JoinOperands::flat(&r, &s, world);
+        assert!(Strategy::Auto.executor(&ops).is_none());
+    }
+
+    #[test]
+    fn auto_delegates_to_the_chosen_strategy() {
+        let mut p = pool();
+        let r = grid_rel(&mut p, 5, 10.0, 0);
+        let s = grid_rel(&mut p, 5, 10.0, 500);
+        let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
+        let chooser = |_: ThetaOp, _: &mut BufferPool| Strategy::Sweep;
+        let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
+        let theta = ThetaOp::Overlaps;
+
+        let mut want = Strategy::NestedLoop
+            .executor(&JoinOperands::flat(&r, &s, world))
+            .unwrap()
+            .execute(&JoinRequest::new(theta), &mut p)
+            .pairs;
+        want.sort_unstable();
+
+        let mut exec = Strategy::Auto.executor(&ops).expect("chooser attached");
+        assert_eq!(exec.strategy(), Strategy::Auto);
+        let req = JoinRequest::new(theta).with_trace(TraceSink::vec());
+        let mut got = exec.execute(&req, &mut p).pairs;
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(exec.resolved_strategy(), Strategy::Sweep);
+        let sink = req.take_trace();
+        assert!(
+            sink.events().iter().any(|e| e.span == "auto/choose:sweep"),
+            "auto must trace its choice"
+        );
+    }
+
+    #[test]
+    fn auto_never_picks_an_inapplicable_strategy() {
+        let mut p = pool();
+        let r = grid_rel(&mut p, 5, 10.0, 0);
+        let s = grid_rel(&mut p, 5, 10.0, 500);
+        let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
+        // A hostile chooser that always names Grid, which cannot run
+        // directional predicates — Auto must fall back, not crash or
+        // return garbage.
+        let chooser = |_: ThetaOp, _: &mut BufferPool| Strategy::Grid;
+        let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
+        let theta = ThetaOp::DirectionOf(sj_geom::Direction::NorthWest);
+        assert!(Strategy::Auto.supports(theta));
+
+        let mut want = Strategy::NestedLoop
+            .executor(&JoinOperands::flat(&r, &s, world))
+            .unwrap()
+            .execute(&JoinRequest::new(theta), &mut p)
+            .pairs;
+        want.sort_unstable();
+
+        let mut exec = Strategy::Auto.executor(&ops).unwrap();
+        let mut got = exec.execute(&JoinRequest::new(theta), &mut p).pairs;
+        got.sort_unstable();
+        assert_eq!(got, want);
+        let resolved = exec.resolved_strategy();
+        assert_ne!(resolved, Strategy::Grid);
+        assert!(resolved.supports(theta));
+    }
+
+    #[test]
+    fn auto_falls_back_when_operands_are_missing() {
+        let mut p = pool();
+        let r = grid_rel(&mut p, 4, 10.0, 0);
+        let s = grid_rel(&mut p, 4, 10.0, 500);
+        let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
+        // Tree needs TreeRelations, which flat-only operands lack.
+        let chooser = |_: ThetaOp, _: &mut BufferPool| Strategy::Tree;
+        let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
+        let mut exec = Strategy::Auto.executor(&ops).unwrap();
+        let run = exec.execute(&JoinRequest::new(ThetaOp::Overlaps), &mut p);
+        assert!(!run.pairs.is_empty());
+        assert!(matches!(
+            exec.resolved_strategy(),
+            Strategy::NestedLoop | Strategy::Sweep
+        ));
     }
 
     #[test]

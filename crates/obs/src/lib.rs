@@ -16,6 +16,10 @@
 //!   Each event is one line: `{"span":…,"dur_us":…,"counters":{…}}`.
 //!   `Null` drops everything, `Vec` buffers in memory (for tests),
 //!   `File` streams to disk via a `BufWriter`.
+//! - [`Histogram`]: a log₂-bucketed latency histogram (64 buckets, one
+//!   per power of two) with `O(1)` recording, exact count/max tracking,
+//!   mergeable buckets, and conservative upper-bound quantiles — the
+//!   per-request tail-latency accumulator of the serving layer.
 //!
 //! The crate is deliberately free of dependencies (not even the
 //! vendored shims) so every other crate in the workspace can use it.
@@ -334,6 +338,152 @@ impl PhaseTimer {
     }
 }
 
+/// A log₂-bucketed histogram over `u64` samples (microseconds, bytes,
+/// counts — any non-negative magnitude).
+///
+/// Bucket `i` holds samples whose highest set bit is `i` (samples `0`
+/// and `1` share bucket 0), so 64 fixed buckets cover the full `u64`
+/// range with at most 2× relative quantile error. Recording is a shift
+/// and an add; histograms merge bucket-wise, so per-worker histograms
+/// can be combined into service totals without locks on the hot path.
+///
+/// Quantiles are *conservative upper bounds*: [`Histogram::quantile`]
+/// returns the inclusive upper edge of the bucket containing the q-th
+/// sample (clamped to the observed maximum), so reported p99 never
+/// understates the true p99. Quantiles are monotone in `q` and bucket
+/// counts always sum to [`Histogram::count`] (property-tested in
+/// `tests/prop_histogram.rs`).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of a sample: the position of its highest set bit
+    /// (0 for samples 0 and 1).
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    /// Inclusive upper edge of bucket `i`: the largest sample the bucket
+    /// can hold (`2^(i+1) - 1`, saturating at `u64::MAX`).
+    #[inline]
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= 63 {
+            u64::MAX
+        } else {
+            (2u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The 64 per-bucket counts, index = highest-set-bit position.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Conservative quantile: the upper edge of the bucket containing
+    /// the `⌈q·count⌉`-th smallest sample, clamped to the observed max
+    /// so a single-bucket histogram reports its true extreme. Returns 0
+    /// on an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least 1 so q=0 is the first sample.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one, bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The standard summary counters (`count`, `p50`, `p95`, `p99`,
+    /// `max`, `mean`) in the shape [`TraceSink::emit`] takes. The span's
+    /// `dur_us` conventionally carries [`Histogram::sum`] so consumers
+    /// can recover total time from the same line.
+    pub fn summary_counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("count", self.count),
+            ("p50", self.quantile(0.50)),
+            ("p95", self.quantile(0.95)),
+            ("p99", self.quantile(0.99)),
+            ("max", self.max),
+            ("mean", self.mean() as u64),
+        ]
+    }
+
+    /// Emit one `{span, dur_us: sum, counters: summary}` trace event.
+    pub fn emit(&self, sink: &mut TraceSink, span: &str) {
+        sink.emit(span, self.sum, &self.summary_counters());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +593,82 @@ mod tests {
         span.finish(&mut sink, &[("pairs", 4)]);
         assert_eq!(sink.events().len(), 1);
         assert_eq!(sink.events()[0].span, "tile:3");
+    }
+
+    #[test]
+    fn histogram_buckets_by_highest_bit() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(v);
+        }
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 2); // 0, 1
+        assert_eq!(b[1], 2); // 2, 3
+        assert_eq!(b[2], 2); // 4, 7
+        assert_eq!(b[3], 1); // 8
+        assert_eq!(b[9], 1); // 1023
+        assert_eq!(b[10], 1); // 1024
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(b.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_true_values() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Upper-bound property: quantile(q) ≥ true q-th value, and never
+        // exceeds the next power of two (≤ 2× relative error).
+        for (q, truth) in [(0.5, 500u64), (0.95, 950), (0.99, 990), (1.0, 1000)] {
+            let est = h.quantile(q);
+            assert!(est >= truth, "q={q}: {est} < {truth}");
+            assert!(est < truth * 2, "q={q}: {est} ≥ 2×{truth}");
+        }
+        assert_eq!(h.quantile(1.0), 1000, "p100 clamps to the observed max");
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 5, 9] {
+            a.record(v);
+        }
+        for v in [2, 5, 1_000_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.sum(), 1 + 5 + 9 + 2 + 5 + 1_000_000);
+        assert_eq!(a.bucket_counts().iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn histogram_emits_summary_event() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 40] {
+            h.record(v);
+        }
+        let mut sink = TraceSink::vec();
+        h.emit(&mut sink, "service/latency/total");
+        let ev = &sink.events()[0];
+        assert_eq!(ev.span, "service/latency/total");
+        assert_eq!(ev.dur_us, 70);
+        let get = |name: &str| {
+            ev.counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("count"), 3);
+        assert_eq!(get("max"), 40);
+        assert!(get("p50") >= 20);
+        assert!(get("p99") >= get("p50"), "quantiles must be monotone");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property tests for the log₂-bucketed [`Histogram`]: quantiles are
+//! monotone in `q`, bucket counts sum to the sample count, every
+//! quantile is a conservative upper bound on the true order statistic,
+//! and merging two histograms equals recording the concatenated sample
+//! stream (the service-layer invariants of satellite task (c)).
+
+use proptest::prelude::*;
+use sj_obs::Histogram;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix tiny, mid, and huge magnitudes so every bucket region is hit.
+    prop::collection::vec(
+        prop_oneof![0u64..16, 16u64..4096, 4096u64..u64::MAX / 2],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_counts_sum_to_sample_count(samples in arb_samples()) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in arb_samples()) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(
+                h.quantile(w[0]) <= h.quantile(w[1]),
+                "quantile({}) = {} > quantile({}) = {}",
+                w[0], h.quantile(w[0]), w[1], h.quantile(w[1])
+            );
+        }
+    }
+
+    /// quantile(q) never understates the true q-th order statistic, and
+    /// p100 equals the exact maximum.
+    #[test]
+    fn quantiles_upper_bound_order_statistics(samples in arb_samples()) {
+        if samples.is_empty() {
+            // The vacuous case; the shim has no prop_assume.
+            return Ok(());
+        }
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let target = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let truth = sorted[target - 1];
+            prop_assert!(
+                h.quantile(q) >= truth,
+                "quantile({q}) = {} < true order statistic {truth}",
+                h.quantile(q)
+            );
+        }
+        prop_assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    /// merge(a, b) is indistinguishable from recording a ++ b.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in arb_samples(),
+        b in arb_samples(),
+    ) {
+        let mut ha = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge(&hb);
+
+        let mut hc = Histogram::new();
+        for &v in a.iter().chain(b.iter()) {
+            hc.record(v);
+        }
+        prop_assert_eq!(ha.bucket_counts(), hc.bucket_counts());
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+}

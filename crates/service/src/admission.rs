@@ -1,0 +1,154 @@
+//! Bounded admission queue with load shedding.
+//!
+//! Admission control is the service's back-pressure mechanism: the
+//! queue holds at most `depth` pending requests, and a submission
+//! against a full queue is *shed* immediately — the client gets
+//! [`Rejection::QueueFull`](crate::request::Rejection::QueueFull)
+//! instead of unbounded latency. Workers block on [`AdmissionQueue::pop`]
+//! until work arrives or the queue is closed for shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    shed_full: u64,
+    admitted: u64,
+}
+
+/// A bounded MPMC queue: producers shed when full, consumers block when
+/// empty, and closing wakes every blocked consumer.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    depth: usize,
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `depth` pending items.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "a zero-depth queue would shed everything");
+        AdmissionQueue {
+            depth,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+                shed_full: 0,
+                admitted: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits `item`, or returns it to the caller when the queue is full
+    /// (counted as a shed) or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(item);
+        }
+        if inner.queue.len() >= self.depth {
+            inner.shed_full += 1;
+            return Err(item);
+        }
+        inner.queue.push_back(item);
+        inner.admitted += 1;
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed
+    /// and drained, which yields `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked consumers drain the
+    /// backlog and then observe shutdown.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Pending items right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Submissions shed because the queue was full.
+    pub fn shed_full_count(&self) -> u64 {
+        self.inner.lock().expect("queue lock").shed_full
+    }
+
+    /// Submissions admitted since creation.
+    pub fn admitted_count(&self) -> u64 {
+        self.inner.lock().expect("queue lock").admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_counts() {
+        let q = AdmissionQueue::new(4);
+        for i in 0..3 {
+            q.try_push(i).expect("fits");
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.admitted_count(), 3);
+        assert_eq!((q.pop(), q.pop(), q.pop()), (Some(0), Some(1), Some(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_and_counts() {
+        let q = AdmissionQueue::new(2);
+        q.try_push(1).expect("fits");
+        q.try_push(2).expect("fits");
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.shed_full_count(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(5).expect("space was freed");
+    }
+
+    #[test]
+    fn close_drains_backlog_then_stops_consumers() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        q.try_push(7).expect("fits");
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(7), "backlog still drains");
+        assert_eq!(q.pop(), None);
+
+        // A consumer blocked on an empty queue wakes on close.
+        let q2 = Arc::new(AdmissionQueue::<u32>::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        q2.close();
+        assert_eq!(waiter.join().expect("no panic"), None);
+    }
+}

@@ -1,0 +1,278 @@
+//! The versioned LRU result cache.
+//!
+//! Keys are `(dataset_version, θ-operator, query fingerprint)`. Updates
+//! bump the dataset version, so entries computed against stale data can
+//! never be served again — invalidation is structural, not scanned —
+//! and [`ResultCache::purge_stale`] reclaims their space eagerly.
+
+use std::collections::{BTreeMap, HashMap};
+
+use sj_geom::{codec, ThetaOp};
+
+use crate::request::{QueryKind, Reply, Request};
+
+/// Record size used only to serialize probe geometries into key bytes;
+/// any size that fits the largest probe works, equality is what matters.
+const KEY_RECORD_SIZE: usize = 300;
+
+/// θ-operator as hashable bits: discriminant plus parameter payloads
+/// (`f64::to_bits`, so `ThetaOp`'s non-`Eq` floats become exact keys).
+fn theta_bits(theta: ThetaOp) -> [u64; 3] {
+    match theta {
+        ThetaOp::WithinCenterDistance(d) => [0, d.to_bits(), 0],
+        ThetaOp::WithinDistance(d) => [1, d.to_bits(), 0],
+        ThetaOp::Overlaps => [2, 0, 0],
+        ThetaOp::Includes => [3, 0, 0],
+        ThetaOp::ContainedIn => [4, 0, 0],
+        ThetaOp::DirectionOf(dir) => [5, dir as u64, 0],
+        ThetaOp::ReachableWithin { minutes, speed } => [6, minutes.to_bits(), speed.to_bits()],
+        ThetaOp::Adjacent => [7, 0, 0],
+    }
+}
+
+/// The query part of a cache key: the probe geometry's exact encoding
+/// for SELECTs (two probes collide only if they are the same geometry,
+/// not merely MBR-equal), the strategy name for JOINs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Fingerprint {
+    Select { side: &'static str, probe: Vec<u8> },
+    Join { strategy: &'static str },
+}
+
+/// Cache key: dataset version, θ-operator bits, query fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    version: u64,
+    theta: [u64; 3],
+    query: Fingerprint,
+}
+
+impl CacheKey {
+    /// The key `req` would hit at dataset version `version`.
+    pub fn for_request(version: u64, req: &Request) -> CacheKey {
+        let query = match &req.kind {
+            QueryKind::Select { side, probe } => Fingerprint::Select {
+                side: side.name(),
+                probe: codec::encode_record(0, probe, KEY_RECORD_SIZE),
+            },
+            QueryKind::Join { strategy } => Fingerprint::Join {
+                strategy: strategy.name(),
+            },
+        };
+        CacheKey {
+            version,
+            theta: theta_bits(req.theta),
+            query,
+        }
+    }
+}
+
+/// Exact-LRU cache from [`CacheKey`] to [`Reply`]. Replies are
+/// `Arc`-backed, so hits are O(1) clones of the shared result.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    /// key → (recency sequence, value).
+    map: HashMap<CacheKey, (u64, Reply)>,
+    /// recency sequence → key; the smallest sequence is the LRU victim.
+    order: BTreeMap<u64, CacheKey>,
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` replies; 0 caches
+    /// nothing (every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_seq: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Reply> {
+        match self.map.get_mut(key) {
+            Some((seq, reply)) => {
+                self.hits += 1;
+                self.order.remove(seq);
+                *seq = self.next_seq;
+                self.order.insert(self.next_seq, key.clone());
+                self.next_seq += 1;
+                Some(reply.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when over capacity.
+    pub fn insert(&mut self, key: CacheKey, reply: Reply) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((seq, _)) = self.map.remove(&key) {
+            self.order.remove(&seq);
+        }
+        self.map.insert(key.clone(), (self.next_seq, reply));
+        self.order.insert(self.next_seq, key);
+        self.next_seq += 1;
+        while self.map.len() > self.capacity {
+            let (&victim_seq, _) = self.order.iter().next().expect("cache is over capacity");
+            let victim = self.order.remove(&victim_seq).expect("victim exists");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Drops every entry whose version is older than `current`, so an
+    /// update reclaims stale space immediately instead of waiting for
+    /// LRU pressure.
+    pub fn purge_stale(&mut self, current: u64) {
+        let stale: Vec<u64> = self
+            .order
+            .iter()
+            .filter(|(_, k)| k.version < current)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in stale {
+            let key = self.order.remove(&seq).expect("listed above");
+            self.map.remove(&key);
+        }
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use sj_geom::{Geometry, Point, Rect};
+    use sj_joins::Strategy;
+
+    use crate::request::{Request, Side};
+
+    fn select_req(x: f64) -> Request {
+        Request::select(
+            Side::R,
+            Geometry::Point(Point::new(x, 0.0)),
+            ThetaOp::WithinDistance(1.0),
+        )
+    }
+
+    fn reply(ids: &[u64]) -> Reply {
+        Reply::Select {
+            matches: Arc::new(ids.to_vec()),
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_version_theta_and_query() {
+        let req = select_req(1.0);
+        let k = CacheKey::for_request(3, &req);
+        assert_eq!(k, CacheKey::for_request(3, &req));
+        assert_ne!(k, CacheKey::for_request(4, &req));
+        assert_ne!(k, CacheKey::for_request(3, &select_req(2.0)));
+        let mut other_theta = select_req(1.0);
+        other_theta.theta = ThetaOp::WithinDistance(2.0);
+        assert_ne!(k, CacheKey::for_request(3, &other_theta));
+        let join = Request::join(Strategy::Auto, ThetaOp::WithinDistance(1.0));
+        assert_ne!(k, CacheKey::for_request(3, &join));
+    }
+
+    #[test]
+    fn mbr_equal_probes_do_not_collide() {
+        // A rect probe and a point probe can share an MBR; the
+        // fingerprint must still tell them apart.
+        let pt = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(1.0, 1.0)),
+            ThetaOp::Overlaps,
+        );
+        let rect = Request::select(
+            Side::R,
+            Geometry::Rect(Rect::from_bounds(1.0, 1.0, 1.0, 1.0)),
+            ThetaOp::Overlaps,
+        );
+        assert_ne!(
+            CacheKey::for_request(0, &pt),
+            CacheKey::for_request(0, &rect)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        let ka = CacheKey::for_request(0, &select_req(1.0));
+        let kb = CacheKey::for_request(0, &select_req(2.0));
+        let kc = CacheKey::for_request(0, &select_req(3.0));
+        c.insert(ka.clone(), reply(&[1]));
+        c.insert(kb.clone(), reply(&[2]));
+        assert!(c.get(&ka).is_some(), "refresh a");
+        c.insert(kc.clone(), reply(&[3]));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&kb).is_none(), "b was LRU and must be gone");
+        assert!(c.get(&ka).is_some());
+        assert!(c.get(&kc).is_some());
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purge_drops_only_stale_versions() {
+        let mut c = ResultCache::new(8);
+        c.insert(CacheKey::for_request(1, &select_req(1.0)), reply(&[1]));
+        c.insert(CacheKey::for_request(2, &select_req(1.0)), reply(&[1, 2]));
+        c.purge_stale(2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&CacheKey::for_request(1, &select_req(1.0))).is_none());
+        assert!(c.get(&CacheKey::for_request(2, &select_req(1.0))).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        let k = CacheKey::for_request(0, &select_req(1.0));
+        c.insert(k.clone(), reply(&[1]));
+        assert!(c.is_empty());
+        assert!(c.get(&k).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! `sj-service`: a multi-threaded spatial query service over the
+//! paper's machinery — Algorithm SELECT via generalization trees and
+//! spatial joins via any executor [`Strategy`](sj_joins::Strategy),
+//! including cost-model-advised `Auto` dispatch.
+//!
+//! The pipeline, request by request:
+//!
+//! 1. **Admission** ([`admission`]): a bounded queue sheds submissions
+//!    beyond its depth immediately ([`Rejection::QueueFull`]), bounding
+//!    latency under overload instead of letting it grow without limit.
+//! 2. **Deadline check**: at dequeue, a request that has out-waited its
+//!    latency budget is shed ([`Rejection::DeadlineExceeded`]) rather
+//!    than executed uselessly.
+//! 3. **Result cache** ([`cache`]): an LRU keyed by
+//!    `(dataset_version, θ-operator, query fingerprint)`. Updates bump
+//!    the version, so stale results are structurally unreachable.
+//! 4. **Execution** ([`service`]): a fixed worker pool; each worker
+//!    runs the request on a private cold buffer-pool shard
+//!    ([`BufferPool::fork_view`](sj_storage::BufferPool::fork_view))
+//!    under a shared read lock, so updates (write lock) serialize with
+//!    queries but queries never serialize with each other.
+//! 5. **Metrics** ([`metrics`]): every request records queue-wait and
+//!    execution time into log₂-bucketed
+//!    [`Histogram`](sj_obs::Histogram)s, exported as p50/p95/p99/max
+//!    through the standard `sj-obs` JSONL trace vocabulary.
+//!
+//! Determinism: results are sorted and the advisor's selectivity
+//! sampling is seeded, so a response depends only on `(dataset
+//! version, request)` — never on worker count, queue order, or cache
+//! state. `tests/prop_service.rs` holds the property proofs.
+
+pub mod admission;
+pub mod cache;
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+pub use admission::AdmissionQueue;
+pub use cache::{CacheKey, ResultCache};
+pub use metrics::ServiceMetrics;
+pub use request::{QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side};
+pub use service::{ServiceConfig, SpatialService};

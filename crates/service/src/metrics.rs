@@ -1,0 +1,147 @@
+//! Per-request latency accounting: log₂-bucketed histograms for
+//! end-to-end latency plus its queue-wait vs execution-time breakdown,
+//! and counters for completions, cache service, and deadline sheds.
+//! Everything exports through the existing `sj-obs` JSONL trace
+//! vocabulary via [`ServiceMetrics::emit`].
+
+use sj_obs::{Histogram, TraceSink};
+
+/// The service's aggregate latency and outcome metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// End-to-end latency (queue wait + execution), µs.
+    pub latency_us: Histogram,
+    /// Time spent in the admission queue, µs.
+    pub queue_wait_us: Histogram,
+    /// Time spent computing (≈0 for cache hits), µs.
+    pub exec_us: Histogram,
+    /// Requests answered (computed or cache-served).
+    pub completed: u64,
+    /// Of `completed`, answered straight from the result cache.
+    pub served_from_cache: u64,
+    /// Requests shed at dequeue because their deadline had passed.
+    pub shed_deadline: u64,
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Records one answered request.
+    pub fn record_completion(&mut self, queue_us: u64, exec_us: u64, cached: bool) {
+        self.latency_us.record(queue_us + exec_us);
+        self.queue_wait_us.record(queue_us);
+        self.exec_us.record(exec_us);
+        self.completed += 1;
+        if cached {
+            self.served_from_cache += 1;
+        }
+    }
+
+    /// Records one request shed at dequeue for missing its deadline.
+    /// The wasted queue wait is still charged to the wait histogram.
+    pub fn record_shed_deadline(&mut self, queue_us: u64) {
+        self.queue_wait_us.record(queue_us);
+        self.shed_deadline += 1;
+    }
+
+    /// Folds another metrics object in (bucket-wise histogram merge plus
+    /// counter sums) — e.g. to aggregate per-worker snapshots.
+    pub fn merge(&mut self, other: &ServiceMetrics) {
+        self.latency_us.merge(&other.latency_us);
+        self.queue_wait_us.merge(&other.queue_wait_us);
+        self.exec_us.merge(&other.exec_us);
+        self.completed += other.completed;
+        self.served_from_cache += other.served_from_cache;
+        self.shed_deadline += other.shed_deadline;
+    }
+
+    /// Emits four JSONL events: one per histogram (count/p50/p95/p99/
+    /// max/mean as counters) and a `service/summary` with the outcome
+    /// counters, all through the standard trace vocabulary.
+    pub fn emit(&self, sink: &mut TraceSink) {
+        self.latency_us.emit(sink, "service/latency_us");
+        self.queue_wait_us.emit(sink, "service/queue_wait_us");
+        self.exec_us.emit(sink, "service/exec_us");
+        sink.emit(
+            "service/summary",
+            0,
+            &[
+                ("completed", self.completed),
+                ("served_from_cache", self.served_from_cache),
+                ("shed_deadline", self.shed_deadline),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_updates_all_three_histograms() {
+        let mut m = ServiceMetrics::new();
+        m.record_completion(10, 90, false);
+        m.record_completion(5, 0, true);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.served_from_cache, 1);
+        assert_eq!(m.latency_us.count(), 2);
+        assert_eq!(m.latency_us.max(), 100);
+        assert_eq!(m.queue_wait_us.max(), 10);
+        assert_eq!(m.exec_us.max(), 90);
+    }
+
+    #[test]
+    fn deadline_shed_charges_queue_wait_only() {
+        let mut m = ServiceMetrics::new();
+        m.record_shed_deadline(500);
+        assert_eq!(m.shed_deadline, 1);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.queue_wait_us.count(), 1);
+        assert_eq!(m.latency_us.count(), 0);
+        assert_eq!(m.exec_us.count(), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_buckets() {
+        let mut a = ServiceMetrics::new();
+        a.record_completion(1, 2, false);
+        let mut b = ServiceMetrics::new();
+        b.record_completion(3, 4, true);
+        b.record_shed_deadline(9);
+        a.merge(&b);
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.served_from_cache, 1);
+        assert_eq!(a.shed_deadline, 1);
+        assert_eq!(a.latency_us.count(), 2);
+        assert_eq!(a.queue_wait_us.count(), 3);
+    }
+
+    #[test]
+    fn emit_writes_the_trace_vocabulary() {
+        let mut m = ServiceMetrics::new();
+        m.record_completion(10, 20, false);
+        let mut sink = TraceSink::vec();
+        m.emit(&mut sink);
+        let spans: Vec<&str> = sink.events().iter().map(|e| e.span.as_str()).collect();
+        assert_eq!(
+            spans,
+            [
+                "service/latency_us",
+                "service/queue_wait_us",
+                "service/exec_us",
+                "service/summary"
+            ]
+        );
+        let latency = &sink.events()[0];
+        for key in ["count", "p50", "p95", "p99", "max", "mean"] {
+            assert!(
+                latency.counters.iter().any(|(k, _)| *k == key),
+                "histogram event must carry {key}"
+            );
+        }
+    }
+}

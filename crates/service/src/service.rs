@@ -1,0 +1,680 @@
+//! The spatial query service: a fixed worker pool over buffer-pool
+//! shards, fed by the bounded [`AdmissionQueue`], answering from the
+//! versioned [`ResultCache`] when it can.
+//!
+//! ## Concurrency model
+//!
+//! The dataset (master [`BufferPool`], stored relations, generalization
+//! trees, version) lives behind one `RwLock`. Workers take the *read*
+//! lock per request and execute on a private cold shard forked from the
+//! master pool ([`BufferPool::fork_view`]), so index builds and page
+//! I/O during query execution never touch shared frames. Updates take
+//! the *write* lock, append through the master pool (write-through),
+//! rebuild the generalization trees, and bump the dataset version —
+//! which structurally invalidates every cached result.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sj_core::advisor::{auto_chooser, Operation, WorkloadProfile};
+use sj_costmodel::{Distribution, ModelParams};
+use sj_gentree::rtree::{RTree, RTreeConfig};
+use sj_geom::{Bounded, Geometry, Rect};
+use sj_joins::{JoinOperands, JoinRequest, StoredRelation, TreeRelation};
+use sj_obs::TraceSink;
+use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
+
+use crate::admission::AdmissionQueue;
+use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::ServiceMetrics;
+use crate::request::{QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side};
+
+/// Tuning knobs for [`SpatialService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission-queue depth; submissions beyond it are shed.
+    pub queue_depth: usize,
+    /// Result-cache entries; 0 disables caching entirely.
+    pub cache_capacity: usize,
+    /// Frames of the master buffer pool (builds and updates).
+    pub pool_capacity: usize,
+    /// Frames of each worker's forked shard.
+    pub shard_capacity: usize,
+    /// On-disk record size for relations and trees.
+    pub record_size: usize,
+    /// Generalization-tree (R-tree) fan-out.
+    pub fanout: usize,
+    /// Sample pairs per advisor selectivity estimate for `Auto`.
+    pub selectivity_samples: usize,
+    /// Seed for the advisor's estimator — fixed, so identical requests
+    /// against the same version resolve to the same strategy.
+    pub seed: u64,
+    /// Base workload profile the advisor scores (`operation` and
+    /// `selectivity` are overridden per request).
+    pub profile: WorkloadProfile,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 256,
+            pool_capacity: 256,
+            shard_capacity: 32,
+            record_size: 300,
+            fanout: 8,
+            selectivity_samples: 64,
+            seed: 0xC0FFEE,
+            profile: WorkloadProfile {
+                params: ModelParams::paper(),
+                distribution: Distribution::Uniform,
+                selectivity: 1e-6,
+                updates_per_query: 0.0,
+                operation: Operation::Join,
+            },
+        }
+    }
+}
+
+/// The version-tagged dataset behind the service's `RwLock`.
+struct DataState {
+    pool: BufferPool,
+    r: StoredRelation,
+    s: StoredRelation,
+    r_tree: TreeRelation,
+    s_tree: TreeRelation,
+    world: Rect,
+    version: u64,
+}
+
+/// One queued unit of work.
+struct Job {
+    req: Request,
+    submitted: Instant,
+    reply_to: Sender<ServiceResult>,
+}
+
+/// State shared between the handle and the workers.
+struct Shared {
+    config: ServiceConfig,
+    state: RwLock<DataState>,
+    queue: AdmissionQueue<Job>,
+    cache: Mutex<ResultCache>,
+    metrics: Mutex<ServiceMetrics>,
+}
+
+/// A running multi-threaded spatial query service. Dropping the handle
+/// closes the admission queue, drains the backlog, and joins the
+/// workers.
+pub struct SpatialService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SpatialService {
+    /// Builds the dataset (stored relations plus clustered
+    /// generalization trees) on a fresh paper-geometry disk and spawns
+    /// the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either relation is empty — the advisor's selectivity
+    /// estimator needs tuples to sample.
+    pub fn start(
+        config: ServiceConfig,
+        r_tuples: &[(u64, Geometry)],
+        s_tuples: &[(u64, Geometry)],
+        world: Rect,
+    ) -> Self {
+        assert!(
+            !r_tuples.is_empty() && !s_tuples.is_empty(),
+            "service operands must be non-empty"
+        );
+        let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), config.pool_capacity);
+        let r = StoredRelation::build(&mut pool, r_tuples, config.record_size, Layout::Clustered);
+        let s = StoredRelation::build(&mut pool, s_tuples, config.record_size, Layout::Clustered);
+        let r_tree = build_tree(&mut pool, &r, &config);
+        let s_tree = build_tree(&mut pool, &s, &config);
+        let shared = Arc::new(Shared {
+            config,
+            state: RwLock::new(DataState {
+                pool,
+                r,
+                s,
+                r_tree,
+                s_tree,
+                world,
+                version: 0,
+            }),
+            queue: AdmissionQueue::new(config.queue_depth),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            metrics: Mutex::new(ServiceMetrics::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        SpatialService { shared, workers }
+    }
+
+    /// Submits a request. Returns the response channel, or an immediate
+    /// rejection when the θ-operator is unsupported by the named
+    /// strategy or the admission queue sheds the request.
+    pub fn submit(&self, req: Request) -> Result<Receiver<ServiceResult>, Rejection> {
+        if let QueryKind::Join { strategy } = &req.kind {
+            if !strategy.supports(req.theta) {
+                return Err(Rejection::UnsupportedTheta);
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            submitted: Instant::now(),
+            reply_to: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(rx),
+            Err(_) => Err(Rejection::QueueFull),
+        }
+    }
+
+    /// Submits and blocks for the answer.
+    pub fn call(&self, req: Request) -> ServiceResult {
+        let rx = self.submit(req)?;
+        rx.recv().unwrap_or(Err(Rejection::Closed))
+    }
+
+    /// Executes `req` synchronously on the calling thread — same
+    /// computation as the workers, bypassing queue, cache, and metrics.
+    /// This is the sequential reference for replay validation.
+    pub fn execute_reference(&self, req: &Request) -> Reply {
+        let state = self.shared.state.read().expect("state lock");
+        compute(&state, &self.shared.config, req)
+    }
+
+    /// Applies a batch of insertions: appends through the master pool,
+    /// extends the world rectangle, rebuilds both generalization trees,
+    /// bumps the dataset version, and purges stale cache entries.
+    /// Returns the new version.
+    pub fn update(&self, inserts: &[(Side, u64, Geometry)]) -> u64 {
+        let mut guard = self.shared.state.write().expect("state lock");
+        let state = &mut *guard;
+        for (side, id, g) in inserts {
+            state.world = state.world.union(&g.mbr());
+            match side {
+                Side::R => state.r.append(&mut state.pool, *id, g),
+                Side::S => state.s.append(&mut state.pool, *id, g),
+            };
+        }
+        state.r_tree = build_tree(&mut state.pool, &state.r, &self.shared.config);
+        state.s_tree = build_tree(&mut state.pool, &state.s, &self.shared.config);
+        state.version += 1;
+        let version = state.version;
+        drop(guard);
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .purge_stale(version);
+        version
+    }
+
+    /// Current dataset version (starts at 0, bumped per update batch).
+    pub fn version(&self) -> u64 {
+        self.shared.state.read().expect("state lock").version
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Snapshot of the aggregate latency/outcome metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// `(hits, misses, resident entries)` of the result cache.
+    pub fn cache_stats(&self) -> (u64, u64, usize) {
+        let cache = self.shared.cache.lock().expect("cache lock");
+        (cache.hits(), cache.misses(), cache.len())
+    }
+
+    /// Result-cache hit rate over all lookups so far.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.shared.cache.lock().expect("cache lock").hit_rate()
+    }
+
+    /// `(shed at admission, shed at deadline)` so far.
+    pub fn shed_counts(&self) -> (u64, u64) {
+        let full = self.shared.queue.shed_full_count();
+        let deadline = self
+            .shared
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .shed_deadline;
+        (full, deadline)
+    }
+
+    /// Requests currently waiting for a worker.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Emits latency histograms, outcome counters, cache and admission
+    /// statistics as JSONL trace events, plus the master pool's counter
+    /// gauges — the full `sj-obs` vocabulary for one service run.
+    pub fn emit_metrics(&self, sink: &mut TraceSink) {
+        self.metrics().emit(sink);
+        let (hits, misses, len) = self.cache_stats();
+        sink.emit(
+            "service/cache",
+            0,
+            &[("hits", hits), ("misses", misses), ("resident", len as u64)],
+        );
+        sink.emit(
+            "service/admission",
+            0,
+            &[
+                ("admitted", self.shared.queue.admitted_count()),
+                ("shed_queue_full", self.shared.queue.shed_full_count()),
+            ],
+        );
+        let mut reg = sj_obs::CounterRegistry::new();
+        self.shared
+            .state
+            .read()
+            .expect("state lock")
+            .pool
+            .export_counters(&mut reg);
+        sink.emit("service/pool", 0, reg.as_counters());
+    }
+
+    /// Stops admitting work; workers drain the backlog and exit. Called
+    /// automatically on drop.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+}
+
+impl Drop for SpatialService {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Scans `rel` and bulk-loads a clustered generalization tree over it.
+fn build_tree(pool: &mut BufferPool, rel: &StoredRelation, config: &ServiceConfig) -> TreeRelation {
+    let tuples = rel.scan(pool);
+    let rt = RTree::bulk_load(RTreeConfig::with_fanout(config.fanout), tuples);
+    TreeRelation::new(
+        pool,
+        rt.tree().clone(),
+        config.record_size,
+        Layout::Clustered,
+    )
+}
+
+/// The worker main loop: dequeue, deadline-check, cache-probe, compute,
+/// cache-fill, respond, record metrics.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let queue_us = job.submitted.elapsed().as_micros() as u64;
+        if let Some(deadline) = job.req.deadline_us {
+            if queue_us > deadline {
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics lock")
+                    .record_shed_deadline(queue_us);
+                let _ = job
+                    .reply_to
+                    .send(Err(Rejection::DeadlineExceeded { queue_us }));
+                continue;
+            }
+        }
+
+        let state = shared.state.read().expect("state lock");
+        let key = CacheKey::for_request(state.version, &job.req);
+        let caching = shared.config.cache_capacity > 0;
+        let cached = if caching {
+            shared.cache.lock().expect("cache lock").get(&key)
+        } else {
+            None
+        };
+        let (reply, exec_us, was_cached) = match cached {
+            Some(reply) => (reply, 0, true),
+            None => {
+                let started = Instant::now();
+                let reply = compute(&state, &shared.config, &job.req);
+                let exec_us = started.elapsed().as_micros() as u64;
+                if caching {
+                    shared
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, reply.clone());
+                }
+                (reply, exec_us, false)
+            }
+        };
+        let version = state.version;
+        drop(state);
+
+        shared
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .record_completion(queue_us, exec_us, was_cached);
+        let _ = job.reply_to.send(Ok(Response {
+            reply,
+            cached: was_cached,
+            version,
+            queue_us,
+            exec_us,
+        }));
+    }
+}
+
+/// Evaluates one request against `state` on a private cold shard.
+/// Deterministic given `(state.version, req)`: the advisor seed is
+/// fixed, every executor is deterministic, and results are sorted — so
+/// concurrent execution, cached replays, and the sequential reference
+/// all agree byte-for-byte.
+fn compute(state: &DataState, config: &ServiceConfig, req: &Request) -> Reply {
+    let mut shard = state.pool.fork_view(config.shard_capacity);
+    match &req.kind {
+        QueryKind::Select { side, probe } => {
+            let tree = match side {
+                Side::R => &state.r_tree,
+                Side::S => &state.s_tree,
+            };
+            let outcome = sj_gentree::select(&tree.tree, probe, req.theta, |node| {
+                tree.paged.touch(&mut shard, node);
+            });
+            let mut matches = outcome.matches;
+            matches.sort_unstable();
+            Reply::Select {
+                matches: Arc::new(matches),
+            }
+        }
+        QueryKind::Join { strategy } => {
+            let chooser = auto_chooser(
+                config.profile,
+                &state.r,
+                &state.s,
+                config.selectivity_samples,
+                config.seed,
+            );
+            let ops = JoinOperands::flat(&state.r, &state.s, state.world)
+                .with_trees(&state.r_tree, &state.s_tree)
+                .with_chooser(&chooser);
+            let mut exec = strategy
+                .executor(&ops)
+                .expect("operands cover every strategy");
+            let run = exec.execute(&JoinRequest::new(req.theta), &mut shard);
+            let mut pairs = run.pairs;
+            pairs.sort_unstable();
+            Reply::Join {
+                pairs: Arc::new(pairs),
+                resolved: exec.resolved_strategy(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geom::{Point, ThetaOp};
+    use sj_joins::Strategy;
+
+    fn grid_tuples(n: usize, step: f64, id0: u64) -> Vec<(u64, Geometry)> {
+        (0..n * n)
+            .map(|i| {
+                (
+                    id0 + i as u64,
+                    Geometry::Point(Point::new((i % n) as f64 * step, (i / n) as f64 * step)),
+                )
+            })
+            .collect()
+    }
+
+    fn world() -> Rect {
+        Rect::from_bounds(0.0, 0.0, 64.0, 64.0)
+    }
+
+    fn small_service(config: ServiceConfig) -> SpatialService {
+        SpatialService::start(
+            config,
+            &grid_tuples(5, 10.0, 0),
+            &grid_tuples(5, 10.0, 500),
+            world(),
+        )
+    }
+
+    #[test]
+    fn select_matches_exhaustive_reference() {
+        let svc = small_service(ServiceConfig::default());
+        let probe = Geometry::Point(Point::new(20.0, 20.0));
+        let theta = ThetaOp::WithinDistance(15.0);
+        let resp = svc
+            .call(Request::select(Side::R, probe.clone(), theta))
+            .expect("no shedding at idle");
+        let Reply::Select { matches } = &resp.reply else {
+            panic!("select reply expected");
+        };
+        // Reference: exhaustive θ-test over the same tree.
+        let state = svc.shared.state.read().expect("state lock");
+        let mut want =
+            sj_gentree::select::select_exhaustive(&state.r_tree.tree, &probe, theta).matches;
+        want.sort_unstable();
+        assert_eq!(**matches, want);
+        assert!(!matches.is_empty(), "probe must hit something");
+    }
+
+    #[test]
+    fn join_matches_direct_execution_for_every_strategy() {
+        let svc = small_service(ServiceConfig::default());
+        let theta = ThetaOp::Overlaps;
+        let want = {
+            let Reply::Join { pairs, .. } =
+                svc.execute_reference(&Request::join(Strategy::NestedLoop, theta))
+            else {
+                panic!("join reply expected");
+            };
+            pairs
+        };
+        for strategy in Strategy::ALL.into_iter().chain([Strategy::Auto]) {
+            let resp = svc
+                .call(Request::join(strategy, theta))
+                .expect("no shedding at idle");
+            let Reply::Join { pairs, resolved } = &resp.reply else {
+                panic!("join reply expected");
+            };
+            assert_eq!(*pairs, want, "{} diverges", strategy.name());
+            assert_ne!(*resolved, Strategy::Auto, "auto must resolve");
+        }
+    }
+
+    #[test]
+    fn unsupported_strategy_theta_pairs_are_rejected_at_submit() {
+        let svc = small_service(ServiceConfig::default());
+        let theta = ThetaOp::DirectionOf(sj_geom::Direction::North);
+        let err = svc
+            .submit(Request::join(Strategy::Grid, theta))
+            .expect_err("grid cannot run directional joins");
+        assert_eq!(err, Rejection::UnsupportedTheta);
+        // Auto with the same θ succeeds by resolving to a capable
+        // strategy.
+        let resp = svc.call(Request::join(Strategy::Auto, theta)).expect("ok");
+        let Reply::Join { resolved, .. } = &resp.reply else {
+            panic!("join reply expected");
+        };
+        assert!(resolved.supports(theta));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_updates_invalidate() {
+        let svc = small_service(ServiceConfig::default());
+        let probe = Geometry::Point(Point::new(0.0, 0.0));
+        let theta = ThetaOp::WithinDistance(5.0);
+        let req = Request::select(Side::R, probe, theta);
+
+        let first = svc.call(req.clone()).expect("ok");
+        assert!(!first.cached);
+        let second = svc.call(req.clone()).expect("ok");
+        assert!(second.cached, "identical query must be cache-served");
+        assert_eq!(first.reply, second.reply);
+        assert!(svc.cache_hit_rate() > 0.0);
+
+        // Insert a tuple right at the probe: the cached result is stale
+        // and must not be served.
+        let v = svc.update(&[(Side::R, 9999, Geometry::Point(Point::new(1.0, 1.0)))]);
+        assert_eq!(v, 1);
+        let third = svc.call(req).expect("ok");
+        assert!(!third.cached, "version bump must invalidate");
+        assert_eq!(third.version, 1);
+        let (Reply::Select { matches: before }, Reply::Select { matches: after }) =
+            (&second.reply, &third.reply)
+        else {
+            panic!("select replies expected");
+        };
+        assert_eq!(after.len(), before.len() + 1);
+        assert!(after.contains(&9999));
+    }
+
+    #[test]
+    fn full_queue_sheds_at_admission() {
+        let config = ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            cache_capacity: 0, // every request computes
+            ..ServiceConfig::default()
+        };
+        let svc = SpatialService::start(
+            config,
+            &grid_tuples(12, 4.0, 0),
+            &grid_tuples(12, 4.0, 5000),
+            world(),
+        );
+        // Submissions land microseconds apart; each nested-loop join
+        // over 144×144 tuples takes far longer, so the depth-1 queue
+        // must overflow.
+        let receivers: Vec<_> = (0..12)
+            .map(|_| svc.submit(Request::join(Strategy::NestedLoop, ThetaOp::Overlaps)))
+            .collect();
+        let shed = receivers.iter().filter(|r| r.is_err()).count();
+        assert!(shed > 0, "expected queue-full shedding");
+        for rx in receivers.into_iter().flatten() {
+            assert!(rx.recv().expect("worker responds").is_ok());
+        }
+        assert_eq!(svc.shed_counts().0, shed as u64);
+    }
+
+    #[test]
+    fn expired_deadlines_shed_at_dequeue() {
+        let config = ServiceConfig {
+            workers: 1,
+            queue_depth: 64,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let svc = SpatialService::start(
+            config,
+            &grid_tuples(12, 4.0, 0),
+            &grid_tuples(12, 4.0, 5000),
+            world(),
+        );
+        // Build a backlog of slow joins, then queue deadline-1µs
+        // requests behind it: by the time a worker reaches them their
+        // budget is long gone.
+        let slow: Vec<_> = (0..3)
+            .map(|_| {
+                svc.submit(Request::join(Strategy::NestedLoop, ThetaOp::Overlaps))
+                    .expect("queue has room")
+            })
+            .collect();
+        let dead: Vec<_> = (0..3)
+            .map(|_| {
+                svc.submit(
+                    Request::select(
+                        Side::R,
+                        Geometry::Point(Point::new(0.0, 0.0)),
+                        ThetaOp::Overlaps,
+                    )
+                    .with_deadline_us(1),
+                )
+                .expect("queue has room")
+            })
+            .collect();
+        for rx in slow {
+            assert!(rx.recv().expect("worker responds").is_ok());
+        }
+        let mut sheds = 0;
+        for rx in dead {
+            match rx.recv().expect("worker responds") {
+                Err(Rejection::DeadlineExceeded { queue_us }) => {
+                    assert!(queue_us > 1);
+                    sheds += 1;
+                }
+                Ok(_) => {}
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(sheds > 0, "expected deadline shedding behind the backlog");
+        assert_eq!(svc.shed_counts().1, sheds as u64);
+        assert_eq!(svc.metrics().shed_deadline, sheds as u64);
+    }
+
+    #[test]
+    fn metrics_emit_the_service_trace_vocabulary() {
+        let svc = small_service(ServiceConfig::default());
+        let req = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(0.0, 0.0)),
+            ThetaOp::Overlaps,
+        );
+        svc.call(req.clone()).expect("ok");
+        svc.call(req).expect("ok");
+        let mut sink = TraceSink::vec();
+        svc.emit_metrics(&mut sink);
+        let spans: Vec<&str> = sink.events().iter().map(|e| e.span.as_str()).collect();
+        for want in [
+            "service/latency_us",
+            "service/queue_wait_us",
+            "service/exec_us",
+            "service/summary",
+            "service/cache",
+            "service/admission",
+            "service/pool",
+        ] {
+            assert!(spans.contains(&want), "missing span {want}");
+        }
+        let m = svc.metrics();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.served_from_cache, 1);
+        assert_eq!(m.latency_us.count(), 2);
+        // The pool gauge event carries the new capacity counter.
+        let pool_event = sink
+            .events()
+            .iter()
+            .find(|e| e.span == "service/pool")
+            .expect("pool event");
+        assert!(pool_event
+            .counters
+            .iter()
+            .any(|(k, v)| *k == "bufferpool.capacity" && *v > 0));
+    }
+}

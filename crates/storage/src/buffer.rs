@@ -81,14 +81,21 @@ impl BufferPool {
 
     /// Exposes the pool's hit/miss/eviction counters into a monotonic
     /// [`CounterRegistry`](sj_obs::CounterRegistry) under the
-    /// `bufferpool.*` namespace. Call at a measurement boundary; the
-    /// registry accumulates across calls.
+    /// `bufferpool.*` namespace, plus two gauges sampled at export time:
+    /// `bufferpool.capacity` (the pool's frame budget, the model's `M`)
+    /// and `bufferpool.resident` (frames currently occupied), so traces
+    /// can show pool pressure next to hit/miss behavior. Call at a
+    /// measurement boundary; the registry accumulates across calls
+    /// (gauges included — export once per registry for point-in-time
+    /// readings).
     pub fn export_counters(&self, reg: &mut sj_obs::CounterRegistry) {
         let io = self.stats();
         reg.add("bufferpool.hits", io.hits());
         reg.add("bufferpool.misses", io.physical_reads);
         reg.add("bufferpool.evictions", self.evictions);
         reg.add("bufferpool.physical_writes", io.physical_writes);
+        reg.add("bufferpool.capacity", self.capacity as u64);
+        reg.add("bufferpool.resident", self.frames.len() as u64);
     }
 
     /// Zeroes all counters (including the eviction count). Cached pages
@@ -326,6 +333,9 @@ mod tests {
         assert_eq!(reg.get("bufferpool.hits"), 1);
         assert_eq!(reg.get("bufferpool.misses"), 3);
         assert_eq!(reg.get("bufferpool.evictions"), 1);
+        // Pressure gauges: the 2-frame pool is full at export time.
+        assert_eq!(reg.get("bufferpool.capacity"), 2);
+        assert_eq!(reg.get("bufferpool.resident"), 2);
         // Monotonic: a second export accumulates rather than overwrites.
         p.export_counters(&mut reg);
         assert_eq!(reg.get("bufferpool.misses"), 6);

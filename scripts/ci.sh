@@ -55,4 +55,56 @@ print(f"    -> {n} trace events OK")
 PY
 rm -f /tmp/sj_trace_smoke.jsonl
 
+echo "==> service smoke (BENCH_service.json + service-trace JSONL validation)"
+# The query service's closed-loop driver replays a mixed SELECT/JOIN
+# pool, asserts zero divergence vs the sequential replay, and must shed
+# under overload. Its artifact and trace schemas are validated here so
+# external consumers can rely on them.
+./target/release/service_scaling --smoke \
+    --out /tmp/sj_bench_service_smoke.json \
+    --trace /tmp/sj_service_trace_smoke.jsonl >/dev/null
+python3 - /tmp/sj_bench_service_smoke.json /tmp/sj_service_trace_smoke.jsonl <<'PY'
+import json, sys
+
+# BENCH_service.json: the documented series must be present, with
+# numeric points; shed counts and cache hit rate must be positive.
+doc = json.load(open(sys.argv[1]))
+series = {s["label"]: s["points"] for s in doc["series"]}
+required = {
+    "throughput_rps", "p50_us", "p95_us", "p99_us", "max_us",
+    "queue_p95_us", "exec_p95_us", "cache_hit_rate",
+    "shed_queue_full", "shed_deadline",
+}
+missing = required - series.keys()
+assert not missing, f"missing series: {sorted(missing)}"
+for label, points in series.items():
+    assert points, f"empty series {label!r}"
+    for x, y in points:
+        assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
+            f"non-numeric point in {label!r}: {(x, y)!r}"
+assert all(y > 0 for _, y in series["cache_hit_rate"]), "no cache hits"
+assert series["shed_queue_full"][0][1] > 0, "no queue-full sheds"
+assert series["shed_deadline"][0][1] > 0, "no deadline sheds"
+
+# Service trace: the full span vocabulary, with histogram summaries
+# carrying count/p50/p95/p99/max.
+spans = set()
+with open(sys.argv[2]) as f:
+    for line in f:
+        ev = json.loads(line)
+        for key in ("span", "dur_us", "counters"):
+            assert key in ev, f"missing {key!r}: {line!r}"
+        spans.add(ev["span"])
+        if ev["span"].endswith("_us"):
+            for q in ("count", "p50", "p95", "p99", "max"):
+                assert q in ev["counters"], f"missing {q!r}: {line!r}"
+want = {
+    "service/latency_us", "service/queue_wait_us", "service/exec_us",
+    "service/summary", "service/cache", "service/admission", "service/pool",
+}
+assert want <= spans, f"missing spans: {sorted(want - spans)}"
+print(f"    -> BENCH_service.json + {len(spans)} service spans OK")
+PY
+rm -f /tmp/sj_bench_service_smoke.json /tmp/sj_service_trace_smoke.jsonl
+
 echo "CI OK"

@@ -12,7 +12,9 @@
 //!   join index, z-order sort-merge, grid file),
 //! * [`costmodel`] — the analytical cost model of §4 (Figures 7–13),
 //! * [`rel`] — a minimal extended-relational layer,
-//! * [`core`] — workload generators and the experiment runner.
+//! * [`core`] — workload generators and the experiment runner,
+//! * [`service`] — the multi-threaded spatial query service (admission
+//!   queue, worker pool, versioned result cache, latency histograms).
 //!
 //! See the `examples/` directory for end-to-end usage and `crates/bench`
 //! for the per-figure reproduction binaries.
@@ -24,5 +26,6 @@ pub use sj_gentree as gentree;
 pub use sj_geom as geom;
 pub use sj_joins as joins;
 pub use sj_rel as rel;
+pub use sj_service as service;
 pub use sj_storage as storage;
 pub use sj_zorder as zorder;
