@@ -1,0 +1,342 @@
+//! Chaos scaling of the spatial query service: replays a seeded mixed
+//! SELECT/JOIN query pool against `sj-service` at increasing injected
+//! storage-fault rates, proving the fail-stop contract end to end —
+//! availability degrades smoothly with the fault rate while **every**
+//! completed response stays byte-identical to a fault-free sequential
+//! replay (degraded nested-loop fallbacks may resolve to a different
+//! strategy, but their match sets must still be exact).
+//!
+//! Run: `cargo run --release -p sj-bench --bin chaos_scaling`
+//!
+//! Flags (shared [`sj_bench::BenchArgs`] conventions):
+//! - `--smoke` — shrink the workload (CI mode) and skip the JSON
+//!   artifact unless `--out` is given;
+//! - `--requests N` — requests per fault-rate series (default 4000);
+//! - `--inflight N` — closed-loop window (default 16);
+//! - `--out <path>` — where to write the JSON artifact (default
+//!   `BENCH_chaos.json`);
+//! - `--trace <path>` — JSONL service metrics (including the
+//!   `service/fault` recovery counters, one emission per fault rate).
+//!
+//! Prints one CSV row per fault rate and writes series for
+//! availability, failure/degradation/retry counts, injected faults,
+//! mean attempts per completed request, and retry backoff spent.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Receiver;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sj_core::workload::{generate, GeometryKind, Placement, WorkloadSpec};
+use sj_costmodel::series::Series;
+use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
+use sj_joins::Strategy;
+use sj_service::{Rejection, Reply, Request, ServiceConfig, ServiceResult, Side, SpatialService};
+
+/// Injected per-physical-I/O fault probabilities, from the fault-free
+/// baseline up to one fault per hundred physical reads.
+const FAULT_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
+
+/// Join strategies exercised by the mix — all support every θ-operator.
+const JOIN_STRATEGIES: [Strategy; 5] = [
+    Strategy::Auto,
+    Strategy::NestedLoop,
+    Strategy::Sweep,
+    Strategy::Tree,
+    Strategy::Partition,
+];
+
+const JOIN_THETAS: [ThetaOp; 4] = [
+    ThetaOp::Overlaps,
+    ThetaOp::WithinDistance(25.0),
+    ThetaOp::ContainedIn,
+    ThetaOp::WithinCenterDistance(40.0),
+];
+
+/// The finite query pool the mix draws from: `probes` SELECTs plus
+/// every (strategy, θ) join combination.
+fn build_query_pool(
+    world: Rect,
+    s_tuples: &[(u64, Geometry)],
+    probes: usize,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::new();
+    for i in 0..probes {
+        let probe = if i % 2 == 0 {
+            let x = rng.random_range(0..1000) as f64 * (world.width() / 1000.0);
+            let y = rng.random_range(0..1000) as f64 * (world.height() / 1000.0);
+            Geometry::Point(Point::new(x, y))
+        } else {
+            let (_, g) = &s_tuples[rng.random_range(0..s_tuples.len())];
+            Geometry::Rect(g.mbr().expand(10.0))
+        };
+        let side = if i % 4 < 2 { Side::R } else { Side::S };
+        let theta = JOIN_THETAS[i % JOIN_THETAS.len()];
+        pool.push(Request::select(side, probe, theta));
+    }
+    for strategy in JOIN_STRATEGIES {
+        for theta in JOIN_THETAS {
+            pool.push(Request::join(strategy, theta));
+        }
+    }
+    pool
+}
+
+/// True when `got` carries exactly the reference's match set. Degraded
+/// responses may resolve to a different strategy (the nested-loop
+/// fallback), so JOIN replies compare by pairs, not by resolved label.
+fn payload_matches(got: &Reply, want: &Reply) -> bool {
+    match (got, want) {
+        (Reply::Select { matches: a }, Reply::Select { matches: b }) => a == b,
+        (Reply::Join { pairs: a, .. }, Reply::Join { pairs: b, .. }) => a == b,
+        _ => false,
+    }
+}
+
+/// Per-fault-rate outcome tally for one closed-loop run.
+#[derive(Debug, Default)]
+struct Tally {
+    completed: u64,
+    failed: u64,
+    degraded: u64,
+    attempts: u64,
+    divergence: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, outcome: ServiceResult, want: &Reply) {
+        match outcome {
+            Ok(resp) => {
+                self.completed += 1;
+                self.attempts += u64::from(resp.attempts);
+                if resp.degraded {
+                    self.degraded += 1;
+                }
+                let exact = if resp.degraded {
+                    payload_matches(&resp.reply, want)
+                } else {
+                    resp.reply == *want
+                };
+                if !exact {
+                    self.divergence += 1;
+                }
+            }
+            Err(Rejection::Failed(_)) => self.failed += 1,
+            Err(other) => panic!("chaos run saw an unexpected rejection: {other:?}"),
+        }
+    }
+}
+
+fn drain_one(window: &mut VecDeque<(usize, Receiver<ServiceResult>)>) -> (usize, ServiceResult) {
+    let (query_idx, rx) = window.pop_front().expect("window non-empty");
+    (query_idx, rx.recv().expect("worker responds"))
+}
+
+fn main() {
+    let args = sj_bench::BenchArgs::parse();
+    let smoke = args.smoke();
+    let mut sink = args.trace_sink();
+    let total_requests = args.usize_of("--requests", if smoke { 200 } else { 4_000 });
+    let inflight = args.usize_of("--inflight", 16).max(1);
+    let probes = if smoke { 8 } else { 40 };
+
+    let world = Rect::from_bounds(0.0, 0.0, 1000.0, 1000.0);
+    let (nr, ns) = if smoke { (96, 64) } else { (800, 300) };
+    let r_tuples = generate(
+        &WorkloadSpec {
+            count: nr,
+            world,
+            kind: GeometryKind::Point,
+            placement: Placement::Uniform,
+            max_extent: 0.0,
+            seed: 42,
+        },
+        0,
+    );
+    let s_tuples = generate(
+        &WorkloadSpec {
+            count: ns,
+            world,
+            kind: GeometryKind::Rect,
+            placement: Placement::Clustered {
+                clusters: 8,
+                sigma: 40.0,
+            },
+            max_extent: 12.0,
+            seed: 43,
+        },
+        1_000_000,
+    );
+    let queries = build_query_pool(world, &s_tuples, probes, 7);
+
+    println!(
+        "# chaos scaling: |R|={nr} uniform points, |S|={ns} clustered rects, \
+         {} unique queries, {total_requests} requests per fault rate, window={inflight}",
+        queries.len(),
+    );
+
+    // The result cache is disabled so every request exercises the
+    // compute (and therefore fault/retry) path; cache hits would be
+    // structurally fault-immune and dilute the availability signal.
+    let base = ServiceConfig {
+        workers: if smoke { 2 } else { 4 },
+        queue_depth: (inflight + 8).max(64),
+        cache_capacity: 0,
+        fault_seed: 0xC4A05,
+        ..ServiceConfig::default()
+    };
+
+    // Fault-free sequential replay: the ground truth every completed
+    // response — at any fault rate — must reproduce exactly.
+    let reference_svc = {
+        let mut c = base;
+        c.workers = 1;
+        SpatialService::start(c, &r_tuples, &s_tuples, world)
+    };
+    let reference: Vec<Reply> = queries
+        .iter()
+        .map(|req| reference_svc.execute_reference(req))
+        .collect();
+
+    println!(
+        "fault_rate,availability,completed,failed,degraded,retried,injected_faults,\
+         mean_attempts,backoff_units,divergence"
+    );
+
+    let mut availability = Series {
+        label: "availability",
+        points: Vec::new(),
+    };
+    let mut failed_series = Series {
+        label: "failed",
+        points: Vec::new(),
+    };
+    let mut degraded_series = Series {
+        label: "degraded",
+        points: Vec::new(),
+    };
+    let mut retried_series = Series {
+        label: "retried",
+        points: Vec::new(),
+    };
+    let mut faults_series = Series {
+        label: "injected_faults",
+        points: Vec::new(),
+    };
+    let mut attempts_series = Series {
+        label: "mean_attempts",
+        points: Vec::new(),
+    };
+    let mut backoff_series = Series {
+        label: "backoff_units",
+        points: Vec::new(),
+    };
+
+    for rate in FAULT_RATES {
+        let mut c = base;
+        c.fault_read_prob = rate;
+        c.fault_write_prob = rate;
+        let svc = SpatialService::start(c, &r_tuples, &s_tuples, world);
+        // Seeded mix over the pool, identical for every fault rate.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut window: VecDeque<(usize, Receiver<ServiceResult>)> = VecDeque::new();
+        let mut tally = Tally::default();
+        for _ in 0..total_requests {
+            let query_idx = rng.random_range(0..queries.len());
+            let rx = svc
+                .submit(queries[query_idx].clone())
+                .expect("window never exceeds queue depth");
+            window.push_back((query_idx, rx));
+            if window.len() >= inflight {
+                let (idx, outcome) = drain_one(&mut window);
+                tally.absorb(outcome, &reference[idx]);
+            }
+        }
+        while !window.is_empty() {
+            let (idx, outcome) = drain_one(&mut window);
+            tally.absorb(outcome, &reference[idx]);
+        }
+
+        let m = svc.metrics();
+        assert_eq!(
+            tally.divergence, 0,
+            "every completed response at fault rate {rate} must be \
+             byte-identical to the fault-free sequential replay"
+        );
+        assert_eq!(
+            tally.completed + tally.failed,
+            total_requests as u64,
+            "closed-loop ledger: every submission completes or fails typed"
+        );
+        assert_eq!(m.completed, tally.completed);
+        assert_eq!(m.failed, tally.failed);
+        assert_eq!(m.worker_panics, 0, "no worker may die under chaos");
+        if rate == 0.0 {
+            assert_eq!(m.injected_faults, 0, "rate 0 must inject nothing");
+            assert_eq!(tally.failed, 0, "rate 0 must fail nothing");
+        }
+        let avail = tally.completed as f64 / total_requests as f64;
+        assert!(
+            avail > 0.5,
+            "retry + degradation must hold availability above 50% at rate {rate}"
+        );
+        let mean_attempts = if tally.completed > 0 {
+            tally.attempts as f64 / tally.completed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{rate:e},{avail:.4},{},{},{},{},{},{mean_attempts:.3},{},{}",
+            tally.completed,
+            tally.failed,
+            tally.degraded,
+            m.retried,
+            m.injected_faults,
+            m.retry_backoff_units,
+            tally.divergence,
+        );
+        availability.points.push((rate, avail));
+        failed_series.points.push((rate, tally.failed as f64));
+        degraded_series.points.push((rate, tally.degraded as f64));
+        retried_series.points.push((rate, m.retried as f64));
+        faults_series.points.push((rate, m.injected_faults as f64));
+        attempts_series.points.push((rate, mean_attempts));
+        backoff_series
+            .points
+            .push((rate, m.retry_backoff_units as f64));
+        svc.emit_metrics(&mut sink);
+    }
+
+    // The chaos curve itself: the baseline is perfectly available, and
+    // the highest rate must actually have exercised the fault machinery.
+    assert_eq!(
+        availability.points[0].1, 1.0,
+        "fault-free baseline must answer everything"
+    );
+    let top_faults = faults_series.points.last().expect("non-empty").1;
+    assert!(
+        top_faults > 0.0,
+        "the top fault rate must inject faults — otherwise this bench proves nothing"
+    );
+    sink.flush().expect("flush trace");
+
+    let series = vec![
+        availability,
+        failed_series,
+        degraded_series,
+        retried_series,
+        faults_series,
+        attempts_series,
+        backoff_series,
+    ];
+    match (smoke, args.value_of("--out")) {
+        (true, None) => println!("# smoke mode: skipping BENCH_chaos.json"),
+        (_, maybe_path) => {
+            let path = maybe_path.unwrap_or("BENCH_chaos.json");
+            sj_bench::write_bench_json(path, &series).expect("write bench json");
+            println!("# wrote {path}");
+        }
+    }
+}

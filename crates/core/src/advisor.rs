@@ -15,7 +15,7 @@ use rand::{RngExt, SeedableRng};
 use sj_costmodel::{join, select, update, Distribution, ModelParams};
 use sj_geom::ThetaOp;
 use sj_joins::StoredRelation;
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 /// What the query mix does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,19 +170,21 @@ pub fn choose_join_strategy(profile: &WorkloadProfile, theta: ThetaOp) -> sj_joi
 /// sampling over `(r, s)` — charged through the pool like any other I/O
 /// — then scores the §4 candidates via [`choose_join_strategy`].
 /// Deterministic for a fixed seed, so repeated identical requests
-/// resolve identically.
+/// resolve identically. Because sampling performs real page reads, the
+/// chooser is fallible: a storage fault during estimation surfaces as a
+/// typed error rather than a bogus recommendation.
 pub fn auto_chooser<'a>(
     base: WorkloadProfile,
     r: &'a StoredRelation,
     s: &'a StoredRelation,
     samples: usize,
     seed: u64,
-) -> impl Fn(ThetaOp, &mut BufferPool) -> sj_joins::Strategy + 'a {
+) -> impl Fn(ThetaOp, &mut BufferPool) -> Result<sj_joins::Strategy, StorageError> + 'a {
     move |theta, pool| {
         let mut profile = base;
         profile.operation = Operation::Join;
-        profile.selectivity = estimate_selectivity(pool, r, s, theta, samples, seed);
-        choose_join_strategy(&profile, theta)
+        profile.selectivity = try_estimate_selectivity(pool, r, s, theta, samples, seed)?;
+        Ok(choose_join_strategy(&profile, theta))
     }
 }
 
@@ -197,6 +199,21 @@ pub fn estimate_selectivity(
     samples: usize,
     seed: u64,
 ) -> f64 {
+    try_estimate_selectivity(pool, r, s, theta, samples, seed)
+        .unwrap_or_else(|e| panic!("selectivity estimation failed: {e}"))
+}
+
+/// Fail-stop [`estimate_selectivity`]: the first faulted sample read
+/// aborts the estimate with a typed error (no estimate from a partial
+/// sample).
+pub fn try_estimate_selectivity(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    samples: usize,
+    seed: u64,
+) -> Result<f64, StorageError> {
     assert!(samples > 0, "need at least one sample");
     assert!(
         !r.is_empty() && !s.is_empty(),
@@ -207,13 +224,13 @@ pub fn estimate_selectivity(
     for _ in 0..samples {
         let i = rng.random_range(0..r.len());
         let j = rng.random_range(0..s.len());
-        let (_, rg) = r.read_at(pool, i);
-        let (_, sg) = s.read_at(pool, j);
+        let (_, rg) = r.try_read_at(pool, i)?;
+        let (_, sg) = s.try_read_at(pool, j)?;
         if theta.eval(&rg, &sg) {
             hits += 1;
         }
     }
-    hits as f64 / samples as f64
+    Ok(hits as f64 / samples as f64)
 }
 
 #[cfg(test)]

@@ -373,6 +373,70 @@ fn fixed_left(
     }
 }
 
+/// Fallible-visitor adapter for the JOIN traversals: capture the first
+/// error from either visitor, suppress all later visitor calls (no
+/// further I/O), finish the in-memory traversal, and fail the outcome.
+fn capture_first_join<E>(
+    mut on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
+    mut on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
+    run: impl FnOnce(&mut dyn FnMut(NodeId), &mut dyn FnMut(NodeId)) -> JoinOutcome,
+) -> Result<JoinOutcome, E> {
+    let first_err = std::cell::RefCell::new(None::<E>);
+    let out = run(
+        &mut |node| {
+            let mut slot = first_err.borrow_mut();
+            if slot.is_none() {
+                if let Err(e) = on_visit_r(node) {
+                    *slot = Some(e);
+                }
+            }
+        },
+        &mut |node| {
+            let mut slot = first_err.borrow_mut();
+            if slot.is_none() {
+                if let Err(e) = on_visit_s(node) {
+                    *slot = Some(e);
+                }
+            }
+        },
+    );
+    match first_err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// [`join`] with fallible visitors: the first visitor error (from either
+/// side) aborts the outcome — fail-stop, never a partial pair set.
+pub fn try_join<E>(
+    tree_r: &GenTree,
+    tree_s: &GenTree,
+    theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
+    on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<JoinOutcome, E> {
+    capture_first_join(on_visit_r, on_visit_s, |vr, vs| {
+        join(tree_r, tree_s, theta, vr, vs)
+    })
+}
+
+/// [`join_pair`] with fallible visitors; see [`try_join`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_join_pair<E>(
+    tree_r: &GenTree,
+    tree_s: &GenTree,
+    a: NodeId,
+    b: NodeId,
+    depth: usize,
+    theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
+    on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<JoinOutcome, E> {
+    capture_first_join(on_visit_r, on_visit_s, |vr, vs| {
+        join_pair(tree_r, tree_s, a, b, depth, theta, vr, vs)
+    })
+}
+
 /// Reference nested-loop join over the trees' entries (used by tests and by
 /// the strategy-I executor).
 pub fn join_exhaustive(tree_r: &GenTree, tree_s: &GenTree, theta: ThetaOp) -> JoinOutcome {

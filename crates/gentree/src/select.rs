@@ -99,6 +99,49 @@ pub fn select_dfs(
     out
 }
 
+/// Fallible-visitor adapter: capture the visitor's first error, skip
+/// every later visitor call (no further I/O is attempted), and let the
+/// in-memory traversal run to completion. A fault therefore discards the
+/// whole outcome — fail-stop — rather than returning a partial match set.
+fn capture_first<E>(
+    mut on_visit: impl FnMut(NodeId) -> Result<(), E>,
+    run: impl FnOnce(&mut dyn FnMut(NodeId)) -> SelectOutcome,
+) -> Result<SelectOutcome, E> {
+    let mut first_err: Option<E> = None;
+    let out = run(&mut |node| {
+        if first_err.is_none() {
+            if let Err(e) = on_visit(node) {
+                first_err = Some(e);
+            }
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// [`select`] with a fallible visitor: the first visitor error aborts the
+/// outcome (the traversal's I/O charging stops immediately).
+pub fn try_select<E>(
+    tree: &GenTree,
+    o: &Geometry,
+    theta: ThetaOp,
+    on_visit: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<SelectOutcome, E> {
+    capture_first(on_visit, |visit| select(tree, o, theta, visit))
+}
+
+/// [`select_dfs`] with a fallible visitor; see [`try_select`].
+pub fn try_select_dfs<E>(
+    tree: &GenTree,
+    o: &Geometry,
+    theta: ThetaOp,
+    on_visit: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<SelectOutcome, E> {
+    capture_first(on_visit, |visit| select_dfs(tree, o, theta, visit))
+}
+
 /// Reference implementation: exhaustively θ-tests every entry in the tree
 /// (the nested-loop / strategy-I behaviour). Used by tests and as the
 /// strategy-I executor's inner loop.

@@ -27,19 +27,19 @@ use std::cell::RefCell;
 
 use sj_geom::{Rect, ThetaOp};
 use sj_obs::TraceSink;
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 use sj_zorder::ZGrid;
 
-use crate::grid::{grid_join_traced, GridConfig};
+use crate::grid::{try_grid_join_traced, GridConfig};
 use crate::join_index::JoinIndex;
 use crate::local_index::LocalJoinIndex;
-use crate::nested_loop::nested_loop_join_traced;
+use crate::nested_loop::try_nested_loop_join_traced;
 use crate::paged_tree::TreeRelation;
-use crate::parallel::{parallel_tree_join_traced, partition_join_traced, Parallelism};
+use crate::parallel::{try_parallel_tree_join_traced, try_partition_join_traced, Parallelism};
 use crate::relation::StoredRelation;
-use crate::sort_merge::{supported_by_zorder, zorder_overlap_join_traced};
+use crate::sort_merge::{supported_by_zorder, try_zorder_overlap_join_traced};
 use crate::stats::JoinRun;
-use crate::sweep::sweep_join_traced;
+use crate::sweep::try_sweep_join_traced;
 use crate::zindex::ZIndex;
 
 /// Default B⁺-tree order for lazily built indices (the model's `z`).
@@ -122,17 +122,33 @@ pub trait JoinExecutor {
     }
 
     /// Runs the join, charging all I/O through `pool` and writing spans
-    /// into `req.trace` when it is live.
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun;
+    /// into `req.trace` when it is live. The first storage fault aborts
+    /// the run with a typed error; an `Ok` run is always the complete,
+    /// exact match set (fail-stop, never fail-wrong).
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError>;
+
+    /// Infallible [`JoinExecutor::try_execute`]: panics on a storage
+    /// fault. With no fault injector armed and a healthy disk, storage
+    /// never faults, so this behaves exactly like the historical API.
+    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
+        self.try_execute(req, pool)
+            .unwrap_or_else(|e| panic!("join execution failed: {e}"))
+    }
 }
 
 /// Per-request strategy chooser consulted by [`Strategy::Auto`]: given
 /// the θ-operator and the pool (for sampling-based selectivity
 /// estimation, charged like any other I/O), name a concrete strategy.
-/// `sj-core::advisor` provides the cost-model-backed implementation;
-/// the executor layer only defines the hook so the dependency points
-/// upward.
-pub type StrategyChooser<'a> = &'a (dyn Fn(ThetaOp, &mut BufferPool) -> Strategy + 'a);
+/// Because estimation performs real page reads, a chooser can itself hit
+/// a storage fault — hence the fallible signature. `sj-core::advisor`
+/// provides the cost-model-backed implementation; the executor layer
+/// only defines the hook so the dependency points upward.
+pub type StrategyChooser<'a> =
+    &'a (dyn Fn(ThetaOp, &mut BufferPool) -> Result<Strategy, StorageError> + 'a);
 
 /// The nine concrete join strategies of this crate as data, plus
 /// [`Strategy::Auto`], which resolves to one of them per request via a
@@ -348,8 +364,12 @@ impl JoinExecutor for NestedLoopExec<'_> {
         Strategy::NestedLoop
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
-        nested_loop_join_traced(pool, self.r, self.s, req.theta, &mut req.trace.borrow_mut())
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
+        try_nested_loop_join_traced(pool, self.r, self.s, req.theta, &mut req.trace.borrow_mut())
     }
 }
 
@@ -363,8 +383,12 @@ impl JoinExecutor for SweepExec<'_> {
         Strategy::Sweep
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
-        sweep_join_traced(pool, self.r, self.s, req.theta, &mut req.trace.borrow_mut())
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
+        try_sweep_join_traced(pool, self.r, self.s, req.theta, &mut req.trace.borrow_mut())
     }
 }
 
@@ -378,11 +402,15 @@ impl JoinExecutor for TreeExec<'_> {
         Strategy::Tree
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
         // Falls back to the sequential Algorithm JOIN when
         // `req.parallelism` is one thread, so the request's parallelism
         // knob covers strategy II uniformly.
-        parallel_tree_join_traced(
+        try_parallel_tree_join_traced(
             pool,
             self.r,
             self.s,
@@ -405,14 +433,21 @@ impl JoinExecutor for JoinIndexExec<'_> {
         Strategy::JoinIndex
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
         let rebuild = !matches!(&self.cache, Some((t, _)) if *t == req.theta);
         if rebuild {
-            let (idx, _build_cost) = JoinIndex::build(pool, self.r, self.s, req.theta, DEFAULT_Z);
+            // Only a *successful* build is cached: a build aborted by a
+            // fault leaves the previous cache (if any) intact.
+            let (idx, _build_cost) =
+                JoinIndex::try_build(pool, self.r, self.s, req.theta, DEFAULT_Z)?;
             self.cache = Some((req.theta, idx));
         }
         let (_, idx) = self.cache.as_ref().expect("cache was just populated");
-        idx.join_traced(pool, self.r, self.s, &mut req.trace.borrow_mut())
+        idx.try_join_traced(pool, self.r, self.s, &mut req.trace.borrow_mut())
     }
 }
 
@@ -427,21 +462,25 @@ impl JoinExecutor for LocalIndexExec<'_> {
         Strategy::LocalIndex
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
         let rebuild = !matches!(&self.cache, Some((t, _)) if *t == req.theta);
         if rebuild {
-            let (idx, _build_cost) = LocalJoinIndex::build(
+            let (idx, _build_cost) = LocalJoinIndex::try_build(
                 pool,
                 self.r,
                 self.s,
                 req.theta,
                 DEFAULT_LOCAL_LEVEL,
                 DEFAULT_Z,
-            );
+            )?;
             self.cache = Some((req.theta, idx));
         }
         let (_, idx) = self.cache.as_ref().expect("cache was just populated");
-        idx.join_traced(pool, &mut req.trace.borrow_mut())
+        idx.try_join_traced(pool, &mut req.trace.borrow_mut())
     }
 }
 
@@ -456,8 +495,12 @@ impl JoinExecutor for ZOrderMergeExec<'_> {
         Strategy::ZOrderMerge
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
-        zorder_overlap_join_traced(
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
+        try_zorder_overlap_join_traced(
             pool,
             self.r,
             self.s,
@@ -482,12 +525,16 @@ impl JoinExecutor for ZIndexExec<'_> {
         Strategy::ZIndex
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
         if self.cache.is_none() {
-            self.cache = Some(ZIndex::build(pool, self.r, self.grid, DEFAULT_Z));
+            self.cache = Some(ZIndex::try_build(pool, self.r, self.grid, DEFAULT_Z)?);
         }
         let idx = self.cache.as_ref().expect("cache was just populated");
-        idx.join_traced(pool, self.r, self.s, req.theta, &mut req.trace.borrow_mut())
+        idx.try_join_traced(pool, self.r, self.s, req.theta, &mut req.trace.borrow_mut())
     }
 }
 
@@ -502,8 +549,12 @@ impl JoinExecutor for GridExec<'_> {
         Strategy::Grid
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
-        grid_join_traced(
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
+        try_grid_join_traced(
             pool,
             self.r,
             self.s,
@@ -524,8 +575,12 @@ impl JoinExecutor for PartitionExec<'_> {
         Strategy::Partition
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
-        partition_join_traced(
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
+        try_partition_join_traced(
             pool,
             self.r,
             self.s,
@@ -549,20 +604,20 @@ struct AutoExec<'a> {
 }
 
 impl<'a> AutoExec<'a> {
-    fn resolve(&self, theta: ThetaOp, pool: &mut BufferPool) -> Strategy {
-        let pick = (self.chooser)(theta, pool);
+    fn resolve(&self, theta: ThetaOp, pool: &mut BufferPool) -> Result<Strategy, StorageError> {
+        let pick = (self.chooser)(theta, pool)?;
         if pick != Strategy::Auto && pick.supports(theta) && pick.executor(&self.ops).is_some() {
-            return pick;
+            return Ok(pick);
         }
         // The chooser named Auto itself, an inapplicable strategy for
         // this θ, or one whose operands are absent: fall back to the
         // first concrete strategy that can run. NestedLoop (flat) and
         // Tree (trees) support all eight operators, so with operands
         // present — checked at executor construction — this never fails.
-        Strategy::ALL
+        Ok(Strategy::ALL
             .into_iter()
             .find(|s| s.supports(theta) && s.executor(&self.ops).is_some())
-            .expect("a universal strategy exists for the available operands")
+            .expect("a universal strategy exists for the available operands"))
     }
 }
 
@@ -575,8 +630,12 @@ impl JoinExecutor for AutoExec<'_> {
         self.resolved.unwrap_or(Strategy::Auto)
     }
 
-    fn execute(&mut self, req: &JoinRequest, pool: &mut BufferPool) -> JoinRun {
-        let chosen = self.resolve(req.theta, pool);
+    fn try_execute(
+        &mut self,
+        req: &JoinRequest,
+        pool: &mut BufferPool,
+    ) -> Result<JoinRun, StorageError> {
+        let chosen = self.resolve(req.theta, pool)?;
         self.resolved = Some(chosen);
         req.trace
             .borrow_mut()
@@ -592,7 +651,7 @@ impl JoinExecutor for AutoExec<'_> {
             .iter_mut()
             .find(|(s, _)| *s == chosen)
             .expect("cache entry was just ensured");
-        exec.execute(req, pool)
+        exec.try_execute(req, pool)
     }
 }
 
@@ -643,7 +702,9 @@ mod tests {
         let r = grid_rel(&mut p, 5, 10.0, 0);
         let s = grid_rel(&mut p, 5, 10.0, 500);
         let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
-        let chooser = |_: ThetaOp, _: &mut BufferPool| Strategy::Sweep;
+        let chooser = |_: ThetaOp, _: &mut BufferPool| -> Result<Strategy, StorageError> {
+            Ok(Strategy::Sweep)
+        };
         let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
         let theta = ThetaOp::Overlaps;
 
@@ -677,7 +738,9 @@ mod tests {
         // A hostile chooser that always names Grid, which cannot run
         // directional predicates — Auto must fall back, not crash or
         // return garbage.
-        let chooser = |_: ThetaOp, _: &mut BufferPool| Strategy::Grid;
+        let chooser = |_: ThetaOp, _: &mut BufferPool| -> Result<Strategy, StorageError> {
+            Ok(Strategy::Grid)
+        };
         let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
         let theta = ThetaOp::DirectionOf(sj_geom::Direction::NorthWest);
         assert!(Strategy::Auto.supports(theta));
@@ -705,7 +768,9 @@ mod tests {
         let s = grid_rel(&mut p, 4, 10.0, 500);
         let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
         // Tree needs TreeRelations, which flat-only operands lack.
-        let chooser = |_: ThetaOp, _: &mut BufferPool| Strategy::Tree;
+        let chooser = |_: ThetaOp, _: &mut BufferPool| -> Result<Strategy, StorageError> {
+            Ok(Strategy::Tree)
+        };
         let ops = JoinOperands::flat(&r, &s, world).with_chooser(&chooser);
         let mut exec = Strategy::Auto.executor(&ops).unwrap();
         let run = exec.execute(&JoinRequest::new(ThetaOp::Overlaps), &mut p);

@@ -12,7 +12,7 @@ use std::collections::HashSet;
 
 use sj_geom::{Bounded, Rect, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun};
@@ -86,6 +86,21 @@ pub fn grid_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_grid_join_traced(pool, r, s, config, theta, trace)
+        .unwrap_or_else(|e| panic!("grid join failed: {e}"))
+}
+
+/// Fail-stop [`grid_join_traced`]: the first storage fault aborts the
+/// run with a typed error. Still panics on directional θ-operators —
+/// an unsupported operator is a logic error, not a storage fault.
+pub fn try_grid_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    config: GridConfig,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     let slack = filter_slack(theta).unwrap_or_else(|| {
         panic!("grid join cannot support {theta:?}: its filter region is unbounded")
     });
@@ -98,8 +113,8 @@ pub fn grid_join_traced(
         ..Default::default()
     };
 
-    let r_rows = r.scan(pool);
-    let s_rows = s.scan(pool);
+    let r_rows = r.try_scan(pool)?;
+    let s_rows = s.try_scan(pool)?;
 
     // Bucket S by cell.
     let cells = (config.nx as usize) * (config.ny as usize);
@@ -149,7 +164,7 @@ pub fn grid_join_traced(
     timer.stop();
     run.phases.record(Phase::Refine, refine);
     run.seal("grid", &timer, trace);
-    run
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 use sj_btree::BPlusTree;
 use sj_geom::{Geometry, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun, SelectRun};
@@ -37,11 +37,24 @@ impl JoinIndex {
         theta: ThetaOp,
         z: usize,
     ) -> (Self, ExecStats) {
+        Self::try_build(pool, r, s, theta, z)
+            .unwrap_or_else(|e| panic!("join index build failed: {e}"))
+    }
+
+    /// Fail-stop [`JoinIndex::build`]: the first storage fault during the
+    /// build scans aborts with a typed error (no partially built index).
+    pub fn try_build(
+        pool: &mut BufferPool,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        theta: ThetaOp,
+        z: usize,
+    ) -> Result<(Self, ExecStats), StorageError> {
         let before = pool.stats();
         let mut stats = ExecStats::default();
         let mut forward = BPlusTree::new(z);
-        let r_rows = r.scan(pool);
-        let s_rows = s.scan(pool);
+        let r_rows = r.try_scan(pool)?;
+        let s_rows = s.try_scan(pool)?;
         for (r_id, r_geom) in &r_rows {
             for (s_id, s_geom) in &s_rows {
                 stats.theta_evals += 1;
@@ -54,7 +67,7 @@ impl JoinIndex {
         // Index construction I/O: one write per node built.
         stats.physical_writes += forward.node_count() as u64;
         forward.reset_accesses();
-        (JoinIndex { forward, theta }, stats)
+        Ok((JoinIndex { forward, theta }, stats))
     }
 
     /// Number of index entries (the model's `J`).
@@ -93,6 +106,18 @@ impl JoinIndex {
         s: &StoredRelation,
         trace: &mut TraceSink,
     ) -> JoinRun {
+        self.try_join_traced(pool, r, s, trace)
+            .unwrap_or_else(|e| panic!("join index join failed: {e}"))
+    }
+
+    /// Fail-stop [`join_traced`](JoinIndex::join_traced).
+    pub fn try_join_traced(
+        &self,
+        pool: &mut BufferPool,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        trace: &mut TraceSink,
+    ) -> Result<JoinRun, StorageError> {
         let mut timer = PhaseTimer::for_sink(trace);
         timer.enter(Phase::IndexProbe);
         let window = pool.stats();
@@ -103,8 +128,8 @@ impl JoinIndex {
         for ((r_id, s_id), ()) in self.forward.iter_all() {
             // Fetch the joined tuples — the buffer pool plays the role of
             // the model's (M − 10)-page memory window.
-            let _ = r.read_by_id(pool, r_id);
-            let _ = s.read_by_id(pool, s_id);
+            let _ = r.try_read_by_id(pool, r_id)?;
+            let _ = s.try_read_by_id(pool, s_id)?;
             run.pairs.push((r_id, s_id));
         }
         refine.add_io(pool.stats().since(&window));
@@ -119,7 +144,7 @@ impl JoinIndex {
         );
         run.phases.record(Phase::Refine, refine);
         run.seal("join_index", &timer, trace);
-        run
+        Ok(run)
     }
 
     /// Spatial selection via the index: all `s_id` paired with `r_id`

@@ -30,7 +30,7 @@ use sj_btree::BPlusTree;
 use sj_gentree::{GenTree, NodeId};
 use sj_geom::{Bounded, Geometry, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 use crate::paged_tree::TreeRelation;
 use crate::stats::{ExecStats, JoinRun};
@@ -86,6 +86,21 @@ impl LocalJoinIndex {
         level: usize,
         z: usize,
     ) -> (Self, ExecStats) {
+        Self::try_build(pool, r, s, theta, level, z)
+            .unwrap_or_else(|e| panic!("local join index build failed: {e}"))
+    }
+
+    /// Fail-stop [`LocalJoinIndex::build`]: the first faulted node touch
+    /// during the build sweeps aborts with a typed error (no partially
+    /// built index).
+    pub fn try_build(
+        pool: &mut BufferPool,
+        r: &TreeRelation,
+        s: &TreeRelation,
+        theta: ThetaOp,
+        level: usize,
+        z: usize,
+    ) -> Result<(Self, ExecStats), StorageError> {
         let before = pool.stats();
         let mut stats = ExecStats::default();
 
@@ -99,7 +114,7 @@ impl LocalJoinIndex {
             // Charge I/O for the subtree sweep.
             let mut stack = vec![a];
             while let Some(cur) = stack.pop() {
-                r.paged.touch(pool, cur);
+                r.paged.try_touch(pool, cur)?;
                 stack.extend_from_slice(r.tree.children(cur));
             }
             r_entries.insert(a, subtree_entries(&r.tree, a));
@@ -108,7 +123,7 @@ impl LocalJoinIndex {
         for &b in &s_anchors {
             let mut stack = vec![b];
             while let Some(cur) = stack.pop() {
-                s.paged.touch(pool, cur);
+                s.paged.try_touch(pool, cur)?;
                 stack.extend_from_slice(s.tree.children(cur));
             }
             s_entries.insert(b, subtree_entries(&s.tree, b));
@@ -137,7 +152,7 @@ impl LocalJoinIndex {
             }
         }
         stats.add_io(pool.stats().since(&before));
-        (
+        Ok((
             LocalJoinIndex {
                 theta,
                 level,
@@ -148,7 +163,7 @@ impl LocalJoinIndex {
                 s_entries,
             },
             stats,
-        )
+        ))
     }
 
     /// The anchor level `L`.
@@ -185,6 +200,18 @@ impl LocalJoinIndex {
     /// window normally contributes nothing.
     pub fn join(&self, pool: &mut BufferPool) -> JoinRun {
         self.join_traced(pool, &mut TraceSink::Null)
+    }
+
+    /// Fail-stop [`join_traced`](LocalJoinIndex::join_traced). The union
+    /// reads only in-memory index nodes, so it cannot fault today; the
+    /// fallible signature keeps the executor surface uniform (and covers
+    /// any future spill of local indices to heap pages).
+    pub fn try_join_traced(
+        &self,
+        pool: &mut BufferPool,
+        trace: &mut TraceSink,
+    ) -> Result<JoinRun, StorageError> {
+        Ok(self.join_traced(pool, trace))
     }
 
     /// [`join`](LocalJoinIndex::join) with phase instrumentation: the

@@ -7,7 +7,7 @@
 
 use sj_geom::{Geometry, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun, SelectRun};
@@ -32,6 +32,19 @@ pub fn nested_loop_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_nested_loop_join_traced(pool, r, s, theta, trace)
+        .unwrap_or_else(|e| panic!("nested loop join failed: {e}"))
+}
+
+/// Fail-stop [`nested_loop_join_traced`]: the first storage fault aborts
+/// the run with a typed error instead of panicking.
+pub fn try_nested_loop_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     let mut timer = PhaseTimer::for_sink(trace);
     let mut run = JoinRun::default();
     let mut partition = ExecStats::default();
@@ -46,14 +59,16 @@ pub fn nested_loop_join_traced(
         // Load the R chunk into (executor) memory.
         timer.enter(Phase::Partition);
         let window = pool.stats();
-        let chunk: Vec<(u64, Geometry)> = (start..end).map(|i| r.read_at(pool, i)).collect();
+        let chunk: Vec<(u64, Geometry)> = (start..end)
+            .map(|i| r.try_read_at(pool, i))
+            .collect::<Result<_, _>>()?;
         partition.add_io(pool.stats().since(&window));
         partition.passes += 1;
         // Scan all of S against the resident chunk.
         timer.enter(Phase::Refine);
         let window = pool.stats();
         for j in 0..s.len() {
-            let (s_id, s_geom) = s.read_at(pool, j);
+            let (s_id, s_geom) = s.try_read_at(pool, j)?;
             for (r_id, r_geom) in &chunk {
                 refine.theta_evals += 1;
                 if theta.eval(r_geom, &s_geom) {
@@ -68,7 +83,7 @@ pub fn nested_loop_join_traced(
     run.phases.record(Phase::Partition, partition);
     run.phases.record(Phase::Refine, refine);
     run.seal("nested_loop", &timer, trace);
-    run
+    Ok(run)
 }
 
 /// Strategy I for spatial selection: exhaustive scan of `R`, θ-testing
@@ -79,9 +94,20 @@ pub fn exhaustive_select(
     o: &Geometry,
     theta: ThetaOp,
 ) -> SelectRun {
+    try_exhaustive_select(pool, r, o, theta)
+        .unwrap_or_else(|e| panic!("exhaustive select failed: {e}"))
+}
+
+/// Fail-stop [`exhaustive_select`].
+pub fn try_exhaustive_select(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    o: &Geometry,
+    theta: ThetaOp,
+) -> Result<SelectRun, StorageError> {
     let before = pool.stats();
     let mut run = SelectRun::default();
-    for (id, g) in r.scan(pool) {
+    for (id, g) in r.try_scan(pool)? {
         run.stats.theta_evals += 1;
         if theta.eval(o, &g) {
             run.matches.push(id);
@@ -89,7 +115,7 @@ pub fn exhaustive_select(
     }
     run.stats.passes = 1;
     run.stats.add_io(pool.stats().since(&before));
-    run
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use sj_gentree::{GenTree, NodeId};
 use sj_geom::{codec, Geometry};
-use sj_storage::{BufferPool, HeapFile, Layout, RecordId};
+use sj_storage::{BufferPool, HeapFile, Layout, RecordId, StorageError};
 
 /// Sentinel id for directory nodes (R-tree interiors), which carry no
 /// application tuple but still occupy a stored record.
@@ -77,6 +77,18 @@ impl PagedTree {
             record[node.index()] = file.rid(i);
         }
         PagedTree { file, record }
+    }
+
+    /// Charges the I/O of visiting `node` (a record read through the
+    /// pool) and returns the stored bytes' decoded content, or the I/O
+    /// fault that prevented the visit.
+    pub fn try_touch(
+        &self,
+        pool: &mut BufferPool,
+        node: NodeId,
+    ) -> Result<(u64, Geometry), StorageError> {
+        let bytes = pool.try_read_record(&self.file, self.record[node.index()])?;
+        Ok(codec::decode_record(&bytes))
     }
 
     /// Charges the I/O of visiting `node` (a record read through the

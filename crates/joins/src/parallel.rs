@@ -35,12 +35,12 @@ use std::time::Instant;
 use sj_geom::sweep::{sweep_candidates, SweepItem};
 use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 use crate::paged_tree::TreeRelation;
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun};
-use crate::tree_join::tree_join_traced;
+use crate::tree_join::try_tree_join_traced;
 
 /// Degree of parallelism for the executors in this module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +195,23 @@ pub fn partition_join_traced(
     par: Parallelism,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_partition_join_traced(pool, r, s, theta, par, trace)
+        .unwrap_or_else(|e| panic!("partition join failed: {e}"))
+}
+
+/// Fail-stop [`partition_join_traced`]: the first storage fault — on the
+/// coordinator or any worker shard — aborts the run with a typed error.
+/// Workers stop at their first fault; the coordinator merges worker
+/// results in deterministic chunk order and reports the first chunk's
+/// error, so the surfaced error does not depend on thread scheduling.
+pub fn try_partition_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     match theta.filter_radius() {
         Some(eps) => pbsm_join(pool, r, s, theta, par, eps, trace),
         None => chunked_nested_loop(pool, r, s, theta, par, trace),
@@ -209,7 +226,7 @@ fn pbsm_join(
     par: Parallelism,
     eps: f64,
     trace: &mut TraceSink,
-) -> JoinRun {
+) -> Result<JoinRun, StorageError> {
     let mut timer = PhaseTimer::for_sink(trace);
     let timed = trace.is_enabled();
     timer.enter(Phase::Partition);
@@ -225,22 +242,22 @@ fn pbsm_join(
     // re-fetched lazily during refinement (the filter/refine I/O split).
     let r_mbrs: Vec<(u64, Rect)> = (0..r.len())
         .map(|i| {
-            let (id, g) = r.read_at(pool, i);
-            (id, g.mbr())
+            let (id, g) = r.try_read_at(pool, i)?;
+            Ok((id, g.mbr()))
         })
-        .collect();
+        .collect::<Result<_, StorageError>>()?;
     let s_mbrs: Vec<(u64, Rect)> = (0..s.len())
         .map(|j| {
-            let (id, g) = s.read_at(pool, j);
-            (id, g.mbr())
+            let (id, g) = s.try_read_at(pool, j)?;
+            Ok((id, g.mbr()))
         })
-        .collect();
+        .collect::<Result<_, StorageError>>()?;
     if r_mbrs.is_empty() || s_mbrs.is_empty() {
         partition.add_io(pool.stats().since(&window));
         timer.stop();
         run.phases.record(Phase::Partition, partition);
         run.seal("partition_join", &timer, trace);
-        return run;
+        return Ok(run);
     }
 
     // Phase 2: tile decomposition with multi-assignment. R-side MBRs are
@@ -302,7 +319,7 @@ fn pbsm_join(
                     timed,
                 )
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     } else {
         let shard_cap = (pool.capacity() / par.threads).max(4);
         let chunk_len = tasks.len().div_ceil(par.threads).max(1);
@@ -316,26 +333,33 @@ fn pbsm_join(
                     let (r_tiles, s_tiles) = (&r_tiles, &s_tiles);
                     let grid = &grid;
                     scope.spawn(move || {
-                        let outs: Vec<TileOut> = chunk
-                            .iter()
-                            .map(|&t| {
-                                process_tile(
-                                    t,
-                                    grid,
-                                    eps,
-                                    theta,
-                                    r,
-                                    s,
-                                    r_mbrs,
-                                    s_mbrs,
-                                    &r_tiles[t],
-                                    &s_tiles[t],
-                                    &mut shard,
-                                    timed,
-                                )
-                            })
-                            .collect();
-                        (outs, shard.stats())
+                        // Stop at the worker's first fault; the partial
+                        // tile list is discarded by the coordinator.
+                        let mut outs: Vec<TileOut> = Vec::with_capacity(chunk.len());
+                        let mut err: Option<StorageError> = None;
+                        for &t in chunk {
+                            match process_tile(
+                                t,
+                                grid,
+                                eps,
+                                theta,
+                                r,
+                                s,
+                                r_mbrs,
+                                s_mbrs,
+                                &r_tiles[t],
+                                &s_tiles[t],
+                                &mut shard,
+                                timed,
+                            ) {
+                                Ok(o) => outs.push(o),
+                                Err(e) => {
+                                    err = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        (outs, err, shard.stats())
                     })
                 })
                 .collect();
@@ -345,8 +369,10 @@ fn pbsm_join(
                 .collect::<Vec<_>>()
         });
         // Worker merge happens on the coordinator in spawn (= chunk)
-        // order, so span emission and stats totals are deterministic.
-        for (w, (chunk_outs, io)) in chunk_results.into_iter().enumerate() {
+        // order, so span emission, stats totals, and the surfaced error
+        // are deterministic.
+        let mut first_err: Option<StorageError> = None;
+        for (w, (chunk_outs, err, io)) in chunk_results.into_iter().enumerate() {
             if trace.is_enabled() {
                 let mut ws = ExecStats::default();
                 ws.add_io(io);
@@ -355,6 +381,12 @@ fn pbsm_join(
             }
             outs.extend(chunk_outs);
             refine.add_io(io);
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         outs
     };
@@ -384,7 +416,7 @@ fn pbsm_join(
     run.phases.record(Phase::Filter, filter);
     run.phases.record(Phase::Refine, refine);
     run.seal("partition_join", &timer, trace);
-    run
+    Ok(run)
 }
 
 /// Filter + refine for one tile. The Θ-filter runs as a forward-scan
@@ -408,7 +440,7 @@ fn process_tile(
     s_list: &[u32],
     pool: &mut BufferPool,
     timed: bool,
-) -> TileOut {
+) -> Result<TileOut, StorageError> {
     let t0 = timed.then(Instant::now);
     let mut out = TileOut {
         pairs: Vec::new(),
@@ -438,7 +470,14 @@ fn process_tile(
 
     let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
     let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
+    // Capture the first fault raised inside the sweep callback; once
+    // set, no further geometry fetches are attempted and the tile's
+    // outcome is discarded below (fail-stop, never a partial tile).
+    let mut first_err: Option<StorageError> = None;
     let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |pi, pj| {
+        if first_err.is_some() {
+            return;
+        }
         let i = r_list[pi as usize];
         let j = s_list[pj as usize];
         let (r_id, _) = r_mbrs[i as usize];
@@ -457,21 +496,38 @@ fn process_tile(
             return;
         }
         out.theta_evals += 1;
-        let rg = r_geo
-            .entry(i)
-            .or_insert_with(|| r.read_at(pool, i as usize).1);
-        let sg = s_geo
-            .entry(j)
-            .or_insert_with(|| s.read_at(pool, j as usize).1);
+        let rg = match r_geo.entry(i) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match r.try_read_at(pool, i as usize) {
+                Ok((_, g)) => v.insert(g),
+                Err(e) => {
+                    first_err = Some(e);
+                    return;
+                }
+            },
+        };
+        let sg = match s_geo.entry(j) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match s.try_read_at(pool, j as usize) {
+                Ok((_, g)) => v.insert(g),
+                Err(e) => {
+                    first_err = Some(e);
+                    return;
+                }
+            },
+        };
         if theta.eval(rg, sg) {
             out.pairs.push((r_id, s_id));
         }
     });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     out.filter_evals = comparisons;
     if let Some(t0) = t0 {
         out.dur_us = t0.elapsed().as_micros() as u64;
     }
-    out
+    Ok(out)
 }
 
 /// Fallback for operators with unbounded Θ-filter regions (directional
@@ -487,9 +543,9 @@ fn chunked_nested_loop(
     theta: ThetaOp,
     par: Parallelism,
     trace: &mut TraceSink,
-) -> JoinRun {
+) -> Result<JoinRun, StorageError> {
     if par.threads <= 1 {
-        return crate::nested_loop::nested_loop_join_traced(pool, r, s, theta, trace);
+        return crate::nested_loop::try_nested_loop_join_traced(pool, r, s, theta, trace);
     }
     let mut timer = PhaseTimer::for_sink(trace);
     let timed = trace.is_enabled();
@@ -502,7 +558,7 @@ fn chunked_nested_loop(
         timer.stop();
         run.phases.record(Phase::Partition, partition);
         run.seal("partition_join", &timer, trace);
-        return run;
+        return Ok(run);
     }
     let shard_cap = (pool.capacity() / par.threads).max(4);
     let chunk_tuples = r.len().div_ceil(par.threads).max(1);
@@ -522,28 +578,33 @@ fn chunked_nested_loop(
             .map(|&(lo, hi)| {
                 let mut shard = pool.fork_view(shard_cap);
                 scope.spawn(move || {
-                    let t0 = timed.then(Instant::now);
-                    let mut out = TileOut {
-                        pairs: Vec::new(),
-                        filter_evals: 0,
-                        theta_evals: 0,
-                        dur_us: 0,
-                    };
-                    let chunk: Vec<(u64, Geometry)> =
-                        (lo..hi).map(|i| r.read_at(&mut shard, i)).collect();
-                    for j in 0..s.len() {
-                        let (s_id, s_geom) = s.read_at(&mut shard, j);
-                        for (r_id, r_geom) in &chunk {
-                            out.theta_evals += 1;
-                            if theta.eval(r_geom, &s_geom) {
-                                out.pairs.push((*r_id, s_id));
+                    let mut work = || -> Result<TileOut, StorageError> {
+                        let t0 = timed.then(Instant::now);
+                        let mut out = TileOut {
+                            pairs: Vec::new(),
+                            filter_evals: 0,
+                            theta_evals: 0,
+                            dur_us: 0,
+                        };
+                        let chunk: Vec<(u64, Geometry)> = (lo..hi)
+                            .map(|i| r.try_read_at(&mut shard, i))
+                            .collect::<Result<_, _>>()?;
+                        for j in 0..s.len() {
+                            let (s_id, s_geom) = s.try_read_at(&mut shard, j)?;
+                            for (r_id, r_geom) in &chunk {
+                                out.theta_evals += 1;
+                                if theta.eval(r_geom, &s_geom) {
+                                    out.pairs.push((*r_id, s_id));
+                                }
                             }
                         }
-                    }
-                    if let Some(t0) = t0 {
-                        out.dur_us = t0.elapsed().as_micros() as u64;
-                    }
-                    (out, shard.stats())
+                        if let Some(t0) = t0 {
+                            out.dur_us = t0.elapsed().as_micros() as u64;
+                        }
+                        Ok(out)
+                    };
+                    let result = work();
+                    (result, shard.stats())
                 })
             })
             .collect();
@@ -552,7 +613,20 @@ fn chunked_nested_loop(
             .map(|h| h.join().expect("nested-loop worker panicked"))
             .collect::<Vec<_>>()
     });
-    for (w, (out, io)) in results.into_iter().enumerate() {
+    // Coordinator-side merge in worker order: the first chunk's error
+    // wins deterministically, independent of thread scheduling.
+    let mut first_err: Option<StorageError> = None;
+    for (w, (result, io)) in results.into_iter().enumerate() {
+        refine.add_io(io);
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+                continue;
+            }
+        };
         if trace.is_enabled() {
             let mut ws = ExecStats {
                 theta_evals: out.theta_evals,
@@ -568,14 +642,16 @@ fn chunked_nested_loop(
         run.pairs.extend(out.pairs);
         refine.theta_evals += out.theta_evals;
         partition.passes += 1;
-        refine.add_io(io);
+    }
+    if let Some(e) = first_err {
+        return Err(e);
     }
     refine.add_io(pool.stats().since(&window));
     timer.stop();
     run.phases.record(Phase::Partition, partition);
     run.phases.record(Phase::Refine, refine);
     run.seal("partition_join", &timer, trace);
-    run
+    Ok(run)
 }
 
 /// Parallel Algorithm JOIN over two stored generalization trees: the
@@ -612,6 +688,22 @@ pub fn parallel_tree_join_traced(
     par: Parallelism,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_parallel_tree_join_traced(pool, r, s, theta, par, trace)
+        .unwrap_or_else(|e| panic!("parallel tree join failed: {e}"))
+}
+
+/// Fail-stop [`parallel_tree_join_traced`]: the first faulted node touch
+/// — on the coordinator or any worker shard — aborts the run with a
+/// typed error, with the same deterministic first-chunk-wins merge as
+/// [`try_partition_join_traced`].
+pub fn try_parallel_tree_join_traced(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    s: &TreeRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     let (root_r, root_s) = (r.tree.root(), s.tree.root());
     let top: Vec<_> = r.tree.children(root_r).to_vec();
     if par.threads <= 1
@@ -619,7 +711,7 @@ pub fn parallel_tree_join_traced(
         || s.tree.entry(root_s).is_some()
         || top.len() < 2
     {
-        return tree_join_traced(pool, r, s, theta, trace);
+        return try_tree_join_traced(pool, r, s, theta, trace);
     }
 
     let mut timer = PhaseTimer::for_sink(trace);
@@ -637,8 +729,8 @@ pub fn parallel_tree_join_traced(
     // The root pair itself is handled on the calling thread (it has no
     // application objects by the check above, so only the filter gate
     // remains).
-    r.paged.touch(pool, root_r);
-    s.paged.touch(pool, root_s);
+    r.paged.try_touch(pool, root_r)?;
+    s.paged.try_touch(pool, root_s)?;
     filter.filter_evals += 1;
     if theta.filter(&r.tree.mbr(root_r), &s.tree.mbr(root_s)) {
         timer.enter(Phase::Filter);
@@ -655,8 +747,11 @@ pub fn parallel_tree_join_traced(
                         let mut pairs = Vec::new();
                         let mut filter_evals = 0u64;
                         let mut theta_evals = 0u64;
+                        // Stop at the worker's first fault; partial
+                        // results are discarded by the coordinator.
+                        let mut err: Option<StorageError> = None;
                         for &a in chunk {
-                            let outcome = sj_gentree::join::join_pair(
+                            match sj_gentree::join::try_join_pair(
                                 &r.tree,
                                 &s.tree,
                                 a,
@@ -664,20 +759,32 @@ pub fn parallel_tree_join_traced(
                                 1,
                                 theta,
                                 |node| {
-                                    r.paged.touch(&mut shard_cell.borrow_mut(), node);
+                                    r.paged
+                                        .try_touch(&mut shard_cell.borrow_mut(), node)
+                                        .map(|_| ())
                                 },
                                 |node| {
-                                    s.paged.touch(&mut shard_cell.borrow_mut(), node);
+                                    s.paged
+                                        .try_touch(&mut shard_cell.borrow_mut(), node)
+                                        .map(|_| ())
                                 },
-                            );
-                            pairs.extend(outcome.pairs);
-                            filter_evals += outcome.stats.filter_evals;
-                            theta_evals += outcome.stats.theta_evals;
+                            ) {
+                                Ok(outcome) => {
+                                    pairs.extend(outcome.pairs);
+                                    filter_evals += outcome.stats.filter_evals;
+                                    theta_evals += outcome.stats.theta_evals;
+                                }
+                                Err(e) => {
+                                    err = Some(e);
+                                    break;
+                                }
+                            }
                         }
                         (
                             pairs,
                             filter_evals,
                             theta_evals,
+                            err,
                             shard_cell.into_inner().stats(),
                             t0.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                         )
@@ -689,9 +796,13 @@ pub fn parallel_tree_join_traced(
                 .map(|h| h.join().expect("tree-join worker panicked"))
                 .collect::<Vec<_>>()
         });
-        // Coordinator-side merge in spawn (= chunk) order keeps both the
-        // stats totals and the span stream deterministic.
-        for (w, (pairs, filter_evals, theta_evals, io, dur_us)) in results.into_iter().enumerate() {
+        // Coordinator-side merge in spawn (= chunk) order keeps the
+        // stats totals, the span stream, and the surfaced error
+        // deterministic.
+        let mut first_err: Option<StorageError> = None;
+        for (w, (pairs, filter_evals, theta_evals, err, io, dur_us)) in
+            results.into_iter().enumerate()
+        {
             if trace.is_enabled() {
                 let mut ws = ExecStats {
                     filter_evals,
@@ -709,6 +820,12 @@ pub fn parallel_tree_join_traced(
             filter.filter_evals += filter_evals;
             refine.theta_evals += theta_evals;
             probe.add_io(io);
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
     }
     probe.add_io(pool.stats().since(&window));
@@ -717,7 +834,7 @@ pub fn parallel_tree_join_traced(
     run.phases.record(Phase::Filter, filter);
     run.phases.record(Phase::Refine, refine);
     run.seal("parallel_tree_join", &timer, trace);
-    run
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use sj_geom::codec;
 use sj_geom::Geometry;
-use sj_storage::{BufferPool, HeapFile, Layout};
+use sj_storage::{BufferPool, HeapFile, Layout, StorageError};
 
 use crate::stats::ExecStats;
 
@@ -71,10 +71,40 @@ impl StoredRelation {
         &self.ids
     }
 
+    /// Reads the tuple at logical position `i` through the pool
+    /// (charged), or the I/O fault that prevented it.
+    pub fn try_read_at(
+        &self,
+        pool: &mut BufferPool,
+        i: usize,
+    ) -> Result<(u64, Geometry), StorageError> {
+        let bytes = pool.try_read_record(&self.file, self.file.rid(i))?;
+        Ok(codec::decode_record(&bytes))
+    }
+
     /// Reads the tuple at logical position `i` through the pool (charged).
     pub fn read_at(&self, pool: &mut BufferPool, i: usize) -> (u64, Geometry) {
         let bytes = pool.read_record(&self.file, self.file.rid(i));
         codec::decode_record(&bytes)
+    }
+
+    /// Reads a tuple by id through the pool (charged), or the I/O fault
+    /// that prevented it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the relation — an unknown id is a logic
+    /// error, not a storage fault.
+    pub fn try_read_by_id(
+        &self,
+        pool: &mut BufferPool,
+        id: u64,
+    ) -> Result<(u64, Geometry), StorageError> {
+        let &i = self
+            .pos_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown tuple id {id}"));
+        self.try_read_at(pool, i)
     }
 
     /// Reads a tuple by id through the pool (charged).
@@ -88,6 +118,17 @@ impl StoredRelation {
             .get(&id)
             .unwrap_or_else(|| panic!("unknown tuple id {id}"));
         self.read_at(pool, i)
+    }
+
+    /// Full sequential scan, decoding every tuple, or the first I/O
+    /// fault. Costs `page_count()` physical reads on a cold pool.
+    pub fn try_scan(&self, pool: &mut BufferPool) -> Result<Vec<(u64, Geometry)>, StorageError> {
+        Ok(self
+            .file
+            .try_scan(pool)?
+            .into_iter()
+            .map(|(_, bytes)| codec::decode_record(&bytes))
+            .collect())
     }
 
     /// Full sequential scan, decoding every tuple. Costs `page_count()`

@@ -20,7 +20,7 @@ use std::collections::HashSet;
 
 use sj_geom::{Bounded, Geometry, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 use sj_zorder::ZGrid;
 
 use crate::relation::StoredRelation;
@@ -63,6 +63,22 @@ pub fn zorder_overlap_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_zorder_overlap_join_traced(pool, r, s, grid, theta, trace)
+        .unwrap_or_else(|e| panic!("z-order merge join failed: {e}"))
+}
+
+/// Fail-stop [`zorder_overlap_join_traced`]: the first storage fault
+/// aborts the run with a typed error. Still panics on non-overlap
+/// operators — an unsupported operator is a logic error, not a storage
+/// fault.
+pub fn try_zorder_overlap_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    grid: &ZGrid,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     assert!(
         supported_by_zorder(theta),
         "sort-merge on z-order only supports overlap-family operators, got {theta:?}"
@@ -77,8 +93,8 @@ pub fn zorder_overlap_join_traced(
     // z-elements. (The scans are the strategy's "sort phase" input; the
     // element lists are assumed to fit in memory, as in the paper's
     // sort-merge discussion.)
-    let r_rows = r.scan(pool);
-    let s_rows = s.scan(pool);
+    let r_rows = r.try_scan(pool)?;
+    let s_rows = s.try_scan(pool)?;
 
     #[derive(Debug, Clone, Copy)]
     struct Elem {
@@ -172,7 +188,7 @@ pub fn zorder_overlap_join_traced(
     timer.stop();
     run.phases.record(Phase::Refine, refine);
     run.seal("zorder_merge", &timer, trace);
-    run
+    Ok(run)
 }
 
 /// The doomed "one-dimensional" sort-merge of §2.2: each object is reduced

@@ -17,9 +17,9 @@ use std::collections::HashMap;
 use sj_geom::sweep::{sweep_candidates, SweepItem};
 use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
-use crate::nested_loop::nested_loop_join_traced;
+use crate::nested_loop::try_nested_loop_join_traced;
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun};
 
@@ -50,10 +50,25 @@ pub fn sweep_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_sweep_join_traced(pool, r, s, theta, trace)
+        .unwrap_or_else(|e| panic!("sweep join failed: {e}"))
+}
+
+/// Fail-stop [`sweep_join_traced`]: the first storage fault aborts the
+/// run with a typed error. A fault during the interleaved refine phase
+/// stops further fetches and discards the whole outcome (never a partial
+/// match set).
+pub fn try_sweep_join_traced(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     let Some(eps) = theta.filter_radius() else {
         // Unbounded (directional) filter region: no sweep interval
         // covers it; serve the operator with strategy I.
-        return nested_loop_join_traced(pool, r, s, theta, trace);
+        return try_nested_loop_join_traced(pool, r, s, theta, trace);
     };
     let mut timer = PhaseTimer::for_sink(trace);
     let mut run = JoinRun::default();
@@ -67,16 +82,16 @@ pub fn sweep_join_traced(
     let window = pool.stats();
     let r_mbrs: Vec<(u64, Rect)> = (0..r.len())
         .map(|i| {
-            let (id, g) = r.read_at(pool, i);
-            (id, g.mbr())
+            let (id, g) = r.try_read_at(pool, i)?;
+            Ok((id, g.mbr()))
         })
-        .collect();
+        .collect::<Result<_, StorageError>>()?;
     let s_mbrs: Vec<(u64, Rect)> = (0..s.len())
         .map(|j| {
-            let (id, g) = s.read_at(pool, j);
-            (id, g.mbr())
+            let (id, g) = s.try_read_at(pool, j)?;
+            Ok((id, g.mbr()))
         })
-        .collect();
+        .collect::<Result<_, StorageError>>()?;
 
     let mut sweep_r: Vec<SweepItem> = r_mbrs
         .iter()
@@ -94,20 +109,44 @@ pub fn sweep_join_traced(
     let window = pool.stats();
     let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
     let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
+    // Capture the first fault raised inside the sweep callback; once set,
+    // no further geometry fetches are attempted and the outcome is
+    // discarded below.
+    let mut first_err: Option<StorageError> = None;
     let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |i, j| {
+        if first_err.is_some() {
+            return;
+        }
         refine.theta_evals += 1;
-        let rg = r_geo
-            .entry(i)
-            .or_insert_with(|| r.read_at(pool, i as usize).1);
-        let sg = s_geo
-            .entry(j)
-            .or_insert_with(|| s.read_at(pool, j as usize).1);
+        let rg = match r_geo.entry(i) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match r.try_read_at(pool, i as usize) {
+                Ok((_, g)) => v.insert(g),
+                Err(e) => {
+                    first_err = Some(e);
+                    return;
+                }
+            },
+        };
+        let sg = match s_geo.entry(j) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => match s.try_read_at(pool, j as usize) {
+                Ok((_, g)) => v.insert(g),
+                Err(e) => {
+                    first_err = Some(e);
+                    return;
+                }
+            },
+        };
         if theta.eval(rg, sg) {
             run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0));
         }
     });
     refine.add_io(pool.stats().since(&window));
     timer.stop();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
 
     run.phases.record(Phase::Partition, partition);
     run.phases.record(
@@ -119,7 +158,7 @@ pub fn sweep_join_traced(
     );
     run.phases.record(Phase::Refine, refine);
     run.seal("sweep", &timer, trace);
-    run
+    Ok(run)
 }
 
 #[cfg(test)]

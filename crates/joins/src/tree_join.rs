@@ -7,7 +7,7 @@
 use sj_gentree::{join, select};
 use sj_geom::{Geometry, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 
 use crate::paged_tree::TreeRelation;
 use crate::stats::{ExecStats, JoinRun, SelectRun};
@@ -30,14 +30,26 @@ pub fn tree_select(
     theta: ThetaOp,
     order: TraversalOrder,
 ) -> SelectRun {
+    try_tree_select(pool, r, o, theta, order).unwrap_or_else(|e| panic!("tree select failed: {e}"))
+}
+
+/// Fail-stop [`tree_select`]: the first faulted node touch aborts the
+/// run with a typed error (no partial match set).
+pub fn try_tree_select(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    o: &Geometry,
+    theta: ThetaOp,
+    order: TraversalOrder,
+) -> Result<SelectRun, StorageError> {
     let before = pool.stats();
     let outcome = match order {
-        TraversalOrder::BreadthFirst => select::select(&r.tree, o, theta, |node| {
-            r.paged.touch(pool, node);
-        }),
-        TraversalOrder::DepthFirst => select::select_dfs(&r.tree, o, theta, |node| {
-            r.paged.touch(pool, node);
-        }),
+        TraversalOrder::BreadthFirst => select::try_select(&r.tree, o, theta, |node| {
+            r.paged.try_touch(pool, node).map(|_| ())
+        })?,
+        TraversalOrder::DepthFirst => select::try_select_dfs(&r.tree, o, theta, |node| {
+            r.paged.try_touch(pool, node).map(|_| ())
+        })?,
     };
     let mut run = SelectRun {
         matches: outcome.matches,
@@ -47,7 +59,7 @@ pub fn tree_select(
     run.stats.filter_evals = outcome.stats.filter_evals;
     run.stats.passes = 1;
     run.stats.add_io(pool.stats().since(&before));
-    run
+    Ok(run)
 }
 
 /// Algorithm JOIN over two stored trees, charging record reads per node
@@ -74,23 +86,40 @@ pub fn tree_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> JoinRun {
+    try_tree_join_traced(pool, r, s, theta, trace)
+        .unwrap_or_else(|e| panic!("tree join failed: {e}"))
+}
+
+/// Fail-stop [`tree_join_traced`]: the first faulted node touch on
+/// either side aborts the run with a typed error.
+pub fn try_tree_join_traced(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    s: &TreeRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> Result<JoinRun, StorageError> {
     let mut timer = PhaseTimer::for_sink(trace);
     timer.enter(Phase::IndexProbe);
     let window = pool.stats();
     // Both visitor callbacks need the pool; a local RefCell arbitrates the
     // (strictly alternating, single-threaded) accesses.
     let pool_cell = std::cell::RefCell::new(&mut *pool);
-    let outcome = join::join(
+    let outcome = join::try_join(
         &r.tree,
         &s.tree,
         theta,
         |node| {
-            r.paged.touch(&mut pool_cell.borrow_mut(), node);
+            r.paged
+                .try_touch(&mut pool_cell.borrow_mut(), node)
+                .map(|_| ())
         },
         |node| {
-            s.paged.touch(&mut pool_cell.borrow_mut(), node);
+            s.paged
+                .try_touch(&mut pool_cell.borrow_mut(), node)
+                .map(|_| ())
         },
-    );
+    )?;
     timer.stop();
     let mut run = JoinRun {
         pairs: outcome.pairs,
@@ -132,7 +161,7 @@ pub fn tree_join_traced(
         }
     }
     run.seal("tree_join", &timer, trace);
-    run
+    Ok(run)
 }
 
 #[cfg(test)]

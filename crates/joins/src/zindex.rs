@@ -15,7 +15,7 @@ use std::collections::HashSet;
 use sj_btree::BPlusTree;
 use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
-use sj_storage::BufferPool;
+use sj_storage::{BufferPool, StorageError};
 use sj_zorder::ZGrid;
 
 use crate::relation::StoredRelation;
@@ -34,9 +34,20 @@ impl ZIndex {
     /// Builds the index by scanning `rel` once and decomposing every
     /// object's MBR on `grid`.
     pub fn build(pool: &mut BufferPool, rel: &StoredRelation, grid: ZGrid, z: usize) -> Self {
+        Self::try_build(pool, rel, grid, z).unwrap_or_else(|e| panic!("z-index build failed: {e}"))
+    }
+
+    /// Fail-stop [`ZIndex::build`]: the first storage fault during the
+    /// build scan aborts with a typed error (no partially built index).
+    pub fn try_build(
+        pool: &mut BufferPool,
+        rel: &StoredRelation,
+        grid: ZGrid,
+        z: usize,
+    ) -> Result<Self, StorageError> {
         let mut tree = BPlusTree::new(z);
         let mut entries = 0;
-        for (id, g) in rel.scan(pool) {
+        for (id, g) in rel.try_scan(pool)? {
             // Aligned (uncoalesced) blocks: the candidate lookup's prefix
             // enumeration is only complete for aligned element ranges.
             for range in grid.decompose_aligned(&g.mbr()) {
@@ -45,11 +56,11 @@ impl ZIndex {
             }
         }
         tree.reset_accesses();
-        ZIndex {
+        Ok(ZIndex {
             grid,
             tree,
             entries,
-        }
+        })
     }
 
     /// Number of `(z-element, id)` entries (objects spanning several
@@ -132,6 +143,18 @@ impl ZIndex {
         o: &Geometry,
         theta: ThetaOp,
     ) -> SelectRun {
+        self.try_select(pool, rel, o, theta)
+            .unwrap_or_else(|e| panic!("z-index select failed: {e}"))
+    }
+
+    /// Fail-stop [`ZIndex::select`]; same operator-support panic.
+    pub fn try_select(
+        &self,
+        pool: &mut BufferPool,
+        rel: &StoredRelation,
+        o: &Geometry,
+        theta: ThetaOp,
+    ) -> Result<SelectRun, StorageError> {
         assert!(
             crate::sort_merge::supported_by_zorder(theta),
             "z-index selection supports overlap-family operators only, got {theta:?}"
@@ -140,7 +163,7 @@ impl ZIndex {
         self.tree.reset_accesses();
         let mut run = SelectRun::default();
         for id in self.candidates(&o.mbr()) {
-            let (_, g) = rel.read_by_id(pool, id);
+            let (_, g) = rel.try_read_by_id(pool, id)?;
             run.stats.theta_evals += 1;
             if theta.eval(o, &g) {
                 run.matches.push(id);
@@ -148,7 +171,7 @@ impl ZIndex {
         }
         run.stats.add_io(pool.stats().since(&before));
         run.stats.physical_reads += self.tree.accesses();
-        run
+        Ok(run)
     }
 
     /// Index-supported join (§2.1's "scan the other relation and use the
@@ -175,6 +198,20 @@ impl ZIndex {
         theta: ThetaOp,
         trace: &mut TraceSink,
     ) -> JoinRun {
+        self.try_join_traced(pool, r, s, theta, trace)
+            .unwrap_or_else(|e| panic!("z-index join failed: {e}"))
+    }
+
+    /// Fail-stop [`join_traced`](ZIndex::join_traced); same operator-
+    /// support panic.
+    pub fn try_join_traced(
+        &self,
+        pool: &mut BufferPool,
+        r: &StoredRelation,
+        s: &StoredRelation,
+        theta: ThetaOp,
+        trace: &mut TraceSink,
+    ) -> Result<JoinRun, StorageError> {
         assert!(
             crate::sort_merge::supported_by_zorder(theta),
             "z-index join supports overlap-family operators only, got {theta:?}"
@@ -185,7 +222,7 @@ impl ZIndex {
         self.tree.reset_accesses();
         let mut run = JoinRun::default();
         let mut partition = ExecStats::default();
-        let s_rows = s.scan(pool);
+        let s_rows = s.try_scan(pool)?;
         partition.add_io(pool.stats().since(&window));
 
         timer.enter(Phase::Refine);
@@ -193,7 +230,7 @@ impl ZIndex {
         let mut refine = ExecStats::default();
         for (s_id, s_geom) in s_rows {
             for r_id in self.candidates(&s_geom.mbr()) {
-                let (_, r_geom) = r.read_by_id(pool, r_id);
+                let (_, r_geom) = r.try_read_by_id(pool, r_id)?;
                 refine.theta_evals += 1;
                 if theta.eval(&r_geom, &s_geom) {
                     run.pairs.push((r_id, s_id));
@@ -215,7 +252,7 @@ impl ZIndex {
         );
         run.phases.record(Phase::Refine, refine);
         run.seal("zindex", &timer, trace);
-        run
+        Ok(run)
     }
 }
 

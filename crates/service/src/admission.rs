@@ -6,9 +6,15 @@
 //! [`Rejection::QueueFull`](crate::request::Rejection::QueueFull)
 //! instead of unbounded latency. Workers block on [`AdmissionQueue::pop`]
 //! until work arrives or the queue is closed for shutdown.
+//!
+//! The queue is poison-proof: a worker that panics while holding the
+//! lock leaves plain data (a `VecDeque` and counters) in a consistent
+//! state — every entry point recovers the guard from the
+//! [`PoisonError`] instead of cascading the panic, so one dead worker
+//! never wedges admission for the rest of the pool.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug)]
 struct Inner<T> {
@@ -43,10 +49,18 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// Takes the queue lock, recovering from poison: the protected state
+    /// is structurally consistent after any panic (no half-applied
+    /// multi-step invariants), so the poison flag carries no information
+    /// worth dying for.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Admits `item`, or returns it to the caller when the queue is full
     /// (counted as a shed) or closed.
     pub fn try_push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         if inner.closed {
             return Err(item);
         }
@@ -64,7 +78,7 @@ impl<T> AdmissionQueue<T> {
     /// Blocks until an item is available (FIFO) or the queue is closed
     /// and drained, which yields `None`.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.queue.pop_front() {
                 return Some(item);
@@ -72,20 +86,23 @@ impl<T> AdmissionQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: future pushes fail, blocked consumers drain the
     /// backlog and then observe shutdown.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Pending items right now.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").queue.len()
+        self.lock().queue.len()
     }
 
     /// True when nothing is pending.
@@ -95,12 +112,12 @@ impl<T> AdmissionQueue<T> {
 
     /// Submissions shed because the queue was full.
     pub fn shed_full_count(&self) -> u64 {
-        self.inner.lock().expect("queue lock").shed_full
+        self.lock().shed_full
     }
 
     /// Submissions admitted since creation.
     pub fn admitted_count(&self) -> u64 {
-        self.inner.lock().expect("queue lock").admitted
+        self.lock().admitted
     }
 }
 
@@ -150,5 +167,34 @@ mod tests {
         };
         q2.close();
         assert_eq!(waiter.join().expect("no panic"), None);
+    }
+
+    #[test]
+    fn queue_survives_a_worker_dying_with_the_lock_held() {
+        // Regression test for lock poisoning: a consumer thread panics
+        // while *holding* the queue mutex (simulating a worker crash
+        // mid-dequeue). Every subsequent operation must recover instead
+        // of propagating the poison.
+        let q = Arc::new(AdmissionQueue::new(4));
+        q.try_push(1u32).expect("fits");
+        q.try_push(2u32).expect("fits");
+
+        let killer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.lock();
+                panic!("worker dies holding the queue lock");
+            })
+        };
+        assert!(killer.join().is_err(), "worker must have panicked");
+
+        // The queue keeps serving: push, pop, counters, close.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3u32).expect("poisoned lock must recover");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.admitted_count(), 3);
+        assert_eq!((q.pop(), q.pop()), (Some(2), Some(3)));
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 }

@@ -65,6 +65,17 @@ impl CacheKey {
             query,
         }
     }
+
+    /// A stable 64-bit digest of the key. The service mixes it into
+    /// per-attempt fault-injection seeds, so two different requests
+    /// against the same dataset version draw from different fault
+    /// streams while identical requests replay identically.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Exact-LRU cache from [`CacheKey`] to [`Reply`]. Replies are
@@ -126,9 +137,12 @@ impl ResultCache {
         self.order.insert(self.next_seq, key);
         self.next_seq += 1;
         while self.map.len() > self.capacity {
-            let (&victim_seq, _) = self.order.iter().next().expect("cache is over capacity");
-            let victim = self.order.remove(&victim_seq).expect("victim exists");
-            self.map.remove(&victim);
+            let Some((&victim_seq, _)) = self.order.iter().next() else {
+                break;
+            };
+            if let Some(victim) = self.order.remove(&victim_seq) {
+                self.map.remove(&victim);
+            }
         }
     }
 
@@ -143,8 +157,9 @@ impl ResultCache {
             .map(|(&seq, _)| seq)
             .collect();
         for seq in stale {
-            let key = self.order.remove(&seq).expect("listed above");
-            self.map.remove(&key);
+            if let Some(key) = self.order.remove(&seq) {
+                self.map.remove(&key);
+            }
         }
     }
 

@@ -21,6 +21,19 @@ pub struct ServiceMetrics {
     pub served_from_cache: u64,
     /// Requests shed at dequeue because their deadline had passed.
     pub shed_deadline: u64,
+    /// Compute attempts aborted by an injected (or real) storage fault.
+    pub injected_faults: u64,
+    /// Requests that completed only after at least one retry.
+    pub retried: u64,
+    /// Requests answered by the degraded nested-loop fallback.
+    pub degraded: u64,
+    /// Requests that exhausted every attempt and were rejected with
+    /// `Rejection::Failed`.
+    pub failed: u64,
+    /// Worker panics contained at the worker boundary.
+    pub worker_panics: u64,
+    /// Total model-time backoff units spent between retry attempts.
+    pub retry_backoff_units: u64,
 }
 
 impl ServiceMetrics {
@@ -47,6 +60,33 @@ impl ServiceMetrics {
         self.shed_deadline += 1;
     }
 
+    /// Records the fault-recovery footprint of one completed request:
+    /// how many attempts faulted before success, the backoff spent, and
+    /// whether the degraded fallback answered it.
+    pub fn record_recovery(&mut self, faulted_attempts: u32, backoff_units: u64, degraded: bool) {
+        self.injected_faults += u64::from(faulted_attempts);
+        self.retry_backoff_units += backoff_units;
+        if faulted_attempts > 0 {
+            self.retried += 1;
+        }
+        if degraded {
+            self.degraded += 1;
+        }
+    }
+
+    /// Records one request that exhausted every attempt and failed.
+    pub fn record_failed(&mut self, faulted_attempts: u32, backoff_units: u64, queue_us: u64) {
+        self.injected_faults += u64::from(faulted_attempts);
+        self.retry_backoff_units += backoff_units;
+        self.failed += 1;
+        self.queue_wait_us.record(queue_us);
+    }
+
+    /// Records one contained worker panic.
+    pub fn record_worker_panic(&mut self) {
+        self.worker_panics += 1;
+    }
+
     /// Folds another metrics object in (bucket-wise histogram merge plus
     /// counter sums) — e.g. to aggregate per-worker snapshots.
     pub fn merge(&mut self, other: &ServiceMetrics) {
@@ -56,11 +96,18 @@ impl ServiceMetrics {
         self.completed += other.completed;
         self.served_from_cache += other.served_from_cache;
         self.shed_deadline += other.shed_deadline;
+        self.injected_faults += other.injected_faults;
+        self.retried += other.retried;
+        self.degraded += other.degraded;
+        self.failed += other.failed;
+        self.worker_panics += other.worker_panics;
+        self.retry_backoff_units += other.retry_backoff_units;
     }
 
-    /// Emits four JSONL events: one per histogram (count/p50/p95/p99/
-    /// max/mean as counters) and a `service/summary` with the outcome
-    /// counters, all through the standard trace vocabulary.
+    /// Emits five JSONL events: one per histogram (count/p50/p95/p99/
+    /// max/mean as counters), a `service/summary` with the outcome
+    /// counters, and a `service/fault` with the fault-recovery counters,
+    /// all through the standard trace vocabulary.
     pub fn emit(&self, sink: &mut TraceSink) {
         self.latency_us.emit(sink, "service/latency_us");
         self.queue_wait_us.emit(sink, "service/queue_wait_us");
@@ -72,6 +119,18 @@ impl ServiceMetrics {
                 ("completed", self.completed),
                 ("served_from_cache", self.served_from_cache),
                 ("shed_deadline", self.shed_deadline),
+            ],
+        );
+        sink.emit(
+            "service/fault",
+            0,
+            &[
+                ("injected_faults", self.injected_faults),
+                ("retried", self.retried),
+                ("degraded", self.degraded),
+                ("failed", self.failed),
+                ("worker_panics", self.worker_panics),
+                ("retry_backoff_units", self.retry_backoff_units),
             ],
         );
     }
@@ -121,6 +180,48 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_record_and_merge() {
+        let mut m = ServiceMetrics::new();
+        m.record_recovery(2, 3, true);
+        m.record_recovery(0, 0, false); // clean first try: not a retry
+        m.record_failed(3, 7, 42);
+        m.record_worker_panic();
+        assert_eq!(m.injected_faults, 5);
+        assert_eq!(m.retried, 1);
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.retry_backoff_units, 10);
+        let mut other = ServiceMetrics::new();
+        other.record_recovery(1, 1, false);
+        m.merge(&other);
+        assert_eq!(m.injected_faults, 6);
+        assert_eq!(m.retried, 2);
+        assert_eq!(m.retry_backoff_units, 11);
+
+        let mut sink = TraceSink::vec();
+        m.emit(&mut sink);
+        let fault = sink
+            .events()
+            .iter()
+            .find(|e| e.span == "service/fault")
+            .expect("fault event");
+        for key in [
+            "injected_faults",
+            "retried",
+            "degraded",
+            "failed",
+            "worker_panics",
+            "retry_backoff_units",
+        ] {
+            assert!(
+                fault.counters.iter().any(|(k, _)| *k == key),
+                "fault event must carry {key}"
+            );
+        }
+    }
+
+    #[test]
     fn emit_writes_the_trace_vocabulary() {
         let mut m = ServiceMetrics::new();
         m.record_completion(10, 20, false);
@@ -133,7 +234,8 @@ mod tests {
                 "service/latency_us",
                 "service/queue_wait_us",
                 "service/exec_us",
-                "service/summary"
+                "service/summary",
+                "service/fault"
             ]
         );
         let latency = &sink.events()[0];

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use sj_geom::{Geometry, ThetaOp};
 use sj_joins::Strategy;
+use sj_storage::StorageError;
 
 /// Which operand relation a SELECT probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +130,14 @@ pub struct Response {
     pub queue_us: u64,
     /// Time spent computing (µs); ~0 for cache hits.
     pub exec_us: u64,
+    /// Compute attempts this response took (1 = first try; >1 means
+    /// storage faults were retried away).
+    pub attempts: u32,
+    /// True when the reply came from the degraded fallback path
+    /// (nested-loop join after the requested strategy kept faulting).
+    /// The result itself is still exact — degradation trades speed,
+    /// never correctness.
+    pub degraded: bool,
 }
 
 /// Why the service refused or abandoned a request.
@@ -144,6 +153,13 @@ pub enum Rejection {
     /// The named strategy cannot evaluate the request's θ-operator
     /// (checked at submission; see [`Strategy::supports`]).
     UnsupportedTheta,
+    /// Storage faulted on every attempt (initial try, retries, and the
+    /// degraded fallback where applicable); the last typed error is
+    /// attached. Fail-stop: no partial or wrong result is ever returned.
+    Failed(StorageError),
+    /// The worker thread processing the request panicked; the panic was
+    /// contained at the worker boundary and the service keeps running.
+    WorkerPanicked,
     /// The service is shutting down.
     Closed,
 }

@@ -12,9 +12,30 @@
 //! the *write* lock, append through the master pool (write-through),
 //! rebuild the generalization trees, and bump the dataset version —
 //! which structurally invalidates every cached result.
+//!
+//! ## Fail-stop fault handling
+//!
+//! Storage faults (injected for chaos testing, or real) surface as
+//! typed [`StorageError`]s from every compute path. The worker retries
+//! a faulted request up to [`ServiceConfig::retry_attempts`] times with
+//! exponential model-time backoff; each attempt arms its shard with a
+//! fresh deterministic injector stream (seeded from the fault seed,
+//! dataset version, request fingerprint, and attempt number), so
+//! transient faults really are transient and identical runs replay
+//! identical fault traces. A join that exhausts its budget degrades to
+//! one final nested-loop attempt — the universally applicable strategy
+//! with the fewest distinct pages touched — before the request is
+//! rejected as [`Rejection::Failed`]. Worker panics are contained with
+//! `catch_unwind`, and every shared lock recovers from poisoning, so
+//! one crashed request never takes the service down. The master pool
+//! never carries an injector: updates and reference computations are
+//! always fault-free.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{
+    mpsc, Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -22,9 +43,9 @@ use sj_core::advisor::{auto_chooser, Operation, WorkloadProfile};
 use sj_costmodel::{Distribution, ModelParams};
 use sj_gentree::rtree::{RTree, RTreeConfig};
 use sj_geom::{Bounded, Geometry, Rect};
-use sj_joins::{JoinOperands, JoinRequest, StoredRelation, TreeRelation};
+use sj_joins::{JoinOperands, JoinRequest, StoredRelation, Strategy, TreeRelation};
 use sj_obs::TraceSink;
-use sj_storage::{BufferPool, Disk, DiskConfig, Layout};
+use sj_storage::{BufferPool, Disk, DiskConfig, FaultConfig, FaultInjector, Layout, StorageError};
 
 use crate::admission::AdmissionQueue;
 use crate::cache::{CacheKey, ResultCache};
@@ -56,6 +77,17 @@ pub struct ServiceConfig {
     /// Base workload profile the advisor scores (`operation` and
     /// `selectivity` are overridden per request).
     pub profile: WorkloadProfile,
+    /// Probability that a physical page read on a worker shard faults;
+    /// 0.0 (the default) disarms injection entirely.
+    pub fault_read_prob: f64,
+    /// Probability that a physical page write on a worker shard faults.
+    pub fault_write_prob: f64,
+    /// Base seed of the fault-injection streams. Each attempt derives
+    /// its own stream from this seed, the dataset version, the request
+    /// fingerprint, and the attempt number — deterministic end to end.
+    pub fault_seed: u64,
+    /// Compute attempts per request before degradation/failure (min 1).
+    pub retry_attempts: u32,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +109,10 @@ impl Default for ServiceConfig {
                 updates_per_query: 0.0,
                 operation: Operation::Join,
             },
+            fault_read_prob: 0.0,
+            fault_write_prob: 0.0,
+            fault_seed: 0,
+            retry_attempts: 3,
         }
     }
 }
@@ -97,6 +133,22 @@ struct Job {
     req: Request,
     submitted: Instant,
     reply_to: Sender<ServiceResult>,
+    /// Test hook: makes the worker panic while holding the metrics lock,
+    /// exercising panic containment and poison recovery end to end.
+    #[cfg(test)]
+    poison: bool,
+}
+
+impl Job {
+    fn new(req: Request, reply_to: Sender<ServiceResult>) -> Self {
+        Job {
+            req,
+            submitted: Instant::now(),
+            reply_to,
+            #[cfg(test)]
+            poison: false,
+        }
+    }
 }
 
 /// State shared between the handle and the workers.
@@ -106,6 +158,28 @@ struct Shared {
     queue: AdmissionQueue<Job>,
     cache: Mutex<ResultCache>,
     metrics: Mutex<ServiceMetrics>,
+}
+
+impl Shared {
+    /// All four accessors recover from lock poisoning: a worker panic is
+    /// contained at the worker boundary, and the guarded structures are
+    /// single-step consistent (no multi-field invariant spans an
+    /// unwinding point), so the poison flag never marks real damage.
+    fn state_read(&self) -> RwLockReadGuard<'_, DataState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn state_write(&self) -> RwLockWriteGuard<'_, DataState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn cache_lock(&self) -> MutexGuard<'_, ResultCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn metrics_lock(&self) -> MutexGuard<'_, ServiceMetrics> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A running multi-threaded spatial query service. Dropping the handle
@@ -174,15 +248,27 @@ impl SpatialService {
             }
         }
         let (tx, rx) = mpsc::channel();
-        let job = Job {
-            req,
-            submitted: Instant::now(),
-            reply_to: tx,
-        };
-        match self.shared.queue.try_push(job) {
+        match self.shared.queue.try_push(Job::new(req, tx)) {
             Ok(()) => Ok(rx),
             Err(_) => Err(Rejection::QueueFull),
         }
+    }
+
+    /// Test hook: submits a job whose processing panics while holding
+    /// the metrics lock — the worst case for lock poisoning.
+    #[cfg(test)]
+    fn submit_poisoned(&self) -> Receiver<ServiceResult> {
+        let (tx, rx) = mpsc::channel();
+        let mut job = Job::new(
+            Request::join(Strategy::NestedLoop, sj_geom::ThetaOp::Overlaps),
+            tx,
+        );
+        job.poison = true;
+        self.shared
+            .queue
+            .try_push(job)
+            .unwrap_or_else(|_| panic!("queue full in test")); // PANIC-OK: cfg(test) hook
+        rx
     }
 
     /// Submits and blocks for the answer.
@@ -192,11 +278,14 @@ impl SpatialService {
     }
 
     /// Executes `req` synchronously on the calling thread — same
-    /// computation as the workers, bypassing queue, cache, and metrics.
-    /// This is the sequential reference for replay validation.
+    /// computation as the workers but with *no* fault injector armed,
+    /// bypassing queue, cache, and metrics. This is the fault-free
+    /// sequential reference for replay validation: every `Ok` response
+    /// a chaos run produces must carry a result identical to this.
     pub fn execute_reference(&self, req: &Request) -> Reply {
-        let state = self.shared.state.read().expect("state lock");
-        compute(&state, &self.shared.config, req)
+        let state = self.shared.state_read();
+        try_compute(&state, &self.shared.config, req, None)
+            .unwrap_or_else(|e| panic!("reference compute failed: {e}")) // PANIC-OK: no injector armed
     }
 
     /// Applies a batch of insertions: appends through the master pool,
@@ -204,7 +293,7 @@ impl SpatialService {
     /// bumps the dataset version, and purges stale cache entries.
     /// Returns the new version.
     pub fn update(&self, inserts: &[(Side, u64, Geometry)]) -> u64 {
-        let mut guard = self.shared.state.write().expect("state lock");
+        let mut guard = self.shared.state_write();
         let state = &mut *guard;
         for (side, id, g) in inserts {
             state.world = state.world.union(&g.mbr());
@@ -218,17 +307,13 @@ impl SpatialService {
         state.version += 1;
         let version = state.version;
         drop(guard);
-        self.shared
-            .cache
-            .lock()
-            .expect("cache lock")
-            .purge_stale(version);
+        self.shared.cache_lock().purge_stale(version);
         version
     }
 
     /// Current dataset version (starts at 0, bumped per update batch).
     pub fn version(&self) -> u64 {
-        self.shared.state.read().expect("state lock").version
+        self.shared.state_read().version
     }
 
     /// The configuration the service was started with.
@@ -238,29 +323,24 @@ impl SpatialService {
 
     /// Snapshot of the aggregate latency/outcome metrics.
     pub fn metrics(&self) -> ServiceMetrics {
-        self.shared.metrics.lock().expect("metrics lock").clone()
+        self.shared.metrics_lock().clone()
     }
 
     /// `(hits, misses, resident entries)` of the result cache.
     pub fn cache_stats(&self) -> (u64, u64, usize) {
-        let cache = self.shared.cache.lock().expect("cache lock");
+        let cache = self.shared.cache_lock();
         (cache.hits(), cache.misses(), cache.len())
     }
 
     /// Result-cache hit rate over all lookups so far.
     pub fn cache_hit_rate(&self) -> f64 {
-        self.shared.cache.lock().expect("cache lock").hit_rate()
+        self.shared.cache_lock().hit_rate()
     }
 
     /// `(shed at admission, shed at deadline)` so far.
     pub fn shed_counts(&self) -> (u64, u64) {
         let full = self.shared.queue.shed_full_count();
-        let deadline = self
-            .shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .shed_deadline;
+        let deadline = self.shared.metrics_lock().shed_deadline;
         (full, deadline)
     }
 
@@ -289,12 +369,7 @@ impl SpatialService {
             ],
         );
         let mut reg = sj_obs::CounterRegistry::new();
-        self.shared
-            .state
-            .read()
-            .expect("state lock")
-            .pool
-            .export_counters(&mut reg);
+        self.shared.state_read().pool.export_counters(&mut reg);
         sink.emit("service/pool", 0, reg.as_counters());
     }
 
@@ -326,88 +401,267 @@ fn build_tree(pool: &mut BufferPool, rel: &StoredRelation, config: &ServiceConfi
     )
 }
 
-/// The worker main loop: dequeue, deadline-check, cache-probe, compute,
-/// cache-fill, respond, record metrics.
+/// The worker main loop: dequeue, process, and contain any panic at the
+/// worker boundary — a crashed request answers `WorkerPanicked` and the
+/// worker moves on to the next job instead of dying (which would shrink
+/// the pool forever and poison whatever lock it held).
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        let queue_us = job.submitted.elapsed().as_micros() as u64;
-        if let Some(deadline) = job.req.deadline_us {
-            if queue_us > deadline {
-                shared
-                    .metrics
-                    .lock()
-                    .expect("metrics lock")
-                    .record_shed_deadline(queue_us);
-                let _ = job
-                    .reply_to
-                    .send(Err(Rejection::DeadlineExceeded { queue_us }));
-                continue;
-            }
+        let reply_to = job.reply_to.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| process_job(shared, job)));
+        if outcome.is_err() {
+            shared.metrics_lock().record_worker_panic();
+            let _ = reply_to.send(Err(Rejection::WorkerPanicked));
         }
-
-        let state = shared.state.read().expect("state lock");
-        let key = CacheKey::for_request(state.version, &job.req);
-        let caching = shared.config.cache_capacity > 0;
-        let cached = if caching {
-            shared.cache.lock().expect("cache lock").get(&key)
-        } else {
-            None
-        };
-        let (reply, exec_us, was_cached) = match cached {
-            Some(reply) => (reply, 0, true),
-            None => {
-                let started = Instant::now();
-                let reply = compute(&state, &shared.config, &job.req);
-                let exec_us = started.elapsed().as_micros() as u64;
-                if caching {
-                    shared
-                        .cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key, reply.clone());
-                }
-                (reply, exec_us, false)
-            }
-        };
-        let version = state.version;
-        drop(state);
-
-        shared
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .record_completion(queue_us, exec_us, was_cached);
-        let _ = job.reply_to.send(Ok(Response {
-            reply,
-            cached: was_cached,
-            version,
-            queue_us,
-            exec_us,
-        }));
     }
 }
 
-/// Evaluates one request against `state` on a private cold shard.
-/// Deterministic given `(state.version, req)`: the advisor seed is
-/// fixed, every executor is deterministic, and results are sorted — so
-/// concurrent execution, cached replays, and the sequential reference
-/// all agree byte-for-byte.
-fn compute(state: &DataState, config: &ServiceConfig, req: &Request) -> Reply {
+/// One job end to end: deadline-check, cache-probe, compute with
+/// retry/degradation, cache-fill, respond, record metrics.
+fn process_job(shared: &Shared, job: Job) {
+    let queue_us = job.submitted.elapsed().as_micros() as u64;
+    if let Some(deadline) = job.req.deadline_us {
+        if queue_us > deadline {
+            shared.metrics_lock().record_shed_deadline(queue_us);
+            let _ = job
+                .reply_to
+                .send(Err(Rejection::DeadlineExceeded { queue_us }));
+            return;
+        }
+    }
+    #[cfg(test)]
+    if job.poison {
+        let _metrics = shared.metrics_lock();
+        panic!("poison-pill job: worker dies holding the metrics lock"); // PANIC-OK: cfg(test) hook
+    }
+
+    let state = shared.state_read();
+    let key = CacheKey::for_request(state.version, &job.req);
+    let caching = shared.config.cache_capacity > 0;
+    let cached = if caching {
+        shared.cache_lock().get(&key)
+    } else {
+        None
+    };
+    if let Some(reply) = cached {
+        let version = state.version;
+        drop(state);
+        shared.metrics_lock().record_completion(queue_us, 0, true);
+        let _ = job.reply_to.send(Ok(Response {
+            reply,
+            cached: true,
+            version,
+            queue_us,
+            exec_us: 0,
+            attempts: 0,
+            degraded: false,
+        }));
+        return;
+    }
+
+    let started = Instant::now();
+    let outcome = compute_with_retry(&state, &shared.config, &job.req, key.fingerprint());
+    let exec_us = started.elapsed().as_micros() as u64;
+    let version = state.version;
+    drop(state);
+    match outcome {
+        Ok(done) => {
+            if caching {
+                shared.cache_lock().insert(key, done.reply.clone());
+            }
+            {
+                let mut metrics = shared.metrics_lock();
+                metrics.record_completion(queue_us, exec_us, false);
+                metrics.record_recovery(done.faulted_attempts, done.backoff_units, done.degraded);
+            }
+            let _ = job.reply_to.send(Ok(Response {
+                reply: done.reply,
+                cached: false,
+                version,
+                queue_us,
+                exec_us,
+                attempts: done.attempts,
+                degraded: done.degraded,
+            }));
+        }
+        Err(failed) => {
+            shared.metrics_lock().record_failed(
+                failed.faulted_attempts,
+                failed.backoff_units,
+                queue_us,
+            );
+            let _ = job.reply_to.send(Err(Rejection::Failed(failed.error)));
+        }
+    }
+}
+
+/// A computation that eventually succeeded, with its recovery footprint.
+struct Computed {
+    reply: Reply,
+    /// Total compute attempts, including the successful one.
+    attempts: u32,
+    /// Attempts aborted by a storage fault.
+    faulted_attempts: u32,
+    /// Model-time backoff units spent between attempts.
+    backoff_units: u64,
+    /// True when the nested-loop fallback produced the reply.
+    degraded: bool,
+}
+
+/// A request that faulted on every attempt, degraded fallback included.
+struct Exhausted {
+    error: StorageError,
+    faulted_attempts: u32,
+    backoff_units: u64,
+}
+
+/// Runs `req` with the full fail-stop recovery ladder: up to
+/// `retry_attempts` tries of the requested computation (each on a fresh
+/// shard with its own deterministic injector stream, exponential
+/// model-time backoff between them), then — for joins not already
+/// running nested loop — one degraded nested-loop attempt, then typed
+/// failure. Backoff is accounted in model units, not slept: the
+/// simulated disk has no wall-clock to wait out.
+fn compute_with_retry(
+    state: &DataState,
+    config: &ServiceConfig,
+    req: &Request,
+    fingerprint: u64,
+) -> Result<Computed, Exhausted> {
+    let max_attempts = config.retry_attempts.max(1);
+    let mut attempts = 0u32;
+    let mut faulted_attempts = 0u32;
+    let mut backoff_units = 0u64;
+    let error = loop {
+        attempts += 1;
+        let faults = attempt_faults(config, state.version, fingerprint, attempts);
+        match try_compute(state, config, req, faults) {
+            Ok(reply) => {
+                return Ok(Computed {
+                    reply,
+                    attempts,
+                    faulted_attempts,
+                    backoff_units,
+                    degraded: false,
+                })
+            }
+            Err(e) => {
+                faulted_attempts += 1;
+                if attempts >= max_attempts {
+                    break e;
+                }
+                // Exponential model-time backoff: 1, 2, 4, … units.
+                backoff_units += 1u64 << (attempts - 1).min(16);
+            }
+        }
+    };
+    // Graceful degradation: a join whose strategy keeps faulting gets one
+    // last attempt on the nested loop — universally applicable, no index
+    // structures to probe, fewest distinct pages at risk. The result is
+    // still exact (all strategies compute the same match set); only the
+    // cost profile degrades.
+    if let QueryKind::Join { strategy } = &req.kind {
+        if *strategy != Strategy::NestedLoop {
+            let fallback = Request {
+                theta: req.theta,
+                kind: QueryKind::Join {
+                    strategy: Strategy::NestedLoop,
+                },
+                deadline_us: req.deadline_us,
+            };
+            attempts += 1;
+            let faults = attempt_faults(config, state.version, fingerprint, attempts);
+            match try_compute(state, config, &fallback, faults) {
+                Ok(reply) => {
+                    return Ok(Computed {
+                        reply,
+                        attempts,
+                        faulted_attempts,
+                        backoff_units,
+                        degraded: true,
+                    })
+                }
+                Err(e) => {
+                    faulted_attempts += 1;
+                    return Err(Exhausted {
+                        error: e,
+                        faulted_attempts,
+                        backoff_units,
+                    });
+                }
+            }
+        }
+    }
+    Err(Exhausted {
+        error,
+        faulted_attempts,
+        backoff_units,
+    })
+}
+
+/// The injector policy for one compute attempt, or `None` when fault
+/// injection is disarmed. Seeds mix the configured base seed with the
+/// dataset version, the request fingerprint, and the attempt number, so
+/// every attempt draws an independent — but fully reproducible — stream.
+fn attempt_faults(
+    config: &ServiceConfig,
+    version: u64,
+    fingerprint: u64,
+    attempt: u32,
+) -> Option<FaultConfig> {
+    if config.fault_read_prob <= 0.0 && config.fault_write_prob <= 0.0 {
+        return None;
+    }
+    Some(FaultConfig {
+        seed: mix_seed(config.fault_seed, version, fingerprint, attempt),
+        read_prob: config.fault_read_prob,
+        write_prob: config.fault_write_prob,
+        ..FaultConfig::default()
+    })
+}
+
+/// splitmix64-style finalizer over the four seed components.
+fn mix_seed(base: u64, version: u64, fingerprint: u64, attempt: u32) -> u64 {
+    let mut z = base
+        .wrapping_add(version.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(fingerprint.rotate_left(17))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates one request against `state` on a private cold shard,
+/// optionally armed with a fault injector. Deterministic given
+/// `(state.version, req, faults)`: the advisor seed is fixed, every
+/// executor is deterministic, and results are sorted — so concurrent
+/// execution, cached replays, and the sequential reference all agree
+/// byte-for-byte. Fail-stop: the first storage fault aborts the attempt
+/// with a typed error and nothing partial escapes.
+fn try_compute(
+    state: &DataState,
+    config: &ServiceConfig,
+    req: &Request,
+    faults: Option<FaultConfig>,
+) -> Result<Reply, StorageError> {
     let mut shard = state.pool.fork_view(config.shard_capacity);
+    if let Some(fault_config) = faults {
+        shard.set_fault_injector(Some(FaultInjector::new(fault_config)));
+    }
     match &req.kind {
         QueryKind::Select { side, probe } => {
             let tree = match side {
                 Side::R => &state.r_tree,
                 Side::S => &state.s_tree,
             };
-            let outcome = sj_gentree::select(&tree.tree, probe, req.theta, |node| {
-                tree.paged.touch(&mut shard, node);
-            });
+            let outcome = sj_gentree::select::try_select(&tree.tree, probe, req.theta, |node| {
+                tree.paged.try_touch(&mut shard, node).map(|_| ())
+            })?;
             let mut matches = outcome.matches;
             matches.sort_unstable();
-            Reply::Select {
+            Ok(Reply::Select {
                 matches: Arc::new(matches),
-            }
+            })
         }
         QueryKind::Join { strategy } => {
             let chooser = auto_chooser(
@@ -420,16 +674,19 @@ fn compute(state: &DataState, config: &ServiceConfig, req: &Request) -> Reply {
             let ops = JoinOperands::flat(&state.r, &state.s, state.world)
                 .with_trees(&state.r_tree, &state.s_tree)
                 .with_chooser(&chooser);
-            let mut exec = strategy
-                .executor(&ops)
-                .expect("operands cover every strategy");
-            let run = exec.execute(&JoinRequest::new(req.theta), &mut shard);
+            let mut exec = match strategy.executor(&ops) {
+                Some(exec) => exec,
+                // Absent operands are a construction bug, not a storage
+                // fault; the service always supplies both operand kinds.
+                None => unreachable!("operands cover every strategy"), // PANIC-OK: logic error
+            };
+            let run = exec.try_execute(&JoinRequest::new(req.theta), &mut shard)?;
             let mut pairs = run.pairs;
             pairs.sort_unstable();
-            Reply::Join {
+            Ok(Reply::Join {
                 pairs: Arc::new(pairs),
                 resolved: exec.resolved_strategy(),
-            }
+            })
         }
     }
 }
@@ -636,6 +893,145 @@ mod tests {
         assert!(sheds > 0, "expected deadline shedding behind the backlog");
         assert_eq!(svc.shed_counts().1, sheds as u64);
         assert_eq!(svc.metrics().shed_deadline, sheds as u64);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_the_pool_keeps_serving() {
+        // The poison-pill job panics while holding the metrics lock —
+        // the worst case: a dead worker AND a poisoned mutex. The
+        // single-worker service must contain the panic, answer the
+        // poisoned request with `WorkerPanicked`, recover the lock, and
+        // keep serving.
+        let svc = small_service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let rx = svc.submit_poisoned();
+        assert!(matches!(
+            rx.recv().expect("worker must answer"),
+            Err(Rejection::WorkerPanicked)
+        ));
+        let resp = svc
+            .call(Request::select(
+                Side::R,
+                Geometry::Point(Point::new(20.0, 20.0)),
+                ThetaOp::WithinDistance(15.0),
+            ))
+            .expect("the worker survived the panic");
+        assert!(!resp.reply.is_empty());
+        let m = svc.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn injected_faults_retry_to_the_exact_fault_free_result() {
+        let config = ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            fault_read_prob: 0.02,
+            fault_seed: 0xFEED,
+            retry_attempts: 3,
+            ..ServiceConfig::default()
+        };
+        let svc = small_service(config);
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        for i in 0..40 {
+            let d = 5.0 + f64::from(i) * 0.37;
+            let req = Request::join(Strategy::Sweep, ThetaOp::WithinDistance(d));
+            match svc.call(req.clone()) {
+                Ok(resp) => {
+                    completed += 1;
+                    assert!(resp.attempts >= 1);
+                    let reference = svc.execute_reference(&req);
+                    let (Reply::Join { pairs: got, .. }, Reply::Join { pairs: want, .. }) =
+                        (&resp.reply, &reference)
+                    else {
+                        panic!("join replies expected");
+                    };
+                    assert_eq!(got, want, "Ok result must match fault-free replay exactly");
+                    if !resp.degraded {
+                        assert_eq!(resp.reply, reference);
+                    }
+                }
+                Err(Rejection::Failed(e)) => {
+                    failed += 1;
+                    assert!(!e.kind().is_empty(), "failures carry a typed error");
+                }
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert_eq!(completed + failed, 40);
+        let m = svc.metrics();
+        assert_eq!(m.completed, completed);
+        assert_eq!(m.failed, failed);
+        assert!(
+            m.injected_faults > 0,
+            "a 2% read-fault rate over 40 sweep joins must inject something"
+        );
+        assert!(completed > 0, "retries must rescue at least some requests");
+    }
+
+    #[test]
+    fn fault_outcomes_are_deterministic_across_identical_services() {
+        let run = || {
+            let config = ServiceConfig {
+                workers: 1,
+                cache_capacity: 0,
+                fault_read_prob: 0.03,
+                fault_seed: 0xBEEF,
+                retry_attempts: 2,
+                ..ServiceConfig::default()
+            };
+            let svc = small_service(config);
+            let mut outcomes = Vec::new();
+            for i in 0..20 {
+                let d = 4.0 + f64::from(i) * 0.51;
+                let req = Request::join(Strategy::Sweep, ThetaOp::WithinDistance(d));
+                outcomes.push(match svc.call(req) {
+                    Ok(resp) => (true, resp.attempts, resp.degraded, resp.reply.len()),
+                    Err(Rejection::Failed(_)) => (false, 0, false, 0),
+                    Err(other) => panic!("unexpected rejection {other:?}"),
+                });
+            }
+            (outcomes, svc.metrics().injected_faults)
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "same seeds and request stream must replay the same fault trace"
+        );
+    }
+
+    #[test]
+    fn total_fault_saturation_yields_a_typed_failure() {
+        // Every physical read faults: all retry attempts AND the
+        // degraded nested-loop fallback fail, so the request must come
+        // back as a typed `Rejection::Failed` — never a panic, never a
+        // partial result.
+        let config = ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            fault_read_prob: 1.0,
+            fault_seed: 7,
+            retry_attempts: 2,
+            ..ServiceConfig::default()
+        };
+        let svc = small_service(config);
+        let err = svc
+            .call(Request::join(Strategy::Tree, ThetaOp::Overlaps))
+            .expect_err("nothing can survive a 100% fault rate");
+        let Rejection::Failed(e) = err else {
+            panic!("expected Failed, got {err:?}");
+        };
+        assert_eq!(e.kind(), "injected_fault");
+        let m = svc.metrics();
+        assert_eq!(m.failed, 1);
+        // Two configured attempts plus the degraded fallback all faulted.
+        assert_eq!(m.injected_faults, 3);
+        assert_eq!(m.degraded, 0, "a failed fallback is not a degradation");
+        assert!(m.retry_backoff_units > 0, "retries must charge backoff");
     }
 
     #[test]

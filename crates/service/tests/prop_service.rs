@@ -181,3 +181,55 @@ proptest! {
         }
     }
 }
+
+/// Satellite of the fail-stop work: a stale record id is a typed
+/// [`StorageError::DanglingRecord`] at the storage boundary, and the
+/// *service-level* recovery from staleness is structural — a cached
+/// reply is keyed by dataset version, so an update makes it
+/// unreachable and the recomputation runs against the rebuilt trees'
+/// fresh rids instead of ever probing stale ones.
+#[test]
+fn stale_rid_probe_recovers_via_version_bump() {
+    use sj_storage::{BufferPool, Disk, DiskConfig, HeapFile, Layout, RecordId, StorageError};
+
+    // Storage half: probing an emptied/out-of-range slot stops with a
+    // typed error instead of panicking (the bug this PR fixes), and the
+    // pool keeps serving valid rids afterwards.
+    let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), 8);
+    let file = HeapFile::bulk_load(&mut pool, 300, 3, Layout::Clustered);
+    let stale = RecordId {
+        page: file.rid(0).page,
+        slot: 99,
+    };
+    assert!(matches!(
+        pool.try_read_record(&file, stale),
+        Err(StorageError::DanglingRecord { slot: 99, .. })
+    ));
+    assert_eq!(pool.try_read_record(&file, file.rid(1)).unwrap().len(), 300);
+
+    // Service half: warm the cache, then update. The version bump makes
+    // the cached (pre-update) reply structurally unreachable, so the
+    // follow-up recomputes on the rebuilt trees — fresh rids, no stale
+    // probe — and reports the new version.
+    let svc = service(64, 1);
+    let req = Request::select(
+        Side::R,
+        Geometry::Point(Point::new(8.0, 8.0)),
+        ThetaOp::WithinDistance(10.0),
+    );
+    let cold = svc.call(req.clone()).expect("computes");
+    let warm = svc.call(req.clone()).expect("cache serves");
+    assert!(!cold.cached && warm.cached, "second call must be a hit");
+    let new_version = svc.update(&[(Side::R, 9_000, Geometry::Point(Point::new(8.5, 8.0)))]);
+    let fresh = svc.call(req).expect("recomputes");
+    assert!(
+        !fresh.cached,
+        "version bump must invalidate the stale cached reply"
+    );
+    assert_eq!(fresh.version, new_version);
+    assert_eq!(
+        fresh.reply.len(),
+        cold.reply.len() + 1,
+        "recomputation must see the inserted tuple"
+    );
+}

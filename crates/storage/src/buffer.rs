@@ -11,6 +11,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::disk::{Disk, DiskConfig};
+use crate::error::StorageError;
+use crate::fault::FaultInjector;
 use crate::heap::{HeapFile, RecordId};
 use crate::page::{Page, PageId};
 use crate::stats::IoStats;
@@ -125,46 +127,100 @@ impl BufferPool {
         self.frames.len()
     }
 
+    /// Arms (or disarms) the underlying disk's fault injector. Faults
+    /// fire only on *physical* I/O — buffer hits never fault, mirroring
+    /// real systems where resident pages cannot raise media errors.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.disk.set_fault_injector(injector);
+    }
+
+    /// The armed injector, if any (e.g. to inspect its fault trace).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.disk.fault_injector()
+    }
+
+    /// Caps the underlying disk at `limit` pages (see
+    /// [`Disk::set_page_limit`]).
+    pub fn set_page_limit(&mut self, limit: Option<u32>) {
+        self.disk.set_page_limit(limit);
+    }
+
+    /// Allocates a fresh page on the underlying disk and makes it
+    /// resident (no read is charged: newly allocated pages have no prior
+    /// disk image). Fails with [`StorageError::DiskFull`] or an injected
+    /// allocation fault.
+    pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
+        let id = self.disk.try_allocate()?;
+        let page = Arc::new(Page::new(self.disk.config().effective_capacity()));
+        self.install(id, page);
+        Ok(id)
+    }
+
     /// Allocates a fresh page on the underlying disk and makes it resident
     /// (no read is charged: newly allocated pages have no prior disk image).
     pub fn allocate(&mut self) -> PageId {
-        let id = self.disk.allocate();
-        let page = Arc::new(Page::new(self.disk.config().effective_capacity()));
-        self.install(id, page);
-        id
+        self.try_allocate()
+            .unwrap_or_else(|e| panic!("page allocation failed: {e}")) // PANIC-OK: infallible wrapper
+    }
+
+    /// Makes `id` resident, reading it from disk on a miss, and returns
+    /// its frame index.
+    fn ensure_resident(&mut self, id: PageId) -> Result<usize, StorageError> {
+        if let Some(&idx) = self.map.get(&id) {
+            self.touch(idx);
+            return Ok(idx);
+        }
+        let page = self.disk.try_read_shared(id)?;
+        Ok(self.install(id, page))
+    }
+
+    /// Fetches a page, charging a physical read only on a miss. The miss
+    /// path clones an `Arc` handle, not page bytes; only the miss path
+    /// can fault.
+    pub fn try_fetch(&mut self, id: PageId) -> Result<&Page, StorageError> {
+        self.disk.add_logical_read();
+        let idx = self.ensure_resident(id)?;
+        Ok(&self.frames[idx].page)
     }
 
     /// Fetches a page, charging a physical read only on a miss. The miss
     /// path clones an `Arc` handle, not page bytes.
     pub fn fetch(&mut self, id: PageId) -> &Page {
         self.disk.add_logical_read();
-        if let Some(&idx) = self.map.get(&id) {
-            self.touch(idx);
-            return &self.frames[idx].page;
-        }
-        let page = self.disk.read_shared(id);
-        let idx = self.install(id, page);
+        let idx = self
+            .ensure_resident(id)
+            .unwrap_or_else(|e| panic!("page fetch failed: {e}")); // PANIC-OK: infallible wrapper
         &self.frames[idx].page
+    }
+
+    /// Mutates a page through the pool with write-through semantics. A
+    /// failed write-back restores the frame's pre-mutation image, so the
+    /// pool never diverges from the disk — fail-stop leaves no torn state.
+    pub fn try_update(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut Page),
+    ) -> Result<(), StorageError> {
+        self.disk.add_logical_read();
+        let idx = self.ensure_resident(id)?;
+        let before = Arc::clone(&self.frames[idx].page);
+        f(Arc::make_mut(&mut self.frames[idx].page));
+        if let Err(e) = self
+            .disk
+            .try_write_shared(id, Arc::clone(&self.frames[idx].page))
+        {
+            self.frames[idx].page = before;
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Mutates a page through the pool with write-through semantics: the
     /// page is fetched (possibly charging a read), modified, and written
     /// back (charging a write).
     pub fn update(&mut self, id: PageId, f: impl FnOnce(&mut Page)) {
-        self.disk.add_logical_read();
-        let idx = match self.map.get(&id) {
-            Some(&idx) => {
-                self.touch(idx);
-                idx
-            }
-            None => {
-                let page = self.disk.read_shared(id);
-                self.install(id, page)
-            }
-        };
-        f(Arc::make_mut(&mut self.frames[idx].page));
-        self.disk
-            .write_shared(id, Arc::clone(&self.frames[idx].page));
+        self.try_update(id, f)
+            .unwrap_or_else(|e| panic!("page update failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
     /// A private pool shard for one parallel worker: a cold pool of
@@ -188,6 +244,25 @@ impl BufferPool {
         self.disk
     }
 
+    /// Reads one record through the pool. Fails with
+    /// [`StorageError::DanglingRecord`] when the record id points at a
+    /// missing or emptied slot (e.g. a stale rid probed after an update),
+    /// or propagates the page fetch's fault.
+    pub fn try_read_record(
+        &mut self,
+        file: &HeapFile,
+        rid: RecordId,
+    ) -> Result<Vec<u8>, StorageError> {
+        debug_assert!(file.owns_page(rid.page), "record id from a different file");
+        self.try_fetch(rid.page)?
+            .get(rid.slot)
+            .map(<[u8]>::to_vec)
+            .ok_or(StorageError::DanglingRecord {
+                page: rid.page,
+                slot: rid.slot,
+            })
+    }
+
     /// Reads one record through the pool.
     ///
     /// # Panics
@@ -195,11 +270,8 @@ impl BufferPool {
     /// Panics if the record does not exist (heap files never hand out
     /// dangling ids).
     pub fn read_record(&mut self, file: &HeapFile, rid: RecordId) -> Vec<u8> {
-        debug_assert!(file.owns_page(rid.page), "record id from a different file");
-        self.fetch(rid.page)
-            .get(rid.slot)
-            .unwrap_or_else(|| panic!("dangling record id {rid:?}"))
-            .to_vec()
+        self.try_read_record(file, rid)
+            .unwrap_or_else(|e| panic!("record read failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
     /// Unlinks frame `idx` from the recency list.
@@ -422,6 +494,68 @@ mod tests {
         assert_eq!(p.fetch(id).used(), 4);
         // Parent counters saw only the parent's own fetch.
         assert_eq!(p.stats().physical_reads, 1);
+    }
+
+    #[test]
+    fn dangling_record_is_a_typed_error() {
+        use crate::heap::{HeapFile, Layout};
+        let mut p = pool(8);
+        let f = HeapFile::bulk_load(&mut p, 300, 3, Layout::Clustered);
+        let rid = RecordId {
+            page: f.rid(0).page,
+            slot: 99,
+        };
+        assert_eq!(
+            p.try_read_record(&f, rid),
+            Err(StorageError::DanglingRecord {
+                page: rid.page,
+                slot: 99
+            })
+        );
+        // Valid rids still read fine afterwards.
+        assert_eq!(p.try_read_record(&f, f.rid(1)).unwrap().len(), 300);
+    }
+
+    #[test]
+    fn buffer_hits_never_fault() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut p = pool(4);
+        let id = p.allocate();
+        p.fetch(id); // resident
+        p.set_fault_injector(Some(FaultInjector::new(FaultConfig::uniform(1, 1.0))));
+        // The page is resident: no physical read happens, so no fault.
+        assert!(p.try_fetch(id).is_ok());
+        // A cold page misses and must fault at probability 1.
+        p.clear();
+        assert!(matches!(
+            p.try_fetch(id),
+            Err(StorageError::InjectedFault { .. })
+        ));
+    }
+
+    #[test]
+    fn failed_update_restores_the_frame() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut p = pool(4);
+        let id = p.allocate();
+        p.update(id, |page| {
+            page.push(vec![1; 4]);
+        });
+        let cfg = FaultConfig {
+            write_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        p.set_fault_injector(Some(FaultInjector::new(cfg)));
+        assert!(p
+            .try_update(id, |page| {
+                page.push(vec![2; 6]);
+            })
+            .is_err());
+        // Neither the resident frame nor the disk saw the mutation.
+        p.set_fault_injector(None);
+        assert_eq!(p.fetch(id).used(), 4);
+        p.clear();
+        assert_eq!(p.fetch(id).used(), 4);
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::sync::Arc;
 
+use crate::error::StorageError;
+use crate::fault::{FaultInjector, FaultOp};
 use crate::page::{Page, PageId};
 use crate::stats::IoStats;
 
@@ -61,6 +63,12 @@ pub struct Disk {
     config: DiskConfig,
     pages: Vec<Arc<Page>>,
     stats: IoStats,
+    /// Optional deterministic fault injector consulted by every physical
+    /// operation's `try_*` path.
+    injector: Option<FaultInjector>,
+    /// Optional cap on the number of pages (testing knob: exercises
+    /// [`StorageError::DiskFull`] without allocating 2³² pages).
+    page_limit: Option<u32>,
 }
 
 impl Disk {
@@ -72,7 +80,26 @@ impl Disk {
             config,
             pages: Vec::new(),
             stats: IoStats::default(),
+            injector: None,
+            page_limit: None,
         }
+    }
+
+    /// Arms (or with `None`, disarms) the fault injector. Without one,
+    /// the fallible paths behave exactly like the panicking originals.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// The armed injector, if any (e.g. to inspect its fault trace).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Caps the disk at `limit` pages (`None` removes the cap). Testing
+    /// knob for the [`StorageError::DiskFull`] path.
+    pub fn set_page_limit(&mut self, limit: Option<u32>) {
+        self.page_limit = limit;
     }
 
     /// Disk geometry.
@@ -87,12 +114,27 @@ impl Disk {
         self.pages.len()
     }
 
-    /// Allocates a fresh empty page.
-    pub fn allocate(&mut self) -> PageId {
-        let id = PageId(u32::try_from(self.pages.len()).expect("disk full"));
+    /// Allocates a fresh empty page, or fails with
+    /// [`StorageError::DiskFull`] when the page-id space (or an explicit
+    /// page limit) is exhausted, or with an injected allocation fault.
+    pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
+        let raw = u32::try_from(self.pages.len()).map_err(|_| StorageError::DiskFull)?;
+        if self.page_limit.is_some_and(|limit| raw >= limit) {
+            return Err(StorageError::DiskFull);
+        }
+        let id = PageId(raw);
+        if let Some(inj) = &mut self.injector {
+            inj.check(FaultOp::Alloc, id)?;
+        }
         self.pages
             .push(Arc::new(Page::new(self.config.effective_capacity())));
-        id
+        Ok(id)
+    }
+
+    /// Allocates a fresh empty page.
+    pub fn allocate(&mut self) -> PageId {
+        self.try_allocate()
+            .unwrap_or_else(|e| panic!("page allocation failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
     /// Reads a page from disk, charging one physical read.
@@ -102,10 +144,27 @@ impl Disk {
     }
 
     /// Reads a page as a shared handle — an O(1) pointer clone, no byte
+    /// copy — charging one physical read on success. Fails with
+    /// [`StorageError::PageCorrupt`] for an unknown page id, or with an
+    /// injected read fault (which charges no I/O: the page never arrived).
+    pub fn try_read_shared(&mut self, id: PageId) -> Result<Arc<Page>, StorageError> {
+        let page = self
+            .pages
+            .get(id.index())
+            .ok_or(StorageError::PageCorrupt { page: id })?;
+        let page = Arc::clone(page);
+        if let Some(inj) = &mut self.injector {
+            inj.check(FaultOp::Read, id)?;
+        }
+        self.stats.physical_reads += 1;
+        Ok(page)
+    }
+
+    /// Reads a page as a shared handle — an O(1) pointer clone, no byte
     /// copy — charging one physical read.
     pub fn read_shared(&mut self, id: PageId) -> Arc<Page> {
-        self.stats.physical_reads += 1;
-        Arc::clone(&self.pages[id.index()])
+        self.try_read_shared(id)
+            .unwrap_or_else(|e| panic!("page read failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
     /// Writes a page image back to disk, charging one physical write.
@@ -114,10 +173,26 @@ impl Disk {
     }
 
     /// Writes an already-shared page image back, charging one physical
-    /// write (no byte copy).
-    pub fn write_shared(&mut self, id: PageId, page: Arc<Page>) {
+    /// write on success. Fails with [`StorageError::PageCorrupt`] for an
+    /// unknown page id, or with an injected write fault (the disk image
+    /// is then unchanged — failed writes never tear).
+    pub fn try_write_shared(&mut self, id: PageId, page: Arc<Page>) -> Result<(), StorageError> {
+        if id.index() >= self.pages.len() {
+            return Err(StorageError::PageCorrupt { page: id });
+        }
+        if let Some(inj) = &mut self.injector {
+            inj.check(FaultOp::Write, id)?;
+        }
         self.stats.physical_writes += 1;
         self.pages[id.index()] = page;
+        Ok(())
+    }
+
+    /// Writes an already-shared page image back, charging one physical
+    /// write (no byte copy).
+    pub fn write_shared(&mut self, id: PageId, page: Arc<Page>) {
+        self.try_write_shared(id, page)
+            .unwrap_or_else(|e| panic!("page write failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
     /// A copy-on-write snapshot of this disk for read-mostly parallel
@@ -125,11 +200,16 @@ impl Disk {
     /// pointer clones, no byte copies) and starts with zeroed counters so
     /// each worker's I/O is accounted independently. Writes to either
     /// disk are invisible to the other (`Arc` copy-on-write).
+    /// The armed injector is cloned stream-state and all, so a shard's
+    /// fault decisions are a deterministic function of its own operation
+    /// sequence (each shard owns an independent stream and budget).
     pub fn read_view(&self) -> Disk {
         Disk {
             config: self.config,
             pages: self.pages.clone(),
             stats: IoStats::default(),
+            injector: self.injector.clone(),
+            page_limit: self.page_limit,
         }
     }
 
@@ -223,6 +303,75 @@ mod tests {
         let shared = d.read_shared(id);
         assert_eq!(shared.used(), 3);
         assert_eq!(d.stats().physical_reads, 2);
+    }
+
+    #[test]
+    fn page_limit_turns_allocation_into_disk_full() {
+        let mut d = Disk::new(DiskConfig::paper());
+        d.set_page_limit(Some(2));
+        assert!(d.try_allocate().is_ok());
+        assert!(d.try_allocate().is_ok());
+        assert_eq!(d.try_allocate(), Err(crate::StorageError::DiskFull));
+        // Lifting the cap resumes allocation.
+        d.set_page_limit(None);
+        assert!(d.try_allocate().is_ok());
+    }
+
+    #[test]
+    fn unknown_page_reads_and_writes_are_page_corrupt() {
+        let mut d = Disk::new(DiskConfig::paper());
+        let missing = PageId(9);
+        assert_eq!(
+            d.try_read_shared(missing).err(),
+            Some(crate::StorageError::PageCorrupt { page: missing })
+        );
+        assert_eq!(
+            d.try_write_shared(missing, Arc::new(Page::new(10))),
+            Err(crate::StorageError::PageCorrupt { page: missing })
+        );
+        assert_eq!(d.stats(), IoStats::default(), "failed I/O charges nothing");
+    }
+
+    #[test]
+    fn injected_read_fault_surfaces_and_charges_no_io() {
+        use crate::fault::{FaultConfig, FaultInjector, FaultOp};
+        let mut d = Disk::new(DiskConfig::paper());
+        let id = d.allocate();
+        let cfg = FaultConfig {
+            read_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        d.set_fault_injector(Some(FaultInjector::new(cfg)));
+        assert_eq!(
+            d.try_read_shared(id).err(),
+            Some(crate::StorageError::InjectedFault {
+                op: FaultOp::Read,
+                page: id
+            })
+        );
+        assert_eq!(d.stats().physical_reads, 0);
+        assert_eq!(d.fault_injector().unwrap().injected(), 1);
+        d.set_fault_injector(None);
+        assert!(d.try_read_shared(id).is_ok());
+    }
+
+    #[test]
+    fn failed_write_never_tears_the_page_image() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut d = Disk::new(DiskConfig::paper());
+        let id = d.allocate();
+        let mut p = d.read(id).clone();
+        p.push(vec![1; 3]);
+        d.write(id, p);
+        let cfg = FaultConfig {
+            write_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        d.set_fault_injector(Some(FaultInjector::new(cfg)));
+        let mut q = d.peek(id).clone();
+        q.push(vec![2; 5]);
+        assert!(d.try_write_shared(id, Arc::new(q)).is_err());
+        assert_eq!(d.peek(id).used(), 3, "failed write left the old image");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The storage layer's typed error taxonomy.
+//!
+//! Günther's cost model (§4.1) treats the disk as an infallible page
+//! server; a production-shaped server cannot. Every exceptional storage
+//! path that used to unwind now surfaces one of these variants, so a
+//! fault *stops* the failing operation with a typed error instead of
+//! unwinding through (and poisoning) whatever locks the caller holds —
+//! fail-stop, never fail-wrong.
+
+use crate::fault::FaultOp;
+use crate::page::PageId;
+
+/// A typed storage fault. `Clone + PartialEq + Eq` so replies and
+/// rejections carrying errors stay comparable in tests and ledgers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StorageError {
+    /// Page allocation failed: the disk's page-id space (or an explicit
+    /// page limit) is exhausted.
+    DiskFull,
+    /// A page id referenced storage that does not exist — the on-disk
+    /// image is structurally inconsistent.
+    PageCorrupt {
+        /// The page that could not be resolved.
+        page: PageId,
+    },
+    /// A record id pointed at a missing or emptied slot (e.g. a stale rid
+    /// probed after an update).
+    DanglingRecord {
+        /// Page of the dangling record id.
+        page: PageId,
+        /// Slot of the dangling record id.
+        slot: u16,
+    },
+    /// A deterministic fault injected by [`crate::FaultInjector`] — the
+    /// simulator's stand-in for a failed physical I/O.
+    InjectedFault {
+        /// The faulted operation class.
+        op: FaultOp,
+        /// The page the operation targeted.
+        page: PageId,
+    },
+    /// Any other I/O-shaped failure, with a human-readable reason.
+    Io(String),
+}
+
+impl StorageError {
+    /// Stable lowercase kind name, used in metrics and trace spans.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StorageError::DiskFull => "disk_full",
+            StorageError::PageCorrupt { .. } => "page_corrupt",
+            StorageError::DanglingRecord { .. } => "dangling_record",
+            StorageError::InjectedFault { .. } => "injected_fault",
+            StorageError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::DiskFull => write!(f, "disk full: page-id space exhausted"),
+            StorageError::PageCorrupt { page } => {
+                write!(f, "page {page:?} is corrupt or does not exist")
+            }
+            StorageError::DanglingRecord { page, slot } => {
+                write!(f, "dangling record id at page {page:?} slot {slot}")
+            }
+            StorageError::InjectedFault { op, page } => {
+                write!(f, "injected {} fault on page {page:?}", op.name())
+            }
+            StorageError::Io(msg) => write!(f, "storage i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_are_stable() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (StorageError::DiskFull, "disk_full"),
+            (
+                StorageError::PageCorrupt { page: PageId(3) },
+                "page_corrupt",
+            ),
+            (
+                StorageError::DanglingRecord {
+                    page: PageId(1),
+                    slot: 4,
+                },
+                "dangling_record",
+            ),
+            (
+                StorageError::InjectedFault {
+                    op: FaultOp::Read,
+                    page: PageId(9),
+                },
+                "injected_fault",
+            ),
+            (StorageError::Io("boom".into()), "io"),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+            assert!(!err.to_string().is_empty());
+            assert_eq!(err.clone(), err);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Deterministic, seedable fault injection for the simulated disk.
+//!
+//! The injector sits on [`crate::Disk`] and is consulted by every
+//! *physical* I/O — buffer-pool hits never reach it, which mirrors real
+//! systems where resident pages cannot raise media errors. Faults are
+//! drawn from a private splitmix64 stream, so a given seed and operation
+//! sequence always produces the identical fault trace (the chaos suite's
+//! determinism property). Injection can be narrowed to a target page set
+//! and capped by a fault budget.
+
+use std::collections::HashSet;
+
+use crate::error::StorageError;
+use crate::page::PageId;
+
+/// The class of physical operation a fault can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// A physical page read (buffer-pool miss).
+    Read,
+    /// A physical page write (write-through).
+    Write,
+    /// A page allocation.
+    Alloc,
+}
+
+impl FaultOp {
+    /// Stable lowercase name, used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+            FaultOp::Alloc => "alloc",
+        }
+    }
+}
+
+/// Injection policy: per-op probabilities, optional page targeting, and
+/// an optional total fault budget. The default injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Seed of the injector's private random stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a physical read faults.
+    pub read_prob: f64,
+    /// Probability in `[0, 1]` that a physical write faults.
+    pub write_prob: f64,
+    /// Probability in `[0, 1]` that an allocation faults.
+    pub alloc_prob: f64,
+    /// When set, only operations on these pages can fault (allocations
+    /// are matched against the page id they would create).
+    pub target_pages: Option<HashSet<PageId>>,
+    /// When set, at most this many faults are ever injected.
+    pub budget: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A config injecting read and write faults uniformly at `prob`.
+    pub fn uniform(seed: u64, prob: f64) -> Self {
+        FaultConfig {
+            seed,
+            read_prob: prob,
+            write_prob: prob,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// One injected fault, in injection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The faulted operation class.
+    pub op: FaultOp,
+    /// The page the operation targeted.
+    pub page: PageId,
+}
+
+/// The deterministic injector. Cloning it clones the stream state, so a
+/// [`crate::Disk::read_view`] snapshot replays the same decisions for
+/// the same per-shard operation sequence.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: u64,
+    injected: u64,
+    trace: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// An injector drawing from `config.seed`.
+    pub fn new(config: FaultConfig) -> Self {
+        // splitmix64 tolerates any seed, including 0.
+        let state = config.seed;
+        FaultInjector {
+            config,
+            state,
+            injected: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The policy this injector runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Every injected fault, in order — the deterministic fault trace.
+    pub fn trace(&self) -> &[FaultEvent] {
+        &self.trace
+    }
+
+    /// Decides whether the physical operation `op` on `page` faults.
+    /// Returns the typed error to surface when it does.
+    pub fn check(&mut self, op: FaultOp, page: PageId) -> Result<(), StorageError> {
+        let prob = match op {
+            FaultOp::Read => self.config.read_prob,
+            FaultOp::Write => self.config.write_prob,
+            FaultOp::Alloc => self.config.alloc_prob,
+        };
+        if prob <= 0.0 {
+            return Ok(());
+        }
+        if let Some(targets) = &self.config.target_pages {
+            if !targets.contains(&page) {
+                return Ok(());
+            }
+        }
+        if let Some(budget) = self.config.budget {
+            if self.injected >= budget {
+                return Ok(());
+            }
+        }
+        if self.next_f64() < prob {
+            self.injected += 1;
+            self.trace.push(FaultEvent { op, page });
+            return Err(StorageError::InjectedFault { op, page });
+        }
+        Ok(())
+    }
+
+    /// splitmix64: tiny, dependency-free, and plenty for fault draws.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(inj: &mut FaultInjector, ops: usize) -> Vec<FaultEvent> {
+        for i in 0..ops {
+            let _ = inj.check(FaultOp::Read, PageId(i as u32 % 7));
+            let _ = inj.check(FaultOp::Write, PageId(i as u32 % 5));
+        }
+        inj.trace().to_vec()
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut a = FaultInjector::new(FaultConfig::uniform(42, 0.1));
+        let mut b = FaultInjector::new(FaultConfig::uniform(42, 0.1));
+        let ta = drive(&mut a, 500);
+        let tb = drive(&mut b, 500);
+        assert!(!ta.is_empty(), "0.1 over 1000 ops should fault");
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(FaultConfig::uniform(1, 0.2));
+        let mut b = FaultInjector::new(FaultConfig::uniform(2, 0.2));
+        assert_ne!(drive(&mut a, 300), drive(&mut b, 300));
+    }
+
+    #[test]
+    fn zero_probability_never_faults() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(7, 0.0));
+        assert!(drive(&mut inj, 200).is_empty());
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn target_pages_narrow_injection() {
+        let mut cfg = FaultConfig::uniform(3, 1.0);
+        cfg.target_pages = Some([PageId(2)].into_iter().collect());
+        let mut inj = FaultInjector::new(cfg);
+        assert!(inj.check(FaultOp::Read, PageId(1)).is_ok());
+        assert!(inj.check(FaultOp::Read, PageId(2)).is_err());
+        assert_eq!(
+            inj.trace(),
+            &[FaultEvent {
+                op: FaultOp::Read,
+                page: PageId(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn budget_caps_faults() {
+        let mut cfg = FaultConfig::uniform(5, 1.0);
+        cfg.budget = Some(2);
+        let mut inj = FaultInjector::new(cfg);
+        let trace = drive(&mut inj, 100);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(inj.injected(), 2);
+        // Past the budget, everything succeeds again.
+        assert!(inj.check(FaultOp::Read, PageId(0)).is_ok());
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let mut a = FaultInjector::new(FaultConfig::uniform(11, 0.3));
+        let _ = drive(&mut a, 50);
+        let mut b = a.clone();
+        let ta = drive(&mut a, 50);
+        let tb = drive(&mut b, 50);
+        assert_eq!(ta, tb);
+    }
+}

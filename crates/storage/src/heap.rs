@@ -13,6 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::buffer::BufferPool;
+use crate::error::StorageError;
 use crate::page::PageId;
 
 /// Physical address of a record: page plus slot.
@@ -119,24 +120,45 @@ impl HeapFile {
     }
 
     /// Appends one record at the end of the file, allocating a page if
+    /// needed. Returns the logical index of the new record, or a typed
+    /// error: [`StorageError::Io`] for a size mismatch or a structurally
+    /// empty file, [`StorageError::DiskFull`] when no page can be
+    /// allocated, or any propagated I/O fault. On error the file is
+    /// unchanged (a page allocated before a failed push is harmlessly
+    /// orphaned).
+    pub fn try_append(
+        &mut self,
+        pool: &mut BufferPool,
+        record: Vec<u8>,
+    ) -> Result<usize, StorageError> {
+        if record.len() != self.record_size {
+            return Err(StorageError::Io(format!(
+                "record of {} bytes appended to a file of {}-byte records",
+                record.len(),
+                self.record_size
+            )));
+        }
+        let Some(&last) = self.pages.last() else {
+            return Err(StorageError::Io("heap file has no pages".to_string()));
+        };
+        let has_room = pool.try_fetch(last)?.slot_count() < self.records_per_page;
+        let page = if has_room { last } else { pool.try_allocate()? };
+        let mut slot = 0;
+        pool.try_update(page, |p| {
+            slot = p.push(record);
+        })?;
+        if !has_room {
+            self.pages.push(page);
+        }
+        self.directory.push(RecordId { page, slot });
+        Ok(self.directory.len() - 1)
+    }
+
+    /// Appends one record at the end of the file, allocating a page if
     /// needed. Returns the logical index of the new record.
     pub fn append(&mut self, pool: &mut BufferPool, record: Vec<u8>) -> usize {
-        assert_eq!(record.len(), self.record_size, "record size mismatch");
-        let last = *self.pages.last().expect("heap file has at least one page");
-        let has_room = pool.fetch(last).slot_count() < self.records_per_page;
-        let page = if has_room {
-            last
-        } else {
-            let p = pool.allocate();
-            self.pages.push(p);
-            p
-        };
-        let mut slot = 0;
-        pool.update(page, |p| {
-            slot = p.push(record);
-        });
-        self.directory.push(RecordId { page, slot });
-        self.directory.len() - 1
+        self.try_append(pool, record)
+            .unwrap_or_else(|e| panic!("heap append failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
     /// Number of records.
@@ -229,9 +251,10 @@ impl HeapFile {
         }
     }
 
-    /// Full sequential scan through the pool, yielding every record. Costs
-    /// `page_count()` physical reads on a cold pool.
-    pub fn scan<'a>(&'a self, pool: &'a mut BufferPool) -> Vec<(usize, Vec<u8>)> {
+    /// Full sequential scan through the pool, yielding every record, or
+    /// the first fault encountered. Costs `page_count()` physical reads
+    /// on a cold pool.
+    pub fn try_scan(&self, pool: &mut BufferPool) -> Result<Vec<(usize, Vec<u8>)>, StorageError> {
         // Read page by page, then map physical slots back to logical ids.
         let mut phys_to_logical = std::collections::HashMap::new();
         for (logical, rid) in self.directory.iter().enumerate() {
@@ -239,7 +262,7 @@ impl HeapFile {
         }
         let mut out = Vec::with_capacity(self.len());
         for &page in &self.pages {
-            let p = pool.fetch(page);
+            let p = pool.try_fetch(page)?;
             let records: Vec<(u16, Vec<u8>)> = p.records().map(|(s, r)| (s, r.to_vec())).collect();
             for (slot, bytes) in records {
                 if let Some(&logical) = phys_to_logical.get(&RecordId { page, slot }) {
@@ -247,7 +270,14 @@ impl HeapFile {
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Full sequential scan through the pool, yielding every record. Costs
+    /// `page_count()` physical reads on a cold pool.
+    pub fn scan<'a>(&'a self, pool: &'a mut BufferPool) -> Vec<(usize, Vec<u8>)> {
+        self.try_scan(pool)
+            .unwrap_or_else(|e| panic!("heap scan failed: {e}")) // PANIC-OK: infallible wrapper
     }
 }
 
@@ -350,6 +380,52 @@ mod tests {
         for (i, bytes) in rows {
             assert_eq!(bytes[0], i as u8);
         }
+    }
+
+    #[test]
+    fn append_to_structurally_empty_file_is_a_typed_error() {
+        // The public API never yields a pageless file; construct one
+        // directly to pin the boundary behavior.
+        let mut p = pool();
+        let mut f = HeapFile {
+            pages: Vec::new(),
+            directory: Vec::new(),
+            record_size: 300,
+            records_per_page: 5,
+        };
+        match f.try_append(&mut p, vec![0; 300]) {
+            Err(StorageError::Io(msg)) => assert!(msg.contains("no pages"), "{msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(f.is_empty(), "failed append must not grow the directory");
+    }
+
+    #[test]
+    fn append_size_mismatch_is_a_typed_error() {
+        let mut p = pool();
+        let mut f = HeapFile::bulk_load(&mut p, 300, 2, Layout::Clustered);
+        assert!(matches!(
+            f.try_append(&mut p, vec![0; 10]),
+            Err(StorageError::Io(_))
+        ));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn append_surfaces_disk_full_and_leaves_file_consistent() {
+        let mut p = pool();
+        let mut f = HeapFile::bulk_load(&mut p, 300, 5, Layout::Clustered);
+        assert_eq!(f.page_count(), 1); // full: m = 5
+                                       // Freeze the disk at its current size; the next append needs a
+                                       // fresh page and must fail typed, not panic.
+        let limit = u32::try_from(p.disk().page_count()).unwrap();
+        p.set_page_limit(Some(limit));
+        assert_eq!(
+            f.try_append(&mut p, vec![1; 300]),
+            Err(StorageError::DiskFull)
+        );
+        assert_eq!(f.len(), 5, "failed append must not grow the directory");
+        assert_eq!(f.page_count(), 1);
     }
 
     #[test]

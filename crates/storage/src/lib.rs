@@ -48,6 +48,8 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod persist;
@@ -55,6 +57,8 @@ pub mod stats;
 
 pub use buffer::BufferPool;
 pub use disk::{Disk, DiskConfig};
+pub use error::StorageError;
+pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultOp};
 pub use heap::{HeapFile, Layout, RecordId};
 pub use page::{Page, PageId};
 pub use stats::IoStats;

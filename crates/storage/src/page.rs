@@ -75,7 +75,7 @@ impl Page {
         );
         self.used += record.len();
         self.slots.push(record);
-        u16::try_from(self.slots.len() - 1).expect("slot count exceeds u16")
+        u16::try_from(self.slots.len() - 1).expect("slot count exceeds u16") // PANIC-OK: capacity bounds slots far below u16::MAX
     }
 
     /// Returns the record in `slot`, or `None` for an out-of-range or

@@ -46,20 +46,23 @@ impl Disk {
         let config = self.config();
         write_u32(
             &mut w,
-            u32::try_from(config.page_size).expect("page size fits u32"),
+            u32::try_from(config.page_size).map_err(|_| bad("page size exceeds u32"))?,
         )?;
         w.write_all(&config.utilization.to_le_bytes())?;
         write_u32(
             &mut w,
-            u32::try_from(self.page_count()).expect("page count fits u32"),
+            u32::try_from(self.page_count()).map_err(|_| bad("page count exceeds u32"))?,
         )?;
         for i in 0..self.page_count() {
             let page = self.peek(crate::PageId(i as u32));
             write_u32(
                 &mut w,
-                u32::try_from(page.capacity()).expect("capacity fits"),
+                u32::try_from(page.capacity()).map_err(|_| bad("page capacity exceeds u32"))?,
             )?;
-            write_u32(&mut w, u32::try_from(page.slot_count()).expect("slots fit"))?;
+            write_u32(
+                &mut w,
+                u32::try_from(page.slot_count()).map_err(|_| bad("slot count exceeds u32"))?,
+            )?;
             let mut next_slot = 0u16;
             for (slot, bytes) in page.records() {
                 // Emit tombstones for removed slots so ids stay stable.
@@ -67,7 +70,10 @@ impl Disk {
                     write_u32(&mut w, 0)?;
                     next_slot += 1;
                 }
-                write_u32(&mut w, u32::try_from(bytes.len()).expect("record fits"))?;
+                write_u32(
+                    &mut w,
+                    u32::try_from(bytes.len()).map_err(|_| bad("record length exceeds u32"))?,
+                )?;
                 w.write_all(bytes)?;
                 next_slot = slot + 1;
             }

@@ -107,4 +107,77 @@ print(f"    -> BENCH_service.json + {len(spans)} service spans OK")
 PY
 rm -f /tmp/sj_bench_service_smoke.json /tmp/sj_service_trace_smoke.jsonl
 
+echo "==> chaos smoke (BENCH_chaos.json + service/fault span validation)"
+# The chaos driver replays the query mix at increasing injected
+# storage-fault rates and asserts the fail-stop contract (every
+# completed response byte-identical to the fault-free replay). Its
+# artifact and the fault-recovery span schema are validated here.
+./target/release/chaos_scaling --smoke \
+    --out /tmp/sj_bench_chaos_smoke.json \
+    --trace /tmp/sj_chaos_trace_smoke.jsonl >/dev/null
+python3 - /tmp/sj_bench_chaos_smoke.json /tmp/sj_chaos_trace_smoke.jsonl <<'PY'
+import json, sys
+
+# BENCH_chaos.json: one point per fault rate for every documented
+# series; the baseline must be perfectly available and the top rate
+# must actually inject faults.
+doc = json.load(open(sys.argv[1]))
+series = {s["label"]: s["points"] for s in doc["series"]}
+required = {
+    "availability", "failed", "degraded", "retried",
+    "injected_faults", "mean_attempts", "backoff_units",
+}
+missing = required - series.keys()
+assert not missing, f"missing series: {sorted(missing)}"
+rates = [x for x, _ in series["availability"]]
+assert len(rates) >= 4 and rates[0] == 0.0, f"bad fault-rate grid: {rates}"
+for label, points in series.items():
+    assert [x for x, _ in points] == rates, f"misaligned grid in {label!r}"
+    for x, y in points:
+        assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
+            f"non-numeric point in {label!r}: {(x, y)!r}"
+avail = dict(series["availability"])
+assert avail[0.0] == 1.0, "fault-free baseline must answer everything"
+assert all(0.0 <= a <= 1.0 for a in avail.values()), f"availability out of range: {avail}"
+assert series["injected_faults"][-1][1] > 0, "top fault rate injected nothing"
+
+# The service/fault span must carry the full recovery-counter schema.
+fault_events = []
+with open(sys.argv[2]) as f:
+    for line in f:
+        ev = json.loads(line)
+        if ev["span"] == "service/fault":
+            fault_events.append(ev)
+assert fault_events, "no service/fault spans emitted"
+for ev in fault_events:
+    for key in ("injected_faults", "retried", "degraded", "failed",
+                "worker_panics", "retry_backoff_units"):
+        assert key in ev["counters"], f"missing {key!r}: {ev!r}"
+assert any(ev["counters"]["injected_faults"] > 0 for ev in fault_events), \
+    "no fault span recorded injected faults"
+print(f"    -> BENCH_chaos.json + {len(fault_events)} service/fault spans OK")
+PY
+rm -f /tmp/sj_bench_chaos_smoke.json /tmp/sj_chaos_trace_smoke.jsonl
+
+echo "==> fail-stop grep gate (no unchecked panics in storage/service)"
+# The storage and service crates promise typed StorageError propagation.
+# Non-test code there may not grow new unwrap()/expect(/panic! calls;
+# deliberate infallible wrappers carry a same-line "PANIC-OK" marker,
+# and everything from the top-level #[cfg(test)] (the tests module) to
+# EOF is test code. Indented cfg(test) attributes (test-only fields and
+# hooks) do not end the scan.
+violations=$(
+    for f in crates/storage/src/*.rs crates/service/src/*.rs; do
+        awk '/^#\[cfg\(test\)\]/ { exit }
+             /PANIC-OK/ { next }
+             /\.unwrap\(\)|\.expect\(|panic!/ { print FILENAME ":" FNR ": " $0 }' "$f"
+    done
+)
+if [ -n "$violations" ]; then
+    echo "    unchecked panic paths in fail-stop crates:"
+    echo "$violations"
+    exit 1
+fi
+echo "    -> storage + service non-test code is panic-clean"
+
 echo "CI OK"
