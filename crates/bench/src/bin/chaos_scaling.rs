@@ -320,6 +320,18 @@ fn main() {
         top_faults > 0.0,
         "the top fault rate must inject faults — otherwise this bench proves nothing"
     );
+    // At one fault per hundred physical reads, whole-attempt fail-stop
+    // execution rarely survives a join — the resilient degraded path
+    // must be visibly carrying requests, or it has gone dead again
+    // (pre-PR-6 regression: `degraded` was 0 at every rate). Smoke runs
+    // are too small to guarantee a degradation, so only full runs gate.
+    if !smoke {
+        let top_degraded = degraded_series.points.last().expect("non-empty").1;
+        assert!(
+            top_degraded > 0.0,
+            "the top fault rate must drive joins through the degraded path"
+        );
+    }
     sink.flush().expect("flush trace");
 
     let series = vec![

@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The phase taxonomy shared by all join executors.
@@ -484,6 +485,75 @@ impl Histogram {
     }
 }
 
+/// A [`Histogram`] whose recording path is lock-free: every bucket and
+/// summary statistic is an atomic, so any number of threads can record
+/// concurrently through a shared reference while a reporter thread
+/// takes [`AtomicHistogram::snapshot`]s — no mutex anywhere.
+///
+/// This is the serving layer's per-worker accumulator: each worker owns
+/// one (so recording is uncontended in practice), and exporters merge
+/// worker snapshots with [`Histogram::merge`]. Snapshots are *not*
+/// atomic across fields — a snapshot taken mid-record may transiently
+/// see `count` without the matching `sum` — which is fine for telemetry
+/// and exactly why the quiescent-state tests below only assert after
+/// recording stops.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample: two relaxed adds, a saturating add, and a
+    /// monotonic max — no locks, no ordering dependencies between
+    /// recorders.
+    pub fn record(&self, value: u64) {
+        self.buckets[Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating add: CAS loop only near u64::MAX, plain add otherwise.
+        let prev = self.sum.fetch_add(value, Ordering::Relaxed);
+        if prev.checked_add(value).is_none() {
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A plain [`Histogram`] copy of the current state, ready for
+    /// quantiles, merging, and trace emission.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,5 +745,62 @@ mod tests {
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names, ["partition", "filter", "refine", "index-probe"]);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_equals_sequential_recording() {
+        let a = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 7, 100, 4096, u64::MAX] {
+            a.record(v);
+            h.record(v);
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.bucket_counts(), h.bucket_counts());
+        assert_eq!(snap.count(), h.count());
+        assert_eq!(snap.sum(), h.sum());
+        assert_eq!(snap.max(), h.max());
+        assert_eq!(snap.quantile(0.5), h.quantile(0.5));
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_lose_nothing() {
+        let a = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let a = std::sync::Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        a.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.bucket_counts().iter().sum::<u64>(), 4000);
+        assert_eq!(snap.max(), 3999);
+        // Sum of 0..4000 shifted per thread: exact because adds are atomic.
+        let want: u64 = (0..4u64)
+            .map(|t| (0..1000).map(|i| t * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(snap.sum(), want);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshots_merge_like_histograms() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        a.record(5);
+        a.record(900);
+        b.record(63);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 968);
+        assert_eq!(merged.max(), 900);
     }
 }

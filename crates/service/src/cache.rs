@@ -1,11 +1,19 @@
-//! The versioned LRU result cache.
+//! The versioned LRU result cache — sharded for concurrent serving.
 //!
 //! Keys are `(dataset_version, θ-operator, query fingerprint)`. Updates
 //! bump the dataset version, so entries computed against stale data can
 //! never be served again — invalidation is structural, not scanned —
 //! and [`ResultCache::purge_stale`] reclaims their space eagerly.
+//!
+//! [`ResultCache`] is the single-shard LRU; [`CacheShards`] splits one
+//! logical cache into `N` independently locked shards routed by the
+//! key's stable fingerprint (`fingerprint % N`). Two workers probing
+//! different shards never contend, and with shards ≈ workers a hit
+//! lookup takes a statistically uncontended lock — the only lock the
+//! cache-hit path acquires at all (see `service.rs`).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use sj_geom::{codec, ThetaOp};
 
@@ -194,6 +202,106 @@ impl ResultCache {
     }
 }
 
+/// One logical result cache split into independently locked shards,
+/// routed by [`CacheKey::fingerprint`] — the shared-nothing layout of
+/// the serving layer. Capacity is split evenly (rounded up) so total
+/// residency stays ≈ the configured capacity.
+#[derive(Debug)]
+pub struct CacheShards {
+    shards: Vec<Mutex<ResultCache>>,
+    /// Total capacity 0 disables caching entirely (probes and inserts
+    /// both short-circuit without touching any lock).
+    enabled: bool,
+}
+
+impl CacheShards {
+    /// `shards` shards holding at most `capacity` replies in total.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        CacheShards {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ResultCache::new(per_shard)))
+                .collect(),
+            enabled: capacity > 0,
+        }
+    }
+
+    /// True when lookups can ever hit (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The shard guard for `fingerprint`, poison-recovered: cache state
+    /// is single-step consistent, so a worker panic mid-operation never
+    /// leaves damage worth dying for.
+    fn shard(&self, fingerprint: u64) -> MutexGuard<'_, ResultCache> {
+        let idx = (fingerprint % self.shards.len() as u64) as usize;
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Probes the key's shard. This is the *only* lock the cache-hit
+    /// request path takes; `fingerprint` must be
+    /// [`CacheKey::fingerprint`] of `key`.
+    pub fn get(&self, key: &CacheKey, fingerprint: u64) -> Option<Reply> {
+        if !self.enabled {
+            return None;
+        }
+        self.shard(fingerprint).get(key)
+    }
+
+    /// Inserts into the key's shard (LRU-evicting within that shard).
+    pub fn insert(&self, key: CacheKey, fingerprint: u64, reply: Reply) {
+        if !self.enabled {
+            return;
+        }
+        self.shard(fingerprint).insert(key, reply);
+    }
+
+    /// Purges entries older than `current` from every shard (shard by
+    /// shard — readers of other shards keep serving meanwhile).
+    pub fn purge_stale(&self, current: u64) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .purge_stale(current);
+        }
+    }
+
+    /// `(hits, misses, resident entries)` summed over all shards.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let mut totals = (0, 0, 0);
+        for shard in &self.shards {
+            let c = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            totals.0 += c.hits();
+            totals.1 += c.misses();
+            totals.2 += c.len();
+        }
+        totals
+    }
+
+    /// Test hook: takes the lock of `fingerprint`'s shard so a caller
+    /// can panic while holding it, exercising poison recovery.
+    #[cfg(test)]
+    pub(crate) fn lock_shard_for_test(&self, fingerprint: u64) -> MutexGuard<'_, ResultCache> {
+        self.shard(fingerprint)
+    }
+
+    /// `hits / (hits + misses)` over all shards; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses, _) = self.stats();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,5 +397,54 @@ mod tests {
         c.insert(k.clone(), reply(&[1]));
         assert!(c.is_empty());
         assert!(c.get(&k).is_none());
+    }
+
+    #[test]
+    fn shards_route_by_fingerprint_and_serve_hits() {
+        let shards = CacheShards::new(4, 64);
+        assert!(shards.is_enabled());
+        let keys: Vec<CacheKey> = (0..16)
+            .map(|i| CacheKey::for_request(0, &select_req(f64::from(i))))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            shards.insert(k.clone(), k.fingerprint(), reply(&[i as u64]));
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                shards.get(k, k.fingerprint()),
+                Some(reply(&[i as u64])),
+                "key {i} must hit its shard"
+            );
+        }
+        let (hits, misses, resident) = shards.stats();
+        assert_eq!((hits, misses, resident), (16, 0, 16));
+        assert!((shards.hit_rate() - 1.0).abs() < 1e-12);
+        // The keys must actually spread: with 16 distinct fingerprints
+        // over 4 shards, no shard can hold all of them.
+        let max_shard = shards
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .max()
+            .unwrap();
+        assert!(max_shard < 16, "fingerprints must spread across shards");
+    }
+
+    #[test]
+    fn shard_purge_and_disable_behave_like_the_single_cache() {
+        let shards = CacheShards::new(2, 8);
+        let k1 = CacheKey::for_request(1, &select_req(1.0));
+        let k2 = CacheKey::for_request(2, &select_req(2.0));
+        shards.insert(k1.clone(), k1.fingerprint(), reply(&[1]));
+        shards.insert(k2.clone(), k2.fingerprint(), reply(&[2]));
+        shards.purge_stale(2);
+        assert!(shards.get(&k1, k1.fingerprint()).is_none());
+        assert!(shards.get(&k2, k2.fingerprint()).is_some());
+
+        let disabled = CacheShards::new(2, 0);
+        assert!(!disabled.is_enabled());
+        disabled.insert(k2.clone(), k2.fingerprint(), reply(&[2]));
+        assert_eq!(disabled.get(&k2, k2.fingerprint()), None);
+        assert_eq!(disabled.stats(), (0, 0, 0));
     }
 }

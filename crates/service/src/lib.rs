@@ -3,40 +3,50 @@
 //! spatial joins via any executor [`Strategy`](sj_joins::Strategy),
 //! including cost-model-advised `Auto` dispatch.
 //!
-//! The pipeline, request by request:
+//! The serving layer is **shared-nothing**: no global lock stands on
+//! the request hot path. Request by request:
 //!
-//! 1. **Admission** ([`admission`]): a bounded queue sheds submissions
-//!    beyond its depth immediately ([`Rejection::QueueFull`]), bounding
-//!    latency under overload instead of letting it grow without limit.
-//! 2. **Deadline check**: at dequeue, a request that has out-waited its
-//!    latency budget is shed ([`Rejection::DeadlineExceeded`]) rather
-//!    than executed uselessly.
-//! 3. **Result cache** ([`cache`]): an LRU keyed by
-//!    `(dataset_version, θ-operator, query fingerprint)`. Updates bump
-//!    the version, so stale results are structurally unreachable.
-//! 4. **Execution** ([`service`]): a fixed worker pool; each worker
-//!    runs the request on a private cold buffer-pool shard
+//! 1. **Admission** ([`admission`]): a [`ShardedQueue`] with one shard
+//!    per worker — round-robin enqueue with full-shard fallover, shed
+//!    ([`Rejection::QueueFull`]) only when *every* shard is full.
+//!    Workers drain batches from their own shard and steal from
+//!    siblings when idle.
+//! 2. **Snapshot pin** ([`snapshot`]): each worker holds a
+//!    [`SnapshotReader`] onto the epoch-stamped [`SnapshotCell`]
+//!    publishing the immutable dataset. Pinning the batch's snapshot is
+//!    one atomic epoch compare; updates build the next snapshot off the
+//!    hot path and publish in O(1) — readers never block.
+//! 3. **Deadline check + result cache** ([`cache`]): the whole batch's
+//!    expired deadlines are shed ([`Rejection::DeadlineExceeded`]) and
+//!    its cache hits answered before any executor runs. The LRU cache
+//!    is sharded by key fingerprint ([`CacheShards`]); updates bump the
+//!    dataset version, so stale results are structurally unreachable.
+//! 4. **Execution** ([`service`]): each miss runs on a private cold
+//!    buffer-pool shard
 //!    ([`BufferPool::fork_view`](sj_storage::BufferPool::fork_view))
-//!    under a shared read lock, so updates (write lock) serialize with
-//!    queries but queries never serialize with each other.
-//! 5. **Metrics** ([`metrics`]): every request records queue-wait and
-//!    execution time into log₂-bucketed
-//!    [`Histogram`](sj_obs::Histogram)s, exported as p50/p95/p99/max
-//!    through the standard `sj-obs` JSONL trace vocabulary.
+//!    forked from the pinned snapshot, with a fail-stop
+//!    retry/degradation ladder for storage faults.
+//! 5. **Metrics** ([`metrics`]): every request records into its
+//!    worker's lock-free [`WorkerMetrics`] slab (atomic log₂-bucketed
+//!    histograms), merged into [`ServiceMetrics`] on export through the
+//!    standard `sj-obs` JSONL trace vocabulary.
 //!
-//! Determinism: results are sorted and the advisor's selectivity
-//! sampling is seeded, so a response depends only on `(dataset
-//! version, request)` — never on worker count, queue order, or cache
-//! state. `tests/prop_service.rs` holds the property proofs.
+//! Determinism: results are sorted, the advisor's selectivity sampling
+//! is seeded, and fault-injection streams are seeded per attempt — so a
+//! response depends only on `(dataset version, request)` — never on
+//! worker count, queue order, batching, or cache state.
+//! `tests/prop_service.rs` holds the property proofs.
 
 pub mod admission;
 pub mod cache;
 pub mod metrics;
 pub mod request;
 pub mod service;
+pub mod snapshot;
 
-pub use admission::AdmissionQueue;
-pub use cache::{CacheKey, ResultCache};
-pub use metrics::ServiceMetrics;
+pub use admission::{AdmissionQueue, ShardedQueue};
+pub use cache::{CacheKey, CacheShards, ResultCache};
+pub use metrics::{ServiceMetrics, WorkerMetrics};
 pub use request::{QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side};
 pub use service::{ServiceConfig, SpatialService};
+pub use snapshot::{SnapshotCell, SnapshotReader};

@@ -1,10 +1,22 @@
 //! Per-request latency accounting: log₂-bucketed histograms for
 //! end-to-end latency plus its queue-wait vs execution-time breakdown,
 //! and counters for completions, cache service, and deadline sheds.
-//! Everything exports through the existing `sj-obs` JSONL trace
-//! vocabulary via [`ServiceMetrics::emit`].
+//!
+//! Two shapes:
+//!
+//! - [`WorkerMetrics`]: the *recording* side — one per worker, every
+//!   field an atomic ([`AtomicHistogram`] for the latency breakdowns,
+//!   `AtomicU64` for the outcome counters). Recording takes no lock
+//!   anywhere, so the request hot path stays shared-nothing; the
+//!   exporter reads a [`WorkerMetrics::snapshot`] whenever asked.
+//! - [`ServiceMetrics`]: the *reporting* side — a plain mergeable
+//!   aggregate ([`ServiceMetrics::merge`] folds per-worker snapshots
+//!   into service totals), exported through the existing `sj-obs`
+//!   JSONL trace vocabulary via [`ServiceMetrics::emit`].
 
-use sj_obs::{Histogram, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sj_obs::{AtomicHistogram, Histogram, TraceSink};
 
 /// The service's aggregate latency and outcome metrics.
 #[derive(Debug, Clone, Default)]
@@ -15,12 +27,17 @@ pub struct ServiceMetrics {
     pub queue_wait_us: Histogram,
     /// Time spent computing (≈0 for cache hits), µs.
     pub exec_us: Histogram,
+    /// End-to-end latency of cache-hit responses only, µs — the
+    /// isolated hit path the scaling bench reports as `cache_hit_p95_us`.
+    pub cache_hit_latency_us: Histogram,
     /// Requests answered (computed or cache-served).
     pub completed: u64,
     /// Of `completed`, answered straight from the result cache.
     pub served_from_cache: u64,
     /// Requests shed at dequeue because their deadline had passed.
     pub shed_deadline: u64,
+    /// Dequeue wakeups (each drains a batch of ≥ 1 requests).
+    pub batches: u64,
     /// Compute attempts aborted by an injected (or real) storage fault.
     pub injected_faults: u64,
     /// Requests that completed only after at least one retry.
@@ -50,6 +67,7 @@ impl ServiceMetrics {
         self.completed += 1;
         if cached {
             self.served_from_cache += 1;
+            self.cache_hit_latency_us.record(queue_us + exec_us);
         }
     }
 
@@ -93,9 +111,11 @@ impl ServiceMetrics {
         self.latency_us.merge(&other.latency_us);
         self.queue_wait_us.merge(&other.queue_wait_us);
         self.exec_us.merge(&other.exec_us);
+        self.cache_hit_latency_us.merge(&other.cache_hit_latency_us);
         self.completed += other.completed;
         self.served_from_cache += other.served_from_cache;
         self.shed_deadline += other.shed_deadline;
+        self.batches += other.batches;
         self.injected_faults += other.injected_faults;
         self.retried += other.retried;
         self.degraded += other.degraded;
@@ -104,7 +124,7 @@ impl ServiceMetrics {
         self.retry_backoff_units += other.retry_backoff_units;
     }
 
-    /// Emits five JSONL events: one per histogram (count/p50/p95/p99/
+    /// Emits six JSONL events: one per histogram (count/p50/p95/p99/
     /// max/mean as counters), a `service/summary` with the outcome
     /// counters, and a `service/fault` with the fault-recovery counters,
     /// all through the standard trace vocabulary.
@@ -112,6 +132,7 @@ impl ServiceMetrics {
         self.latency_us.emit(sink, "service/latency_us");
         self.queue_wait_us.emit(sink, "service/queue_wait_us");
         self.exec_us.emit(sink, "service/exec_us");
+        self.cache_hit_latency_us.emit(sink, "service/cache_hit_us");
         sink.emit(
             "service/summary",
             0,
@@ -119,6 +140,7 @@ impl ServiceMetrics {
                 ("completed", self.completed),
                 ("served_from_cache", self.served_from_cache),
                 ("shed_deadline", self.shed_deadline),
+                ("batches", self.batches),
             ],
         );
         sink.emit(
@@ -133,6 +155,109 @@ impl ServiceMetrics {
                 ("retry_backoff_units", self.retry_backoff_units),
             ],
         );
+    }
+}
+
+/// One worker's lock-free metrics slab. Recording is `&self` on atomics
+/// only — a cache-hit request touches **no mutex** to account itself —
+/// and the exporter folds [`WorkerMetrics::snapshot`]s together with
+/// [`ServiceMetrics::merge`]. Snapshots taken while traffic is flowing
+/// are transiently inconsistent across fields (count vs sum), which is
+/// the standard telemetry trade; quiescent snapshots are exact.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    latency_us: AtomicHistogram,
+    queue_wait_us: AtomicHistogram,
+    exec_us: AtomicHistogram,
+    cache_hit_latency_us: AtomicHistogram,
+    completed: AtomicU64,
+    served_from_cache: AtomicU64,
+    shed_deadline: AtomicU64,
+    batches: AtomicU64,
+    injected_faults: AtomicU64,
+    retried: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+    worker_panics: AtomicU64,
+    retry_backoff_units: AtomicU64,
+}
+
+impl WorkerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        WorkerMetrics::default()
+    }
+
+    /// Records one answered request (lock-free).
+    pub fn record_completion(&self, queue_us: u64, exec_us: u64, cached: bool) {
+        self.latency_us.record(queue_us + exec_us);
+        self.queue_wait_us.record(queue_us);
+        self.exec_us.record(exec_us);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if cached {
+            self.served_from_cache.fetch_add(1, Ordering::Relaxed);
+            self.cache_hit_latency_us.record(queue_us + exec_us);
+        }
+    }
+
+    /// Records one request shed at dequeue for missing its deadline.
+    pub fn record_shed_deadline(&self, queue_us: u64) {
+        self.queue_wait_us.record(queue_us);
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dequeue wakeup that drained `_n ≥ 1` requests.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the fault-recovery footprint of one completed request.
+    pub fn record_recovery(&self, faulted_attempts: u32, backoff_units: u64, degraded: bool) {
+        self.injected_faults
+            .fetch_add(u64::from(faulted_attempts), Ordering::Relaxed);
+        self.retry_backoff_units
+            .fetch_add(backoff_units, Ordering::Relaxed);
+        if faulted_attempts > 0 {
+            self.retried.fetch_add(1, Ordering::Relaxed);
+        }
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one request that exhausted every attempt and failed.
+    pub fn record_failed(&self, faulted_attempts: u32, backoff_units: u64, queue_us: u64) {
+        self.injected_faults
+            .fetch_add(u64::from(faulted_attempts), Ordering::Relaxed);
+        self.retry_backoff_units
+            .fetch_add(backoff_units, Ordering::Relaxed);
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_us.record(queue_us);
+    }
+
+    /// Records one contained worker panic.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain mergeable copy of this worker's counters.
+    pub fn snapshot(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            latency_us: self.latency_us.snapshot(),
+            queue_wait_us: self.queue_wait_us.snapshot(),
+            exec_us: self.exec_us.snapshot(),
+            cache_hit_latency_us: self.cache_hit_latency_us.snapshot(),
+            completed: self.completed.load(Ordering::Relaxed),
+            served_from_cache: self.served_from_cache.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            retry_backoff_units: self.retry_backoff_units.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -151,6 +276,9 @@ mod tests {
         assert_eq!(m.latency_us.max(), 100);
         assert_eq!(m.queue_wait_us.max(), 10);
         assert_eq!(m.exec_us.max(), 90);
+        // Only the cached completion lands in the hit-path histogram.
+        assert_eq!(m.cache_hit_latency_us.count(), 1);
+        assert_eq!(m.cache_hit_latency_us.max(), 5);
     }
 
     #[test]
@@ -171,12 +299,15 @@ mod tests {
         let mut b = ServiceMetrics::new();
         b.record_completion(3, 4, true);
         b.record_shed_deadline(9);
+        b.batches += 2;
         a.merge(&b);
         assert_eq!(a.completed, 2);
         assert_eq!(a.served_from_cache, 1);
         assert_eq!(a.shed_deadline, 1);
+        assert_eq!(a.batches, 2);
         assert_eq!(a.latency_us.count(), 2);
         assert_eq!(a.queue_wait_us.count(), 3);
+        assert_eq!(a.cache_hit_latency_us.count(), 1);
     }
 
     #[test]
@@ -234,6 +365,7 @@ mod tests {
                 "service/latency_us",
                 "service/queue_wait_us",
                 "service/exec_us",
+                "service/cache_hit_us",
                 "service/summary",
                 "service/fault"
             ]
@@ -245,5 +377,69 @@ mod tests {
                 "histogram event must carry {key}"
             );
         }
+        let summary = sink
+            .events()
+            .iter()
+            .find(|e| e.span == "service/summary")
+            .expect("summary event");
+        assert!(
+            summary.counters.iter().any(|(k, _)| *k == "batches"),
+            "summary must carry the batch counter"
+        );
+    }
+
+    #[test]
+    fn worker_metrics_snapshot_matches_sequential_recording() {
+        let w = WorkerMetrics::new();
+        let mut reference = ServiceMetrics::new();
+        w.record_completion(10, 90, false);
+        reference.record_completion(10, 90, false);
+        w.record_completion(5, 0, true);
+        reference.record_completion(5, 0, true);
+        w.record_shed_deadline(33);
+        reference.record_shed_deadline(33);
+        w.record_batch();
+        reference.batches += 1;
+        w.record_recovery(2, 3, true);
+        reference.record_recovery(2, 3, true);
+        w.record_failed(1, 4, 7);
+        reference.record_failed(1, 4, 7);
+        w.record_worker_panic();
+        reference.record_worker_panic();
+
+        let snap = w.snapshot();
+        assert_eq!(snap.completed, reference.completed);
+        assert_eq!(snap.served_from_cache, reference.served_from_cache);
+        assert_eq!(snap.shed_deadline, reference.shed_deadline);
+        assert_eq!(snap.batches, reference.batches);
+        assert_eq!(snap.injected_faults, reference.injected_faults);
+        assert_eq!(snap.retried, reference.retried);
+        assert_eq!(snap.degraded, reference.degraded);
+        assert_eq!(snap.failed, reference.failed);
+        assert_eq!(snap.worker_panics, reference.worker_panics);
+        assert_eq!(snap.retry_backoff_units, reference.retry_backoff_units);
+        assert_eq!(snap.latency_us.count(), reference.latency_us.count());
+        assert_eq!(snap.latency_us.sum(), reference.latency_us.sum());
+        assert_eq!(
+            snap.cache_hit_latency_us.max(),
+            reference.cache_hit_latency_us.max()
+        );
+        assert_eq!(snap.queue_wait_us.count(), reference.queue_wait_us.count());
+    }
+
+    #[test]
+    fn worker_snapshots_merge_into_service_totals() {
+        let a = WorkerMetrics::new();
+        let b = WorkerMetrics::new();
+        a.record_completion(1, 10, false);
+        b.record_completion(2, 0, true);
+        b.record_shed_deadline(5);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.completed, 2);
+        assert_eq!(total.served_from_cache, 1);
+        assert_eq!(total.shed_deadline, 1);
+        assert_eq!(total.latency_us.count(), 2);
+        assert_eq!(total.queue_wait_us.count(), 3);
     }
 }

@@ -1,17 +1,33 @@
-//! The spatial query service: a fixed worker pool over buffer-pool
-//! shards, fed by the bounded [`AdmissionQueue`], answering from the
-//! versioned [`ResultCache`] when it can.
+//! The spatial query service: a shared-nothing worker pool over
+//! buffer-pool shards, fed by the per-worker [`ShardedQueue`],
+//! answering from the fingerprint-sharded [`CacheShards`] when it can.
 //!
-//! ## Concurrency model
+//! ## Concurrency model — no shared lock on the hot path
 //!
 //! The dataset (master [`BufferPool`], stored relations, generalization
-//! trees, version) lives behind one `RwLock`. Workers take the *read*
-//! lock per request and execute on a private cold shard forked from the
-//! master pool ([`BufferPool::fork_view`]), so index builds and page
-//! I/O during query execution never touch shared frames. Updates take
-//! the *write* lock, append through the master pool (write-through),
-//! rebuild the generalization trees, and bump the dataset version —
-//! which structurally invalidates every cached result.
+//! trees, version) is an **immutable snapshot** published through a
+//! [`SnapshotCell`]. Each worker holds a [`SnapshotReader`]: touching
+//! the dataset is one atomic epoch compare in the steady state, so
+//! requests never block on — or even observe — other requests. Per
+//! batch, a worker pins one snapshot and executes on a private cold
+//! shard forked from it ([`BufferPool::fork_view`]), so index builds
+//! and page I/O during query execution never touch shared frames.
+//!
+//! Updates build the *next* snapshot entirely off the hot path (scan
+//! the current relations through a read-only fork, apply the batch,
+//! rebuild relations and trees on a fresh pool) and publish it in O(1).
+//! In-flight requests keep computing against the snapshot they pinned;
+//! its `version` tags their responses and cache entries.
+//!
+//! Admission is sharded per worker (round-robin enqueue, full-shard
+//! fallover, batched dequeue, work stealing), the result cache is
+//! sharded by key fingerprint, and metrics are per-worker atomics
+//! merged on export — so a cache-hit request costs exactly one
+//! statistically uncontended shard lock and zero global ones (the
+//! `cache_hits_never_touch_the_publisher_lock` test pins this down).
+//! Workers drain up to [`ServiceConfig::batch_size`] requests per
+//! wakeup and answer the batch's expired deadlines and cache hits
+//! before running any executor.
 //!
 //! ## Fail-stop fault handling
 //!
@@ -23,43 +39,53 @@
 //! dataset version, request fingerprint, and attempt number), so
 //! transient faults really are transient and identical runs replay
 //! identical fault traces. A join that exhausts its budget degrades to
-//! one final nested-loop attempt — the universally applicable strategy
-//! with the fewest distinct pages touched — before the request is
-//! rejected as [`Rejection::Failed`]. Worker panics are contained with
-//! `catch_unwind`, and every shared lock recovers from poisoning, so
-//! one crashed request never takes the service down. The master pool
-//! never carries an injector: updates and reference computations are
-//! always fault-free.
+//! a *resilient* nested-loop pass: both relations are scanned with
+//! per-record-read retries (a faulted read leaves the page non-resident,
+//! so each retry re-draws from the injector stream), which survives
+//! fault rates that would abort any fail-stop whole-attempt strategy.
+//! Worker panics are contained with `catch_unwind`, and every lock in
+//! the crate recovers from poisoning, so one crashed request never
+//! takes the service down. Snapshot pools never carry an injector:
+//! updates and reference computations are always fault-free.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{
-    mpsc, Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use sj_core::advisor::{auto_chooser, Operation, WorkloadProfile};
 use sj_costmodel::{Distribution, ModelParams};
 use sj_gentree::rtree::{RTree, RTreeConfig};
-use sj_geom::{Bounded, Geometry, Rect};
+use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
 use sj_joins::{JoinOperands, JoinRequest, StoredRelation, Strategy, TreeRelation};
 use sj_obs::TraceSink;
 use sj_storage::{BufferPool, Disk, DiskConfig, FaultConfig, FaultInjector, Layout, StorageError};
 
-use crate::admission::AdmissionQueue;
-use crate::cache::{CacheKey, ResultCache};
-use crate::metrics::ServiceMetrics;
+use crate::admission::ShardedQueue;
+use crate::cache::{CacheKey, CacheShards};
+use crate::metrics::{ServiceMetrics, WorkerMetrics};
 use crate::request::{QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side};
+use crate::snapshot::SnapshotCell;
+
+/// Per-record-read retries inside the degraded nested-loop pass. Each
+/// retry of a faulted read re-draws from the deterministic injector
+/// stream (the failed fetch left the page non-resident), so at read
+/// fault probability p a record survives with probability `1 - p⁴` —
+/// the resilience that keeps the service *degraded* instead of *down*
+/// at fault rates where every fail-stop strategy attempt aborts.
+const DEGRADED_READ_RETRIES: u32 = 4;
 
 /// Tuning knobs for [`SpatialService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Worker threads executing requests.
+    /// Worker threads executing requests (also the number of admission
+    /// queue shards and result cache shards).
     pub workers: usize,
-    /// Admission-queue depth; submissions beyond it are shed.
+    /// Total admission depth across all shards; submissions beyond it
+    /// are shed.
     pub queue_depth: usize,
-    /// Result-cache entries; 0 disables caching entirely.
+    /// Result-cache entries across all shards; 0 disables caching.
     pub cache_capacity: usize,
     /// Frames of the master buffer pool (builds and updates).
     pub pool_capacity: usize,
@@ -88,6 +114,10 @@ pub struct ServiceConfig {
     pub fault_seed: u64,
     /// Compute attempts per request before degradation/failure (min 1).
     pub retry_attempts: u32,
+    /// Requests a worker drains per dequeue wakeup (min 1): the batch's
+    /// deadline sheds and cache hits are answered before any executor
+    /// runs, amortizing queue synchronization across the batch.
+    pub batch_size: usize,
 }
 
 impl Default for ServiceConfig {
@@ -113,11 +143,14 @@ impl Default for ServiceConfig {
             fault_write_prob: 0.0,
             fault_seed: 0,
             retry_attempts: 3,
+            batch_size: 8,
         }
     }
 }
 
-/// The version-tagged dataset behind the service's `RwLock`.
+/// One immutable, version-tagged dataset snapshot. Workers pin a
+/// snapshot per batch through their [`SnapshotReader`]; updates build
+/// the next one from scratch and publish it atomically.
 struct DataState {
     pool: BufferPool,
     r: StoredRelation,
@@ -133,8 +166,9 @@ struct Job {
     req: Request,
     submitted: Instant,
     reply_to: Sender<ServiceResult>,
-    /// Test hook: makes the worker panic while holding the metrics lock,
-    /// exercising panic containment and poison recovery end to end.
+    /// Test hook: makes the worker panic while holding a cache-shard
+    /// lock, exercising panic containment and poison recovery end to
+    /// end.
     #[cfg(test)]
     poison: bool,
 }
@@ -151,35 +185,28 @@ impl Job {
     }
 }
 
-/// State shared between the handle and the workers.
-struct Shared {
-    config: ServiceConfig,
-    state: RwLock<DataState>,
-    queue: AdmissionQueue<Job>,
-    cache: Mutex<ResultCache>,
-    metrics: Mutex<ServiceMetrics>,
+/// A dequeued request that passed its deadline check and missed the
+/// cache: phase 2 of the batch computes it.
+struct Miss {
+    job: Job,
+    key: CacheKey,
+    queue_us: u64,
 }
 
-impl Shared {
-    /// All four accessors recover from lock poisoning: a worker panic is
-    /// contained at the worker boundary, and the guarded structures are
-    /// single-step consistent (no multi-field invariant spans an
-    /// unwinding point), so the poison flag never marks real damage.
-    fn state_read(&self) -> RwLockReadGuard<'_, DataState> {
-        self.state.read().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn state_write(&self) -> RwLockWriteGuard<'_, DataState> {
-        self.state.write().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn cache_lock(&self) -> MutexGuard<'_, ResultCache> {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn metrics_lock(&self) -> MutexGuard<'_, ServiceMetrics> {
-        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
-    }
+/// State shared between the handle and the workers. Note what is *not*
+/// here anymore: no dataset `RwLock`, no global cache mutex, no global
+/// metrics mutex — every structure is either immutable, sharded, or
+/// per-worker.
+struct Shared {
+    config: ServiceConfig,
+    /// The current dataset snapshot (epoch-stamped publish/subscribe).
+    snapshot: SnapshotCell<DataState>,
+    /// Serializes writers only — never touched by the request path.
+    update_lock: Mutex<()>,
+    queue: ShardedQueue<Job>,
+    cache: CacheShards,
+    /// One lock-free metrics slab per worker, merged on export.
+    worker_metrics: Vec<Arc<WorkerMetrics>>,
 }
 
 /// A running multi-threaded spatial query service. Dropping the handle
@@ -209,30 +236,22 @@ impl SpatialService {
             !r_tuples.is_empty() && !s_tuples.is_empty(),
             "service operands must be non-empty"
         );
-        let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), config.pool_capacity);
-        let r = StoredRelation::build(&mut pool, r_tuples, config.record_size, Layout::Clustered);
-        let s = StoredRelation::build(&mut pool, s_tuples, config.record_size, Layout::Clustered);
-        let r_tree = build_tree(&mut pool, &r, &config);
-        let s_tree = build_tree(&mut pool, &s, &config);
+        let workers = config.workers.max(1);
+        let state = build_state(&config, r_tuples, s_tuples, world, 0);
         let shared = Arc::new(Shared {
             config,
-            state: RwLock::new(DataState {
-                pool,
-                r,
-                s,
-                r_tree,
-                s_tree,
-                world,
-                version: 0,
-            }),
-            queue: AdmissionQueue::new(config.queue_depth),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-            metrics: Mutex::new(ServiceMetrics::new()),
+            snapshot: SnapshotCell::new(Arc::new(state)),
+            update_lock: Mutex::new(()),
+            queue: ShardedQueue::new(workers, config.queue_depth, config.batch_size.max(1)),
+            cache: CacheShards::new(workers, config.cache_capacity),
+            worker_metrics: (0..workers)
+                .map(|_| Arc::new(WorkerMetrics::new()))
+                .collect(),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
+        let workers = (0..workers)
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, worker))
             })
             .collect();
         SpatialService { shared, workers }
@@ -240,7 +259,7 @@ impl SpatialService {
 
     /// Submits a request. Returns the response channel, or an immediate
     /// rejection when the θ-operator is unsupported by the named
-    /// strategy or the admission queue sheds the request.
+    /// strategy or every admission shard is full.
     pub fn submit(&self, req: Request) -> Result<Receiver<ServiceResult>, Rejection> {
         if let QueryKind::Join { strategy } = &req.kind {
             if !strategy.supports(req.theta) {
@@ -255,7 +274,7 @@ impl SpatialService {
     }
 
     /// Test hook: submits a job whose processing panics while holding
-    /// the metrics lock — the worst case for lock poisoning.
+    /// a cache-shard lock — the worst case for lock poisoning.
     #[cfg(test)]
     fn submit_poisoned(&self) -> Receiver<ServiceResult> {
         let (tx, rx) = mpsc::channel();
@@ -283,37 +302,55 @@ impl SpatialService {
     /// sequential reference for replay validation: every `Ok` response
     /// a chaos run produces must carry a result identical to this.
     pub fn execute_reference(&self, req: &Request) -> Reply {
-        let state = self.shared.state_read();
+        let state = self.shared.snapshot.load();
         try_compute(&state, &self.shared.config, req, None)
             .unwrap_or_else(|e| panic!("reference compute failed: {e}")) // PANIC-OK: no injector armed
     }
 
-    /// Applies a batch of insertions: appends through the master pool,
-    /// extends the world rectangle, rebuilds both generalization trees,
-    /// bumps the dataset version, and purges stale cache entries.
+    /// Applies a batch of insertions by building the *next* snapshot
+    /// off the hot path — scan the current relations through a
+    /// read-only fork, extend with the inserts, rebuild relations and
+    /// generalization trees on a fresh pool — then publishing it in
+    /// O(1) and purging stale cache entries. Readers never block:
+    /// in-flight requests finish against the snapshot they pinned.
     /// Returns the new version.
     pub fn update(&self, inserts: &[(Side, u64, Geometry)]) -> u64 {
-        let mut guard = self.shared.state_write();
-        let state = &mut *guard;
+        // Writers serialize with each other only; the queue keeps
+        // admitting and workers keep serving throughout.
+        let _writer = self
+            .shared
+            .update_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let current = self.shared.snapshot.load();
+        let mut view = current.pool.fork_view(self.shared.config.pool_capacity);
+        let mut r_tuples = current.r.scan(&mut view);
+        let mut s_tuples = current.s.scan(&mut view);
+        let mut world = current.world;
         for (side, id, g) in inserts {
-            state.world = state.world.union(&g.mbr());
+            world = world.union(&g.mbr());
             match side {
-                Side::R => state.r.append(&mut state.pool, *id, g),
-                Side::S => state.s.append(&mut state.pool, *id, g),
-            };
+                Side::R => r_tuples.push((*id, g.clone())),
+                Side::S => s_tuples.push((*id, g.clone())),
+            }
         }
-        state.r_tree = build_tree(&mut state.pool, &state.r, &self.shared.config);
-        state.s_tree = build_tree(&mut state.pool, &state.s, &self.shared.config);
-        state.version += 1;
-        let version = state.version;
-        drop(guard);
-        self.shared.cache_lock().purge_stale(version);
+        let next = build_state(
+            &self.shared.config,
+            &r_tuples,
+            &s_tuples,
+            world,
+            current.version + 1,
+        );
+        let version = next.version;
+        drop(current);
+        self.shared.snapshot.publish(Arc::new(next));
+        self.shared.cache.purge_stale(version);
         version
     }
 
     /// Current dataset version (starts at 0, bumped per update batch).
     pub fn version(&self) -> u64 {
-        self.shared.state_read().version
+        self.shared.snapshot.load().version
     }
 
     /// The configuration the service was started with.
@@ -321,37 +358,49 @@ impl SpatialService {
         &self.shared.config
     }
 
-    /// Snapshot of the aggregate latency/outcome metrics.
+    /// Aggregate latency/outcome metrics: per-worker atomic slabs
+    /// merged at call time.
     pub fn metrics(&self) -> ServiceMetrics {
-        self.shared.metrics_lock().clone()
+        let mut total = ServiceMetrics::new();
+        for worker in &self.shared.worker_metrics {
+            total.merge(&worker.snapshot());
+        }
+        total
     }
 
-    /// `(hits, misses, resident entries)` of the result cache.
+    /// `(hits, misses, resident entries)` summed over the cache shards.
     pub fn cache_stats(&self) -> (u64, u64, usize) {
-        let cache = self.shared.cache_lock();
-        (cache.hits(), cache.misses(), cache.len())
+        self.shared.cache.stats()
     }
 
     /// Result-cache hit rate over all lookups so far.
     pub fn cache_hit_rate(&self) -> f64 {
-        self.shared.cache_lock().hit_rate()
+        self.shared.cache.hit_rate()
     }
 
     /// `(shed at admission, shed at deadline)` so far.
     pub fn shed_counts(&self) -> (u64, u64) {
         let full = self.shared.queue.shed_full_count();
-        let deadline = self.shared.metrics_lock().shed_deadline;
+        let deadline = self.metrics().shed_deadline;
         (full, deadline)
     }
 
-    /// Requests currently waiting for a worker.
+    /// Requests currently waiting for a worker, across all shards.
     pub fn queue_len(&self) -> usize {
         self.shared.queue.len()
     }
 
+    /// Total publisher-lock acquisitions on the snapshot cell so far.
+    /// Flat across a stretch of traffic at a constant version ⇒ that
+    /// stretch never took a lock to reach the dataset.
+    pub fn snapshot_lock_count(&self) -> u64 {
+        self.shared.snapshot.publisher_lock_count()
+    }
+
     /// Emits latency histograms, outcome counters, cache and admission
-    /// statistics as JSONL trace events, plus the master pool's counter
-    /// gauges — the full `sj-obs` vocabulary for one service run.
+    /// statistics as JSONL trace events, plus the snapshot pool's
+    /// counter gauges — the full `sj-obs` vocabulary for one service
+    /// run.
     pub fn emit_metrics(&self, sink: &mut TraceSink) {
         self.metrics().emit(sink);
         let (hits, misses, len) = self.cache_stats();
@@ -366,10 +415,11 @@ impl SpatialService {
             &[
                 ("admitted", self.shared.queue.admitted_count()),
                 ("shed_queue_full", self.shared.queue.shed_full_count()),
+                ("stolen", self.shared.queue.stolen_count()),
             ],
         );
         let mut reg = sj_obs::CounterRegistry::new();
-        self.shared.state_read().pool.export_counters(&mut reg);
+        self.shared.snapshot.load().pool.export_counters(&mut reg);
         sink.emit("service/pool", 0, reg.as_counters());
     }
 
@@ -389,6 +439,32 @@ impl Drop for SpatialService {
     }
 }
 
+/// Builds a complete snapshot — pool, relations, trees — on a fresh
+/// paper-geometry disk. Deterministic given the tuple sets, so replay
+/// validation can reconstruct any version from its update history.
+fn build_state(
+    config: &ServiceConfig,
+    r_tuples: &[(u64, Geometry)],
+    s_tuples: &[(u64, Geometry)],
+    world: Rect,
+    version: u64,
+) -> DataState {
+    let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), config.pool_capacity);
+    let r = StoredRelation::build(&mut pool, r_tuples, config.record_size, Layout::Clustered);
+    let s = StoredRelation::build(&mut pool, s_tuples, config.record_size, Layout::Clustered);
+    let r_tree = build_tree(&mut pool, &r, config);
+    let s_tree = build_tree(&mut pool, &s, config);
+    DataState {
+        pool,
+        r,
+        s,
+        r_tree,
+        s_tree,
+        world,
+        version,
+    }
+}
+
 /// Scans `rel` and bulk-loads a clustered generalization tree over it.
 fn build_tree(pool: &mut BufferPool, rel: &StoredRelation, config: &ServiceConfig) -> TreeRelation {
     let tuples = rel.scan(pool);
@@ -401,83 +477,107 @@ fn build_tree(pool: &mut BufferPool, rel: &StoredRelation, config: &ServiceConfi
     )
 }
 
-/// The worker main loop: dequeue, process, and contain any panic at the
-/// worker boundary — a crashed request answers `WorkerPanicked` and the
-/// worker moves on to the next job instead of dying (which would shrink
-/// the pool forever and poison whatever lock it held).
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        let reply_to = job.reply_to.clone();
-        let outcome = catch_unwind(AssertUnwindSafe(|| process_job(shared, job)));
-        if outcome.is_err() {
-            shared.metrics_lock().record_worker_panic();
-            let _ = reply_to.send(Err(Rejection::WorkerPanicked));
+/// The worker main loop: drain a batch from the own shard (stealing
+/// when idle), pin one snapshot for the whole batch, answer its
+/// deadline sheds and cache hits first (phase 1), then compute the
+/// misses (phase 2). Any panic is contained per job at the worker
+/// boundary — a crashed request answers `WorkerPanicked` and the worker
+/// moves on instead of dying (which would shrink the pool forever and
+/// poison whatever lock it held).
+fn worker_loop(shared: &Shared, worker: usize) {
+    let metrics = Arc::clone(&shared.worker_metrics[worker]);
+    let mut reader = shared.snapshot.reader();
+    let batch_max = shared.config.batch_size.max(1);
+    while let Some(batch) = shared.queue.pop_batch(worker, batch_max) {
+        metrics.record_batch();
+        let state = Arc::clone(reader.get(&shared.snapshot));
+        let mut misses = Vec::with_capacity(batch.len());
+        for job in batch {
+            let reply_to = job.reply_to.clone();
+            match catch_unwind(AssertUnwindSafe(|| {
+                admit_job(shared, &metrics, &state, job)
+            })) {
+                Ok(Some(miss)) => misses.push(miss),
+                Ok(None) => {}
+                Err(_) => {
+                    metrics.record_worker_panic();
+                    let _ = reply_to.send(Err(Rejection::WorkerPanicked));
+                }
+            }
+        }
+        for miss in misses {
+            let reply_to = miss.job.reply_to.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                compute_job(shared, &metrics, &state, miss)
+            }));
+            if outcome.is_err() {
+                metrics.record_worker_panic();
+                let _ = reply_to.send(Err(Rejection::WorkerPanicked));
+            }
         }
     }
 }
 
-/// One job end to end: deadline-check, cache-probe, compute with
-/// retry/degradation, cache-fill, respond, record metrics.
-fn process_job(shared: &Shared, job: Job) {
+/// Batch phase 1 for one job: shed it if its deadline expired, answer
+/// it if the cache holds its reply (the lock-free path: snapshot
+/// already pinned, one shard-local cache probe, atomic metrics), or
+/// hand it to phase 2 as a [`Miss`].
+fn admit_job(
+    shared: &Shared,
+    metrics: &WorkerMetrics,
+    state: &DataState,
+    job: Job,
+) -> Option<Miss> {
     let queue_us = job.submitted.elapsed().as_micros() as u64;
     if let Some(deadline) = job.req.deadline_us {
         if queue_us > deadline {
-            shared.metrics_lock().record_shed_deadline(queue_us);
+            metrics.record_shed_deadline(queue_us);
             let _ = job
                 .reply_to
                 .send(Err(Rejection::DeadlineExceeded { queue_us }));
-            return;
+            return None;
         }
     }
     #[cfg(test)]
     if job.poison {
-        let _metrics = shared.metrics_lock();
-        panic!("poison-pill job: worker dies holding the metrics lock"); // PANIC-OK: cfg(test) hook
+        let _shard = shared.cache.lock_shard_for_test(0);
+        panic!("poison-pill job: worker dies holding a cache-shard lock"); // PANIC-OK: cfg(test) hook
     }
-
-    let state = shared.state_read();
     let key = CacheKey::for_request(state.version, &job.req);
-    let caching = shared.config.cache_capacity > 0;
-    let cached = if caching {
-        shared.cache_lock().get(&key)
-    } else {
-        None
-    };
-    if let Some(reply) = cached {
-        let version = state.version;
-        drop(state);
-        shared.metrics_lock().record_completion(queue_us, 0, true);
+    if let Some(reply) = shared.cache.get(&key, key.fingerprint()) {
+        metrics.record_completion(queue_us, 0, true);
         let _ = job.reply_to.send(Ok(Response {
             reply,
             cached: true,
-            version,
+            version: state.version,
             queue_us,
             exec_us: 0,
             attempts: 0,
             degraded: false,
         }));
-        return;
+        return None;
     }
+    Some(Miss { job, key, queue_us })
+}
 
+/// Batch phase 2 for one miss: compute with the full retry/degradation
+/// ladder against the batch's pinned snapshot, fill the cache, respond,
+/// and record metrics — all shard-local or atomic.
+fn compute_job(shared: &Shared, metrics: &WorkerMetrics, state: &DataState, miss: Miss) {
+    let Miss { job, key, queue_us } = miss;
+    let fingerprint = key.fingerprint();
     let started = Instant::now();
-    let outcome = compute_with_retry(&state, &shared.config, &job.req, key.fingerprint());
+    let outcome = compute_with_retry(state, &shared.config, &job.req, fingerprint);
     let exec_us = started.elapsed().as_micros() as u64;
-    let version = state.version;
-    drop(state);
     match outcome {
         Ok(done) => {
-            if caching {
-                shared.cache_lock().insert(key, done.reply.clone());
-            }
-            {
-                let mut metrics = shared.metrics_lock();
-                metrics.record_completion(queue_us, exec_us, false);
-                metrics.record_recovery(done.faulted_attempts, done.backoff_units, done.degraded);
-            }
+            shared.cache.insert(key, fingerprint, done.reply.clone());
+            metrics.record_completion(queue_us, exec_us, false);
+            metrics.record_recovery(done.faulted_attempts, done.backoff_units, done.degraded);
             let _ = job.reply_to.send(Ok(Response {
                 reply: done.reply,
                 cached: false,
-                version,
+                version: state.version,
                 queue_us,
                 exec_us,
                 attempts: done.attempts,
@@ -485,11 +585,7 @@ fn process_job(shared: &Shared, job: Job) {
             }));
         }
         Err(failed) => {
-            shared.metrics_lock().record_failed(
-                failed.faulted_attempts,
-                failed.backoff_units,
-                queue_us,
-            );
+            metrics.record_failed(failed.faulted_attempts, failed.backoff_units, queue_us);
             let _ = job.reply_to.send(Err(Rejection::Failed(failed.error)));
         }
     }
@@ -504,7 +600,7 @@ struct Computed {
     faulted_attempts: u32,
     /// Model-time backoff units spent between attempts.
     backoff_units: u64,
-    /// True when the nested-loop fallback produced the reply.
+    /// True when the resilient nested-loop fallback produced the reply.
     degraded: bool,
 }
 
@@ -518,10 +614,10 @@ struct Exhausted {
 /// Runs `req` with the full fail-stop recovery ladder: up to
 /// `retry_attempts` tries of the requested computation (each on a fresh
 /// shard with its own deterministic injector stream, exponential
-/// model-time backoff between them), then — for joins not already
-/// running nested loop — one degraded nested-loop attempt, then typed
-/// failure. Backoff is accounted in model units, not slept: the
-/// simulated disk has no wall-clock to wait out.
+/// model-time backoff between them), then — for joins — one resilient
+/// degraded nested-loop pass, then typed failure. Backoff is accounted
+/// in model units, not slept: the simulated disk has no wall-clock to
+/// wait out.
 fn compute_with_retry(
     state: &DataState,
     config: &ServiceConfig,
@@ -555,40 +651,32 @@ fn compute_with_retry(
             }
         }
     };
-    // Graceful degradation: a join whose strategy keeps faulting gets one
-    // last attempt on the nested loop — universally applicable, no index
-    // structures to probe, fewest distinct pages at risk. The result is
-    // still exact (all strategies compute the same match set); only the
-    // cost profile degrades.
-    if let QueryKind::Join { strategy } = &req.kind {
-        if *strategy != Strategy::NestedLoop {
-            let fallback = Request {
-                theta: req.theta,
-                kind: QueryKind::Join {
-                    strategy: Strategy::NestedLoop,
-                },
-                deadline_us: req.deadline_us,
-            };
-            attempts += 1;
-            let faults = attempt_faults(config, state.version, fingerprint, attempts);
-            match try_compute(state, config, &fallback, faults) {
-                Ok(reply) => {
-                    return Ok(Computed {
-                        reply,
-                        attempts,
-                        faulted_attempts,
-                        backoff_units,
-                        degraded: true,
-                    })
-                }
-                Err(e) => {
-                    faulted_attempts += 1;
-                    return Err(Exhausted {
-                        error: e,
-                        faulted_attempts,
-                        backoff_units,
-                    });
-                }
+    // Graceful degradation for joins: every fail-stop attempt above
+    // aborts on its *first* fault, so at high fault rates no strategy —
+    // nested loop included — can finish a whole attempt. The degraded
+    // pass instead retries each record read individually (the faulted
+    // page is non-resident, so a retry re-draws from the injector
+    // stream) and joins in memory: exact result, degraded cost profile.
+    if matches!(req.kind, QueryKind::Join { .. }) {
+        attempts += 1;
+        let faults = attempt_faults(config, state.version, fingerprint, attempts);
+        match try_degraded_join(state, config, req.theta, faults) {
+            Ok(reply) => {
+                return Ok(Computed {
+                    reply,
+                    attempts,
+                    faulted_attempts,
+                    backoff_units,
+                    degraded: true,
+                })
+            }
+            Err(e) => {
+                faulted_attempts += 1;
+                return Err(Exhausted {
+                    error: e,
+                    faulted_attempts,
+                    backoff_units,
+                });
             }
         }
     }
@@ -691,6 +779,59 @@ fn try_compute(
     }
 }
 
+/// The degraded join pass: scan both relations with per-record-read
+/// retries, then nested-loop in memory. Same exact match set as every
+/// strategy executor (results sorted), but it survives fault rates
+/// where fail-stop whole-attempt execution cannot — a read only fails
+/// the pass after [`DEGRADED_READ_RETRIES`] consecutive faulted draws.
+fn try_degraded_join(
+    state: &DataState,
+    config: &ServiceConfig,
+    theta: ThetaOp,
+    faults: Option<FaultConfig>,
+) -> Result<Reply, StorageError> {
+    let mut shard = state.pool.fork_view(config.shard_capacity);
+    if let Some(fault_config) = faults {
+        shard.set_fault_injector(Some(FaultInjector::new(fault_config)));
+    }
+    let r = resilient_scan(&state.r, &mut shard)?;
+    let s = resilient_scan(&state.s, &mut shard)?;
+    let mut pairs = Vec::new();
+    for (r_id, r_geom) in &r {
+        for (s_id, s_geom) in &s {
+            if theta.eval(r_geom, s_geom) {
+                pairs.push((*r_id, *s_id));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    Ok(Reply::Join {
+        pairs: Arc::new(pairs),
+        resolved: Strategy::NestedLoop,
+    })
+}
+
+/// Reads every tuple of `rel`, retrying each record read up to
+/// [`DEGRADED_READ_RETRIES`] times. A faulted fetch leaves the page
+/// non-resident, so every retry performs a fresh physical read and
+/// draws the next value from the deterministic injector stream.
+fn resilient_scan(
+    rel: &StoredRelation,
+    shard: &mut BufferPool,
+) -> Result<Vec<(u64, Geometry)>, StorageError> {
+    let mut tuples = Vec::with_capacity(rel.len());
+    for i in 0..rel.len() {
+        let mut outcome = rel.try_read_at(shard, i);
+        let mut tries = 1;
+        while outcome.is_err() && tries < DEGRADED_READ_RETRIES {
+            outcome = rel.try_read_at(shard, i);
+            tries += 1;
+        }
+        tuples.push(outcome?);
+    }
+    Ok(tuples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,7 +874,7 @@ mod tests {
             panic!("select reply expected");
         };
         // Reference: exhaustive θ-test over the same tree.
-        let state = svc.shared.state.read().expect("state lock");
+        let state = svc.shared.snapshot.load();
         let mut want =
             sj_gentree::select::select_exhaustive(&state.r_tree.tree, &probe, theta).matches;
         want.sort_unstable();
@@ -813,11 +954,45 @@ mod tests {
     }
 
     #[test]
+    fn cache_hits_never_touch_the_publisher_lock() {
+        // THE tentpole property: once warm, a cache-hit request touches
+        // the pinned snapshot (atomic epoch compare) and one shard-local
+        // cache probe — never the snapshot publisher mutex. The
+        // publisher lock counter must stay exactly flat across a
+        // stretch of hit traffic.
+        let svc = small_service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let req = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(20.0, 20.0)),
+            ThetaOp::WithinDistance(15.0),
+        );
+        svc.call(req.clone()).expect("warm the cache");
+        let baseline = svc.snapshot_lock_count();
+        for _ in 0..200 {
+            let resp = svc.call(req.clone()).expect("ok");
+            assert!(resp.cached, "warm identical query must hit");
+        }
+        assert_eq!(
+            svc.snapshot_lock_count(),
+            baseline,
+            "cache-hit traffic must never acquire the snapshot publisher lock"
+        );
+        let m = svc.metrics();
+        assert!(m.served_from_cache >= 200);
+        assert_eq!(m.cache_hit_latency_us.count(), m.served_from_cache);
+        assert!(m.batches > 0, "every wakeup must account a batch");
+    }
+
+    #[test]
     fn full_queue_sheds_at_admission() {
         let config = ServiceConfig {
             workers: 1,
             queue_depth: 1,
             cache_capacity: 0, // every request computes
+            batch_size: 1,     // no batching: the backlog must overflow
             ..ServiceConfig::default()
         };
         let svc = SpatialService::start(
@@ -897,11 +1072,11 @@ mod tests {
 
     #[test]
     fn worker_panic_is_contained_and_the_pool_keeps_serving() {
-        // The poison-pill job panics while holding the metrics lock —
+        // The poison-pill job panics while holding a cache-shard lock —
         // the worst case: a dead worker AND a poisoned mutex. The
         // single-worker service must contain the panic, answer the
         // poisoned request with `WorkerPanicked`, recover the lock, and
-        // keep serving.
+        // keep serving (including through that same cache shard).
         let svc = small_service(ServiceConfig {
             workers: 1,
             ..ServiceConfig::default()
@@ -1005,9 +1180,54 @@ mod tests {
     }
 
     #[test]
+    fn heavy_fault_rates_degrade_to_the_resilient_nested_loop() {
+        // At a 20% read-fault rate with a single configured attempt,
+        // fail-stop execution (which aborts on the first fault) almost
+        // never survives — but the degraded pass retries each record
+        // read individually and must rescue requests *exactly*: every
+        // degraded reply matches the fault-free reference.
+        let config = ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            fault_read_prob: 0.2,
+            fault_seed: 0x5EED,
+            retry_attempts: 1,
+            ..ServiceConfig::default()
+        };
+        let svc = small_service(config);
+        let mut degraded = 0u64;
+        for i in 0..10 {
+            let d = 5.0 + f64::from(i) * 0.7;
+            let req = Request::join(Strategy::Tree, ThetaOp::WithinDistance(d));
+            match svc.call(req.clone()) {
+                Ok(resp) => {
+                    if resp.degraded {
+                        degraded += 1;
+                        let reference = svc.execute_reference(&req);
+                        let (Reply::Join { pairs: got, .. }, Reply::Join { pairs: want, .. }) =
+                            (&resp.reply, &reference)
+                        else {
+                            panic!("join replies expected");
+                        };
+                        assert_eq!(got, want, "degraded replies must still be exact");
+                    }
+                }
+                Err(Rejection::Failed(_)) => {}
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(
+            degraded > 0,
+            "heavy fault rates must exercise the degraded path"
+        );
+        assert_eq!(svc.metrics().degraded, degraded);
+    }
+
+    #[test]
     fn total_fault_saturation_yields_a_typed_failure() {
         // Every physical read faults: all retry attempts AND the
-        // degraded nested-loop fallback fail, so the request must come
+        // degraded resilient pass (whose per-read retries all re-draw
+        // faults at probability 1.0) fail, so the request must come
         // back as a typed `Rejection::Failed` — never a panic, never a
         // partial result.
         let config = ServiceConfig {
@@ -1051,6 +1271,7 @@ mod tests {
             "service/latency_us",
             "service/queue_wait_us",
             "service/exec_us",
+            "service/cache_hit_us",
             "service/summary",
             "service/cache",
             "service/admission",
@@ -1062,6 +1283,14 @@ mod tests {
         assert_eq!(m.completed, 2);
         assert_eq!(m.served_from_cache, 1);
         assert_eq!(m.latency_us.count(), 2);
+        assert!(m.batches >= 1, "wakeups must be accounted as batches");
+        // The admission event carries the steal counter.
+        let admission = sink
+            .events()
+            .iter()
+            .find(|e| e.span == "service/admission")
+            .expect("admission event");
+        assert!(admission.counters.iter().any(|(k, _)| *k == "stolen"));
         // The pool gauge event carries the new capacity counter.
         let pool_event = sink
             .events()

@@ -1,0 +1,165 @@
+//! Snapshot-swap stress: worker threads JOIN continuously while a
+//! writer streams update batches through the service. Every successful
+//! response reports the dataset version it was computed against; the
+//! test replays each one on a sequentially rebuilt service holding
+//! exactly that version's tuples and demands byte-identical results.
+//!
+//! This pins down the tentpole's core correctness claim: publishing a
+//! new snapshot never tears an in-flight request — a request computes
+//! entirely against one version and says which.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sj_geom::{Geometry, Point, Rect, ThetaOp};
+use sj_joins::Strategy;
+use sj_service::{Rejection, Reply, Request, ServiceConfig, Side, SpatialService};
+
+/// One recorded response: (dataset version, θ-slot, sorted join pairs).
+type Observation = (u64, usize, Vec<(u64, u64)>);
+
+fn grid_tuples(n: usize, step: f64, id0: u64) -> Vec<(u64, Geometry)> {
+    (0..n * n)
+        .map(|i| {
+            (
+                id0 + i as u64,
+                Geometry::Point(Point::new((i % n) as f64 * step, (i / n) as f64 * step)),
+            )
+        })
+        .collect()
+}
+
+fn world() -> Rect {
+    Rect::from_bounds(0.0, 0.0, 64.0, 64.0)
+}
+
+/// The request stream both the live run and the replay use: a few
+/// distinct θ-distances so the cache serves some repeats while others
+/// compute.
+fn request_for(slot: usize) -> Request {
+    let d = 4.0 + (slot % 8) as f64 * 0.9;
+    Request::join(Strategy::Sweep, ThetaOp::WithinDistance(d))
+}
+
+#[test]
+fn concurrent_joins_match_sequential_replay_of_their_reported_version() {
+    let config = ServiceConfig {
+        workers: 4,
+        queue_depth: 256,
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    };
+    let r0 = grid_tuples(6, 8.0, 0);
+    let s0 = grid_tuples(6, 8.0, 1000);
+    let svc = Arc::new(SpatialService::start(config, &r0, &s0, world()));
+
+    // The update stream: each batch drops one fresh point per side into
+    // the middle of the grid, where the θ-distances above will see it.
+    let batches: Vec<Vec<(Side, u64, Geometry)>> = (0..5u64)
+        .map(|b| {
+            let x = 10.0 + b as f64 * 3.0;
+            vec![
+                (Side::R, 5000 + b, Geometry::Point(Point::new(x, 12.0))),
+                (Side::S, 6000 + b, Geometry::Point(Point::new(12.0, x))),
+            ]
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4usize)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen: Vec<Observation> = Vec::new();
+                let mut k = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let slot = t * 3 + k;
+                    k += 1;
+                    match svc.call(request_for(slot)) {
+                        Ok(resp) => {
+                            let Reply::Join { pairs, .. } = &resp.reply else {
+                                panic!("join reply expected");
+                            };
+                            seen.push((resp.version, slot % 8, pairs.to_vec()));
+                        }
+                        // Overload shedding is fine under stress; a
+                        // closed queue means shutdown raced us.
+                        Err(Rejection::QueueFull) => continue,
+                        Err(Rejection::Closed) => break,
+                        Err(other) => panic!("unexpected rejection {other:?}"),
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Stream the updates while the readers hammer the service.
+    for batch in &batches {
+        std::thread::sleep(Duration::from_millis(30));
+        svc.update(batch);
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let mut responses: Vec<Observation> = Vec::new();
+    for reader in readers {
+        responses.extend(reader.join().expect("reader thread must not panic"));
+    }
+    assert!(!responses.is_empty(), "the stress run must answer requests");
+
+    let observed: std::collections::BTreeSet<u64> = responses.iter().map(|(v, _, _)| *v).collect();
+    assert!(
+        observed.len() >= 2,
+        "the run must span multiple snapshot versions, saw {observed:?}"
+    );
+    assert!(
+        *observed.iter().max().unwrap() as usize <= batches.len(),
+        "versions beyond the update stream are impossible"
+    );
+
+    // Sequential replay: rebuild every observed version from the update
+    // history and demand each response equals the fault-free reference
+    // of exactly the version it reported.
+    let replay_config = ServiceConfig {
+        workers: 1,
+        cache_capacity: 0,
+        ..config
+    };
+    for &version in &observed {
+        let mut r = r0.clone();
+        let mut s = s0.clone();
+        let mut w = world();
+        for batch in batches.iter().take(version as usize) {
+            for (side, id, g) in batch {
+                w = w.union(&sj_geom::Bounded::mbr(g));
+                match side {
+                    Side::R => r.push((*id, g.clone())),
+                    Side::S => s.push((*id, g.clone())),
+                }
+            }
+        }
+        let reference = SpatialService::start(replay_config, &r, &s, w);
+        for slot in 0..8 {
+            let Reply::Join { pairs: want, .. } = reference.execute_reference(&request_for(slot))
+            else {
+                panic!("join reply expected");
+            };
+            for (_, got_slot, got) in responses
+                .iter()
+                .filter(|(v, sl, _)| *v == version && *sl == slot)
+            {
+                assert_eq!(
+                    got, &*want,
+                    "slot {got_slot} at version {version} diverged from sequential replay"
+                );
+            }
+        }
+    }
+
+    // Updates landed mid-traffic and never blocked the readers into
+    // starvation: responses exist from before and after publishes.
+    let m = svc.metrics();
+    assert_eq!(m.completed, responses.len() as u64);
+}

@@ -72,7 +72,7 @@ doc = json.load(open(sys.argv[1]))
 series = {s["label"]: s["points"] for s in doc["series"]}
 required = {
     "throughput_rps", "p50_us", "p95_us", "p99_us", "max_us",
-    "queue_p95_us", "exec_p95_us", "cache_hit_rate",
+    "queue_p95_us", "exec_p95_us", "cache_hit_rate", "cache_hit_p95_us",
     "shed_queue_full", "shed_deadline",
 }
 missing = required - series.keys()
@@ -83,8 +83,14 @@ for label, points in series.items():
         assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
             f"non-numeric point in {label!r}: {(x, y)!r}"
 assert all(y > 0 for _, y in series["cache_hit_rate"]), "no cache hits"
-assert series["shed_queue_full"][0][1] > 0, "no queue-full sheds"
-assert series["shed_deadline"][0][1] > 0, "no deadline sheds"
+# The overload phase runs once per worker count: both shed series must
+# carry a positive point at every pool size, not just the first.
+workers = [x for x, _ in series["throughput_rps"]]
+for label in ("shed_queue_full", "shed_deadline"):
+    xs = [x for x, _ in series[label]]
+    assert xs == workers, f"{label!r} must cover every worker count: {xs} vs {workers}"
+    for x, y in series[label]:
+        assert y > 0, f"no {label!r} sheds at {x:g} workers"
 
 # Service trace: the full span vocabulary, with histogram summaries
 # carrying count/p50/p95/p99/max.
@@ -100,7 +106,8 @@ with open(sys.argv[2]) as f:
                 assert q in ev["counters"], f"missing {q!r}: {line!r}"
 want = {
     "service/latency_us", "service/queue_wait_us", "service/exec_us",
-    "service/summary", "service/cache", "service/admission", "service/pool",
+    "service/cache_hit_us", "service/summary", "service/cache",
+    "service/admission", "service/pool",
 }
 assert want <= spans, f"missing spans: {sorted(want - spans)}"
 print(f"    -> BENCH_service.json + {len(spans)} service spans OK")
@@ -158,6 +165,31 @@ assert any(ev["counters"]["injected_faults"] > 0 for ev in fault_events), \
 print(f"    -> BENCH_chaos.json + {len(fault_events)} service/fault spans OK")
 PY
 rm -f /tmp/sj_bench_chaos_smoke.json /tmp/sj_chaos_trace_smoke.jsonl
+
+echo "==> committed-artifact gates (BENCH_service.json / BENCH_chaos.json)"
+# The committed artifacts are the repo's perf contract. Throughput must
+# not fall as the worker pool grows (the PR-6 tentpole: shared-nothing
+# serving scales monotonically), the cache must be carrying the repeat
+# mix, and the chaos curve must show the degraded path actually serving
+# requests at the top fault rate (the pre-PR-6 dead-path regression).
+python3 - BENCH_service.json BENCH_chaos.json <<'PY'
+import json, sys
+
+svc = {s["label"]: s["points"] for s in json.load(open(sys.argv[1]))["series"]}
+rps = svc["throughput_rps"]
+for (x0, y0), (x1, y1) in zip(rps, rps[1:]):
+    assert y1 >= y0, \
+        f"committed throughput fell {x0:g}->{x1:g} workers: {y0:.0f} -> {y1:.0f} rps"
+assert rps[-1][1] >= rps[0][1], "top pool must beat one worker"
+for x, rate in svc["cache_hit_rate"]:
+    assert rate >= 0.99, f"cache hit rate {rate:.4f} < 0.99 at {x:g} workers"
+
+chaos = {s["label"]: s["points"] for s in json.load(open(sys.argv[2]))["series"]}
+assert chaos["degraded"][-1][1] > 0, \
+    "committed chaos curve shows a dead degradation path at the top fault rate"
+print(f"    -> throughput {' -> '.join(f'{y:.0f}' for _, y in rps)} rps, "
+      f"top-rate degraded={chaos['degraded'][-1][1]:.0f} OK")
+PY
 
 echo "==> fail-stop grep gate (no unchecked panics in storage/service)"
 # The storage and service crates promise typed StorageError propagation.
