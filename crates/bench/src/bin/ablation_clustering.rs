@@ -54,6 +54,7 @@ fn main() {
         let rel = TreeRelation {
             tree: tree.clone(),
             paged,
+            flat: sj_gentree::FlatChildren::build(&tree),
         };
         let mut reads = Vec::new();
         for order in [TraversalOrder::BreadthFirst, TraversalOrder::DepthFirst] {

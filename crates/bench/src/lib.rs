@@ -131,11 +131,18 @@ pub fn print_series_csv(series: &[Series]) {
     }
 }
 
+/// Cores available to this process — recorded in every bench artifact
+/// so a committed series can be judged against the machine shape that
+/// produced it.
+pub fn cpu_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Serializes figure series as a JSON document (hand-rolled — the
 /// harness has no serde dependency) and writes it to `path`:
 ///
 /// ```json
-/// {"series": [{"label": "...", "points": [[x, y], ...]}, ...]}
+/// {"cpu_cores": N, "series": [{"label": "...", "points": [[x, y], ...]}, ...]}
 /// ```
 ///
 /// Non-finite samples are emitted as `null` to keep the document valid.
@@ -149,7 +156,7 @@ pub fn write_bench_json(path: &str, series: &[Series]) -> std::io::Result<()> {
             "null".to_string()
         }
     }
-    let mut out = String::from("{\n  \"series\": [\n");
+    let mut out = format!("{{\n  \"cpu_cores\": {},\n  \"series\": [\n", cpu_cores());
     for (i, s) in series.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"points\": [",
@@ -326,6 +333,10 @@ mod tests {
         assert!(doc.contains("\"label\": \"wall_ms\""));
         assert!(doc.contains("[1.0, 120.5]"));
         assert!(doc.contains("[2.0, null]"), "NaN must become null: {doc}");
+        assert!(
+            doc.contains(&format!("\"cpu_cores\": {}", cpu_cores())),
+            "machine shape must be recorded: {doc}"
+        );
         // Balanced braces/brackets — a cheap structural validity check.
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(

@@ -17,10 +17,24 @@
 //! depth-first reformulation that avoids the redundant Θ-evaluations of
 //! the embedded SELECT passes. All variants return the same match set —
 //! a property-tested invariant.
+//!
+//! ## Batched child filtering
+//!
+//! Every traversal needs the Θ-filter verdict of each child of a node
+//! against a fixed probe MBR. The `_flat` variants accept optional
+//! [`FlatChildren`] snapshots and route those verdict computations
+//! through the branch-free SoA mask kernels ([`sj_geom::soa`]) via
+//! [`expand_children`] — one mask call per chunk instead of a scalar
+//! filter per child. Verdicts are precomputed at parent-expansion time
+//! but *charged* (`filter_evals`, per-level histogram) when the child is
+//! visited, so every counter, visit order, and match order is
+//! byte-identical to the scalar formulation. Directional operators have
+//! no compiled mask form and fall back to the oriented scalar filter.
 
 use sj_geom::sweep::{sweep_candidates, SweepItem};
-use sj_geom::{Geometry, ThetaOp};
+use sj_geom::{Geometry, MaskFilter, Rect, ThetaOp};
 
+use crate::flat::{expand_children, FlatChildren};
 use crate::stats::TraversalStats;
 use crate::tree::{GenTree, NodeId};
 
@@ -34,35 +48,58 @@ pub struct JoinOutcome {
     pub stats: TraversalStats,
 }
 
+/// Evaluates the Θ-filter of `(left, right)` through the compiled
+/// [`MaskFilter`] when one exists (hoisting the per-pair derivation of
+/// e.g. `ReachableWithin`'s radius out of the loop), falling back to the
+/// raw operator otherwise. Bit-identical to `theta.filter(left, right)`.
+#[inline]
+fn pair_filter(mf: Option<MaskFilter>, theta: ThetaOp, left: &Rect, right: &Rect) -> bool {
+    match mf {
+        Some(m) => m.eval(left, right),
+        None => theta.filter(left, right),
+    }
+}
+
 /// SELECT over the subtree rooted at `start`, matching the fixed object `o`
 /// (which plays the θ-operand side indicated by `o_is_left`). The subtree
 /// root itself is visited and filtered but never reported — the caller
 /// (JOIN3) handles the `(a, b)` pair itself.
+///
+/// Children are expanded with their filter verdicts precomputed (batched
+/// when `flat`/`mf` allow); each verdict is charged at the child's visit.
 #[allow(clippy::too_many_arguments)]
 fn select_subtree(
     tree: &GenTree,
+    flat: Option<&FlatChildren>,
+    mf: Option<MaskFilter>,
     start: NodeId,
     start_depth: usize,
     o: &Geometry,
-    o_mbr: &sj_geom::Rect,
+    o_mbr: &Rect,
     theta: ThetaOp,
     o_is_left: bool,
     stats: &mut TraversalStats,
     on_visit: &mut dyn FnMut(NodeId),
     mut report: impl FnMut(u64),
 ) {
-    let mut stack: Vec<(NodeId, usize, bool)> = vec![(start, start_depth, true)];
-    while let Some((node, depth, is_start)) = stack.pop() {
+    let start_passes = {
+        let node_mbr = tree.mbr(start);
+        if o_is_left {
+            pair_filter(mf, theta, o_mbr, &node_mbr)
+        } else {
+            pair_filter(mf, theta, &node_mbr, o_mbr)
+        }
+    };
+    // Children are pushed in child order; the LIFO pop therefore visits
+    // them in reverse child order — the same order as before verdicts
+    // were precomputed.
+    let mut stack: Vec<(NodeId, usize, bool, bool)> =
+        vec![(start, start_depth, true, start_passes)];
+    while let Some((node, depth, is_start, passes)) = stack.pop() {
         on_visit(node);
         stats.visit(depth);
         stats.filter_evals += 1;
         stats.eval_at(depth, 1);
-        let node_mbr = tree.mbr(node);
-        let passes = if o_is_left {
-            theta.filter(o_mbr, &node_mbr)
-        } else {
-            theta.filter(&node_mbr, o_mbr)
-        };
         if !passes {
             continue;
         }
@@ -80,9 +117,18 @@ fn select_subtree(
                 }
             }
         }
-        for &c in tree.children(node) {
-            stack.push((c, depth + 1, false));
-        }
+        expand_children(
+            tree,
+            flat,
+            mf,
+            theta,
+            o_mbr,
+            o_is_left,
+            node,
+            &mut |c, v| {
+                stack.push((c, depth + 1, false, v));
+            },
+        );
     }
 }
 
@@ -97,10 +143,28 @@ pub fn join(
     tree_r: &GenTree,
     tree_s: &GenTree,
     theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId),
+    on_visit_s: impl FnMut(NodeId),
+) -> JoinOutcome {
+    join_flat(tree_r, None, tree_s, None, theta, on_visit_r, on_visit_s)
+}
+
+/// [`join`] probing child MBRs through optional [`FlatChildren`]
+/// snapshots of either tree. Produces byte-identical pairs, visit
+/// sequences, and [`TraversalStats`] for any combination of `None`/
+/// `Some` — the snapshots only change *how* child filter verdicts are
+/// computed, never which ones or when they are charged.
+pub fn join_flat(
+    tree_r: &GenTree,
+    flat_r: Option<&FlatChildren>,
+    tree_s: &GenTree,
+    flat_s: Option<&FlatChildren>,
+    theta: ThetaOp,
     mut on_visit_r: impl FnMut(NodeId),
     mut on_visit_s: impl FnMut(NodeId),
 ) -> JoinOutcome {
     let mut out = JoinOutcome::default();
+    let mf = theta.mask_filter();
 
     // JOIN1 [Initialization].
     let mut qual_pairs: Vec<(NodeId, NodeId)> = vec![(tree_r.root(), tree_s.root())];
@@ -116,7 +180,7 @@ pub fn join(
             out.stats.filter_evals += 1;
             out.stats.eval_at(depth, 1);
             let (a_mbr, b_mbr) = (tree_r.mbr(a), tree_s.mbr(b));
-            if !theta.filter(&a_mbr, &b_mbr) {
+            if !pair_filter(mf, theta, &a_mbr, &b_mbr) {
                 continue;
             }
 
@@ -135,6 +199,8 @@ pub fn join(
                 let ea_mbr = a_mbr;
                 select_subtree(
                     tree_s,
+                    flat_s,
+                    mf,
                     b,
                     depth,
                     &ea_geom,
@@ -151,6 +217,8 @@ pub fn join(
                 let eb_mbr = b_mbr;
                 select_subtree(
                     tree_r,
+                    flat_r,
+                    mf,
                     a,
                     depth,
                     &eb_geom,
@@ -165,22 +233,24 @@ pub fn join(
 
             // Seed QualPairs[j+1] with qualifying child combinations:
             // children a'' of a with a'' Θ b, children b'' of b with a Θ b''.
+            // One batched probe per side replaces the per-child scalar
+            // filters; each verdict is still charged individually.
             let mut qual_a: Vec<NodeId> = Vec::new();
-            for &a2 in tree_r.children(a) {
+            expand_children(tree_r, flat_r, mf, theta, &b_mbr, false, a, &mut |a2, v| {
                 out.stats.filter_evals += 1;
                 out.stats.eval_at(depth, 1);
-                if theta.filter(&tree_r.mbr(a2), &b_mbr) {
+                if v {
                     qual_a.push(a2);
                 }
-            }
+            });
             let mut qual_b: Vec<NodeId> = Vec::new();
-            for &b2 in tree_s.children(b) {
+            expand_children(tree_s, flat_s, mf, theta, &a_mbr, true, b, &mut |b2, v| {
                 out.stats.filter_evals += 1;
                 out.stats.eval_at(depth, 1);
-                if theta.filter(&a_mbr, &tree_s.mbr(b2)) {
+                if v {
                     qual_b.push(b2);
                 }
-            }
+            });
             seed_child_pairs(
                 tree_r, tree_s, &qual_a, &qual_b, theta, depth, &mut out, &mut next,
             );
@@ -259,9 +329,25 @@ pub fn join_depth_first(
     on_visit_r: impl FnMut(NodeId),
     on_visit_s: impl FnMut(NodeId),
 ) -> JoinOutcome {
-    join_pair(
+    join_depth_first_flat(tree_r, None, tree_s, None, theta, on_visit_r, on_visit_s)
+}
+
+/// [`join_depth_first`] with optional [`FlatChildren`] snapshots; see
+/// [`join_flat`] for the equivalence contract.
+pub fn join_depth_first_flat(
+    tree_r: &GenTree,
+    flat_r: Option<&FlatChildren>,
+    tree_s: &GenTree,
+    flat_s: Option<&FlatChildren>,
+    theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId),
+    on_visit_s: impl FnMut(NodeId),
+) -> JoinOutcome {
+    join_pair_flat(
         tree_r,
+        flat_r,
         tree_s,
+        flat_s,
         tree_r.root(),
         tree_s.root(),
         0,
@@ -288,42 +374,72 @@ pub fn join_pair(
     b: NodeId,
     depth: usize,
     theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId),
+    on_visit_s: impl FnMut(NodeId),
+) -> JoinOutcome {
+    join_pair_flat(
+        tree_r, None, tree_s, None, a, b, depth, theta, on_visit_r, on_visit_s,
+    )
+}
+
+/// [`join_pair`] with optional [`FlatChildren`] snapshots; see
+/// [`join_flat`] for the equivalence contract.
+#[allow(clippy::too_many_arguments)]
+pub fn join_pair_flat(
+    tree_r: &GenTree,
+    flat_r: Option<&FlatChildren>,
+    tree_s: &GenTree,
+    flat_s: Option<&FlatChildren>,
+    a: NodeId,
+    b: NodeId,
+    depth: usize,
+    theta: ThetaOp,
     mut on_visit_r: impl FnMut(NodeId),
     mut on_visit_s: impl FnMut(NodeId),
 ) -> JoinOutcome {
     // Explicit work stack of closures would obscure accounting; use a
     // recursive helper instead (tree heights are far below stack limits).
+    let mf = theta.mask_filter();
     let mut ctx = Ctx {
         tree_r,
+        flat_r,
         tree_s,
+        flat_s,
         theta,
+        mf,
         out: JoinOutcome::default(),
         on_visit_r: &mut on_visit_r,
         on_visit_s: &mut on_visit_s,
     };
-    process(&mut ctx, a, b, depth);
+    let pass = pair_filter(mf, theta, &tree_r.mbr(a), &tree_s.mbr(b));
+    process(&mut ctx, a, b, depth, pass);
     ctx.out
 }
 
 struct Ctx<'a> {
     tree_r: &'a GenTree,
+    flat_r: Option<&'a FlatChildren>,
     tree_s: &'a GenTree,
+    flat_s: Option<&'a FlatChildren>,
     theta: ThetaOp,
+    mf: Option<MaskFilter>,
     out: JoinOutcome,
     on_visit_r: &'a mut dyn FnMut(NodeId),
     on_visit_s: &'a mut dyn FnMut(NodeId),
 }
 
-fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize) {
+/// `pass` is the precomputed Θ-filter verdict of `(a, b)`, charged here
+/// at visit time (the caller computed it during its own expansion).
+fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize, pass: bool) {
     (ctx.on_visit_r)(a);
     (ctx.on_visit_s)(b);
     ctx.out.stats.visit(depth);
     ctx.out.stats.filter_evals += 1;
     ctx.out.stats.eval_at(depth, 1);
-    let (a_mbr, b_mbr) = (ctx.tree_r.mbr(a), ctx.tree_s.mbr(b));
-    if !ctx.theta.filter(&a_mbr, &b_mbr) {
+    if !pass {
         return;
     }
+    let a_mbr = ctx.tree_r.mbr(a);
     if let (Some(ea), Some(eb)) = (ctx.tree_r.entry(a), ctx.tree_s.entry(b)) {
         ctx.out.stats.theta_evals += 1;
         ctx.out.stats.eval_at(depth, 1);
@@ -331,34 +447,60 @@ fn process(ctx: &mut Ctx<'_>, a: NodeId, b: NodeId, depth: usize) {
             ctx.out.pairs.push((ea.id, eb.id));
         }
     }
-    // {a} × strict descendants of b.
+    // {a} × strict descendants of b: probe = a's MBR on the left.
     if let Some(ea) = ctx.tree_r.entry(a) {
         let (ea_id, ea_geom) = (ea.id, ea.geometry.clone());
-        for &b2 in ctx.tree_s.children(b) {
-            fixed_left(ctx, &ea_geom, &a_mbr, ea_id, b2, depth + 1);
+        let mut kids: Vec<(NodeId, bool)> = Vec::new();
+        expand_children(
+            ctx.tree_s,
+            ctx.flat_s,
+            ctx.mf,
+            ctx.theta,
+            &a_mbr,
+            true,
+            b,
+            &mut |c, v| kids.push((c, v)),
+        );
+        for (b2, v) in kids {
+            fixed_left(ctx, &ea_geom, &a_mbr, ea_id, b2, depth + 1, v);
         }
     }
-    // Strict descendants of a × subtree(b).
-    for &a2 in ctx.tree_r.children(a) {
-        process(ctx, a2, b, depth + 1);
+    // Strict descendants of a × subtree(b): probe = b's MBR on the right.
+    let b_mbr = ctx.tree_s.mbr(b);
+    let mut kids: Vec<(NodeId, bool)> = Vec::new();
+    expand_children(
+        ctx.tree_r,
+        ctx.flat_r,
+        ctx.mf,
+        ctx.theta,
+        &b_mbr,
+        false,
+        a,
+        &mut |c, v| kids.push((c, v)),
+    );
+    for (a2, v) in kids {
+        process(ctx, a2, b, depth + 1, v);
     }
 }
 
 /// Handles `{fixed a} × subtree(c)` where `a` is an application object
-/// of `R` with geometry `o` and MBR `o_mbr`.
+/// of `R` with geometry `o` and MBR `o_mbr`. `pass` is the precomputed
+/// Θ-filter verdict of `(o_mbr, c)`, charged here at visit time.
+#[allow(clippy::too_many_arguments)]
 fn fixed_left(
     ctx: &mut Ctx<'_>,
     o: &Geometry,
-    o_mbr: &sj_geom::Rect,
+    o_mbr: &Rect,
     a_id: u64,
     c: NodeId,
     depth: usize,
+    pass: bool,
 ) {
     (ctx.on_visit_s)(c);
     ctx.out.stats.visit(depth);
     ctx.out.stats.filter_evals += 1;
     ctx.out.stats.eval_at(depth, 1);
-    if !ctx.theta.filter(o_mbr, &ctx.tree_s.mbr(c)) {
+    if !pass {
         return;
     }
     if let Some(ec) = ctx.tree_s.entry(c) {
@@ -368,8 +510,19 @@ fn fixed_left(
             ctx.out.pairs.push((a_id, ec.id));
         }
     }
-    for &c2 in ctx.tree_s.children(c) {
-        fixed_left(ctx, o, o_mbr, a_id, c2, depth + 1);
+    let mut kids: Vec<(NodeId, bool)> = Vec::new();
+    expand_children(
+        ctx.tree_s,
+        ctx.flat_s,
+        ctx.mf,
+        ctx.theta,
+        o_mbr,
+        true,
+        c,
+        &mut |c2, v| kids.push((c2, v)),
+    );
+    for (c2, v) in kids {
+        fixed_left(ctx, o, o_mbr, a_id, c2, depth + 1, v);
     }
 }
 
@@ -415,8 +568,21 @@ pub fn try_join<E>(
     on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
     on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
 ) -> Result<JoinOutcome, E> {
+    try_join_flat(tree_r, None, tree_s, None, theta, on_visit_r, on_visit_s)
+}
+
+/// [`join_flat`] with fallible visitors; see [`try_join`].
+pub fn try_join_flat<E>(
+    tree_r: &GenTree,
+    flat_r: Option<&FlatChildren>,
+    tree_s: &GenTree,
+    flat_s: Option<&FlatChildren>,
+    theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
+    on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<JoinOutcome, E> {
     capture_first_join(on_visit_r, on_visit_s, |vr, vs| {
-        join(tree_r, tree_s, theta, vr, vs)
+        join_flat(tree_r, flat_r, tree_s, flat_s, theta, vr, vs)
     })
 }
 
@@ -432,8 +598,27 @@ pub fn try_join_pair<E>(
     on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
     on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
 ) -> Result<JoinOutcome, E> {
+    try_join_pair_flat(
+        tree_r, None, tree_s, None, a, b, depth, theta, on_visit_r, on_visit_s,
+    )
+}
+
+/// [`join_pair_flat`] with fallible visitors; see [`try_join`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_join_pair_flat<E>(
+    tree_r: &GenTree,
+    flat_r: Option<&FlatChildren>,
+    tree_s: &GenTree,
+    flat_s: Option<&FlatChildren>,
+    a: NodeId,
+    b: NodeId,
+    depth: usize,
+    theta: ThetaOp,
+    on_visit_r: impl FnMut(NodeId) -> Result<(), E>,
+    on_visit_s: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<JoinOutcome, E> {
     capture_first_join(on_visit_r, on_visit_s, |vr, vs| {
-        join_pair(tree_r, tree_s, a, b, depth, theta, vr, vs)
+        join_pair_flat(tree_r, flat_r, tree_s, flat_s, a, b, depth, theta, vr, vs)
     })
 }
 
@@ -459,6 +644,7 @@ pub fn join_exhaustive(tree_r: &GenTree, tree_s: &GenTree, theta: ThetaOp) -> Jo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rtree::{RTree, RTreeConfig};
     use crate::tree::Entry;
     use sj_geom::{Point, Rect};
 
@@ -683,5 +869,67 @@ mod tests {
             tree_join.stats.theta_evals,
             reference.stats.theta_evals
         );
+    }
+
+    fn soup_entries(n: usize, salt: u64) -> Vec<(u64, Geometry)> {
+        (0..n)
+            .map(|i| {
+                let k = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(salt);
+                let x = (k % 997) as f64 / 997.0 * 100.0;
+                let y = (k / 997 % 997) as f64 / 997.0 * 100.0;
+                (i as u64, Geometry::Point(Point::new(x, y)))
+            })
+            .collect()
+    }
+
+    /// Flat-probed joins must be byte-identical to the scalar joins on
+    /// real R-trees: same pair order, same visit sequences, same stats —
+    /// for every operator family (batched-capable and directional).
+    #[test]
+    fn flat_probed_join_is_byte_identical_to_scalar() {
+        let rt_r = RTree::bulk_load(RTreeConfig::with_fanout(7), soup_entries(180, 5));
+        let rt_s = RTree::bulk_load(RTreeConfig::with_fanout(5), soup_entries(140, 11));
+        let (tr, ts) = (rt_r.tree(), rt_s.tree());
+        let (fr, fs) = (FlatChildren::build(tr), FlatChildren::build(ts));
+        for theta in [
+            ThetaOp::Overlaps,
+            ThetaOp::WithinDistance(6.0),
+            ThetaOp::Adjacent,
+            ThetaOp::DirectionOf(sj_geom::Direction::East),
+        ] {
+            let mut sv = (Vec::new(), Vec::new());
+            let scalar = join(tr, ts, theta, |n| sv.0.push(n), |n| sv.1.push(n));
+            let mut fv = (Vec::new(), Vec::new());
+            let flat = join_flat(
+                tr,
+                Some(&fr),
+                ts,
+                Some(&fs),
+                theta,
+                |n| fv.0.push(n),
+                |n| fv.1.push(n),
+            );
+            assert_eq!(flat.pairs, scalar.pairs, "level-sync pairs {theta:?}");
+            assert_eq!(flat.stats, scalar.stats, "level-sync stats {theta:?}");
+            assert_eq!(fv, sv, "level-sync visit sequences {theta:?}");
+
+            let mut sv = (Vec::new(), Vec::new());
+            let scalar = join_depth_first(tr, ts, theta, |n| sv.0.push(n), |n| sv.1.push(n));
+            let mut fv = (Vec::new(), Vec::new());
+            let flat = join_depth_first_flat(
+                tr,
+                Some(&fr),
+                ts,
+                Some(&fs),
+                theta,
+                |n| fv.0.push(n),
+                |n| fv.1.push(n),
+            );
+            assert_eq!(flat.pairs, scalar.pairs, "depth-first pairs {theta:?}");
+            assert_eq!(flat.stats, scalar.stats, "depth-first stats {theta:?}");
+            assert_eq!(fv, sv, "depth-first visit sequences {theta:?}");
+        }
     }
 }

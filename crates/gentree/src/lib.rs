@@ -43,6 +43,7 @@
 
 pub mod balanced;
 pub mod carto;
+pub mod flat;
 pub mod join;
 pub mod knn;
 pub mod rtree;
@@ -50,8 +51,12 @@ pub mod select;
 pub mod stats;
 pub mod tree;
 
-pub use join::{join, join_depth_first, join_pair, JoinOutcome};
+pub use flat::{expand_children, FlatChildren};
+pub use join::{
+    join, join_depth_first, join_depth_first_flat, join_flat, join_pair, join_pair_flat,
+    JoinOutcome,
+};
 pub use knn::{nearest_k, Neighbor};
-pub use select::{select, select_dfs, SelectOutcome};
+pub use select::{select, select_dfs, select_dfs_flat, select_flat, SelectOutcome};
 pub use stats::TraversalStats;
 pub use tree::{Entry, GenTree, NodeId};

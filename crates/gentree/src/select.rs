@@ -10,6 +10,7 @@
 
 use sj_geom::{Bounded, Geometry, ThetaOp};
 
+use crate::flat::{expand_children, FlatChildren};
 use crate::stats::TraversalStats;
 use crate::tree::{GenTree, NodeId};
 
@@ -31,26 +32,49 @@ pub fn select(
     tree: &GenTree,
     o: &Geometry,
     theta: ThetaOp,
+    on_visit: impl FnMut(NodeId),
+) -> SelectOutcome {
+    select_flat(tree, None, o, theta, on_visit)
+}
+
+/// [`select`] with an optional [`FlatChildren`] view: when one is
+/// supplied (and the operator has a compiled mask filter), each node
+/// expansion Θ-filters the whole fanout through the batched SoA mask
+/// kernel instead of per-child scalar tests. Visit order, match set,
+/// and every work counter are identical to [`select`] — the Θ-verdict
+/// of a node is merely *computed* at parent-expansion time and still
+/// *charged* when the node is visited.
+pub fn select_flat(
+    tree: &GenTree,
+    flat: Option<&FlatChildren>,
+    o: &Geometry,
+    theta: ThetaOp,
     mut on_visit: impl FnMut(NodeId),
 ) -> SelectOutcome {
     let mut out = SelectOutcome::default();
     let o_mbr = o.mbr();
+    let mask = theta.mask_filter();
 
-    // SELECT1 [Initialization]: QualNodes[0] = [root].
-    let mut qual_nodes: Vec<NodeId> = vec![tree.root()];
+    // SELECT1 [Initialization]: QualNodes[0] = [root]. The root has no
+    // parent to batch under; its verdict is the one scalar filter call.
+    let root = tree.root();
+    let mut qual_nodes: Vec<(NodeId, bool)> = vec![(root, theta.filter(&o_mbr, &tree.mbr(root)))];
     let mut depth = 0usize;
 
     // SELECT2 [Tree Search], one iteration per height level.
     while !qual_nodes.is_empty() {
-        let mut next_level: Vec<NodeId> = Vec::new();
-        for &a in &qual_nodes {
+        let mut next_level: Vec<(NodeId, bool)> = Vec::new();
+        for &(a, qualifies) in &qual_nodes {
             on_visit(a);
             out.stats.visit(depth);
-            // Check o Θ a on the node's MBR.
+            // Check o Θ a on the node's MBR (batched at expansion time).
             out.stats.filter_evals += 1;
-            if theta.filter(&o_mbr, &tree.mbr(a)) {
-                // Descend: children become qualifying nodes at depth+1.
-                next_level.extend_from_slice(tree.children(a));
+            if qualifies {
+                // Descend: children become qualifying nodes at depth+1,
+                // their Θ-verdicts computed one chunk-mask at a time.
+                expand_children(tree, flat, mask, theta, &o_mbr, true, a, &mut |c, v| {
+                    next_level.push((c, v))
+                });
                 // Check o θ a exactly, if a is an application object.
                 if let Some(entry) = tree.entry(a) {
                     out.stats.theta_evals += 1;
@@ -74,25 +98,46 @@ pub fn select_dfs(
     tree: &GenTree,
     o: &Geometry,
     theta: ThetaOp,
+    on_visit: impl FnMut(NodeId),
+) -> SelectOutcome {
+    select_dfs_flat(tree, None, o, theta, on_visit)
+}
+
+/// [`select_dfs`] with an optional [`FlatChildren`] view; the batched
+/// analogue of [`select_flat`] with identical order/counter semantics.
+pub fn select_dfs_flat(
+    tree: &GenTree,
+    flat: Option<&FlatChildren>,
+    o: &Geometry,
+    theta: ThetaOp,
     mut on_visit: impl FnMut(NodeId),
 ) -> SelectOutcome {
     let mut out = SelectOutcome::default();
     let o_mbr = o.mbr();
-    let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
-    while let Some((a, depth)) = stack.pop() {
+    let mask = theta.mask_filter();
+    let root = tree.root();
+    let mut stack: Vec<(NodeId, usize, bool)> =
+        vec![(root, 0, theta.filter(&o_mbr, &tree.mbr(root)))];
+    let mut scratch: Vec<(NodeId, bool)> = Vec::new();
+    while let Some((a, depth, qualifies)) = stack.pop() {
         on_visit(a);
         out.stats.visit(depth);
         out.stats.filter_evals += 1;
-        if theta.filter(&o_mbr, &tree.mbr(a)) {
+        if qualifies {
             if let Some(entry) = tree.entry(a) {
                 out.stats.theta_evals += 1;
                 if theta.eval(o, &entry.geometry) {
                     out.matches.push(entry.id);
                 }
             }
-            // Push in reverse so children are visited left-to-right.
-            for &c in tree.children(a).iter().rev() {
-                stack.push((c, depth + 1));
+            // Batch the children's Θ-verdicts, then push in reverse so
+            // they are visited left-to-right.
+            scratch.clear();
+            expand_children(tree, flat, mask, theta, &o_mbr, true, a, &mut |c, v| {
+                scratch.push((c, v))
+            });
+            for &(c, v) in scratch.iter().rev() {
+                stack.push((c, depth + 1, v));
             }
         }
     }
@@ -140,6 +185,30 @@ pub fn try_select_dfs<E>(
     on_visit: impl FnMut(NodeId) -> Result<(), E>,
 ) -> Result<SelectOutcome, E> {
     capture_first(on_visit, |visit| select_dfs(tree, o, theta, visit))
+}
+
+/// [`select_flat`] with a fallible visitor; see [`try_select`].
+pub fn try_select_flat<E>(
+    tree: &GenTree,
+    flat: Option<&FlatChildren>,
+    o: &Geometry,
+    theta: ThetaOp,
+    on_visit: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<SelectOutcome, E> {
+    capture_first(on_visit, |visit| select_flat(tree, flat, o, theta, visit))
+}
+
+/// [`select_dfs_flat`] with a fallible visitor; see [`try_select`].
+pub fn try_select_dfs_flat<E>(
+    tree: &GenTree,
+    flat: Option<&FlatChildren>,
+    o: &Geometry,
+    theta: ThetaOp,
+    on_visit: impl FnMut(NodeId) -> Result<(), E>,
+) -> Result<SelectOutcome, E> {
+    capture_first(on_visit, |visit| {
+        select_dfs_flat(tree, flat, o, theta, visit)
+    })
 }
 
 /// Reference implementation: exhaustively θ-tests every entry in the tree
@@ -272,6 +341,54 @@ mod tests {
         let out = select(&t, &o, ThetaOp::WithinDistance(2.0), |id| visited.push(id));
         assert_eq!(visited.len() as u64, out.stats.nodes_visited);
         assert_eq!(visited[0], t.root());
+    }
+
+    #[test]
+    fn flat_probed_select_is_byte_identical_to_scalar() {
+        use crate::flat::FlatChildren;
+        use crate::rtree::{RTree, RTreeConfig};
+
+        let entries: Vec<(u64, Geometry)> = (0..250)
+            .map(|i| {
+                let k = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let x = (k % 997) as f64 / 997.0 * 100.0;
+                let y = (k / 997 % 997) as f64 / 997.0 * 100.0;
+                (i as u64, Geometry::Point(Point::new(x, y)))
+            })
+            .collect();
+        let rt = RTree::bulk_load(RTreeConfig::with_fanout(7), entries);
+        let trees = [lattice_tree(), rt.tree().clone()];
+        for t in &trees {
+            let flat = FlatChildren::build(t);
+            for theta in [
+                ThetaOp::Overlaps,
+                ThetaOp::WithinDistance(8.0),
+                ThetaOp::Adjacent,
+                ThetaOp::DirectionOf(sj_geom::Direction::East),
+            ] {
+                for (ox, oy) in [(0.0, 0.0), (50.0, 50.0), (200.0, 200.0)] {
+                    let o = Geometry::Point(Point::new(ox, oy));
+                    // Match sequence, stats, and visit sequence must all
+                    // be identical — not just the match *set*.
+                    let mut visits_scalar = Vec::new();
+                    let mut visits_flat = Vec::new();
+                    let want = select(t, &o, theta, |id| visits_scalar.push(id));
+                    let got = select_flat(t, Some(&flat), &o, theta, |id| visits_flat.push(id));
+                    assert_eq!(got.matches, want.matches, "{theta:?}");
+                    assert_eq!(got.stats, want.stats, "{theta:?}");
+                    assert_eq!(visits_flat, visits_scalar, "{theta:?}");
+
+                    let mut dfs_visits_scalar = Vec::new();
+                    let mut dfs_visits_flat = Vec::new();
+                    let want = select_dfs(t, &o, theta, |id| dfs_visits_scalar.push(id));
+                    let got =
+                        select_dfs_flat(t, Some(&flat), &o, theta, |id| dfs_visits_flat.push(id));
+                    assert_eq!(got.matches, want.matches, "dfs {theta:?}");
+                    assert_eq!(got.stats, want.stats, "dfs {theta:?}");
+                    assert_eq!(dfs_visits_flat, dfs_visits_scalar, "dfs {theta:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod polygon;
 pub mod polyline;
 pub mod rect;
 pub mod segment;
+pub mod soa;
 pub mod sweep;
 pub mod theta;
 
@@ -54,8 +55,11 @@ pub use polygon::{Polygon, PolygonError};
 pub use polyline::{Polyline, PolylineError};
 pub use rect::Rect;
 pub use segment::Segment;
-pub use sweep::{sweep_candidates, SweepItem};
-pub use theta::{Direction, ThetaOp};
+pub use soa::{RectChunks, FULL_MASK, LANES};
+pub use sweep::{
+    sweep_candidates, sweep_candidates_scalar, sweep_candidates_with, Kernel, SweepItem, BATCH_MIN,
+};
+pub use theta::{Direction, MaskFilter, ThetaOp};
 
 /// Tolerance used by predicates that compare floating point coordinates for
 /// equality (e.g. `Adjacent`, on-boundary tests). Coordinates in this crate

@@ -29,7 +29,8 @@
 //! codec in this workspace guarantees.
 
 use crate::rect::Rect;
-use crate::theta::ThetaOp;
+use crate::soa::{RectChunks, FULL_MASK, LANES};
+use crate::theta::{MaskFilter, ThetaOp};
 
 /// One MBR prepared for the sweep: `key` is an opaque caller-side handle
 /// (an index into the caller's tuple list), `sweep` the ε-expanded
@@ -73,6 +74,29 @@ impl SweepItem {
     }
 }
 
+/// Which filter kernel executes the inner forward scans of
+/// [`sweep_candidates_with`].
+///
+/// Both kernels produce the **same comparison count and the same
+/// emission sequence** on every input (a property-tested invariant);
+/// they differ only in how the per-candidate arithmetic is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// One candidate per iteration: branchy compares over the
+    /// array-of-structs `SweepItem` slice. The reference semantics.
+    Scalar,
+    /// Structure-of-arrays chunks ([`crate::soa::RectChunks`]): each
+    /// forward scan tests [`LANES`] candidates per branch-free mask
+    /// call and iterates only the surviving bits. Falls back to the
+    /// scalar inner loop for directional operators (no
+    /// [`ThetaOp::mask_filter`] form).
+    Batched,
+}
+
+/// Below this many items per side the auto-selected kernel stays
+/// scalar: transposing into chunks costs more than the masks save.
+pub const BATCH_MIN: usize = 2 * LANES;
+
 /// Forward-scan plane sweep over two prepared MBR lists.
 ///
 /// Calls `emit(l.key, r.key)` exactly once for every pair that passes the
@@ -86,12 +110,46 @@ impl SweepItem {
 /// a given input set, independent of the input order — the property
 /// parallel executors rely on for thread-invariant accounting.
 ///
-/// Returns the number of pairs examined by the scan (x-interval
-/// overlaps), the sweep's measure of Θ-filter work.
+/// Picks the batched kernel for inputs large enough to amortize the
+/// chunk transposition (see [`BATCH_MIN`]); the result is identical
+/// either way. Returns the number of pairs examined by the scan
+/// (x-interval overlaps), the sweep's measure of Θ-filter work.
 pub fn sweep_candidates(
     left: &mut [SweepItem],
     right: &mut [SweepItem],
     theta: ThetaOp,
+    emit: &mut impl FnMut(u32, u32),
+) -> u64 {
+    let kernel = if left.len().min(right.len()) < BATCH_MIN {
+        Kernel::Scalar
+    } else {
+        Kernel::Batched
+    };
+    sweep_candidates_with(left, right, theta, kernel, emit)
+}
+
+/// [`sweep_candidates`] pinned to the scalar reference kernel,
+/// regardless of input size. Used as the baseline in kernel A/B
+/// benchmarks and equivalence tests.
+pub fn sweep_candidates_scalar(
+    left: &mut [SweepItem],
+    right: &mut [SweepItem],
+    theta: ThetaOp,
+    emit: &mut impl FnMut(u32, u32),
+) -> u64 {
+    sweep_candidates_with(left, right, theta, Kernel::Scalar, emit)
+}
+
+/// [`sweep_candidates`] with an explicit kernel choice (no size
+/// heuristic). `Kernel::Batched` engages the mask kernel whenever the
+/// operator has a [`ThetaOp::mask_filter`] form, even for tiny inputs —
+/// which is what lets equivalence tests cover the batched path on
+/// arbitrary sizes including ragged tails.
+pub fn sweep_candidates_with(
+    left: &mut [SweepItem],
+    right: &mut [SweepItem],
+    theta: ThetaOp,
+    kernel: Kernel,
     emit: &mut impl FnMut(u32, u32),
 ) -> u64 {
     if left.is_empty() || right.is_empty() {
@@ -102,6 +160,23 @@ pub fn sweep_candidates(
     left.sort_unstable_by(|a, b| by_lo_x(a, b).expect("finite coordinates"));
     right.sort_unstable_by(|a, b| by_lo_x(a, b).expect("finite coordinates"));
 
+    // The Θ-filter constant (ε, minutes·speed, …) is folded exactly once
+    // per sweep — never per pair — on both kernel paths.
+    match (kernel, theta.mask_filter()) {
+        (Kernel::Batched, Some(mf)) => merge_batched(left, right, mf, emit),
+        (_, Some(mf)) => merge_scalar(left, right, &|a, b| mf.eval(a, b), emit),
+        // Directional operators keep the orientation-sensitive filter.
+        (_, None) => merge_scalar(left, right, &|a, b| theta.filter(a, b), emit),
+    }
+}
+
+/// The reference merge: scalar forward scans, one candidate at a time.
+fn merge_scalar(
+    left: &[SweepItem],
+    right: &[SweepItem],
+    filter: &impl Fn(&Rect, &Rect) -> bool,
+    emit: &mut impl FnMut(u32, u32),
+) -> u64 {
     let mut comparisons = 0u64;
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.len() && j < right.len() {
@@ -112,7 +187,7 @@ pub fn sweep_candidates(
                     break;
                 }
                 comparisons += 1;
-                if check(l, r, theta) {
+                if check(l, r, filter) {
                     emit(l.key, r.key);
                 }
             }
@@ -124,7 +199,7 @@ pub fn sweep_candidates(
                     break;
                 }
                 comparisons += 1;
-                if check(l, r, theta) {
+                if check(l, r, filter) {
                     emit(l.key, r.key);
                 }
             }
@@ -137,8 +212,122 @@ pub fn sweep_candidates(
 /// Inline y-overlap pre-check on the sweep rectangles, then the exact
 /// Θ-filter on the original MBRs.
 #[inline]
-fn check(l: &SweepItem, r: &SweepItem, theta: ThetaOp) -> bool {
-    l.sweep.lo.y <= r.sweep.hi.y && r.sweep.lo.y <= l.sweep.hi.y && theta.filter(&l.mbr, &r.mbr)
+fn check(l: &SweepItem, r: &SweepItem, filter: &impl Fn(&Rect, &Rect) -> bool) -> bool {
+    l.sweep.lo.y <= r.sweep.hi.y && r.sweep.lo.y <= l.sweep.hi.y && filter(&l.mbr, &r.mbr)
+}
+
+/// One sorted side transposed into SoA chunks: sweep rectangles drive
+/// the x-reach and y-overlap masks, original MBRs the Θ-filter mask,
+/// and `keys` maps surviving lanes back to caller handles.
+#[derive(Default)]
+struct ChunkedSide {
+    sweep: RectChunks,
+    mbr: RectChunks,
+    keys: Vec<u32>,
+}
+
+impl ChunkedSide {
+    /// Re-transposes `items` into this side, keeping prior allocations.
+    fn refill(&mut self, items: &[SweepItem]) {
+        self.sweep.clear();
+        self.mbr.clear();
+        self.keys.clear();
+        for it in items {
+            self.sweep.push(&it.sweep);
+            self.mbr.push(&it.mbr);
+            self.keys.push(it.key);
+        }
+    }
+}
+
+std::thread_local! {
+    /// Per-thread chunk scratch, reused across sweeps. Tile-grained
+    /// callers (PBSM runs one sweep per tile) would otherwise pay a
+    /// fresh round of lane-array allocations per tile, which at a few
+    /// hundred tuples per tile is comparable to the mask savings.
+    static CHUNK_SCRATCH: std::cell::Cell<Option<Box<(ChunkedSide, ChunkedSide)>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The batched merge: same outer structure as [`merge_scalar`], but each
+/// inner forward scan walks whole chunks, testing [`LANES`] candidates
+/// per mask call.
+fn merge_batched(
+    left: &[SweepItem],
+    right: &[SweepItem],
+    mf: MaskFilter,
+    emit: &mut impl FnMut(u32, u32),
+) -> u64 {
+    // Take the scratch out for the duration of the merge; a reentrant
+    // sweep from inside `emit` simply finds the slot empty and pays for
+    // its own transient pair.
+    let mut scratch = CHUNK_SCRATCH.with(|s| s.take()).unwrap_or_default();
+    let (lc, rc) = &mut *scratch;
+    lc.refill(left);
+    rc.refill(right);
+    let mut comparisons = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if left[i].sweep.lo.x <= right[j].sweep.lo.x {
+            let l = &left[i];
+            comparisons += scan_chunked(rc, j, l, mf, &mut |k| emit(l.key, k));
+            i += 1;
+        } else {
+            let r = &right[j];
+            comparisons += scan_chunked(lc, i, r, mf, &mut |k| emit(k, r.key));
+            j += 1;
+        }
+    }
+    CHUNK_SCRATCH.with(|s| s.set(Some(scratch)));
+    comparisons
+}
+
+/// One chunked forward scan: examines the candidates from index `start`
+/// whose `sweep.lo.x` reaches back into the probe's x-interval, exactly
+/// the pairs the scalar scan counts.
+///
+/// Because the side is sorted by `lo.x`, the x-reach mask is always a
+/// prefix of the chunk; a partial mask therefore proves every later
+/// chunk fails too (padding lanes at the tail fail it by construction),
+/// so the scan never over- or under-counts relative to the scalar
+/// break. Survivors are emitted in ascending lane order — the scalar
+/// emission order.
+#[inline]
+fn scan_chunked(
+    side: &ChunkedSide,
+    start: usize,
+    probe: &SweepItem,
+    mf: MaskFilter,
+    emit_key: &mut impl FnMut(u32),
+) -> u64 {
+    let mut comparisons = 0u64;
+    let mut chunk = start / LANES;
+    // Lanes before `start` in the first chunk are already behind the
+    // merge frontier and must not be re-examined.
+    let mut live: u16 = FULL_MASK << (start % LANES) & FULL_MASK;
+    let num_chunks = side.sweep.num_chunks();
+    while chunk < num_chunks {
+        let reach = side.sweep.x_reach_mask(probe.sweep.hi.x, chunk);
+        let scan = reach & live;
+        comparisons += u64::from(scan.count_ones());
+        if scan != 0 {
+            let pre = scan & side.sweep.y_overlap_mask(&probe.sweep, chunk);
+            if pre != 0 {
+                let mut hits = pre & side.mbr.filter_mask(&probe.mbr, mf, chunk);
+                while hits != 0 {
+                    let lane = hits.trailing_zeros() as usize;
+                    emit_key(side.keys[chunk * LANES + lane]);
+                    hits &= hits - 1;
+                }
+            }
+        }
+        if reach != FULL_MASK {
+            break;
+        }
+        live = FULL_MASK;
+        chunk += 1;
+    }
+    comparisons
 }
 
 #[cfg(test)]
@@ -293,6 +482,101 @@ mod tests {
             let (got, _) = swept(&l, &r, theta, eps);
             assert_eq!(got, quadratic(&l, &r, theta), "{theta:?}");
         }
+    }
+
+    /// Runs one kernel end to end, returning the **raw** emission
+    /// sequence (order-sensitive) and the comparison count.
+    fn run_kernel(
+        l: &[Rect],
+        r: &[Rect],
+        theta: ThetaOp,
+        eps: f64,
+        kernel: Kernel,
+    ) -> (Vec<(u32, u32)>, u64) {
+        let mut left: Vec<SweepItem> = l
+            .iter()
+            .enumerate()
+            .map(|(i, m)| SweepItem::expanded(i as u32, *m, eps))
+            .collect();
+        let mut right: Vec<SweepItem> = r
+            .iter()
+            .enumerate()
+            .map(|(j, m)| SweepItem::new(j as u32, *m))
+            .collect();
+        let mut pairs = Vec::new();
+        let cmp = sweep_candidates_with(&mut left, &mut right, theta, kernel, &mut |a, b| {
+            pairs.push((a, b))
+        });
+        (pairs, cmp)
+    }
+
+    #[test]
+    fn batched_kernel_is_byte_identical_to_scalar() {
+        // Every size class around the chunk width (ragged tails, exactly
+        // full chunks, multi-chunk runs, and asymmetric sides), for every
+        // bounded operator: the emission *sequence* and the comparison
+        // count must match the scalar kernel exactly.
+        let ops = [
+            ThetaOp::Overlaps,
+            ThetaOp::Includes,
+            ThetaOp::ContainedIn,
+            ThetaOp::Adjacent,
+            ThetaOp::WithinDistance(8.0),
+            ThetaOp::WithinCenterDistance(11.0),
+            ThetaOp::ReachableWithin {
+                minutes: 3.0,
+                speed: 2.0,
+            },
+        ];
+        for (nl, nr) in [(1, 1), (3, 9), (7, 8), (8, 8), (9, 17), (33, 40), (60, 70)] {
+            let l = soup(nl, 7);
+            let r = soup(nr, 1234);
+            for theta in ops {
+                let eps = theta.filter_radius().expect("bounded operator");
+                let scalar = run_kernel(&l, &r, theta, eps, Kernel::Scalar);
+                let batched = run_kernel(&l, &r, theta, eps, Kernel::Batched);
+                assert_eq!(batched, scalar, "{theta:?} nl={nl} nr={nr}");
+            }
+        }
+    }
+
+    #[test]
+    fn directional_operators_fall_back_identically_on_both_kernels() {
+        let l = soup(40, 3);
+        let r = soup(40, 5);
+        let theta = ThetaOp::DirectionOf(Direction::NorthWest);
+        // No bounded radius: sweep with the raw MBRs on both sides (the
+        // executors use a nested loop instead, but the kernel contract
+        // must still hold for whoever calls it directly).
+        let scalar = run_kernel(&l, &r, theta, 0.0, Kernel::Scalar);
+        let batched = run_kernel(&l, &r, theta, 0.0, Kernel::Batched);
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn auto_kernel_matches_forced_kernels() {
+        let l = soup(50, 21);
+        let r = soup(50, 22);
+        let theta = ThetaOp::WithinDistance(6.0);
+        let eps = theta.filter_radius().unwrap();
+        let mut left: Vec<SweepItem> = l
+            .iter()
+            .enumerate()
+            .map(|(i, m)| SweepItem::expanded(i as u32, *m, eps))
+            .collect();
+        let mut right: Vec<SweepItem> = r
+            .iter()
+            .enumerate()
+            .map(|(j, m)| SweepItem::new(j as u32, *m))
+            .collect();
+        let mut auto_pairs = Vec::new();
+        let auto_cmp = sweep_candidates(&mut left, &mut right, theta, &mut |a, b| {
+            auto_pairs.push((a, b))
+        });
+        assert_eq!(
+            (auto_pairs, auto_cmp),
+            run_kernel(&l, &r, theta, eps, Kernel::Scalar)
+        );
     }
 
     #[test]

@@ -102,6 +102,38 @@ pub enum ThetaOp {
     Adjacent,
 }
 
+/// The Θ-filter of a bounded operator compiled down to one of the two
+/// primitive MBR predicates, with every operator-specific constant
+/// (distance thresholds, `minutes · speed` products, the adjacency ε)
+/// folded in **once**. Inner filter loops and the batched mask kernels
+/// ([`crate::soa::RectChunks`]) evaluate this instead of re-deriving the
+/// constant per pair from the [`ThetaOp`].
+///
+/// Both variants are symmetric in their rectangle arguments (rectangle
+/// intersection trivially; `min_distance` exactly, since its per-axis
+/// `max` just swaps operands), which is what allows a single
+/// probe-vs-lanes kernel to serve filters written in either orientation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaskFilter {
+    /// `a` intersects `b` (closed intervals) — Table 1 rows 2–4.
+    Overlap,
+    /// `min_distance(a, b) <= ε` — the distance rows, with ε possibly
+    /// negative (then the filter never holds, matching the scalar Θ).
+    Within(f64),
+}
+
+impl MaskFilter {
+    /// Evaluates the compiled filter on two MBRs. Bit-for-bit identical
+    /// to [`ThetaOp::filter`] for the operator it was compiled from.
+    #[inline]
+    pub fn eval(&self, a: &Rect, b: &Rect) -> bool {
+        match self {
+            MaskFilter::Overlap => a.intersects(b),
+            MaskFilter::Within(eps) => a.min_distance(b) <= *eps,
+        }
+    }
+}
+
 impl ThetaOp {
     /// Evaluates the exact θ-predicate on two geometries.
     pub fn eval(&self, a: &Geometry, b: &Geometry) -> bool {
@@ -152,6 +184,31 @@ impl ThetaOp {
             ThetaOp::Overlaps | ThetaOp::Includes | ThetaOp::ContainedIn => Some(0.0),
             ThetaOp::ReachableWithin { minutes, speed } => Some((minutes * speed).max(0.0)),
             ThetaOp::Adjacent => Some(EPSILON),
+            ThetaOp::DirectionOf(_) => None,
+        }
+    }
+
+    /// Compiles the operator's Θ-filter into a [`MaskFilter`] with all
+    /// constants folded, or `None` for directional operators (whose
+    /// half-plane filter is orientation-sensitive and unbounded — those
+    /// stay on the scalar [`ThetaOp::filter`] path).
+    ///
+    /// Unlike [`ThetaOp::filter_radius`], thresholds are **not** clamped
+    /// to zero: a negative distance must keep rejecting every pair, so
+    /// the raw constant is preserved and `MaskFilter::eval` stays
+    /// bit-for-bit identical to `filter`.
+    pub fn mask_filter(&self) -> Option<MaskFilter> {
+        match self {
+            ThetaOp::WithinCenterDistance(d) | ThetaOp::WithinDistance(d) => {
+                Some(MaskFilter::Within(*d))
+            }
+            ThetaOp::Overlaps | ThetaOp::Includes | ThetaOp::ContainedIn => {
+                Some(MaskFilter::Overlap)
+            }
+            ThetaOp::ReachableWithin { minutes, speed } => {
+                Some(MaskFilter::Within(minutes * speed))
+            }
+            ThetaOp::Adjacent => Some(MaskFilter::Within(EPSILON)),
             ThetaOp::DirectionOf(_) => None,
         }
     }
@@ -435,6 +492,47 @@ mod tests {
             let (theta, big_theta) = op.table_row();
             assert!(!theta.is_empty() && !big_theta.is_empty());
         }
+    }
+
+    #[test]
+    fn mask_filter_is_bit_identical_to_theta_filter() {
+        let rects: Vec<Rect> = (0..12)
+            .map(|i| {
+                let f = i as f64;
+                Rect::from_bounds(f * 1.7, f * 0.9, f * 1.7 + (i % 4) as f64, f * 0.9 + 2.0)
+            })
+            .collect();
+        let ops = [
+            ThetaOp::Overlaps,
+            ThetaOp::Includes,
+            ThetaOp::ContainedIn,
+            ThetaOp::Adjacent,
+            ThetaOp::WithinDistance(3.0),
+            ThetaOp::WithinDistance(-1.0), // negative ε must keep rejecting
+            ThetaOp::WithinCenterDistance(7.5),
+            ThetaOp::ReachableWithin {
+                minutes: 2.0,
+                speed: 1.25,
+            },
+        ];
+        for op in ops {
+            let mf = op.mask_filter().expect("bounded operator");
+            for a in &rects {
+                for b in &rects {
+                    assert_eq!(mf.eval(a, b), op.filter(a, b), "{op:?} {a:?} {b:?}");
+                    assert_eq!(mf.eval(a, b), mf.eval(b, a), "{op:?} not symmetric");
+                }
+            }
+        }
+        assert_eq!(
+            ThetaOp::DirectionOf(Direction::NorthWest).mask_filter(),
+            None
+        );
+        // filter_radius clamps negatives; mask_filter must not.
+        assert_eq!(
+            ThetaOp::WithinDistance(-1.0).mask_filter(),
+            Some(MaskFilter::Within(-1.0))
+        );
     }
 
     /// The key soundness example of Figure 4: o1' overlaps o2' must hold

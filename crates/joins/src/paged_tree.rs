@@ -8,7 +8,7 @@
 //! (strategy IIb) or scattered under [`Layout::Unclustered`]
 //! (strategy IIa), and charges a record read per visit.
 
-use sj_gentree::{GenTree, NodeId};
+use sj_gentree::{FlatChildren, GenTree, NodeId};
 use sj_geom::{codec, Geometry};
 use sj_storage::{BufferPool, HeapFile, Layout, RecordId, StorageError};
 
@@ -118,13 +118,18 @@ pub struct TreeRelation {
     pub tree: GenTree,
     /// Its storage mapping.
     pub paged: PagedTree,
+    /// Flattened child-MBR snapshot for batched mask probes. Built once
+    /// here — `TreeRelation` trees are frozen after load, so the
+    /// snapshot never goes stale.
+    pub flat: FlatChildren,
 }
 
 impl TreeRelation {
     /// Stores `tree` with the given record size and layout.
     pub fn new(pool: &mut BufferPool, tree: GenTree, record_size: usize, layout: Layout) -> Self {
         let paged = PagedTree::build(pool, &tree, record_size, layout);
-        TreeRelation { tree, paged }
+        let flat = FlatChildren::build(&tree);
+        TreeRelation { tree, paged, flat }
     }
 
     /// Number of application tuples (entry-bearing nodes).

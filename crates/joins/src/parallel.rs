@@ -32,7 +32,7 @@ use std::collections::HashMap;
 use std::thread;
 use std::time::Instant;
 
-use sj_geom::sweep::{sweep_candidates, SweepItem};
+use sj_geom::sweep::{sweep_candidates, sweep_candidates_with, Kernel, SweepItem};
 use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::{BufferPool, StorageError};
@@ -144,12 +144,14 @@ impl TileGrid {
     }
 }
 
-/// Tiles per axis, scaled to the input size so that tiles hold a few
-/// dozen tuples on average. Depends only on the data — never on the
-/// thread count — which keeps comparison totals invariant under
-/// parallelism.
+/// Tiles per axis, scaled to the input size so that tiles hold on the
+/// order of five hundred tuples on average — deep enough per-tile runs
+/// for the batched SoA sweep to walk multi-chunk scans and amortize its
+/// chunk builds, while a tile's SoA working set stays cache-resident.
+/// Depends only on the data — never on the thread count — which keeps
+/// comparison totals invariant under parallelism.
 fn tiles_per_axis(total_tuples: usize) -> usize {
-    ((total_tuples as f64 / 32.0).sqrt().ceil() as usize).clamp(2, 64)
+    ((total_tuples as f64 / 512.0).sqrt().ceil() as usize).clamp(2, 64)
 }
 
 /// Matches and comparison counters produced by one tile (or one
@@ -212,12 +214,31 @@ pub fn try_partition_join_traced(
     par: Parallelism,
     trace: &mut TraceSink,
 ) -> Result<JoinRun, StorageError> {
+    try_partition_join_with(pool, r, s, theta, par, trace, None)
+}
+
+/// [`try_partition_join_traced`] with an explicit per-tile sweep kernel:
+/// `Some(kernel)` forces every tile's forward scan onto that kernel,
+/// `None` lets each tile auto-pick by its list sizes (the default).
+/// Match sets and counters are identical for every choice — the knob
+/// exists for A/B measurement (`simd_scaling`).
+#[allow(clippy::too_many_arguments)]
+pub fn try_partition_join_with(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    par: Parallelism,
+    trace: &mut TraceSink,
+    kernel: Option<Kernel>,
+) -> Result<JoinRun, StorageError> {
     match theta.filter_radius() {
-        Some(eps) => pbsm_join(pool, r, s, theta, par, eps, trace),
+        Some(eps) => pbsm_join(pool, r, s, theta, par, eps, trace, kernel),
         None => chunked_nested_loop(pool, r, s, theta, par, trace),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pbsm_join(
     pool: &mut BufferPool,
     r: &StoredRelation,
@@ -226,6 +247,7 @@ fn pbsm_join(
     par: Parallelism,
     eps: f64,
     trace: &mut TraceSink,
+    kernel: Option<Kernel>,
 ) -> Result<JoinRun, StorageError> {
     let mut timer = PhaseTimer::for_sink(trace);
     let timed = trace.is_enabled();
@@ -317,6 +339,7 @@ fn pbsm_join(
                     &s_tiles[t],
                     pool,
                     timed,
+                    kernel,
                 )
             })
             .collect::<Result<_, _>>()?
@@ -351,6 +374,7 @@ fn pbsm_join(
                                 &s_tiles[t],
                                 &mut shard,
                                 timed,
+                                kernel,
                             ) {
                                 Ok(o) => outs.push(o),
                                 Err(e) => {
@@ -423,6 +447,8 @@ fn pbsm_join(
 /// plane sweep ([`sweep_candidates`]) over the tile's MBR lists instead
 /// of an all-pairs loop, so `filter_evals` counts sweep comparisons —
 /// still a pure function of the tile contents, hence thread-invariant.
+/// `kernel` forces the scan onto one kernel; `None` auto-picks by tile
+/// size (batched SoA masks once both lists clear the chunk threshold).
 /// Geometries are fetched through `pool` only when a candidate survives
 /// the Θ-filter *and* the reference-point rule, and are cached per tile
 /// so each tuple is read at most once per tile it participates in.
@@ -440,6 +466,7 @@ fn process_tile(
     s_list: &[u32],
     pool: &mut BufferPool,
     timed: bool,
+    kernel: Option<Kernel>,
 ) -> Result<TileOut, StorageError> {
     let t0 = timed.then(Instant::now);
     let mut out = TileOut {
@@ -474,7 +501,7 @@ fn process_tile(
     // set, no further geometry fetches are attempted and the tile's
     // outcome is discarded below (fail-stop, never a partial tile).
     let mut first_err: Option<StorageError> = None;
-    let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |pi, pj| {
+    let mut emit = |pi: u32, pj: u32| {
         if first_err.is_some() {
             return;
         }
@@ -519,7 +546,11 @@ fn process_tile(
         if theta.eval(rg, sg) {
             out.pairs.push((r_id, s_id));
         }
-    });
+    };
+    let comparisons = match kernel {
+        Some(k) => sweep_candidates_with(&mut sweep_r, &mut sweep_s, theta, k, &mut emit),
+        None => sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut emit),
+    };
     if let Some(e) = first_err {
         return Err(e);
     }
@@ -751,9 +782,11 @@ pub fn try_parallel_tree_join_traced(
                         // results are discarded by the coordinator.
                         let mut err: Option<StorageError> = None;
                         for &a in chunk {
-                            match sj_gentree::join::try_join_pair(
+                            match sj_gentree::join::try_join_pair_flat(
                                 &r.tree,
+                                Some(&r.flat),
                                 &s.tree,
+                                Some(&s.flat),
                                 a,
                                 root_s,
                                 1,

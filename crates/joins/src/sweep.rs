@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use sj_geom::sweep::{sweep_candidates, SweepItem};
-use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
+use sj_geom::sweep::{sweep_candidates_with, Kernel, SweepItem};
+use sj_geom::{Bounded, Geometry, Rect, ThetaOp, BATCH_MIN};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::{BufferPool, StorageError};
 
@@ -65,6 +65,28 @@ pub fn try_sweep_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> Result<JoinRun, StorageError> {
+    // Auto-pick the forward-scan kernel the way sweep_candidates does:
+    // batched SoA scans once both sides clear the chunk threshold.
+    let kernel = if r.len().min(s.len()) < BATCH_MIN {
+        Kernel::Scalar
+    } else {
+        Kernel::Batched
+    };
+    try_sweep_join_with(pool, r, s, theta, trace, kernel)
+}
+
+/// [`try_sweep_join_traced`] with an explicit forward-scan kernel
+/// ([`Kernel::Scalar`] pins the per-pair scalar scan, [`Kernel::Batched`]
+/// the SoA mask scan). Identical match sets and counters either way —
+/// the knob exists for A/B measurement (`simd_scaling`).
+pub fn try_sweep_join_with(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+    kernel: Kernel,
+) -> Result<JoinRun, StorageError> {
     let Some(eps) = theta.filter_radius() else {
         // Unbounded (directional) filter region: no sweep interval
         // covers it; serve the operator with strategy I.
@@ -113,35 +135,40 @@ pub fn try_sweep_join_traced(
     // no further geometry fetches are attempted and the outcome is
     // discarded below.
     let mut first_err: Option<StorageError> = None;
-    let comparisons = sweep_candidates(&mut sweep_r, &mut sweep_s, theta, &mut |i, j| {
-        if first_err.is_some() {
-            return;
-        }
-        refine.theta_evals += 1;
-        let rg = match r_geo.entry(i) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => match r.try_read_at(pool, i as usize) {
-                Ok((_, g)) => v.insert(g),
-                Err(e) => {
-                    first_err = Some(e);
-                    return;
+    let comparisons =
+        sweep_candidates_with(&mut sweep_r, &mut sweep_s, theta, kernel, &mut |i, j| {
+            if first_err.is_some() {
+                return;
+            }
+            refine.theta_evals += 1;
+            let rg = match r_geo.entry(i) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    match r.try_read_at(pool, i as usize) {
+                        Ok((_, g)) => v.insert(g),
+                        Err(e) => {
+                            first_err = Some(e);
+                            return;
+                        }
+                    }
                 }
-            },
-        };
-        let sg = match s_geo.entry(j) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => match s.try_read_at(pool, j as usize) {
-                Ok((_, g)) => v.insert(g),
-                Err(e) => {
-                    first_err = Some(e);
-                    return;
+            };
+            let sg = match s_geo.entry(j) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    match s.try_read_at(pool, j as usize) {
+                        Ok((_, g)) => v.insert(g),
+                        Err(e) => {
+                            first_err = Some(e);
+                            return;
+                        }
+                    }
                 }
-            },
-        };
-        if theta.eval(rg, sg) {
-            run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0));
-        }
-    });
+            };
+            if theta.eval(rg, sg) {
+                run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0));
+            }
+        });
     refine.add_io(pool.stats().since(&window));
     timer.stop();
     if let Some(e) = first_err {

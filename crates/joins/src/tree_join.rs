@@ -5,7 +5,7 @@
 //! [`Layout`]: sj_storage::Layout
 
 use sj_gentree::{join, select};
-use sj_geom::{Geometry, ThetaOp};
+use sj_geom::{Geometry, Kernel, ThetaOp};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::{BufferPool, StorageError};
 
@@ -43,13 +43,20 @@ pub fn try_tree_select(
     order: TraversalOrder,
 ) -> Result<SelectRun, StorageError> {
     let before = pool.stats();
+    // Descend through the relation's flattened child-MBR snapshot: one
+    // SoA mask call per chunk of siblings instead of per-child scalar
+    // filters (identical matches and counters either way).
     let outcome = match order {
-        TraversalOrder::BreadthFirst => select::try_select(&r.tree, o, theta, |node| {
-            r.paged.try_touch(pool, node).map(|_| ())
-        })?,
-        TraversalOrder::DepthFirst => select::try_select_dfs(&r.tree, o, theta, |node| {
-            r.paged.try_touch(pool, node).map(|_| ())
-        })?,
+        TraversalOrder::BreadthFirst => {
+            select::try_select_flat(&r.tree, Some(&r.flat), o, theta, |node| {
+                r.paged.try_touch(pool, node).map(|_| ())
+            })?
+        }
+        TraversalOrder::DepthFirst => {
+            select::try_select_dfs_flat(&r.tree, Some(&r.flat), o, theta, |node| {
+                r.paged.try_touch(pool, node).map(|_| ())
+            })?
+        }
     };
     let mut run = SelectRun {
         matches: outcome.matches,
@@ -99,15 +106,37 @@ pub fn try_tree_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> Result<JoinRun, StorageError> {
+    try_tree_join_with(pool, r, s, theta, trace, Kernel::Batched)
+}
+
+/// [`try_tree_join_traced`] with an explicit filter kernel: `Batched`
+/// probes both trees' flattened child-MBR snapshots through the SoA mask
+/// kernels, `Scalar` pins the per-child scalar filter loop. Both produce
+/// byte-identical pairs and counters — the knob exists for A/B
+/// measurement (`simd_scaling`).
+pub fn try_tree_join_with(
+    pool: &mut BufferPool,
+    r: &TreeRelation,
+    s: &TreeRelation,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+    kernel: Kernel,
+) -> Result<JoinRun, StorageError> {
     let mut timer = PhaseTimer::for_sink(trace);
     timer.enter(Phase::IndexProbe);
     let window = pool.stats();
+    let (flat_r, flat_s) = match kernel {
+        Kernel::Batched => (Some(&r.flat), Some(&s.flat)),
+        Kernel::Scalar => (None, None),
+    };
     // Both visitor callbacks need the pool; a local RefCell arbitrates the
     // (strictly alternating, single-threaded) accesses.
     let pool_cell = std::cell::RefCell::new(&mut *pool);
-    let outcome = join::try_join(
+    let outcome = join::try_join_flat(
         &r.tree,
+        flat_r,
         &s.tree,
+        flat_s,
         theta,
         |node| {
             r.paged

@@ -742,9 +742,15 @@ fn try_compute(
                 Side::R => &state.r_tree,
                 Side::S => &state.s_tree,
             };
-            let outcome = sj_gentree::select::try_select(&tree.tree, probe, req.theta, |node| {
-                tree.paged.try_touch(&mut shard, node).map(|_| ())
-            })?;
+            // Batched descent through the relation's flattened child-MBR
+            // snapshot (identical matches and counters to the scalar path).
+            let outcome = sj_gentree::select::try_select_flat(
+                &tree.tree,
+                Some(&tree.flat),
+                probe,
+                req.theta,
+                |node| tree.paged.try_touch(&mut shard, node).map(|_| ()),
+            )?;
             let mut matches = outcome.matches;
             matches.sort_unstable();
             Ok(Reply::Select {

@@ -166,6 +166,36 @@ print(f"    -> BENCH_chaos.json + {len(fault_events)} service/fault spans OK")
 PY
 rm -f /tmp/sj_bench_chaos_smoke.json /tmp/sj_chaos_trace_smoke.jsonl
 
+echo "==> simd smoke (BENCH_simd_join.json schema validation)"
+# The kernel A/B bench asserts zero scalar/batched divergence internally
+# (it aborts on any mismatch); here its artifact schema is pinned: all
+# twelve {path}_{kernel}_{metric} series with numeric points, plus the
+# top-level cpu_cores field every bench artifact now carries.
+./target/release/simd_scaling --smoke --out /tmp/sj_bench_simd_smoke.json >/dev/null
+python3 - /tmp/sj_bench_simd_smoke.json <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert isinstance(doc.get("cpu_cores"), int) and doc["cpu_cores"] >= 1, \
+    f"bad cpu_cores: {doc.get('cpu_cores')!r}"
+series = {s["label"]: s["points"] for s in doc["series"]}
+required = {
+    f"{path}_{kernel}_{metric}"
+    for path in ("sweep", "partition", "tree")
+    for kernel in ("scalar", "batched")
+    for metric in ("cps", "ms")
+}
+missing = required - series.keys()
+assert not missing, f"missing series: {sorted(missing)}"
+for label, points in series.items():
+    assert points, f"empty series {label!r}"
+    for x, y in points:
+        assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
+            f"non-numeric point in {label!r}: {(x, y)!r}"
+print(f"    -> {len(series)} simd series OK (cpu_cores={doc['cpu_cores']})")
+PY
+rm -f /tmp/sj_bench_simd_smoke.json
+
 echo "==> committed-artifact gates (BENCH_service.json / BENCH_chaos.json)"
 # The committed artifacts are the repo's perf contract. Throughput must
 # not fall as the worker pool grows (the PR-6 tentpole: shared-nothing
@@ -190,6 +220,49 @@ assert chaos["degraded"][-1][1] > 0, \
 print(f"    -> throughput {' -> '.join(f'{y:.0f}' for _, y in rps)} rps, "
       f"top-rate degraded={chaos['degraded'][-1][1]:.0f} OK")
 PY
+
+echo "==> committed-artifact gate (BENCH_simd_join.json)"
+# The PR-7 tentpole contract: on the committed run, the batched SoA
+# kernel must beat the scalar kernel in comparisons/sec on all three
+# filter paths at n=16k. (The bench itself already asserts the two
+# kernels produce byte-identical results.)
+python3 - BENCH_simd_join.json <<'PY'
+import json, sys
+
+simd = {s["label"]: dict(s["points"]) for s in json.load(open(sys.argv[1]))["series"]}
+lines = []
+for path in ("sweep", "partition", "tree"):
+    scalar = simd[f"{path}_scalar_cps"][16000]
+    batched = simd[f"{path}_batched_cps"][16000]
+    assert batched >= scalar, \
+        f"{path}: batched {batched:.0f} cps < scalar {scalar:.0f} cps at n=16k"
+    lines.append(f"{path} +{batched / scalar - 1:.1%}")
+print(f"    -> batched beats scalar at n=16k: {', '.join(lines)}")
+PY
+
+echo "==> no-alloc grep gate (soa.rs mask kernels)"
+# The mask kernels promise straight-line, allocation-free lane
+# arithmetic. Nothing between the mask-kernel-begin/end markers may
+# allocate — any Vec/Box/String construction or collection growth there
+# is a regression the optimizer cannot be trusted to hoist.
+alloc_hits=$(
+    awk '/mask-kernel-begin/ { scan = 1 }
+         /mask-kernel-end/ { scan = 0 }
+         scan && /vec!|Vec::|\.push\(|\.collect\(|Box::new|String::|format!|to_vec\(|with_capacity/ {
+             print FILENAME ":" FNR ": " $0
+         }' crates/geom/src/soa.rs
+)
+if [ -n "$alloc_hits" ]; then
+    echo "    allocation inside the mask-kernel region:"
+    echo "$alloc_hits"
+    exit 1
+fi
+markers=$(grep -c "mask-kernel-begin\|mask-kernel-end" crates/geom/src/soa.rs)
+if [ "$markers" -ne 2 ]; then
+    echo "    expected exactly one mask-kernel-begin/end pair, found $markers markers"
+    exit 1
+fi
+echo "    -> mask-kernel region is allocation-free"
 
 echo "==> fail-stop grep gate (no unchecked panics in storage/service)"
 # The storage and service crates promise typed StorageError propagation.
