@@ -41,6 +41,7 @@ use sj_geom::{Bounded, Geometry, Point, Rect, ThetaOp};
 use sj_joins::Strategy;
 use sj_service::{
     Rejection, Reply, Request, ServiceConfig, ServiceMetrics, ServiceResult, Side, SpatialService,
+    WriteBatch,
 };
 
 const WORKERS: [usize; 3] = [1, 2, 4];
@@ -354,8 +355,14 @@ fn main() {
         reference_svc.call(probe.clone()).expect("ok");
         let warm = reference_svc.call(probe.clone()).expect("ok");
         assert!(warm.cached, "repeat query must be cache-served");
-        let version =
-            reference_svc.update(&[(Side::R, 9_999_999, Geometry::Point(Point::new(1.0, 1.0)))]);
+        let version = reference_svc
+            .commit(&WriteBatch::new().insert(
+                Side::R,
+                9_999_999,
+                Geometry::Point(Point::new(1.0, 1.0)),
+            ))
+            .expect("bench commit succeeds")
+            .version;
         let fresh = reference_svc.call(probe).expect("ok");
         assert!(!fresh.cached, "update must invalidate the cached reply");
         assert_eq!(fresh.version, version);

@@ -1,0 +1,266 @@
+//! Durable-mutation throughput: WAL-backed commits through the typed
+//! [`WriteBatch`] API, incremental apply vs full snapshot rebuild, at
+//! batch sizes 1 / 16 / 256 — plus the fine-grained cache-invalidation
+//! payoff: repeated writes confined to one corner of the world must
+//! leave queries against the far corner cache-served.
+//!
+//! Run: `cargo run --release -p sj-bench --bin update_scaling`
+//!
+//! Flags (shared [`sj_bench::BenchArgs`] conventions):
+//! - `--smoke` — shrink the workload (CI mode) and skip the JSON
+//!   artifact unless `--out` is given;
+//! - `--commits N` — commits measured per batch size (default 64);
+//! - `--out <path>` — where to write the JSON artifact (default
+//!   `BENCH_update.json`);
+//! - `--trace <path>` — JSONL service metrics (including the
+//!   `service/wal` and `service/apply` write-path spans).
+//!
+//! Prints one CSV row per (mode, batch size) and writes series for
+//! updates/sec, physical pages touched per applied op, and the
+//! cache-retention counters of the disjoint-write phase. The measured
+//! pages/op column is the empirical counterpart of §4.2's analytic
+//! update costs (`costmodel::update::u_iib` et al.) — see
+//! EXPERIMENTS.md for the comparison table.
+
+use std::time::Instant;
+
+use sj_costmodel::series::Series;
+use sj_costmodel::{update, ModelParams};
+use sj_geom::{Geometry, Point, Rect, ThetaOp};
+use sj_service::{ApplyMode, Request, ServiceConfig, Side, SpatialService, WriteBatch};
+
+const BATCH_SIZES: [usize; 3] = [1, 16, 256];
+
+fn grid_tuples(n: usize, step: f64, id0: u64) -> Vec<(u64, Geometry)> {
+    (0..n * n)
+        .map(|i| {
+            (
+                id0 + i as u64,
+                Geometry::Point(Point::new((i % n) as f64 * step, (i / n) as f64 * step)),
+            )
+        })
+        .collect()
+}
+
+/// One measured write stream: `commits` commits of `batch` ops each —
+/// ~60% inserts, ~20% deletes of earlier inserts, ~20% upserts — so
+/// both tree insert and delete maintenance are on the clock.
+fn build_batches(commits: usize, batch: usize, world: Rect) -> Vec<WriteBatch> {
+    let mut fresh = 1_000_000u64;
+    let mut inserted: Vec<(Side, u64)> = Vec::new();
+    let mut out = Vec::with_capacity(commits);
+    for c in 0..commits {
+        let mut wb = WriteBatch::new();
+        for k in 0..batch {
+            let j = c * batch + k;
+            let side = if j.is_multiple_of(2) {
+                Side::R
+            } else {
+                Side::S
+            };
+            let x = world.width() * 0.1 + ((j * 37) % 1000) as f64 * world.width() * 0.8 / 1000.0;
+            let y = world.height() * 0.1 + ((j * 73) % 1000) as f64 * world.height() * 0.8 / 1000.0;
+            let g = Geometry::Point(Point::new(x, y));
+            match j % 5 {
+                3 if inserted.len() > batch => {
+                    let (side, id) = inserted.remove(j % inserted.len());
+                    wb = wb.delete(side, id);
+                }
+                4 if !inserted.is_empty() => {
+                    let &(side, id) = &inserted[j % inserted.len()];
+                    wb = wb.upsert(side, id, g);
+                }
+                _ => {
+                    wb = wb.insert(side, fresh, g);
+                    inserted.push((side, fresh));
+                    fresh += 1;
+                }
+            }
+        }
+        out.push(wb);
+    }
+    out
+}
+
+fn main() {
+    let args = sj_bench::BenchArgs::parse();
+    let smoke = args.smoke();
+    let mut sink = args.trace_sink();
+    let commits = args.usize_of("--commits", if smoke { 6 } else { 64 });
+
+    let grid = if smoke { 8 } else { 24 };
+    let world = Rect::from_bounds(0.0, 0.0, 64.0, 64.0);
+    let r0 = grid_tuples(grid, 64.0 / grid as f64, 0);
+    let s0 = grid_tuples(grid, 64.0 / grid as f64, 500_000);
+    println!(
+        "# update scaling: |R|=|S|={} seed points, {commits} commits per batch size",
+        r0.len()
+    );
+    println!("mode,batch,commits,ops,applied,updates_per_sec,pages_per_op");
+
+    let mut ups_inc = Series {
+        label: "updates_per_sec_incremental",
+        points: Vec::new(),
+    };
+    let mut ups_reb = Series {
+        label: "updates_per_sec_rebuild",
+        points: Vec::new(),
+    };
+    let mut pages_inc = Series {
+        label: "apply_pages_per_op_incremental",
+        points: Vec::new(),
+    };
+    let mut pages_reb = Series {
+        label: "apply_pages_per_op_rebuild",
+        points: Vec::new(),
+    };
+
+    for mode in [ApplyMode::Incremental, ApplyMode::Rebuild] {
+        let mode_name = match mode {
+            ApplyMode::Incremental => "incremental",
+            ApplyMode::Rebuild => "rebuild",
+        };
+        for &batch in &BATCH_SIZES {
+            let config = ServiceConfig {
+                workers: 1,
+                cache_capacity: 0,
+                queue_depth: 64,
+                apply_mode: mode,
+                ..ServiceConfig::default()
+            };
+            let svc = SpatialService::start(config, &r0, &s0, world);
+            let batches = build_batches(commits, batch, world);
+            let mut applied = 0u64;
+            let mut pages = 0u64;
+            let start = Instant::now();
+            for wb in &batches {
+                let receipt = svc.commit(wb).expect("bench commits must succeed");
+                applied += receipt.outcomes.iter().filter(|o| o.applied()).count() as u64;
+                pages += receipt.io.physical_reads + receipt.io.physical_writes;
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let ops = (commits * batch) as u64;
+            let ups = ops as f64 / secs;
+            let per_op = pages as f64 / applied.max(1) as f64;
+            println!("{mode_name},{batch},{commits},{ops},{applied},{ups:.0},{per_op:.2}");
+            match mode {
+                ApplyMode::Incremental => {
+                    ups_inc.points.push((batch as f64, ups));
+                    pages_inc.points.push((batch as f64, per_op));
+                }
+                ApplyMode::Rebuild => {
+                    ups_reb.points.push((batch as f64, ups));
+                    pages_reb.points.push((batch as f64, per_op));
+                }
+            }
+            svc.emit_metrics(&mut sink);
+        }
+    }
+
+    // Fine-grained invalidation phase: warm the cache with selects
+    // spread across the world, then stream writes confined to one
+    // corner. Region-aware purging must keep the far-corner entries
+    // serving from cache; version-stamp purging would drop everything.
+    let config = ServiceConfig {
+        workers: 1,
+        cache_capacity: 64,
+        queue_depth: 64,
+        apply_mode: ApplyMode::Incremental,
+        ..ServiceConfig::default()
+    };
+    let svc = SpatialService::start(config, &r0, &s0, world);
+    let probes: Vec<Request> = (0..8u32)
+        .map(|i| {
+            // Probe 0 sits on the write corner (it gets purged every
+            // commit); the rest are disjoint from it and must survive.
+            let x = if i == 0 {
+                2.0
+            } else {
+                8.0 + (i % 4) as f64 * 14.0
+            };
+            let y = if i == 0 {
+                2.0
+            } else {
+                8.0 + (i / 4) as f64 * 40.0
+            };
+            Request::select(
+                if i.is_multiple_of(2) {
+                    Side::R
+                } else {
+                    Side::S
+                },
+                Geometry::Point(Point::new(x, y)),
+                ThetaOp::WithinDistance(4.0),
+            )
+        })
+        .collect();
+    for req in &probes {
+        svc.call(req.clone()).expect("warms the cache");
+    }
+    let write_commits = if smoke { 4 } else { 16 };
+    let mut purged_total = 0u64;
+    let mut retained_total = 0u64;
+    let mut purged_series = Series {
+        label: "cache_purged",
+        points: Vec::new(),
+    };
+    let mut retained_series = Series {
+        label: "cache_retained",
+        points: Vec::new(),
+    };
+    for c in 0..write_commits {
+        // All writes land in the corner near (2, 2) — far from most
+        // probes' regions.
+        let wb = WriteBatch::new().insert(
+            Side::R,
+            2_000_000 + c as u64,
+            Geometry::Point(Point::new(1.0 + (c % 3) as f64, 2.0)),
+        );
+        let receipt = svc.commit(&wb).expect("corner write commits");
+        purged_total += receipt.cache_purged as u64;
+        retained_total += receipt.cache_retained as u64;
+        purged_series
+            .points
+            .push((c as f64 + 1.0, receipt.cache_purged as f64));
+        retained_series
+            .points
+            .push((c as f64 + 1.0, receipt.cache_retained as f64));
+        // Re-ask every probe: retained entries answer from cache.
+        for req in &probes {
+            svc.call(req.clone()).expect("probe after write");
+        }
+    }
+    let (hits, misses, _) = svc.cache_stats();
+    println!(
+        "# disjoint-write retention: purged={purged_total} retained={retained_total} \
+         cache hits={hits} misses={misses}"
+    );
+    svc.emit_metrics(&mut sink);
+
+    // The §4.2 analytic counterpart for the EXPERIMENTS.md table.
+    let params = ModelParams::paper();
+    println!(
+        "# costmodel update predictions (paper parameters): U_I={:.0} U_IIa={:.0} U_IIb={:.0} U_III={:.0}",
+        update::u_i(&params),
+        update::u_iia(&params),
+        update::u_iib(&params),
+        update::u_iii(&params),
+    );
+
+    let series = vec![
+        ups_inc,
+        ups_reb,
+        pages_inc,
+        pages_reb,
+        purged_series,
+        retained_series,
+    ];
+    match (smoke, args.value_of("--out")) {
+        (true, None) => println!("# smoke mode: skipping BENCH_update.json"),
+        (_, maybe_path) => {
+            let path = maybe_path.unwrap_or("BENCH_update.json");
+            sj_bench::write_bench_json(path, &series).expect("write bench json");
+            println!("# wrote {path}");
+        }
+    }
+}

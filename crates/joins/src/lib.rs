@@ -57,6 +57,7 @@ pub mod executor;
 pub mod grid;
 pub mod join_index;
 pub mod local_index;
+pub mod mutation;
 pub mod nested_loop;
 pub mod paged_tree;
 pub mod parallel;
@@ -70,6 +71,7 @@ pub mod zindex;
 pub use executor::{JoinExecutor, JoinOperands, JoinRequest, Strategy};
 pub use join_index::JoinIndex;
 pub use local_index::LocalJoinIndex;
+pub use mutation::{ApplyMode, Mutation, MutationOutcome, Side, TouchedRegions, WriteBatch};
 pub use paged_tree::{ClusterOrder, PagedTree, TreeRelation};
 pub use parallel::{parallel_tree_join, partition_join, Parallelism};
 pub use relation::StoredRelation;

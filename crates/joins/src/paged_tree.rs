@@ -29,7 +29,7 @@ pub enum ClusterOrder {
 }
 
 /// The node→record mapping for one generalization tree.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PagedTree {
     file: HeapFile,
     /// `record[n.index()]` = the record that stores node `n`. Indexed by
@@ -111,16 +111,17 @@ impl PagedTree {
 
 /// A relation stored *as* its generalization tree: the operand type of the
 /// strategy-II executors.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TreeRelation {
     /// The generalization tree (R-tree, cartographic hierarchy, balanced
     /// k-ary tree, …).
     pub tree: GenTree,
     /// Its storage mapping.
     pub paged: PagedTree,
-    /// Flattened child-MBR snapshot for batched mask probes. Built once
-    /// here — `TreeRelation` trees are frozen after load, so the
-    /// snapshot never goes stale.
+    /// Flattened child-MBR snapshot for batched mask probes. Built
+    /// together with the tree — a `TreeRelation` value is immutable, so
+    /// the snapshot never goes stale; incremental maintenance produces a
+    /// *new* `TreeRelation` via [`TreeRelation::try_evolve`].
     pub flat: FlatChildren,
 }
 
@@ -135,6 +136,85 @@ impl TreeRelation {
     /// Number of application tuples (entry-bearing nodes).
     pub fn tuple_count(&self) -> usize {
         self.tree.entry_nodes().len()
+    }
+
+    /// Produces the storage mapping of `next` — the same tree after a
+    /// batch of incremental inserts/deletes — by *diffing* it against
+    /// this relation's tree and touching only the records that changed,
+    /// instead of rebuilding the file. Arena slots are stable across
+    /// [`RTree`](sj_gentree::RTree) mutations, so the diff is per slot:
+    ///
+    /// * live here, dead in `next` → the record's page slot is cleared
+    ///   (one charged write),
+    /// * live in both with identical logical content (same entry, or
+    ///   same directory MBR) → untouched (zero I/O),
+    /// * live in both but changed → rewritten in place (one charged
+    ///   write; records are fixed-size, so in-place is always legal),
+    /// * new in `next` → appended to the file.
+    ///
+    /// I/O is O(nodes touched by the batch), not O(n); the in-memory
+    /// diff is O(n) CPU. The flat snapshot is rebuilt (pure memory).
+    /// On error the underlying pool may have absorbed partial writes —
+    /// callers commit against a forked view and discard it on failure.
+    pub fn try_evolve(
+        &self,
+        pool: &mut BufferPool,
+        next: &GenTree,
+        record_size: usize,
+    ) -> Result<TreeRelation, StorageError> {
+        use std::collections::HashMap;
+        let old_live: HashMap<usize, NodeId> =
+            self.tree.iter_live().map(|n| (n.index(), n)).collect();
+        let new_live: HashMap<usize, NodeId> = next.iter_live().map(|n| (n.index(), n)).collect();
+
+        let mut file = self.paged.file.clone();
+        let mut record = self.paged.record.clone();
+
+        // Clear records of nodes that died.
+        for (slot, _) in old_live.iter().filter(|(s, _)| !new_live.contains_key(s)) {
+            let rid = record[*slot];
+            pool.try_update(rid.page, |p| p.remove(rid.slot))?;
+        }
+
+        let encode = |tree: &GenTree, node: NodeId| match tree.entry(node) {
+            Some(e) => codec::encode_record(e.id, &e.geometry, record_size),
+            None => {
+                codec::encode_record(DIRECTORY_ID, &Geometry::Rect(tree.mbr(node)), record_size)
+            }
+        };
+
+        for (&slot, &node) in &new_live {
+            match old_live.get(&slot) {
+                Some(&old_node) => {
+                    // Compare logical content against the *old tree* in
+                    // memory — storage was written from it, so they agree.
+                    let unchanged = match (self.tree.entry(old_node), next.entry(node)) {
+                        (Some(a), Some(b)) => a == b,
+                        (None, None) => self.tree.mbr(old_node) == next.mbr(node),
+                        _ => false,
+                    };
+                    if !unchanged {
+                        let rid = record[slot];
+                        let bytes = encode(next, node);
+                        pool.try_update(rid.page, |p| p.update(rid.slot, bytes))?;
+                    }
+                }
+                None => {
+                    let bytes = encode(next, node);
+                    let idx = file.try_append(pool, bytes)?;
+                    if slot >= record.len() {
+                        record.resize(slot + 1, file.rid(0));
+                    }
+                    record[slot] = file.rid(idx);
+                }
+            }
+        }
+
+        Ok(TreeRelation {
+            tree: next.clone(),
+            paged: PagedTree { file, record },
+            flat: FlatChildren::build(next),
+        })
     }
 }
 
@@ -227,6 +307,56 @@ mod tests {
         assert!(
             bfs_reads > dfs_reads,
             "BFS over DFS-clustered storage must thrash: {bfs_reads} vs {dfs_reads}"
+        );
+    }
+
+    #[test]
+    fn evolve_matches_fresh_build_with_batch_bounded_io() {
+        use sj_gentree::rtree::{RTree, RTreeConfig};
+
+        let mut p = pool();
+        let entries: Vec<(u64, Geometry)> = (0..200u64)
+            .map(|i| {
+                let x = (i % 20) as f64 * 3.0;
+                let y = (i / 20) as f64 * 3.0;
+                (i, Geometry::Point(Point::new(x, y)))
+            })
+            .collect();
+        let mut rt = RTree::bulk_load(RTreeConfig::with_fanout(8), entries);
+        let rel = TreeRelation::new(&mut p, rt.tree().clone(), 300, Layout::Clustered);
+
+        // A small batch of structural mutations.
+        rt.insert(500, Geometry::Point(Point::new(1.5, 1.5)));
+        rt.remove(7);
+        rt.remove(8);
+        rt.insert(501, Geometry::Point(Point::new(40.0, 2.0)));
+        rt.check_invariants();
+
+        let before = p.stats();
+        let evolved = rel.try_evolve(&mut p, rt.tree(), 300).unwrap();
+        let delta = p.stats().since(&before);
+
+        // Every live node of the new tree round-trips through storage.
+        for node in rt.tree().iter_live() {
+            let (id, g) = evolved.paged.touch(&mut p, node);
+            match rt.tree().entry(node) {
+                Some(e) => {
+                    assert_eq!(id, e.id);
+                    assert_eq!(&g, &e.geometry);
+                }
+                None => {
+                    assert_eq!(id, DIRECTORY_ID);
+                    assert_eq!(g, Geometry::Rect(rt.tree().mbr(node)));
+                }
+            }
+        }
+        assert_eq!(evolved.tuple_count(), 200);
+        // The diff touches O(batch · height) records, nowhere near the
+        // ~229 writes a fresh build pays.
+        assert!(
+            delta.physical_writes < 60,
+            "evolve wrote {} pages/records, expected a batch-bounded diff",
+            delta.physical_writes
         );
     }
 

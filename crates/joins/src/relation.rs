@@ -13,10 +13,20 @@ use crate::stats::ExecStats;
 /// records (the model's tuple size). An in-memory directory maps tuple ids
 /// to logical positions; all *data* access goes through the buffer pool
 /// and is charged I/O.
-#[derive(Debug)]
+///
+/// Positions are dense and **order-preserving** under mutation: a delete
+/// closes the position gap without reordering survivors (so a scan of
+/// the mutated relation yields exactly the tuple sequence a from-scratch
+/// rebuild of the same logical contents would). The heap file itself is
+/// append-only — deletes tombstone their page slot and `slots` skips
+/// them — so `slots` stays ascending and sequential scans stay
+/// page-monotone.
+#[derive(Debug, Clone)]
 pub struct StoredRelation {
     file: HeapFile,
     ids: Vec<u64>,
+    /// `slots[i]` = file logical index backing position `i` (ascending).
+    slots: Vec<usize>,
     pos_of: HashMap<u64, usize>,
 }
 
@@ -43,7 +53,13 @@ impl StoredRelation {
         let file = HeapFile::bulk_load_with(pool, record_size, tuples.len(), layout, |i| {
             codec::encode_record(tuples[i].0, &tuples[i].1, record_size)
         });
-        StoredRelation { file, ids, pos_of }
+        let slots = (0..ids.len()).collect();
+        StoredRelation {
+            file,
+            ids,
+            slots,
+            pos_of,
+        }
     }
 
     /// Number of tuples (the model's `N`).
@@ -78,13 +94,13 @@ impl StoredRelation {
         pool: &mut BufferPool,
         i: usize,
     ) -> Result<(u64, Geometry), StorageError> {
-        let bytes = pool.try_read_record(&self.file, self.file.rid(i))?;
+        let bytes = pool.try_read_record(&self.file, self.file.rid(self.slots[i]))?;
         Ok(codec::decode_record(&bytes))
     }
 
     /// Reads the tuple at logical position `i` through the pool (charged).
     pub fn read_at(&self, pool: &mut BufferPool, i: usize) -> (u64, Geometry) {
-        let bytes = pool.read_record(&self.file, self.file.rid(i));
+        let bytes = pool.read_record(&self.file, self.file.rid(self.slots[i]));
         codec::decode_record(&bytes)
     }
 
@@ -120,58 +136,129 @@ impl StoredRelation {
         self.read_at(pool, i)
     }
 
-    /// Full sequential scan, decoding every tuple, or the first I/O
-    /// fault. Costs `page_count()` physical reads on a cold pool.
+    /// Full sequential scan in **position order**, decoding every tuple,
+    /// or the first I/O fault. `slots` is ascending, so the walk is
+    /// page-monotone and costs `page_count()` physical reads on a cold
+    /// pool of at least one page.
     pub fn try_scan(&self, pool: &mut BufferPool) -> Result<Vec<(u64, Geometry)>, StorageError> {
-        Ok(self
-            .file
-            .try_scan(pool)?
-            .into_iter()
-            .map(|(_, bytes)| codec::decode_record(&bytes))
-            .collect())
+        let mut out = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            out.push(self.try_read_at(pool, i)?);
+        }
+        Ok(out)
     }
 
-    /// Full sequential scan, decoding every tuple. Costs `page_count()`
-    /// physical reads on a cold pool.
+    /// Full sequential scan in position order, decoding every tuple.
+    /// Costs `page_count()` physical reads on a cold pool.
     pub fn scan(&self, pool: &mut BufferPool) -> Vec<(u64, Geometry)> {
-        self.file
-            .scan(pool)
-            .into_iter()
-            .map(|(_, bytes)| codec::decode_record(&bytes))
-            .collect()
+        self.try_scan(pool)
+            .unwrap_or_else(|e| panic!("relation scan failed: {e}")) // PANIC-OK: infallible wrapper
     }
 
-    /// Decomposes into raw parts for catalog serialization.
-    pub fn to_parts(&self) -> (&HeapFile, &[u64]) {
-        (&self.file, &self.ids)
+    /// Decomposes into raw parts for catalog serialization. The slot
+    /// list matters once deletes have run: surviving tuples keep their
+    /// original file slots, so positions are no longer the identity.
+    pub fn to_parts(&self) -> (&HeapFile, &[u64], &[usize]) {
+        (&self.file, &self.ids, &self.slots)
     }
 
-    /// Reassembles a relation from a reloaded heap file and its id list
-    /// (logical order must match the file's directory).
-    pub fn from_parts(file: HeapFile, ids: Vec<u64>) -> Self {
+    /// Reassembles a relation from a reloaded heap file, its id list,
+    /// and the file slot each position occupies.
+    pub fn from_parts(file: HeapFile, ids: Vec<u64>, slots: Vec<usize>) -> Self {
+        assert!(ids.len() == slots.len(), "id list must match the slot list");
         assert!(
-            ids.len() == file.len(),
-            "id list must match the file length"
+            slots.iter().all(|&s| s < file.len()),
+            "slot beyond the file directory"
         );
         let mut pos_of = HashMap::with_capacity(ids.len());
         for (i, &id) in ids.iter().enumerate() {
             let prev = pos_of.insert(id, i);
             assert!(prev.is_none(), "duplicate tuple id {id}");
         }
-        StoredRelation { file, ids, pos_of }
+        StoredRelation {
+            file,
+            ids,
+            slots,
+            pos_of,
+        }
     }
 
     /// Appends one tuple (used by maintenance-cost experiments).
     pub fn append(&mut self, pool: &mut BufferPool, id: u64, g: &Geometry) -> ExecStats {
-        assert!(!self.pos_of.contains_key(&id), "duplicate tuple id {id}");
         let before = pool.stats();
-        let record = codec::encode_record(id, g, self.file.record_size());
-        self.file.append(pool, record);
-        self.pos_of.insert(id, self.ids.len());
-        self.ids.push(id);
+        self.try_insert(pool, id, g)
+            .unwrap_or_else(|e| panic!("relation append failed: {e}")); // PANIC-OK: infallible wrapper
         let mut stats = ExecStats::default();
         stats.add_io(pool.stats().since(&before));
         stats
+    }
+
+    /// Appends one tuple at the last position, or the I/O fault that
+    /// prevented it (the relation is unchanged on error).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate id or an oversized geometry — logic errors
+    /// the caller must screen, not storage faults.
+    pub fn try_insert(
+        &mut self,
+        pool: &mut BufferPool,
+        id: u64,
+        g: &Geometry,
+    ) -> Result<(), StorageError> {
+        assert!(!self.pos_of.contains_key(&id), "duplicate tuple id {id}");
+        let record = codec::encode_record(id, g, self.file.record_size());
+        let slot = self.file.try_append(pool, record)?;
+        self.pos_of.insert(id, self.ids.len());
+        self.ids.push(id);
+        self.slots.push(slot);
+        Ok(())
+    }
+
+    /// Deletes the tuple with `id`, preserving the order of survivors,
+    /// and returns its former position. The page slot is physically
+    /// cleared (one charged write); the file index is abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the relation.
+    pub fn try_delete(&mut self, pool: &mut BufferPool, id: u64) -> Result<usize, StorageError> {
+        let &pos = self
+            .pos_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown tuple id {id}"));
+        let rid = self.file.rid(self.slots[pos]);
+        pool.try_update(rid.page, |p| p.remove(rid.slot))?;
+        self.pos_of.remove(&id);
+        self.ids.remove(pos);
+        self.slots.remove(pos);
+        for (i, &later) in self.ids.iter().enumerate().skip(pos) {
+            self.pos_of.insert(later, i);
+        }
+        Ok(pos)
+    }
+
+    /// Overwrites the geometry of the tuple with `id` in place (one
+    /// charged write); its position is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the relation or the geometry does not
+    /// fit the record size.
+    pub fn try_replace(
+        &mut self,
+        pool: &mut BufferPool,
+        id: u64,
+        g: &Geometry,
+    ) -> Result<(), StorageError> {
+        let &pos = self
+            .pos_of
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown tuple id {id}"));
+        let record = codec::encode_record(id, g, self.file.record_size());
+        let rid = self.file.rid(self.slots[pos]);
+        pool.try_update(rid.page, |p| p.update(rid.slot, record))?;
+        Ok(())
     }
 }
 
@@ -232,6 +319,57 @@ mod tests {
         assert!(stats.physical_writes >= 1);
         assert_eq!(rel.len(), 6);
         assert_eq!(rel.read_by_id(&mut p, 100).1, g);
+    }
+
+    #[test]
+    fn delete_preserves_survivor_order_and_charges_one_write() {
+        let mut p = pool();
+        let mut rel = StoredRelation::build(&mut p, &tuples(12), 300, Layout::Clustered);
+        let before = p.stats();
+        let pos = rel.try_delete(&mut p, 4).unwrap();
+        assert_eq!(pos, 4);
+        assert_eq!(p.stats().since(&before).physical_writes, 1);
+        assert_eq!(rel.len(), 11);
+        // Survivors keep their relative order: positions close the gap.
+        let got: Vec<u64> = rel.scan(&mut p).into_iter().map(|(id, _)| id).collect();
+        let want: Vec<u64> = (0..12).filter(|&i| i != 4).collect();
+        assert_eq!(got, want);
+        // Position-order reads agree with id-directed reads.
+        assert_eq!(rel.read_at(&mut p, 4).0, 5);
+        assert_eq!(rel.read_by_id(&mut p, 11).0, 11);
+    }
+
+    #[test]
+    fn insert_after_delete_appends_at_the_end() {
+        let mut p = pool();
+        let mut rel = StoredRelation::build(&mut p, &tuples(6), 300, Layout::Clustered);
+        rel.try_delete(&mut p, 2).unwrap();
+        let g = Geometry::Point(Point::new(9.0, 9.0));
+        rel.try_insert(&mut p, 50, &g).unwrap();
+        let got: Vec<u64> = rel.scan(&mut p).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(got, vec![0, 1, 3, 4, 5, 50]);
+        assert_eq!(rel.read_by_id(&mut p, 50).1, g);
+    }
+
+    #[test]
+    fn replace_overwrites_in_place() {
+        let mut p = pool();
+        let mut rel = StoredRelation::build(&mut p, &tuples(7), 300, Layout::Clustered);
+        let g = Geometry::Rect(Rect::from_bounds(1.0, 1.0, 2.0, 2.0));
+        let before = p.stats();
+        rel.try_replace(&mut p, 3, &g).unwrap();
+        assert_eq!(p.stats().since(&before).physical_writes, 1);
+        assert_eq!(rel.len(), 7);
+        assert_eq!(rel.read_by_id(&mut p, 3).1, g);
+        assert_eq!(rel.read_at(&mut p, 3).0, 3, "position unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tuple id")]
+    fn delete_of_missing_id_panics() {
+        let mut p = pool();
+        let mut rel = StoredRelation::build(&mut p, &tuples(3), 300, Layout::Clustered);
+        let _ = rel.try_delete(&mut p, 99);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The database: disk-backed tables with spatial secondary structures.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use sj_gentree::rtree::{RTree, RTreeConfig};
 use sj_geom::{Geometry, ThetaOp};
-use sj_joins::{JoinIndex, LocalJoinIndex, StoredRelation, TreeRelation};
+use sj_joins::{
+    JoinIndex, LocalJoinIndex, Mutation, MutationOutcome, StoredRelation, TreeRelation,
+};
 use sj_storage::{BufferPool, Disk, DiskConfig, HeapFile, IoStats, Layout};
 
 use crate::schema::Schema;
@@ -17,7 +19,16 @@ pub struct Table {
     pub(crate) schema: Schema,
     record_size: usize,
     file: HeapFile,
-    rows: usize,
+    /// Live rowid → physical heap slot. Deletes drop the entry; upserts
+    /// of an existing rowid redirect it to a freshly appended slot, so a
+    /// rowid survives any number of rewrites.
+    live: BTreeMap<u64, usize>,
+    /// Next rowid handed out by [`Database::insert`]; never reused.
+    next_id: u64,
+    /// Bumped once per applied mutation — the staleness tag spatial
+    /// indices are checked against (a delete changes the live set
+    /// without changing the row count, so counting rows is not enough).
+    mutation_seq: u64,
     pub(crate) spatial: HashMap<String, SpatialColumn>,
 }
 
@@ -27,11 +38,56 @@ impl Table {
     }
 
     pub(crate) fn row_count(&self) -> usize {
-        self.rows
+        self.live.len()
     }
 
     pub(crate) fn file(&self) -> &HeapFile {
         &self.file
+    }
+
+    pub(crate) fn live_entries(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.live.iter().map(|(&id, &slot)| (id, slot))
+    }
+
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    pub(crate) fn mutation_seq(&self) -> u64 {
+        self.mutation_seq
+    }
+
+    /// Shared insert/upsert path: screens oversized tuples, appends the
+    /// physical record, redirects the rowid to the fresh slot, and syncs
+    /// every spatial column file.
+    fn apply_write(
+        pool: &mut BufferPool,
+        t: &mut Table,
+        id: u64,
+        row: &Tuple,
+        replace: bool,
+    ) -> MutationOutcome {
+        t.schema.check_row(row);
+        if crate::tuple::encoded_tuple_len(row) > t.record_size {
+            return MutationOutcome::TooLarge;
+        }
+        let slot = t.file.append(pool, encode_tuple(row, t.record_size));
+        t.live.insert(id, slot);
+        for (col, sc) in &mut t.spatial {
+            let idx = t.schema.expect_column(col);
+            let g = row[idx].as_spatial().expect("validated spatial column");
+            if replace {
+                sc.column
+                    .try_replace(pool, id, g)
+                    .expect("storage fault during upsert");
+            } else {
+                sc.column
+                    .try_insert(pool, id, g)
+                    .expect("storage fault during insert");
+            }
+        }
+        t.mutation_seq += 1;
+        MutationOutcome::Inserted
     }
 }
 
@@ -39,9 +95,9 @@ impl Table {
 pub struct SpatialColumn {
     /// `(rowid, geometry)` projection, stored as its own file.
     pub(crate) column: StoredRelation,
-    /// R-tree index, tagged with the row count at build time so stale
-    /// indices are rebuilt transparently.
-    pub(crate) index: Option<(TreeRelation, usize)>,
+    /// R-tree index, tagged with the table's mutation sequence at build
+    /// time so stale indices are rebuilt transparently.
+    pub(crate) index: Option<(TreeRelation, u64)>,
     /// Layout and fan-out requested for the index.
     pub(crate) index_layout: Layout,
     pub(crate) index_fanout: usize,
@@ -96,12 +152,15 @@ impl Database {
 
     /// Installs a fully reconstructed table (used by [`Database::open`]);
     /// errors on duplicates or schema/catalog mismatches.
+    #[allow(clippy::too_many_arguments)] // mirrors the persisted catalog record
     pub(crate) fn install_table(
         &mut self,
         name: String,
         schema: Schema,
         record_size: usize,
-        rows: usize,
+        live: BTreeMap<u64, usize>,
+        next_id: u64,
+        mutation_seq: u64,
         file: HeapFile,
         spatial: Vec<(String, StoredRelation)>,
     ) -> Result<(), String> {
@@ -113,7 +172,7 @@ impl Database {
             if schema.index_of(&col).is_none() {
                 return Err(format!("catalog column {col:?} missing from schema"));
             }
-            if column.len() != rows {
+            if column.len() != live.len() {
                 return Err(format!("spatial column {col:?} length mismatch"));
             }
             spatial_map.insert(
@@ -132,7 +191,9 @@ impl Database {
                 schema,
                 record_size,
                 file,
-                rows,
+                live,
+                next_id,
+                mutation_seq,
                 spatial: spatial_map,
             },
         );
@@ -187,7 +248,9 @@ impl Database {
                 schema,
                 record_size,
                 file,
-                rows: 0,
+                live: BTreeMap::new(),
+                next_id: 0,
+                mutation_seq: 0,
                 spatial,
             },
         );
@@ -212,29 +275,78 @@ impl Database {
 
     /// Number of rows in a table.
     pub fn row_count(&self, table: &str) -> usize {
-        self.table(table).rows
+        self.table(table).row_count()
     }
 
     /// Inserts a row, returning its rowid. Spatial column files are
     /// extended; R-tree indices become stale and are rebuilt lazily on the
     /// next spatial query.
     pub fn insert(&mut self, table: &str, row: Tuple) -> u64 {
+        let rowid = self.table(table).next_id;
+        let outcomes = self.apply(
+            table,
+            &[Mutation::Insert {
+                id: rowid,
+                value: row,
+            }],
+        );
+        assert_eq!(
+            outcomes,
+            vec![MutationOutcome::Inserted],
+            "insert of a fresh rowid cannot be rejected"
+        );
+        rowid
+    }
+
+    /// Applies a batch of typed mutations to a table, returning one
+    /// outcome per operation in order. Rejected operations (duplicate
+    /// insert ids, deletes of absent rowids, oversized tuples) report a
+    /// typed outcome and leave the table untouched; applied operations
+    /// keep every spatial column file in sync and advance the mutation
+    /// sequence so R-tree indices rebuild lazily on the next query.
+    pub fn apply(&mut self, table: &str, ops: &[Mutation<Tuple>]) -> Vec<MutationOutcome> {
         let pool = &mut self.pool;
         let t = self
             .tables
             .get_mut(table)
             .unwrap_or_else(|| panic!("no table named {table:?}"));
-        t.schema.check_row(&row);
-        let rowid = t.rows as u64;
-        let record = encode_tuple(&row, t.record_size);
-        t.file.append(pool, record);
-        for (col, sc) in &mut t.spatial {
-            let idx = t.schema.expect_column(col);
-            let g = row[idx].as_spatial().expect("validated spatial column");
-            sc.column.append(pool, rowid, g);
+        let mut outcomes = Vec::with_capacity(ops.len());
+        for op in ops {
+            let outcome = match op {
+                Mutation::Insert { id, value } => {
+                    if t.live.contains_key(id) {
+                        MutationOutcome::DuplicateId
+                    } else {
+                        Table::apply_write(pool, t, *id, value, false)
+                    }
+                }
+                Mutation::Delete { id } => {
+                    if t.live.remove(id).is_none() {
+                        MutationOutcome::MissingId
+                    } else {
+                        for sc in t.spatial.values_mut() {
+                            sc.column
+                                .try_delete(pool, *id)
+                                .expect("storage fault during delete");
+                        }
+                        t.mutation_seq += 1;
+                        MutationOutcome::Deleted
+                    }
+                }
+                Mutation::Upsert { id, value } => {
+                    let replaced = t.live.contains_key(id);
+                    match Table::apply_write(pool, t, *id, value, replaced) {
+                        MutationOutcome::Inserted => MutationOutcome::Upserted { replaced },
+                        other => other,
+                    }
+                }
+            };
+            if outcome.applied() {
+                t.next_id = t.next_id.max(op.id() + 1);
+            }
+            outcomes.push(outcome);
         }
-        t.rows += 1;
-        rowid
+        outcomes
     }
 
     /// Bulk insert.
@@ -247,31 +359,34 @@ impl Database {
         n
     }
 
-    /// Reads one row by rowid.
+    /// Reads one live row by rowid.
     pub fn get(&mut self, table: &str, rowid: u64) -> Tuple {
         let t = self
             .tables
             .get(table)
             .unwrap_or_else(|| panic!("no table named {table:?}"));
-        assert!((rowid as usize) < t.rows, "rowid {rowid} out of range");
-        let bytes = self.pool.read_record(&t.file, t.file.rid(rowid as usize));
+        let &slot = t
+            .live
+            .get(&rowid)
+            .unwrap_or_else(|| panic!("rowid {rowid} out of range"));
+        let bytes = self.pool.read_record(&t.file, t.file.rid(slot));
         decode_tuple(&bytes, &t.schema)
     }
 
-    /// Full scan of a table.
+    /// Full scan of a table's live rows, in rowid order. Deleted rows
+    /// and superseded upsert slots are invisible.
     pub fn scan(&mut self, table: &str) -> Vec<(u64, Tuple)> {
         let t = self
             .tables
             .get(table)
             .unwrap_or_else(|| panic!("no table named {table:?}"));
-        let mut rows: Vec<(u64, Tuple)> = t
-            .file
-            .scan(&mut self.pool)
-            .into_iter()
-            .map(|(i, bytes)| (i as u64, decode_tuple(&bytes, &t.schema)))
-            .collect();
-        rows.sort_by_key(|(id, _)| *id);
-        rows
+        t.live
+            .iter()
+            .map(|(&id, &slot)| {
+                let bytes = self.pool.read_record(&t.file, t.file.rid(slot));
+                (id, decode_tuple(&bytes, &t.schema))
+            })
+            .collect()
     }
 
     /// Scalar selection: all rows satisfying `pred`.
@@ -327,7 +442,7 @@ impl Database {
                 .get(column)
                 .unwrap_or_else(|| panic!("no spatial column {column:?} on {table:?}"));
             match &sc.index {
-                Some((_, built_at)) => *built_at != t.rows,
+                Some((_, built_at)) => *built_at != t.mutation_seq,
                 None => true,
             }
         };
@@ -341,7 +456,7 @@ impl Database {
         let entries = sc.column.scan(pool);
         let rt = RTree::bulk_load(RTreeConfig::with_fanout(sc.index_fanout), entries);
         let tree_rel = TreeRelation::new(pool, rt.tree().clone(), record_size, sc.index_layout);
-        sc.index = Some((tree_rel, t.rows));
+        sc.index = Some((tree_rel, t.mutation_seq));
     }
 
     /// Precomputes a named join index for
@@ -506,6 +621,96 @@ mod tests {
         let (tree_rel, built_at) = t.spatial["loc"].index.as_ref().unwrap();
         assert_eq!(*built_at, 21);
         assert_eq!(tree_rel.tuple_count(), 21);
+    }
+
+    #[test]
+    fn typed_mutations_report_outcomes_and_update_the_live_set() {
+        let mut db = db_with_points(4);
+        let row = |v: i64, x: f64| {
+            vec![
+                Value::Int(v),
+                Value::Spatial(Geometry::Point(Point::new(x, 0.0))),
+            ]
+        };
+        let outcomes = db.apply(
+            "pts",
+            &[
+                Mutation::Insert {
+                    id: 2,
+                    value: row(2, 9.0),
+                }, // duplicate rowid
+                Mutation::Delete { id: 99 }, // absent rowid
+                Mutation::Delete { id: 1 },  // applies
+                Mutation::Upsert {
+                    id: 3,
+                    value: row(33, 30.0),
+                }, // replaces
+                Mutation::Upsert {
+                    id: 7,
+                    value: row(7, 70.0),
+                }, // fresh insert
+            ],
+        );
+        assert_eq!(
+            outcomes,
+            vec![
+                MutationOutcome::DuplicateId,
+                MutationOutcome::MissingId,
+                MutationOutcome::Deleted,
+                MutationOutcome::Upserted { replaced: true },
+                MutationOutcome::Upserted { replaced: false },
+            ]
+        );
+        assert_eq!(db.row_count("pts"), 4); // 4 - 1 deleted + 1 upsert-insert
+        let rows = db.scan("pts");
+        assert_eq!(
+            rows.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![0, 2, 3, 7],
+            "deleted rowid 1 is invisible; rewrites keep their rowid"
+        );
+        assert_eq!(db.get("pts", 3)[0], Value::Int(33), "upsert replaced row 3");
+        assert_eq!(
+            db.geometry("pts", "loc", 3),
+            Geometry::Point(Point::new(30.0, 0.0)),
+            "the spatial column tracks the rewrite"
+        );
+        // The next plain insert must not collide with rowid 7.
+        let rid = db.insert("pts", row(8, 80.0));
+        assert_eq!(rid, 8);
+    }
+
+    #[test]
+    fn deletes_make_the_spatial_index_stale() {
+        let mut db = db_with_points(12);
+        db.create_spatial_index("pts", "loc", 4, Layout::Clustered);
+        let outcomes = db.apply("pts", &[Mutation::Delete { id: 5 }]);
+        assert_eq!(outcomes, vec![MutationOutcome::Deleted]);
+        db.ensure_index("pts", "loc");
+        let (tree_rel, _) = db.tables["pts"].spatial["loc"].index.as_ref().unwrap();
+        assert_eq!(
+            tree_rel.tuple_count(),
+            11,
+            "a delete-only batch must still trigger the rebuild"
+        );
+    }
+
+    #[test]
+    fn oversized_tuples_are_rejected_not_panicked() {
+        let mut db = db_with_points(2);
+        db.create_table(
+            "tiny",
+            Schema::new(vec![Column::new("s", ValueType::Str)]),
+            8,
+        );
+        let outcomes = db.apply(
+            "tiny",
+            &[Mutation::Insert {
+                id: 0,
+                value: vec![Value::Str("this string cannot fit".into())],
+            }],
+        );
+        assert_eq!(outcomes, vec![MutationOutcome::TooLarge]);
+        assert_eq!(db.row_count("tiny"), 0);
     }
 
     #[test]

@@ -80,5 +80,6 @@ pub use db::Database;
 pub use planner::{Plan, PlannerConfig};
 pub use query::JoinStrategy;
 pub use schema::{Column, Schema};
+pub use sj_joins::{Mutation, MutationOutcome, WriteBatch};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

@@ -10,9 +10,10 @@
 //! Catalog format (little-endian):
 //!
 //! ```text
-//! [ magic "SJCAT001" ][ mem_pages: u32 ][ table_count: u32 ]
-//! per table:  [ name ][ record_size u32 ][ rows u64 ][ schema ][ file ]
-//!             [ spatial_count u32 ] per spatial col: [ name ][ ids ][ file ]
+//! [ magic "SJCAT002" ][ mem_pages: u32 ][ table_count: u32 ]
+//! per table:  [ name ][ record_size u32 ][ live_rows u64 ][ schema ][ file ]
+//!             [ live u64 × (id u64, slot u64) ][ next_id u64 ][ mutation_seq u64 ]
+//!             [ spatial_count u32 ] per spatial col: [ name ][ ids ][ slots ][ file ]
 //! name:       [ len u16 ][ utf-8 ]
 //! schema:     [ cols u16 ] per col: [ name ][ type u8 ]
 //! file:       [ record_size u32 ][ per_page u32 ][ pages u32 × u32 ]
@@ -31,7 +32,7 @@ use crate::db::Database;
 use crate::schema::{Column, Schema};
 use crate::value::ValueType;
 
-const MAGIC: &[u8; 8] = b"SJCAT001";
+const MAGIC: &[u8; 8] = b"SJCAT002";
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -154,16 +155,28 @@ impl Database {
                 w.write_all(&[type_tag(c.ty)])?;
             }
             w_file(&mut w, t.file())?;
+            // The live rowid → physical-slot map (deletes and upserts
+            // leave dead slots behind in the heap file), plus the rowid
+            // allocator and the index-staleness tag.
+            for (id, slot) in t.live_entries() {
+                w_u64(&mut w, id)?;
+                w_u64(&mut w, slot as u64)?;
+            }
+            w_u64(&mut w, t.next_id())?;
+            w_u64(&mut w, t.mutation_seq())?;
             let mut cols: Vec<&String> = t.spatial.keys().collect();
             cols.sort();
             w_u32(&mut w, cols.len() as u32)?;
             for col in cols {
                 let sc = &t.spatial[col];
                 w_name(&mut w, col)?;
-                let (file, ids) = sc.column.to_parts();
+                let (file, ids, slots) = sc.column.to_parts();
                 w_u64(&mut w, ids.len() as u64)?;
                 for &id in ids {
                     w_u64(&mut w, id)?;
+                }
+                for &slot in slots {
+                    w_u64(&mut w, slot as u64)?;
                 }
                 w_file(&mut w, file)?;
             }
@@ -199,9 +212,20 @@ impl Database {
             }
             let schema = Schema::new(columns);
             let file = r_file(&mut r)?;
-            if file.len() != rows {
-                return Err(bad("row count disagrees with the file directory"));
+            let mut live = std::collections::BTreeMap::new();
+            for _ in 0..rows {
+                let id = r_u64(&mut r)?;
+                let slot = r_u64(&mut r)? as usize;
+                if slot >= file.len() {
+                    return Err(bad("live slot beyond the file directory"));
+                }
+                live.insert(id, slot);
             }
+            if live.len() != rows {
+                return Err(bad("duplicate rowid in the live map"));
+            }
+            let next_id = r_u64(&mut r)?;
+            let mutation_seq = r_u64(&mut r)?;
             let spatial_count = r_u32(&mut r)? as usize;
             let mut spatial = Vec::with_capacity(spatial_count);
             for _ in 0..spatial_count {
@@ -211,11 +235,27 @@ impl Database {
                 for _ in 0..id_count {
                     ids.push(r_u64(&mut r)?);
                 }
+                let mut slots = Vec::with_capacity(id_count);
+                for _ in 0..id_count {
+                    slots.push(r_u64(&mut r)? as usize);
+                }
                 let cfile = r_file(&mut r)?;
-                spatial.push((cname, StoredRelation::from_parts(cfile, ids)));
+                if slots.iter().any(|&s| s >= cfile.len()) {
+                    return Err(bad("column slot beyond the file directory"));
+                }
+                spatial.push((cname, StoredRelation::from_parts(cfile, ids, slots)));
             }
-            db.install_table(name, schema, record_size, rows, file, spatial)
-                .map_err(|e| bad(&e))?;
+            db.install_table(
+                name,
+                schema,
+                record_size,
+                live,
+                next_id,
+                mutation_seq,
+                file,
+                spatial,
+            )
+            .map_err(|e| bad(&e))?;
         }
         Ok(db)
     }
@@ -271,6 +311,43 @@ mod tests {
             }
         }
         db
+    }
+
+    #[test]
+    fn save_open_roundtrips_mutated_tables() {
+        use sj_joins::Mutation;
+
+        let prefix = temp_prefix("mutated");
+        let row = |i: i64, x: f64| {
+            vec![
+                Value::Int(i),
+                Value::Str(format!("m-{i}")),
+                Value::Spatial(Geometry::Point(Point::new(x, 0.0))),
+            ]
+        };
+        let expected = {
+            let mut db = sample_db();
+            db.apply(
+                "a",
+                &[
+                    Mutation::Delete { id: 3 },
+                    Mutation::Upsert {
+                        id: 5,
+                        value: row(55, 2.25),
+                    },
+                ],
+            );
+            db.save(&prefix).expect("save");
+            db.scan("a")
+        };
+        let mut db = Database::open(&prefix).expect("open");
+        assert_eq!(db.row_count("a"), 39, "the delete survives reopening");
+        assert_eq!(db.scan("a"), expected, "live rows round-trip exactly");
+        assert_eq!(db.get("a", 5)[0], Value::Int(55), "the upsert survives");
+        // Rowid 3 stays dead and the allocator does not reuse it.
+        let rid = db.insert("a", row(1000, 90.0));
+        assert_eq!(rid, 40);
+        cleanup(&prefix);
     }
 
     #[test]

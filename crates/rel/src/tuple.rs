@@ -23,6 +23,20 @@ const TAG_FLOAT: u8 = 2;
 const TAG_STR: u8 = 3;
 const TAG_SPATIAL: u8 = 4;
 
+/// Exact byte length [`encode_tuple`] needs for `row`, header included —
+/// lets mutation paths screen oversized tuples with a typed outcome
+/// instead of tripping the encoder's panic.
+pub fn encoded_tuple_len(row: &Tuple) -> usize {
+    2 + row
+        .iter()
+        .map(|v| match v {
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 3 + s.len(),
+            Value::Spatial(g) => 3 + codec::encoded_len(g),
+        })
+        .sum::<usize>()
+}
+
 /// Encodes a tuple into exactly `record_size` bytes.
 ///
 /// # Panics

@@ -2,8 +2,13 @@
 //!
 //! Keys are `(dataset_version, θ-operator, query fingerprint)`. Updates
 //! bump the dataset version, so entries computed against stale data can
-//! never be served again — invalidation is structural, not scanned —
-//! and [`ResultCache::purge_stale`] reclaims their space eagerly.
+//! never be served again — invalidation is structural, not scanned.
+//! Rebuild-mode commits reclaim stale space wholesale with
+//! [`ResultCache::purge_stale`]; incremental commits are surgical
+//! instead: every entry carries the [`QueryRegion`] its reply depends
+//! on, and [`CacheShards::purge_region`] drops only entries whose
+//! region intersects the commit's touched MBRs, re-stamping the
+//! disjoint survivors to the new version so they keep serving hits.
 //!
 //! [`ResultCache`] is the single-shard LRU; [`CacheShards`] splits one
 //! logical cache into `N` independently locked shards routed by the
@@ -15,9 +20,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use sj_geom::{codec, ThetaOp};
+use sj_geom::{codec, Bounded, Rect, ThetaOp};
 
-use crate::request::{QueryKind, Reply, Request};
+use crate::request::{QueryKind, Reply, Request, Side};
+use sj_joins::TouchedRegions;
 
 /// Record size used only to serialize probe geometries into key bytes;
 /// any size that fits the largest probe works, equality is what matters.
@@ -47,6 +53,40 @@ enum Fingerprint {
     Join { strategy: &'static str },
 }
 
+/// The spatial footprint a cached reply depends on — the unit of
+/// fine-grained invalidation. A commit must drop an entry exactly when
+/// a touched tuple could have changed its reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryRegion {
+    /// The reply depends on the whole dataset (every JOIN, and any
+    /// SELECT whose θ-operator admits no distance bound): any write
+    /// invalidates it.
+    All,
+    /// The reply depends only on `side`-tuples whose MBR intersects
+    /// `rect` (the probe MBR expanded by the θ-operator's
+    /// [`filter_radius`](ThetaOp::filter_radius)): writes outside it —
+    /// or to the other side — leave the reply exact.
+    Select {
+        /// Relation the SELECT probed.
+        side: Side,
+        /// Conservative dependency rectangle.
+        rect: Rect,
+    },
+}
+
+impl QueryRegion {
+    /// True when a commit touching `touched` could change a reply with
+    /// this region — i.e. when the entry must be invalidated.
+    pub fn intersects(&self, touched: &TouchedRegions) -> bool {
+        match self {
+            QueryRegion::All => touched.r.is_some() || touched.s.is_some(),
+            QueryRegion::Select { side, rect } => {
+                touched.of(*side).is_some_and(|t| rect.intersects(t))
+            }
+        }
+    }
+}
+
 /// Cache key: dataset version, θ-operator bits, query fingerprint.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -74,6 +114,29 @@ impl CacheKey {
         }
     }
 
+    /// The [`QueryRegion`] of `req`'s reply: joins depend on everything;
+    /// a SELECT whose θ-operator has a finite filter radius depends only
+    /// on its side within the probe MBR expanded by that radius.
+    pub fn region_for_request(req: &Request) -> QueryRegion {
+        match &req.kind {
+            QueryKind::Select { side, probe } => match req.theta.filter_radius() {
+                Some(r) => QueryRegion::Select {
+                    side: *side,
+                    rect: probe.mbr().expand(r),
+                },
+                None => QueryRegion::All,
+            },
+            QueryKind::Join { .. } => QueryRegion::All,
+        }
+    }
+
+    /// The same logical key re-stamped to `version` — how region-disjoint
+    /// survivors of a commit stay reachable after the version bump.
+    pub(crate) fn at_version(mut self, version: u64) -> CacheKey {
+        self.version = version;
+        self
+    }
+
     /// A stable 64-bit digest of the key. The service mixes it into
     /// per-attempt fault-injection seeds, so two different requests
     /// against the same dataset version draw from different fault
@@ -91,8 +154,8 @@ impl CacheKey {
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
-    /// key → (recency sequence, value).
-    map: HashMap<CacheKey, (u64, Reply)>,
+    /// key → (recency sequence, value, dependency region).
+    map: HashMap<CacheKey, (u64, Reply, QueryRegion)>,
     /// recency sequence → key; the smallest sequence is the LRU victim.
     order: BTreeMap<u64, CacheKey>,
     next_seq: u64,
@@ -117,7 +180,7 @@ impl ResultCache {
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&mut self, key: &CacheKey) -> Option<Reply> {
         match self.map.get_mut(key) {
-            Some((seq, reply)) => {
+            Some((seq, reply, _)) => {
                 self.hits += 1;
                 self.order.remove(seq);
                 *seq = self.next_seq;
@@ -132,16 +195,17 @@ impl ResultCache {
         }
     }
 
-    /// Inserts (or refreshes) `key`, evicting the least recently used
-    /// entry when over capacity.
-    pub fn insert(&mut self, key: CacheKey, reply: Reply) {
+    /// Inserts (or refreshes) `key` with the [`QueryRegion`] its reply
+    /// depends on, evicting the least recently used entry when over
+    /// capacity.
+    pub fn insert(&mut self, key: CacheKey, reply: Reply, region: QueryRegion) {
         if self.capacity == 0 {
             return;
         }
-        if let Some((seq, _)) = self.map.remove(&key) {
+        if let Some((seq, ..)) = self.map.remove(&key) {
             self.order.remove(&seq);
         }
-        self.map.insert(key.clone(), (self.next_seq, reply));
+        self.map.insert(key.clone(), (self.next_seq, reply, region));
         self.order.insert(self.next_seq, key);
         self.next_seq += 1;
         while self.map.len() > self.capacity {
@@ -169,6 +233,27 @@ impl ResultCache {
                 self.map.remove(&key);
             }
         }
+    }
+
+    /// Empties this shard for an incremental commit: entries whose
+    /// region intersects `touched` are dropped (their count returned),
+    /// the rest come back as survivors for the caller to re-stamp and
+    /// rehome at the new version.
+    fn drain_for_update(
+        &mut self,
+        touched: &TouchedRegions,
+    ) -> (usize, Vec<(CacheKey, Reply, QueryRegion)>) {
+        let mut purged = 0;
+        let mut survivors = Vec::new();
+        for (key, (_, reply, region)) in self.map.drain() {
+            if region.intersects(touched) {
+                purged += 1;
+            } else {
+                survivors.push((key, reply, region));
+            }
+        }
+        self.order.clear();
+        (purged, survivors)
     }
 
     /// Resident entries.
@@ -253,11 +338,40 @@ impl CacheShards {
     }
 
     /// Inserts into the key's shard (LRU-evicting within that shard).
-    pub fn insert(&self, key: CacheKey, fingerprint: u64, reply: Reply) {
+    pub fn insert(&self, key: CacheKey, fingerprint: u64, reply: Reply, region: QueryRegion) {
         if !self.enabled {
             return;
         }
-        self.shard(fingerprint).insert(key, reply);
+        self.shard(fingerprint).insert(key, reply, region);
+    }
+
+    /// Fine-grained invalidation for an incremental commit publishing
+    /// `new_version`: drops every entry whose [`QueryRegion`] intersects
+    /// the commit's `touched` MBRs, re-stamps the disjoint survivors to
+    /// `new_version`, and rehomes them through normal fingerprint
+    /// routing (the version is part of the key, so the shard can move).
+    /// Returns `(purged, retained)`.
+    pub fn purge_region(&self, new_version: u64, touched: &TouchedRegions) -> (usize, usize) {
+        if !self.enabled {
+            return (0, 0);
+        }
+        let mut purged = 0;
+        let mut survivors = Vec::new();
+        for shard in &self.shards {
+            let (p, s) = shard
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .drain_for_update(touched);
+            purged += p;
+            survivors.extend(s);
+        }
+        let retained = survivors.len();
+        for (key, reply, region) in survivors {
+            let key = key.at_version(new_version);
+            let fingerprint = key.fingerprint();
+            self.shard(fingerprint).insert(key, reply, region);
+        }
+        (purged, retained)
     }
 
     /// Purges entries older than `current` from every shard (shard by
@@ -366,10 +480,10 @@ mod tests {
         let ka = CacheKey::for_request(0, &select_req(1.0));
         let kb = CacheKey::for_request(0, &select_req(2.0));
         let kc = CacheKey::for_request(0, &select_req(3.0));
-        c.insert(ka.clone(), reply(&[1]));
-        c.insert(kb.clone(), reply(&[2]));
+        c.insert(ka.clone(), reply(&[1]), QueryRegion::All);
+        c.insert(kb.clone(), reply(&[2]), QueryRegion::All);
         assert!(c.get(&ka).is_some(), "refresh a");
-        c.insert(kc.clone(), reply(&[3]));
+        c.insert(kc.clone(), reply(&[3]), QueryRegion::All);
         assert_eq!(c.len(), 2);
         assert!(c.get(&kb).is_none(), "b was LRU and must be gone");
         assert!(c.get(&ka).is_some());
@@ -382,8 +496,16 @@ mod tests {
     #[test]
     fn purge_drops_only_stale_versions() {
         let mut c = ResultCache::new(8);
-        c.insert(CacheKey::for_request(1, &select_req(1.0)), reply(&[1]));
-        c.insert(CacheKey::for_request(2, &select_req(1.0)), reply(&[1, 2]));
+        c.insert(
+            CacheKey::for_request(1, &select_req(1.0)),
+            reply(&[1]),
+            QueryRegion::All,
+        );
+        c.insert(
+            CacheKey::for_request(2, &select_req(1.0)),
+            reply(&[1, 2]),
+            QueryRegion::All,
+        );
         c.purge_stale(2);
         assert_eq!(c.len(), 1);
         assert!(c.get(&CacheKey::for_request(1, &select_req(1.0))).is_none());
@@ -394,7 +516,7 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let mut c = ResultCache::new(0);
         let k = CacheKey::for_request(0, &select_req(1.0));
-        c.insert(k.clone(), reply(&[1]));
+        c.insert(k.clone(), reply(&[1]), QueryRegion::All);
         assert!(c.is_empty());
         assert!(c.get(&k).is_none());
     }
@@ -407,7 +529,12 @@ mod tests {
             .map(|i| CacheKey::for_request(0, &select_req(f64::from(i))))
             .collect();
         for (i, k) in keys.iter().enumerate() {
-            shards.insert(k.clone(), k.fingerprint(), reply(&[i as u64]));
+            shards.insert(
+                k.clone(),
+                k.fingerprint(),
+                reply(&[i as u64]),
+                QueryRegion::All,
+            );
         }
         for (i, k) in keys.iter().enumerate() {
             assert_eq!(
@@ -435,16 +562,89 @@ mod tests {
         let shards = CacheShards::new(2, 8);
         let k1 = CacheKey::for_request(1, &select_req(1.0));
         let k2 = CacheKey::for_request(2, &select_req(2.0));
-        shards.insert(k1.clone(), k1.fingerprint(), reply(&[1]));
-        shards.insert(k2.clone(), k2.fingerprint(), reply(&[2]));
+        shards.insert(k1.clone(), k1.fingerprint(), reply(&[1]), QueryRegion::All);
+        shards.insert(k2.clone(), k2.fingerprint(), reply(&[2]), QueryRegion::All);
         shards.purge_stale(2);
         assert!(shards.get(&k1, k1.fingerprint()).is_none());
         assert!(shards.get(&k2, k2.fingerprint()).is_some());
 
         let disabled = CacheShards::new(2, 0);
         assert!(!disabled.is_enabled());
-        disabled.insert(k2.clone(), k2.fingerprint(), reply(&[2]));
+        disabled.insert(k2.clone(), k2.fingerprint(), reply(&[2]), QueryRegion::All);
         assert_eq!(disabled.get(&k2, k2.fingerprint()), None);
         assert_eq!(disabled.stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn regions_classify_selects_and_joins() {
+        // Distance-bounded SELECT: probe MBR expanded by the radius.
+        let sel = select_req(3.0); // WithinDistance(1.0) at (3, 0)
+        match CacheKey::region_for_request(&sel) {
+            QueryRegion::Select { side, rect } => {
+                assert_eq!(side, Side::R);
+                assert_eq!(rect, Rect::from_bounds(2.0, -1.0, 4.0, 1.0));
+            }
+            QueryRegion::All => panic!("distance select must have a bounded region"),
+        }
+        // Unbounded θ (DirectionOf has no filter radius) and joins
+        // depend on everything.
+        let mut unbounded = select_req(3.0);
+        unbounded.theta = ThetaOp::DirectionOf(sj_geom::Direction::North);
+        assert_eq!(CacheKey::region_for_request(&unbounded), QueryRegion::All);
+        let join = Request::join(Strategy::Auto, ThetaOp::Overlaps);
+        assert_eq!(CacheKey::region_for_request(&join), QueryRegion::All);
+    }
+
+    #[test]
+    fn region_purge_drops_intersecting_and_restamps_disjoint() {
+        let shards = CacheShards::new(4, 64);
+        // A SELECT around x=1 and a SELECT around x=100, plus a join.
+        let near = select_req(1.0);
+        let far = select_req(100.0);
+        let join = Request::join(Strategy::Auto, ThetaOp::WithinDistance(1.0));
+        for req in [&near, &far, &join] {
+            let k = CacheKey::for_request(0, req);
+            let fp = k.fingerprint();
+            shards.insert(k, fp, reply(&[7]), CacheKey::region_for_request(req));
+        }
+        assert_eq!(shards.stats().2, 3);
+
+        // Write at (2, 0) on side R: intersects `near`'s region
+        // (x ∈ [0, 2]), misses `far`'s (x ∈ [99, 101]), kills the join.
+        let mut touched = TouchedRegions::default();
+        touched.touch(Side::R, &Rect::from_bounds(2.0, 0.0, 2.0, 0.0));
+        let (purged, retained) = shards.purge_region(1, &touched);
+        assert_eq!((purged, retained), (2, 1));
+
+        // The survivor serves hits at the NEW version; old keys miss.
+        let far_new = CacheKey::for_request(1, &far);
+        assert_eq!(
+            shards.get(&far_new, far_new.fingerprint()),
+            Some(reply(&[7]))
+        );
+        let far_old = CacheKey::for_request(0, &far);
+        assert!(shards.get(&far_old, far_old.fingerprint()).is_none());
+        let near_new = CacheKey::for_request(1, &near);
+        assert!(shards.get(&near_new, near_new.fingerprint()).is_none());
+    }
+
+    #[test]
+    fn region_purge_ignores_the_untouched_side() {
+        let shards = CacheShards::new(2, 8);
+        let req = select_req(1.0); // side R
+        let k = CacheKey::for_request(0, &req);
+        let fp = k.fingerprint();
+        shards.insert(k, fp, reply(&[1]), CacheKey::region_for_request(&req));
+
+        // An S-side write exactly on the probe cannot affect an R SELECT.
+        let mut touched = TouchedRegions::default();
+        touched.touch(Side::S, &Rect::from_bounds(1.0, 0.0, 1.0, 0.0));
+        assert_eq!(shards.purge_region(1, &touched), (0, 1));
+
+        // An R-side write there kills it.
+        let mut touched = TouchedRegions::default();
+        touched.touch(Side::R, &Rect::from_bounds(1.0, 0.0, 1.0, 0.0));
+        assert_eq!(shards.purge_region(2, &touched), (1, 0));
+        assert_eq!(shards.stats().2, 0);
     }
 }

@@ -19,8 +19,11 @@
 //! 3. **Deadline check + result cache** ([`cache`]): the whole batch's
 //!    expired deadlines are shed ([`Rejection::DeadlineExceeded`]) and
 //!    its cache hits answered before any executor runs. The LRU cache
-//!    is sharded by key fingerprint ([`CacheShards`]); updates bump the
-//!    dataset version, so stale results are structurally unreachable.
+//!    is sharded by key fingerprint ([`CacheShards`]); commits purge
+//!    only the entries whose query region ([`QueryRegion`]) intersects
+//!    the union MBR of the touched tuples, so disjoint-region entries
+//!    keep serving across writes and stale results stay structurally
+//!    unreachable.
 //! 4. **Execution** ([`service`]): each miss runs on a private cold
 //!    buffer-pool shard
 //!    ([`BufferPool::fork_view`](sj_storage::BufferPool::fork_view))
@@ -30,6 +33,16 @@
 //!    worker's lock-free [`WorkerMetrics`] slab (atomic log₂-bucketed
 //!    histograms), merged into [`ServiceMetrics`] on export through the
 //!    standard `sj-obs` JSONL trace vocabulary.
+//!
+//! Writes go through the durable mutation API: a typed [`WriteBatch`]
+//! of [`Mutation`]s is appended to a checksummed write-ahead log and
+//! fsynced *before* the next snapshot is published (commit point), the
+//! snapshot itself is built by incremental R-tree insert/delete on a
+//! copy-on-write pool fork (O(batch) pages, receipted in
+//! [`CommitReceipt::io`]), and recovery replays the durable log prefix
+//! ([`SpatialService::recover`](service::SpatialService::recover)) —
+//! or fail-stops with a typed error on any corruption. See DESIGN.md
+//! §5i.
 //!
 //! Determinism: results are sorted, the advisor's selectivity sampling
 //! is seeded, and fault-injection streams are seeded per attempt — so a
@@ -45,8 +58,11 @@ pub mod service;
 pub mod snapshot;
 
 pub use admission::{AdmissionQueue, ShardedQueue};
-pub use cache::{CacheKey, CacheShards, ResultCache};
-pub use metrics::{ServiceMetrics, WorkerMetrics};
-pub use request::{QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side};
+pub use cache::{CacheKey, CacheShards, QueryRegion, ResultCache};
+pub use metrics::{ServiceMetrics, WorkerMetrics, WriteMetrics};
+pub use request::{
+    CommitReceipt, QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side,
+};
 pub use service::{ServiceConfig, SpatialService};
+pub use sj_joins::{ApplyMode, Mutation, MutationOutcome, TouchedRegions, WriteBatch};
 pub use snapshot::{SnapshotCell, SnapshotReader};

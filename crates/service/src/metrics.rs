@@ -261,6 +261,148 @@ impl WorkerMetrics {
     }
 }
 
+/// The write path's lock-free counters — one per service, recorded by
+/// [`SpatialService::commit`](crate::service::SpatialService::commit)
+/// under the WAL lock but readable at any time without one. Exported as
+/// two spans alongside the read-path vocabulary: `service/wal`
+/// (durability: records, syncs, sync failures, bytes, aborts) and
+/// `service/apply` (mutation outcomes, apply I/O, cache invalidation
+/// precision).
+#[derive(Debug, Default)]
+pub struct WriteMetrics {
+    /// Batches committed (synced and published).
+    commits: AtomicU64,
+    /// Batches aborted at the sync point (WAL fault; nothing published).
+    aborted_commits: AtomicU64,
+    /// Operations that changed state, over all commits.
+    mutations_applied: AtomicU64,
+    /// Operations rejected with typed outcomes (duplicate insert,
+    /// missing-id delete, oversized geometry).
+    mutations_rejected: AtomicU64,
+    /// Redo records appended to the WAL.
+    wal_records: AtomicU64,
+    /// Successful fsync points.
+    wal_syncs: AtomicU64,
+    /// Failed sync attempts (each one an aborted commit).
+    wal_sync_failures: AtomicU64,
+    /// Durable WAL bytes, including frame headers and sync markers.
+    wal_bytes: AtomicU64,
+    /// Physical pages written while applying batches (the incremental
+    /// path keeps this O(batch); a rebuild pays O(n)).
+    apply_pages_touched: AtomicU64,
+    /// Cache entries invalidated because their region intersected a
+    /// commit's touched MBRs.
+    cache_purged: AtomicU64,
+    /// Cache entries retained across commits (region-disjoint
+    /// survivors) — the fine-grained invalidation win.
+    cache_retained: AtomicU64,
+}
+
+impl WriteMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        WriteMetrics::default()
+    }
+
+    /// Records one committed batch: its per-op outcome split, the
+    /// physical pages its apply touched, and the cache purge/retain
+    /// split of its invalidation.
+    pub fn record_commit(
+        &self,
+        applied: u64,
+        rejected: u64,
+        pages: u64,
+        purged: u64,
+        retained: u64,
+    ) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.mutations_applied.fetch_add(applied, Ordering::Relaxed);
+        self.mutations_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
+        self.apply_pages_touched.fetch_add(pages, Ordering::Relaxed);
+        self.cache_purged.fetch_add(purged, Ordering::Relaxed);
+        self.cache_retained.fetch_add(retained, Ordering::Relaxed);
+    }
+
+    /// Records one commit aborted at its sync point.
+    pub fn record_aborted_commit(&self) {
+        self.aborted_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the WAL gauges from the log's own counters (the WAL is
+    /// the source of truth; these are mirrors for the trace).
+    pub fn set_wal_gauges(&self, records: u64, syncs: u64, sync_failures: u64, bytes: u64) {
+        self.wal_records.store(records, Ordering::Relaxed);
+        self.wal_syncs.store(syncs, Ordering::Relaxed);
+        self.wal_sync_failures
+            .store(sync_failures, Ordering::Relaxed);
+        self.wal_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Batches committed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Commits aborted at the sync point so far.
+    pub fn aborted_commits(&self) -> u64 {
+        self.aborted_commits.load(Ordering::Relaxed)
+    }
+
+    /// `(purged, retained)` cache-invalidation totals.
+    pub fn cache_invalidation(&self) -> (u64, u64) {
+        (
+            self.cache_purged.load(Ordering::Relaxed),
+            self.cache_retained.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Emits the `service/wal` and `service/apply` events.
+    pub fn emit(&self, sink: &mut TraceSink) {
+        sink.emit(
+            "service/wal",
+            0,
+            &[
+                ("commits", self.commits.load(Ordering::Relaxed)),
+                (
+                    "aborted_commits",
+                    self.aborted_commits.load(Ordering::Relaxed),
+                ),
+                ("records", self.wal_records.load(Ordering::Relaxed)),
+                ("syncs", self.wal_syncs.load(Ordering::Relaxed)),
+                (
+                    "sync_failures",
+                    self.wal_sync_failures.load(Ordering::Relaxed),
+                ),
+                ("durable_bytes", self.wal_bytes.load(Ordering::Relaxed)),
+            ],
+        );
+        sink.emit(
+            "service/apply",
+            0,
+            &[
+                (
+                    "mutations_applied",
+                    self.mutations_applied.load(Ordering::Relaxed),
+                ),
+                (
+                    "mutations_rejected",
+                    self.mutations_rejected.load(Ordering::Relaxed),
+                ),
+                (
+                    "pages_touched",
+                    self.apply_pages_touched.load(Ordering::Relaxed),
+                ),
+                ("cache_purged", self.cache_purged.load(Ordering::Relaxed)),
+                (
+                    "cache_retained",
+                    self.cache_retained.load(Ordering::Relaxed),
+                ),
+            ],
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +567,50 @@ mod tests {
             reference.cache_hit_latency_us.max()
         );
         assert_eq!(snap.queue_wait_us.count(), reference.queue_wait_us.count());
+    }
+
+    #[test]
+    fn write_metrics_count_and_emit_the_write_spans() {
+        let w = WriteMetrics::new();
+        w.record_commit(3, 1, 7, 2, 5);
+        w.record_commit(1, 0, 2, 0, 6);
+        w.record_aborted_commit();
+        w.set_wal_gauges(3, 2, 1, 640);
+        assert_eq!(w.commits(), 2);
+        assert_eq!(w.aborted_commits(), 1);
+        assert_eq!(w.cache_invalidation(), (2, 11));
+
+        let mut sink = TraceSink::vec();
+        w.emit(&mut sink);
+        let spans: Vec<&str> = sink.events().iter().map(|e| e.span.as_str()).collect();
+        assert_eq!(spans, ["service/wal", "service/apply"]);
+        let wal = &sink.events()[0];
+        for (key, want) in [
+            ("commits", 2),
+            ("aborted_commits", 1),
+            ("records", 3),
+            ("syncs", 2),
+            ("sync_failures", 1),
+            ("durable_bytes", 640),
+        ] {
+            assert!(
+                wal.counters.iter().any(|(k, v)| *k == key && *v == want),
+                "wal event must carry {key}={want}"
+            );
+        }
+        let apply = &sink.events()[1];
+        for (key, want) in [
+            ("mutations_applied", 4),
+            ("mutations_rejected", 1),
+            ("pages_touched", 9),
+            ("cache_purged", 2),
+            ("cache_retained", 11),
+        ] {
+            assert!(
+                apply.counters.iter().any(|(k, v)| *k == key && *v == want),
+                "apply event must carry {key}={want}"
+            );
+        }
     }
 
     #[test]

@@ -1,28 +1,16 @@
 //! The service's wire types: requests (spatial SELECT or JOIN plus a
-//! θ-operator and optional deadline), replies, and rejection reasons.
+//! θ-operator and optional deadline), replies, rejection reasons, and
+//! the write path's commit receipt.
 
 use std::sync::Arc;
 
 use sj_geom::{Geometry, ThetaOp};
 use sj_joins::Strategy;
-use sj_storage::StorageError;
+use sj_storage::{IoStats, StorageError};
 
-/// Which operand relation a SELECT probes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Side {
-    R,
-    S,
-}
+use sj_joins::MutationOutcome;
 
-impl Side {
-    /// Stable name, used in traces and cache keys.
-    pub fn name(self) -> &'static str {
-        match self {
-            Side::R => "r",
-            Side::S => "s",
-        }
-    }
-}
+pub use sj_joins::Side;
 
 /// What a request computes.
 #[derive(Debug, Clone)]
@@ -166,3 +154,35 @@ pub enum Rejection {
 
 /// What a submitted request ultimately yields.
 pub type ServiceResult = Result<Response, Rejection>;
+
+/// What a committed [`WriteBatch`](sj_joins::WriteBatch) yields:
+/// the write-path counterpart of [`Response`]. The batch is durable
+/// (its WAL record synced) and its snapshot published by the time the
+/// receipt is returned.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// Dataset version the commit published.
+    pub version: u64,
+    /// LSN of the batch's WAL redo record.
+    pub wal_lsn: u64,
+    /// Per-operation outcomes, in batch order. Rejected operations
+    /// (duplicate insert, missing-id delete, oversized geometry) report
+    /// typed outcomes here; they do not abort the batch.
+    pub outcomes: Vec<MutationOutcome>,
+    /// Physical I/O the apply cost — O(batch) pages on the incremental
+    /// path, O(n) on a rebuild.
+    pub io: IoStats,
+    /// Cache entries dropped because their query region intersected
+    /// the batch's touched regions.
+    pub cache_purged: usize,
+    /// Cache entries kept live across the version bump (their regions
+    /// were disjoint from every touched tuple).
+    pub cache_retained: usize,
+}
+
+impl CommitReceipt {
+    /// True when at least one operation changed state.
+    pub fn changed(&self) -> bool {
+        self.outcomes.iter().any(MutationOutcome::applied)
+    }
+}

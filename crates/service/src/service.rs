@@ -13,11 +13,22 @@
 //! shard forked from it ([`BufferPool::fork_view`]), so index builds
 //! and page I/O during query execution never touch shared frames.
 //!
-//! Updates build the *next* snapshot entirely off the hot path (scan
-//! the current relations through a read-only fork, apply the batch,
-//! rebuild relations and trees on a fresh pool) and publish it in O(1).
-//! In-flight requests keep computing against the snapshot they pinned;
-//! its `version` tags their responses and cache entries.
+//! Writes are typed [`WriteBatch`]es committed by
+//! [`SpatialService::commit`] entirely off the hot path. The default
+//! [`ApplyMode::Incremental`] path forks the current pool (the disk is
+//! page-granular copy-on-write, so the fork shares every untouched
+//! page), applies each mutation to cloned relation/tree handles —
+//! touching only the pages the batch dirties — and evolves the paged
+//! generalization trees against the in-memory R-trees
+//! ([`TreeRelation::try_evolve`]). The batch's redo record is appended
+//! to the [`WriteAheadLog`] *before* apply and synced *before* publish:
+//! the sync is the commit point, a sync fault aborts the commit with a
+//! typed error and nothing partial is ever visible. In-flight requests
+//! keep computing against the snapshot they pinned; its `version` tags
+//! their responses and cache entries, and invalidation is fine-grained:
+//! only cache entries whose [`QueryRegion`] intersects the batch's
+//! touched MBRs are dropped ([`CacheShards::purge_region`]); the rest
+//! are re-stamped to the new version and keep serving hits.
 //!
 //! Admission is sharded per worker (round-robin enqueue, full-shard
 //! fallover, batched dequeue, work stealing), the result cache is
@@ -57,16 +68,22 @@ use std::time::Instant;
 use sj_core::advisor::{auto_chooser, Operation, WorkloadProfile};
 use sj_costmodel::{Distribution, ModelParams};
 use sj_gentree::rtree::{RTree, RTreeConfig};
-use sj_geom::{Bounded, Geometry, Rect, ThetaOp};
+use sj_geom::{codec, Bounded, Geometry, Rect, ThetaOp};
 use sj_joins::{JoinOperands, JoinRequest, StoredRelation, Strategy, TreeRelation};
 use sj_obs::TraceSink;
-use sj_storage::{BufferPool, Disk, DiskConfig, FaultConfig, FaultInjector, Layout, StorageError};
+use sj_storage::{
+    BufferPool, Disk, DiskConfig, FaultConfig, FaultInjector, IoStats, Layout, StorageError,
+    WriteAheadLog,
+};
 
 use crate::admission::ShardedQueue;
 use crate::cache::{CacheKey, CacheShards};
-use crate::metrics::{ServiceMetrics, WorkerMetrics};
-use crate::request::{QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side};
+use crate::metrics::{ServiceMetrics, WorkerMetrics, WriteMetrics};
+use crate::request::{
+    CommitReceipt, QueryKind, Rejection, Reply, Request, Response, ServiceResult, Side,
+};
 use crate::snapshot::SnapshotCell;
+use sj_joins::{ApplyMode, Mutation, MutationOutcome, TouchedRegions, WriteBatch};
 
 /// Per-record-read retries inside the degraded nested-loop pass. Each
 /// retry of a faulted read re-draws from the deterministic injector
@@ -118,6 +135,10 @@ pub struct ServiceConfig {
     /// deadline sheds and cache hits are answered before any executor
     /// runs, amortizing queue synchronization across the batch.
     pub batch_size: usize,
+    /// How [`SpatialService::commit`] applies a batch to the snapshot:
+    /// incremental page-level maintenance (the default) or the
+    /// pre-redesign full scan-and-rebuild (kept as the bench baseline).
+    pub apply_mode: ApplyMode,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +165,7 @@ impl Default for ServiceConfig {
             fault_seed: 0,
             retry_attempts: 3,
             batch_size: 8,
+            apply_mode: ApplyMode::Incremental,
         }
     }
 }
@@ -157,6 +179,11 @@ struct DataState {
     s: StoredRelation,
     r_tree: TreeRelation,
     s_tree: TreeRelation,
+    /// In-memory R-trees mirroring the paged trees — the live-id
+    /// authority for mutation outcomes and the structure incremental
+    /// commits evolve the paged trees against.
+    r_index: RTree,
+    s_index: RTree,
     world: Rect,
     version: u64,
 }
@@ -201,12 +228,16 @@ struct Shared {
     config: ServiceConfig,
     /// The current dataset snapshot (epoch-stamped publish/subscribe).
     snapshot: SnapshotCell<DataState>,
-    /// Serializes writers only — never touched by the request path.
-    update_lock: Mutex<()>,
+    /// The write-ahead log. Its mutex serializes writers only — never
+    /// touched by the request path — and commit order IS log order.
+    wal: Mutex<WriteAheadLog>,
     queue: ShardedQueue<Job>,
     cache: CacheShards,
     /// One lock-free metrics slab per worker, merged on export.
     worker_metrics: Vec<Arc<WorkerMetrics>>,
+    /// Write-path counters (commits, WAL activity, apply I/O, cache
+    /// invalidation precision).
+    write_metrics: WriteMetrics,
 }
 
 /// A running multi-threaded spatial query service. Dropping the handle
@@ -241,12 +272,13 @@ impl SpatialService {
         let shared = Arc::new(Shared {
             config,
             snapshot: SnapshotCell::new(Arc::new(state)),
-            update_lock: Mutex::new(()),
+            wal: Mutex::new(WriteAheadLog::new()),
             queue: ShardedQueue::new(workers, config.queue_depth, config.batch_size.max(1)),
             cache: CacheShards::new(workers, config.cache_capacity),
             worker_metrics: (0..workers)
                 .map(|_| Arc::new(WorkerMetrics::new()))
                 .collect(),
+            write_metrics: WriteMetrics::new(),
         });
         let workers = (0..workers)
             .map(|worker| {
@@ -307,45 +339,170 @@ impl SpatialService {
             .unwrap_or_else(|e| panic!("reference compute failed: {e}")) // PANIC-OK: no injector armed
     }
 
-    /// Applies a batch of insertions by building the *next* snapshot
-    /// off the hot path — scan the current relations through a
-    /// read-only fork, extend with the inserts, rebuild relations and
-    /// generalization trees on a fresh pool — then publishing it in
-    /// O(1) and purging stale cache entries. Readers never block:
-    /// in-flight requests finish against the snapshot they pinned.
-    /// Returns the new version.
-    pub fn update(&self, inserts: &[(Side, u64, Geometry)]) -> u64 {
-        // Writers serialize with each other only; the queue keeps
-        // admitting and workers keep serving throughout.
-        let _writer = self
+    /// Commits a [`WriteBatch`] durably and atomically, off the hot
+    /// path. The protocol, under the WAL lock (writers serialize with
+    /// each other only; the queue keeps admitting and workers keep
+    /// serving throughout):
+    ///
+    /// 1. Append the batch's redo record to the WAL tail.
+    /// 2. Build the next snapshot per [`ServiceConfig::apply_mode`] —
+    ///    incrementally on a copy-on-write fork of the current pool, or
+    ///    by full rebuild. An apply fault rolls the tail back and aborts.
+    /// 3. Sync the WAL — **the commit point**. A sync fault loses the
+    ///    tail, aborts with [`Rejection::Failed`], and publishes
+    ///    nothing: the service state is exactly as before the call.
+    /// 4. Publish the snapshot in O(1) and invalidate the cache —
+    ///    fine-grained (region-intersection) for incremental commits, a
+    ///    blanket stale purge for rebuilds.
+    ///
+    /// Per-op results come back in the [`CommitReceipt`]: rejected
+    /// operations (duplicate insert, missing-id delete, oversized
+    /// geometry) carry typed [`MutationOutcome`]s and never abort the
+    /// batch. Readers never block: in-flight requests finish against
+    /// the snapshot they pinned.
+    pub fn commit(&self, batch: &WriteBatch) -> Result<CommitReceipt, Rejection> {
+        let mut wal = self
             .shared
-            .update_lock
+            .wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let wal_lsn = wal.append(&batch.encode());
+        let current = self.shared.snapshot.load();
+        let applied = match build_next(&self.shared.config, &current, batch) {
+            Ok(applied) => applied,
+            Err(e) => {
+                wal.rollback_tail();
+                self.shared.write_metrics.record_aborted_commit();
+                self.record_wal_gauges(&wal);
+                return Err(Rejection::Failed(e));
+            }
+        };
+        // The commit point: the redo record must be durable before the
+        // snapshot becomes visible. sync() rolls the tail back itself
+        // on a fault, so an aborted commit leaves no trace in the log.
+        if let Err(e) = wal.sync() {
+            self.shared.write_metrics.record_aborted_commit();
+            self.record_wal_gauges(&wal);
+            return Err(Rejection::Failed(e));
+        }
+        let version = applied.state.version;
+        drop(current);
+        self.shared.snapshot.publish(Arc::new(applied.state));
+        let (cache_purged, cache_retained) = match self.shared.config.apply_mode {
+            ApplyMode::Incremental => self.shared.cache.purge_region(version, &applied.touched),
+            ApplyMode::Rebuild => {
+                self.shared.cache.purge_stale(version);
+                (0, 0)
+            }
+        };
+        let applied_ops = applied.outcomes.iter().filter(|o| o.applied()).count() as u64;
+        let rejected_ops = applied.outcomes.len() as u64 - applied_ops;
+        self.shared.write_metrics.record_commit(
+            applied_ops,
+            rejected_ops,
+            applied.io.physical_writes + applied.io.physical_reads,
+            cache_purged as u64,
+            cache_retained as u64,
+        );
+        self.record_wal_gauges(&wal);
+        Ok(CommitReceipt {
+            version,
+            wal_lsn,
+            outcomes: applied.outcomes,
+            io: applied.io,
+            cache_purged,
+            cache_retained,
+        })
+    }
+
+    /// Rebuilds a service from a seed dataset plus a WAL image: strict
+    /// recovery parses the image (corruption is a typed
+    /// [`StorageError::WalCorrupt`], never a wrong answer), drops any
+    /// unsynced tail, and replays every durable batch in commit order —
+    /// without re-logging — so the recovered service observes exactly
+    /// the synced history's state and versions.
+    pub fn recover(
+        config: ServiceConfig,
+        r_tuples: &[(u64, Geometry)],
+        s_tuples: &[(u64, Geometry)],
+        world: Rect,
+        image: &[u8],
+    ) -> Result<SpatialService, StorageError> {
+        let (wal, payloads) = WriteAheadLog::recover(image)?;
+        let batches = payloads
+            .iter()
+            .map(|p| WriteBatch::decode(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let svc = SpatialService::start(config, r_tuples, s_tuples, world);
+        *svc.shared
+            .wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = wal;
+        for batch in &batches {
+            svc.replay(batch)?;
+        }
+        Ok(svc)
+    }
+
+    /// Applies an already-durable batch (recovery replay): same apply
+    /// and publish as [`commit`](Self::commit), no logging, no sync.
+    fn replay(&self, batch: &WriteBatch) -> Result<(), StorageError> {
+        let _wal = self
+            .shared
+            .wal
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let current = self.shared.snapshot.load();
-        let mut view = current.pool.fork_view(self.shared.config.pool_capacity);
-        let mut r_tuples = current.r.scan(&mut view);
-        let mut s_tuples = current.s.scan(&mut view);
-        let mut world = current.world;
-        for (side, id, g) in inserts {
-            world = world.union(&g.mbr());
-            match side {
-                Side::R => r_tuples.push((*id, g.clone())),
-                Side::S => s_tuples.push((*id, g.clone())),
-            }
-        }
-        let next = build_state(
-            &self.shared.config,
-            &r_tuples,
-            &s_tuples,
-            world,
-            current.version + 1,
-        );
-        let version = next.version;
+        let applied = build_next(&self.shared.config, &current, batch)?;
+        let version = applied.state.version;
         drop(current);
-        self.shared.snapshot.publish(Arc::new(next));
-        self.shared.cache.purge_stale(version);
-        version
+        self.shared.snapshot.publish(Arc::new(applied.state));
+        match self.shared.config.apply_mode {
+            ApplyMode::Incremental => {
+                self.shared.cache.purge_region(version, &applied.touched);
+            }
+            ApplyMode::Rebuild => self.shared.cache.purge_stale(version),
+        }
+        Ok(())
+    }
+
+    /// The durable WAL image — magic header plus every synced frame,
+    /// excluding any unsynced tail. This is the byte string crash
+    /// recovery consumes ([`SpatialService::recover`]).
+    pub fn wal_image(&self) -> Vec<u8> {
+        self.shared
+            .wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .durable_image()
+    }
+
+    /// Arms (or disarms) fault injection on WAL sync attempts — the
+    /// chaos hook for crash-at-the-commit-point testing. The injector
+    /// is consulted once per sync attempt with `FaultOp::Write` on
+    /// `PageId(attempt)`.
+    pub fn set_wal_fault_injector(&self, injector: Option<FaultInjector>) {
+        self.shared
+            .wal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .set_fault_injector(injector);
+    }
+
+    /// The write path's counters (commits, aborts, WAL gauges, apply
+    /// I/O, cache invalidation precision).
+    pub fn write_metrics(&self) -> &WriteMetrics {
+        &self.shared.write_metrics
+    }
+
+    /// Mirrors the WAL's own counters into the write metrics gauges.
+    fn record_wal_gauges(&self, wal: &WriteAheadLog) {
+        self.shared.write_metrics.set_wal_gauges(
+            wal.records(),
+            wal.syncs(),
+            wal.sync_failures(),
+            wal.durable_bytes() as u64,
+        );
     }
 
     /// Current dataset version (starts at 0, bumped per update batch).
@@ -421,6 +578,7 @@ impl SpatialService {
         let mut reg = sj_obs::CounterRegistry::new();
         self.shared.snapshot.load().pool.export_counters(&mut reg);
         sink.emit("service/pool", 0, reg.as_counters());
+        self.shared.write_metrics.emit(sink);
     }
 
     /// Stops admitting work; workers drain the backlog and exit. Called
@@ -452,29 +610,291 @@ fn build_state(
     let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), config.pool_capacity);
     let r = StoredRelation::build(&mut pool, r_tuples, config.record_size, Layout::Clustered);
     let s = StoredRelation::build(&mut pool, s_tuples, config.record_size, Layout::Clustered);
-    let r_tree = build_tree(&mut pool, &r, config);
-    let s_tree = build_tree(&mut pool, &s, config);
+    let (r_index, r_tree) = build_tree(&mut pool, &r, config);
+    let (s_index, s_tree) = build_tree(&mut pool, &s, config);
     DataState {
         pool,
         r,
         s,
         r_tree,
         s_tree,
+        r_index,
+        s_index,
         world,
         version,
     }
 }
 
-/// Scans `rel` and bulk-loads a clustered generalization tree over it.
-fn build_tree(pool: &mut BufferPool, rel: &StoredRelation, config: &ServiceConfig) -> TreeRelation {
+/// Scans `rel` and bulk-loads a clustered generalization tree over it,
+/// returning both the in-memory R-tree (kept live for incremental
+/// maintenance) and its paged counterpart.
+fn build_tree(
+    pool: &mut BufferPool,
+    rel: &StoredRelation,
+    config: &ServiceConfig,
+) -> (RTree, TreeRelation) {
     let tuples = rel.scan(pool);
     let rt = RTree::bulk_load(RTreeConfig::with_fanout(config.fanout), tuples);
-    TreeRelation::new(
+    let paged = TreeRelation::new(
         pool,
         rt.tree().clone(),
         config.record_size,
         Layout::Clustered,
-    )
+    );
+    (rt, paged)
+}
+
+/// A batch applied to (a fork of) the current snapshot, awaiting the
+/// commit point.
+struct Applied {
+    state: DataState,
+    outcomes: Vec<MutationOutcome>,
+    touched: TouchedRegions,
+    io: IoStats,
+}
+
+/// Builds the next snapshot from `current` plus `batch`, per the
+/// configured apply mode.
+fn build_next(
+    config: &ServiceConfig,
+    current: &DataState,
+    batch: &WriteBatch,
+) -> Result<Applied, StorageError> {
+    match config.apply_mode {
+        ApplyMode::Incremental => apply_incremental(config, current, batch),
+        ApplyMode::Rebuild => apply_rebuild(config, current, batch),
+    }
+}
+
+/// The incremental apply path: fork the current pool (page-granular
+/// copy-on-write, so untouched pages are shared, not copied), apply
+/// each mutation in batch order to cloned relation handles and
+/// in-memory R-trees, then evolve each touched side's paged tree
+/// in place ([`TreeRelation::try_evolve`]). Total physical I/O is
+/// O(batch · tree height) pages, independent of relation size — the
+/// receipt's `io` proves it per commit.
+fn apply_incremental(
+    config: &ServiceConfig,
+    current: &DataState,
+    batch: &WriteBatch,
+) -> Result<Applied, StorageError> {
+    let mut pool = current.pool.fork_view(config.pool_capacity);
+    let mut r = current.r.clone();
+    let mut s = current.s.clone();
+    let mut r_index = current.r_index.clone();
+    let mut s_index = current.s_index.clone();
+    let mut world = current.world;
+    let mut touched = TouchedRegions::default();
+    let mut outcomes = Vec::with_capacity(batch.len());
+    for (side, op) in &batch.ops {
+        let (rel, index) = match side {
+            Side::R => (&mut r, &mut r_index),
+            Side::S => (&mut s, &mut s_index),
+        };
+        outcomes.push(apply_one(
+            &mut pool,
+            config,
+            rel,
+            index,
+            *side,
+            op,
+            &mut touched,
+            &mut world,
+        )?);
+    }
+    // Evolve only the sides the batch actually changed; an untouched
+    // side's paged tree is shared with the previous snapshot for free.
+    let r_tree = if touched.r.is_some() {
+        current
+            .r_tree
+            .try_evolve(&mut pool, r_index.tree(), config.record_size)?
+    } else {
+        current.r_tree.clone()
+    };
+    let s_tree = if touched.s.is_some() {
+        current
+            .s_tree
+            .try_evolve(&mut pool, s_index.tree(), config.record_size)?
+    } else {
+        current.s_tree.clone()
+    };
+    let io = pool.stats();
+    Ok(Applied {
+        state: DataState {
+            pool,
+            r,
+            s,
+            r_tree,
+            s_tree,
+            r_index,
+            s_index,
+            world,
+            version: current.version + 1,
+        },
+        outcomes,
+        touched,
+        io,
+    })
+}
+
+/// One mutation against one side's stored relation and in-memory
+/// R-tree. Outcomes are a pure function of the pre-state and the op —
+/// presence checks go through the R-tree (the live-id authority) — so
+/// WAL replay reproduces them exactly. Deletes are order-preserving
+/// (`StoredRelation::try_delete` shifts positions, never swaps), which
+/// keeps the tuple sequence identical to a sequential rebuild — the
+/// invariant the linearizability property suite leans on.
+#[allow(clippy::too_many_arguments)]
+fn apply_one(
+    pool: &mut BufferPool,
+    config: &ServiceConfig,
+    rel: &mut StoredRelation,
+    index: &mut RTree,
+    side: Side,
+    op: &Mutation,
+    touched: &mut TouchedRegions,
+    world: &mut Rect,
+) -> Result<MutationOutcome, StorageError> {
+    match op {
+        Mutation::Insert { id, value } => {
+            if index.get(*id).is_some() {
+                return Ok(MutationOutcome::DuplicateId);
+            }
+            if codec::encoded_len(value) > config.record_size {
+                return Ok(MutationOutcome::TooLarge);
+            }
+            rel.try_insert(pool, *id, value)?;
+            index.insert(*id, value.clone());
+            touched.touch_geometry(side, value);
+            *world = world.union(&value.mbr());
+            Ok(MutationOutcome::Inserted)
+        }
+        Mutation::Delete { id } => {
+            let Some(old) = index.get(*id).map(Bounded::mbr) else {
+                return Ok(MutationOutcome::MissingId);
+            };
+            rel.try_delete(pool, *id)?;
+            index.remove(*id);
+            touched.touch(side, &old);
+            Ok(MutationOutcome::Deleted)
+        }
+        Mutation::Upsert { id, value } => {
+            if codec::encoded_len(value) > config.record_size {
+                return Ok(MutationOutcome::TooLarge);
+            }
+            let replaced = match index.get(*id).map(Bounded::mbr) {
+                Some(old) => {
+                    rel.try_replace(pool, *id, value)?;
+                    index.remove(*id);
+                    touched.touch(side, &old);
+                    true
+                }
+                None => {
+                    rel.try_insert(pool, *id, value)?;
+                    false
+                }
+            };
+            index.insert(*id, value.clone());
+            touched.touch_geometry(side, value);
+            *world = world.union(&value.mbr());
+            Ok(MutationOutcome::Upserted { replaced })
+        }
+    }
+}
+
+/// The pre-redesign apply path, kept as the bench baseline: scan both
+/// relations through a read-only fork, apply the batch to the in-memory
+/// tuple vectors (order-preserving, so it is the semantic oracle for
+/// the incremental path), and rebuild everything on a fresh pool —
+/// O(n) I/O regardless of batch size.
+fn apply_rebuild(
+    config: &ServiceConfig,
+    current: &DataState,
+    batch: &WriteBatch,
+) -> Result<Applied, StorageError> {
+    let mut view = current.pool.fork_view(config.pool_capacity);
+    let mut r_tuples = current.r.try_scan(&mut view)?;
+    let mut s_tuples = current.s.try_scan(&mut view)?;
+    let mut world = current.world;
+    let mut touched = TouchedRegions::default();
+    let mut outcomes = Vec::with_capacity(batch.len());
+    for (side, op) in &batch.ops {
+        let tuples = match side {
+            Side::R => &mut r_tuples,
+            Side::S => &mut s_tuples,
+        };
+        outcomes.push(apply_in_memory(
+            config,
+            tuples,
+            *side,
+            op,
+            &mut touched,
+            &mut world,
+        ));
+    }
+    let mut io = view.stats();
+    let state = build_state(config, &r_tuples, &s_tuples, world, current.version + 1);
+    io.merge(&state.pool.stats());
+    Ok(Applied {
+        state,
+        outcomes,
+        touched,
+        io,
+    })
+}
+
+/// [`apply_one`]'s semantics over a plain tuple vector: same outcomes,
+/// same order discipline (in-place replace, shifting delete, appending
+/// insert).
+fn apply_in_memory(
+    config: &ServiceConfig,
+    tuples: &mut Vec<(u64, Geometry)>,
+    side: Side,
+    op: &Mutation,
+    touched: &mut TouchedRegions,
+    world: &mut Rect,
+) -> MutationOutcome {
+    let position = |tuples: &[(u64, Geometry)], id: u64| tuples.iter().position(|(t, _)| *t == id);
+    match op {
+        Mutation::Insert { id, value } => {
+            if position(tuples, *id).is_some() {
+                return MutationOutcome::DuplicateId;
+            }
+            if codec::encoded_len(value) > config.record_size {
+                return MutationOutcome::TooLarge;
+            }
+            touched.touch_geometry(side, value);
+            *world = world.union(&value.mbr());
+            tuples.push((*id, value.clone()));
+            MutationOutcome::Inserted
+        }
+        Mutation::Delete { id } => {
+            let Some(pos) = position(tuples, *id) else {
+                return MutationOutcome::MissingId;
+            };
+            touched.touch_geometry(side, &tuples[pos].1);
+            tuples.remove(pos);
+            MutationOutcome::Deleted
+        }
+        Mutation::Upsert { id, value } => {
+            if codec::encoded_len(value) > config.record_size {
+                return MutationOutcome::TooLarge;
+            }
+            touched.touch_geometry(side, value);
+            *world = world.union(&value.mbr());
+            match position(tuples, *id) {
+                Some(pos) => {
+                    touched.touch_geometry(side, &tuples[pos].1);
+                    tuples[pos] = (*id, value.clone());
+                    MutationOutcome::Upserted { replaced: true }
+                }
+                None => {
+                    tuples.push((*id, value.clone()));
+                    MutationOutcome::Upserted { replaced: false }
+                }
+            }
+        }
+    }
 }
 
 /// The worker main loop: drain a batch from the own shard (stealing
@@ -571,7 +991,10 @@ fn compute_job(shared: &Shared, metrics: &WorkerMetrics, state: &DataState, miss
     let exec_us = started.elapsed().as_micros() as u64;
     match outcome {
         Ok(done) => {
-            shared.cache.insert(key, fingerprint, done.reply.clone());
+            let region = CacheKey::region_for_request(&job.req);
+            shared
+                .cache
+                .insert(key, fingerprint, done.reply.clone(), region);
             metrics.record_completion(queue_us, exec_us, false);
             metrics.record_recovery(done.faulted_attempts, done.backoff_units, done.degraded);
             let _ = job.reply_to.send(Ok(Response {
@@ -943,10 +1366,15 @@ mod tests {
         assert_eq!(first.reply, second.reply);
         assert!(svc.cache_hit_rate() > 0.0);
 
-        // Insert a tuple right at the probe: the cached result is stale
-        // and must not be served.
-        let v = svc.update(&[(Side::R, 9999, Geometry::Point(Point::new(1.0, 1.0)))]);
-        assert_eq!(v, 1);
+        // Insert a tuple right at the probe: the cached result's region
+        // intersects the write, so it must be invalidated, not served.
+        let receipt = svc
+            .commit(&WriteBatch::new().insert(Side::R, 9999, Geometry::Point(Point::new(1.0, 1.0))))
+            .expect("commit succeeds");
+        assert_eq!(receipt.version, 1);
+        assert_eq!(receipt.outcomes, vec![MutationOutcome::Inserted]);
+        assert!(receipt.changed());
+        assert!(receipt.cache_purged >= 1, "the stale entry must be purged");
         let third = svc.call(req).expect("ok");
         assert!(!third.cached, "version bump must invalidate");
         assert_eq!(third.version, 1);
@@ -1282,6 +1710,8 @@ mod tests {
             "service/cache",
             "service/admission",
             "service/pool",
+            "service/wal",
+            "service/apply",
         ] {
             assert!(spans.contains(&want), "missing span {want}");
         }
@@ -1307,5 +1737,238 @@ mod tests {
             .counters
             .iter()
             .any(|(k, v)| *k == "bufferpool.capacity" && *v > 0));
+    }
+
+    #[test]
+    fn commit_outcomes_are_typed_and_reads_observe_writes() {
+        let svc = small_service(ServiceConfig::default());
+        let batch = WriteBatch::new()
+            .insert(Side::R, 9000, Geometry::Point(Point::new(2.0, 2.0)))
+            .insert(Side::R, 9000, Geometry::Point(Point::new(3.0, 3.0))) // duplicate
+            .delete(Side::S, 501)
+            .delete(Side::S, 424242) // missing
+            .upsert(Side::R, 0, Geometry::Point(Point::new(1.0, 1.0))) // replace
+            .upsert(Side::S, 9001, Geometry::Point(Point::new(4.0, 4.0))); // insert
+        let receipt = svc.commit(&batch).expect("commit succeeds");
+        assert_eq!(receipt.version, 1);
+        assert_eq!(
+            receipt.outcomes,
+            vec![
+                MutationOutcome::Inserted,
+                MutationOutcome::DuplicateId,
+                MutationOutcome::Deleted,
+                MutationOutcome::MissingId,
+                MutationOutcome::Upserted { replaced: true },
+                MutationOutcome::Upserted { replaced: false },
+            ]
+        );
+        assert!(receipt.wal_lsn >= 1);
+
+        // Reads observe every applied write: 9000 and the moved 0 are
+        // R-matches near the origin, 9001 is an S-match, 501 is gone.
+        let r = svc
+            .call(Request::select(
+                Side::R,
+                Geometry::Point(Point::new(2.0, 2.0)),
+                ThetaOp::WithinDistance(2.0),
+            ))
+            .expect("ok");
+        let Reply::Select { matches } = &r.reply else {
+            panic!("select reply expected");
+        };
+        assert!(matches.contains(&9000));
+        assert!(matches.contains(&0), "upsert must have moved 0 to (1,1)");
+        let s = svc
+            .call(Request::select(
+                Side::S,
+                Geometry::Point(Point::new(0.0, 0.0)),
+                ThetaOp::WithinDistance(10.0),
+            ))
+            .expect("ok");
+        let Reply::Select { matches } = &s.reply else {
+            panic!("select reply expected");
+        };
+        assert!(matches.contains(&9001));
+        assert!(!matches.contains(&501), "deleted id must not match");
+        assert_eq!(svc.version(), 1);
+        assert_eq!(svc.write_metrics().commits(), 1);
+    }
+
+    #[test]
+    fn incremental_apply_costs_pages_proportional_to_the_batch() {
+        // The pre-redesign bug: every update scanned and rewrote BOTH
+        // relations and trees — O(n) pages for a 1-tuple write. The
+        // incremental path must touch O(batch) pages instead. Same
+        // batch, both modes, measured via the receipt's IoStats.
+        let cost = |mode: ApplyMode| {
+            let svc = SpatialService::start(
+                ServiceConfig {
+                    apply_mode: mode,
+                    ..ServiceConfig::default()
+                },
+                &grid_tuples(15, 4.0, 0),
+                &grid_tuples(15, 4.0, 5000),
+                world(),
+            );
+            let batch = WriteBatch::new()
+                .insert(Side::R, 9000, Geometry::Point(Point::new(7.0, 7.0)))
+                .delete(Side::S, 5003);
+            let receipt = svc.commit(&batch).expect("commit succeeds");
+            assert_eq!(
+                receipt.outcomes,
+                vec![MutationOutcome::Inserted, MutationOutcome::Deleted]
+            );
+            receipt.io.physical_reads + receipt.io.physical_writes
+        };
+        let incremental = cost(ApplyMode::Incremental);
+        let rebuild = cost(ApplyMode::Rebuild);
+        assert!(
+            incremental * 4 < rebuild,
+            "incremental apply must touch far fewer pages than a rebuild \
+             (incremental {incremental}, rebuild {rebuild})"
+        );
+    }
+
+    #[test]
+    fn disjoint_region_writes_retain_cache_entries() {
+        let svc = small_service(ServiceConfig::default());
+        let near = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(0.0, 0.0)),
+            ThetaOp::WithinDistance(5.0),
+        );
+        let far = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(40.0, 40.0)),
+            ThetaOp::WithinDistance(5.0),
+        );
+        svc.call(near.clone()).expect("warm near");
+        let far_reply = svc.call(far.clone()).expect("warm far").reply;
+
+        // Write at (1,1): inside near's region, 50+ units from far's.
+        let receipt = svc
+            .commit(&WriteBatch::new().insert(Side::R, 9000, Geometry::Point(Point::new(1.0, 1.0))))
+            .expect("commit succeeds");
+        assert!(receipt.cache_purged >= 1, "near must be invalidated");
+        assert!(receipt.cache_retained >= 1, "far must survive");
+
+        // The survivor serves a *cached* hit at the new version, and
+        // its reply is still exact.
+        let resp = svc.call(far.clone()).expect("ok");
+        assert!(resp.cached, "region-disjoint entry must survive the commit");
+        assert_eq!(resp.version, 1);
+        assert_eq!(resp.reply, far_reply);
+        assert_eq!(resp.reply, svc.execute_reference(&far));
+        // The invalidated entry recomputes and now sees the insert.
+        let resp = svc.call(near).expect("ok");
+        assert!(!resp.cached);
+        let Reply::Select { matches } = &resp.reply else {
+            panic!("select reply expected");
+        };
+        assert!(matches.contains(&9000));
+    }
+
+    #[test]
+    fn wal_sync_fault_aborts_the_commit_and_state_is_unchanged() {
+        use std::collections::HashSet;
+        let svc = small_service(ServiceConfig::default());
+        let probe = Request::select(
+            Side::R,
+            Geometry::Point(Point::new(0.0, 0.0)),
+            ThetaOp::WithinDistance(5.0),
+        );
+        let before = svc.call(probe.clone()).expect("ok").reply;
+
+        // Fault exactly the first sync attempt (attempt ids are 0-based).
+        svc.set_wal_fault_injector(Some(FaultInjector::new(FaultConfig {
+            write_prob: 1.0,
+            target_pages: Some(HashSet::from([sj_storage::PageId(0)])),
+            ..FaultConfig::default()
+        })));
+        let batch = WriteBatch::new().insert(Side::R, 9000, Geometry::Point(Point::new(1.0, 1.0)));
+        let err = svc.commit(&batch).expect_err("sync fault must abort");
+        let Rejection::Failed(e) = err else {
+            panic!("expected Failed, got {err:?}");
+        };
+        assert_eq!(e.kind(), "injected_fault");
+
+        // Nothing published, nothing durable, reads unchanged.
+        assert_eq!(svc.version(), 0);
+        assert_eq!(svc.call(probe.clone()).expect("ok").reply, before);
+        assert_eq!(svc.write_metrics().aborted_commits(), 1);
+        let recovered = SpatialService::recover(
+            *svc.config(),
+            &grid_tuples(5, 10.0, 0),
+            &grid_tuples(5, 10.0, 500),
+            world(),
+            &svc.wal_image(),
+        )
+        .expect("image with no synced records recovers");
+        assert_eq!(recovered.version(), 0);
+
+        // The retried commit (sync attempt 2 is not targeted) succeeds.
+        let receipt = svc.commit(&batch).expect("retry commits");
+        assert_eq!(receipt.version, 1);
+        let Reply::Select { matches } = &svc.call(probe).expect("ok").reply else {
+            panic!("select reply expected");
+        };
+        assert!(matches.contains(&9000));
+    }
+
+    #[test]
+    fn recovery_replays_the_durable_history_exactly() {
+        let svc = small_service(ServiceConfig::default());
+        svc.commit(
+            &WriteBatch::new()
+                .insert(Side::R, 9000, Geometry::Point(Point::new(2.0, 2.0)))
+                .delete(Side::S, 501),
+        )
+        .expect("first commit");
+        svc.commit(&WriteBatch::new().upsert(Side::R, 0, Geometry::Point(Point::new(31.0, 31.0))))
+            .expect("second commit");
+
+        let recovered = SpatialService::recover(
+            *svc.config(),
+            &grid_tuples(5, 10.0, 0),
+            &grid_tuples(5, 10.0, 500),
+            world(),
+            &svc.wal_image(),
+        )
+        .expect("recovery succeeds");
+        assert_eq!(recovered.version(), 2);
+        for req in [
+            Request::select(
+                Side::R,
+                Geometry::Point(Point::new(0.0, 0.0)),
+                ThetaOp::WithinDistance(35.0),
+            ),
+            Request::select(
+                Side::S,
+                Geometry::Point(Point::new(0.0, 0.0)),
+                ThetaOp::WithinDistance(35.0),
+            ),
+            Request::join(Strategy::Auto, ThetaOp::WithinDistance(3.0)),
+        ] {
+            assert_eq!(
+                svc.execute_reference(&req),
+                recovered.execute_reference(&req),
+                "recovered state must answer identically"
+            );
+        }
+
+        // A corrupt image is a typed error, never a wrong answer.
+        let mut image = svc.wal_image();
+        let last = image.len() - 1;
+        image[last] ^= 0xFF;
+        assert!(matches!(
+            SpatialService::recover(
+                *svc.config(),
+                &grid_tuples(5, 10.0, 0),
+                &grid_tuples(5, 10.0, 500),
+                world(),
+                &image,
+            ),
+            Err(StorageError::WalCorrupt { .. })
+        ));
     }
 }

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use sj_geom::{Direction, Geometry, Point, Rect, ThetaOp};
 use sj_joins::Strategy;
-use sj_service::{Reply, Request, ServiceConfig, Side, SpatialService};
+use sj_service::{Reply, Request, ServiceConfig, Side, SpatialService, WriteBatch};
 
 fn grid_tuples(n: usize, step: f64, id0: u64) -> Vec<(u64, Geometry)> {
     (0..n * n)
@@ -114,8 +114,9 @@ proptest! {
             }
             match decode(chunk) {
                 Op::Insert(side, g) => {
-                    cached.update(&[(side, next_id, g.clone())]);
-                    uncached.update(&[(side, next_id, g)]);
+                    let batch = WriteBatch::new().insert(side, next_id, g);
+                    cached.commit(&batch).expect("commit succeeds");
+                    uncached.commit(&batch).expect("commit succeeds");
                     next_id += 1;
                 }
                 Op::Query(req) => {
@@ -207,10 +208,10 @@ fn stale_rid_probe_recovers_via_version_bump() {
     ));
     assert_eq!(pool.try_read_record(&file, file.rid(1)).unwrap().len(), 300);
 
-    // Service half: warm the cache, then update. The version bump makes
-    // the cached (pre-update) reply structurally unreachable, so the
-    // follow-up recomputes on the rebuilt trees — fresh rids, no stale
-    // probe — and reports the new version.
+    // Service half: warm the cache, then commit a write inside the
+    // cached query's region. The invalidation drops the stale reply, so
+    // the follow-up recomputes on the evolved trees — fresh rids, no
+    // stale probe — and reports the new version.
     let svc = service(64, 1);
     let req = Request::select(
         Side::R,
@@ -220,7 +221,10 @@ fn stale_rid_probe_recovers_via_version_bump() {
     let cold = svc.call(req.clone()).expect("computes");
     let warm = svc.call(req.clone()).expect("cache serves");
     assert!(!cold.cached && warm.cached, "second call must be a hit");
-    let new_version = svc.update(&[(Side::R, 9_000, Geometry::Point(Point::new(8.5, 8.0)))]);
+    let new_version = svc
+        .commit(&WriteBatch::new().insert(Side::R, 9_000, Geometry::Point(Point::new(8.5, 8.0))))
+        .expect("commit succeeds")
+        .version;
     let fresh = svc.call(req).expect("recomputes");
     assert!(
         !fresh.cached,

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use sj_geom::{Geometry, Point, Rect, ThetaOp};
 use sj_joins::Strategy;
-use sj_service::{Rejection, Reply, Request, ServiceConfig, Side, SpatialService};
+use sj_service::{Rejection, Reply, Request, ServiceConfig, Side, SpatialService, WriteBatch};
 
 /// One recorded response: (dataset version, θ-slot, sorted join pairs).
 type Observation = (u64, usize, Vec<(u64, u64)>);
@@ -99,7 +99,10 @@ fn concurrent_joins_match_sequential_replay_of_their_reported_version() {
     // Stream the updates while the readers hammer the service.
     for batch in &batches {
         std::thread::sleep(Duration::from_millis(30));
-        svc.update(batch);
+        let wb = batch.iter().fold(WriteBatch::new(), |wb, (side, id, g)| {
+            wb.insert(*side, *id, g.clone())
+        });
+        svc.commit(&wb).expect("stress commits must succeed");
     }
     std::thread::sleep(Duration::from_millis(30));
     stop.store(true, Ordering::Relaxed);

@@ -39,6 +39,15 @@ pub enum StorageError {
         /// The page the operation targeted.
         page: PageId,
     },
+    /// A write-ahead-log image failed structural validation during
+    /// recovery (bad magic, truncated frame, or checksum mismatch) —
+    /// recovery stops rather than replaying a possibly-wrong history.
+    WalCorrupt {
+        /// Byte offset of the first frame that failed validation.
+        offset: usize,
+        /// What the validator rejected.
+        reason: &'static str,
+    },
     /// Any other I/O-shaped failure, with a human-readable reason.
     Io(String),
 }
@@ -51,6 +60,7 @@ impl StorageError {
             StorageError::PageCorrupt { .. } => "page_corrupt",
             StorageError::DanglingRecord { .. } => "dangling_record",
             StorageError::InjectedFault { .. } => "injected_fault",
+            StorageError::WalCorrupt { .. } => "wal_corrupt",
             StorageError::Io(_) => "io",
         }
     }
@@ -68,6 +78,9 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::InjectedFault { op, page } => {
                 write!(f, "injected {} fault on page {page:?}", op.name())
+            }
+            StorageError::WalCorrupt { offset, reason } => {
+                write!(f, "write-ahead log corrupt at byte {offset}: {reason}")
             }
             StorageError::Io(msg) => write!(f, "storage i/o error: {msg}"),
         }
@@ -101,6 +114,13 @@ mod tests {
                     page: PageId(9),
                 },
                 "injected_fault",
+            ),
+            (
+                StorageError::WalCorrupt {
+                    offset: 8,
+                    reason: "checksum mismatch",
+                },
+                "wal_corrupt",
             ),
             (StorageError::Io("boom".into()), "io"),
         ];

@@ -54,6 +54,7 @@ pub mod heap;
 pub mod page;
 pub mod persist;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use disk::{Disk, DiskConfig};
@@ -62,3 +63,4 @@ pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultOp};
 pub use heap::{HeapFile, Layout, RecordId};
 pub use page::{Page, PageId};
 pub use stats::IoStats;
+pub use wal::WriteAheadLog;

@@ -107,7 +107,7 @@ with open(sys.argv[2]) as f:
 want = {
     "service/latency_us", "service/queue_wait_us", "service/exec_us",
     "service/cache_hit_us", "service/summary", "service/cache",
-    "service/admission", "service/pool",
+    "service/admission", "service/pool", "service/wal", "service/apply",
 }
 assert want <= spans, f"missing spans: {sorted(want - spans)}"
 print(f"    -> BENCH_service.json + {len(spans)} service spans OK")
@@ -196,6 +196,36 @@ print(f"    -> {len(series)} simd series OK (cpu_cores={doc['cpu_cores']})")
 PY
 rm -f /tmp/sj_bench_simd_smoke.json
 
+echo "==> update smoke (BENCH_update.json schema validation)"
+# The durable-mutation bench commits WAL-backed write batches in both
+# apply modes and exercises region-aware cache invalidation; its
+# artifact schema is pinned here.
+./target/release/update_scaling --smoke --out /tmp/sj_bench_update_smoke.json >/dev/null
+python3 - /tmp/sj_bench_update_smoke.json <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+series = {s["label"]: s["points"] for s in doc["series"]}
+required = {
+    "updates_per_sec_incremental", "updates_per_sec_rebuild",
+    "apply_pages_per_op_incremental", "apply_pages_per_op_rebuild",
+    "cache_purged", "cache_retained",
+}
+missing = required - series.keys()
+assert not missing, f"missing series: {sorted(missing)}"
+for label, points in series.items():
+    assert points, f"empty series {label!r}"
+    for x, y in points:
+        assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
+            f"non-numeric point in {label!r}: {(x, y)!r}"
+batches = [x for x, _ in series["updates_per_sec_incremental"]]
+assert batches == [1.0, 16.0, 256.0], f"bad batch grid: {batches}"
+assert [x for x, _ in series["updates_per_sec_rebuild"]] == batches, \
+    "rebuild series must share the batch grid"
+print(f"    -> {len(series)} update series OK")
+PY
+rm -f /tmp/sj_bench_update_smoke.json
+
 echo "==> committed-artifact gates (BENCH_service.json / BENCH_chaos.json)"
 # The committed artifacts are the repo's perf contract. Throughput must
 # not fall as the worker pool grows (the PR-6 tentpole: shared-nothing
@@ -238,6 +268,32 @@ for path in ("sweep", "partition", "tree"):
         f"{path}: batched {batched:.0f} cps < scalar {scalar:.0f} cps at n=16k"
     lines.append(f"{path} +{batched / scalar - 1:.1%}")
 print(f"    -> batched beats scalar at n=16k: {', '.join(lines)}")
+PY
+
+echo "==> committed-artifact gate (BENCH_update.json)"
+# The PR-8 tentpole contract: on the committed run, incremental apply
+# must beat the full-rebuild baseline in updates/sec at batch size 1
+# (per-op maintenance is the paper's §4.2 argument for generalization
+# trees), and disjoint-region writes must retain cached entries — the
+# whole point of fine-grained invalidation over version stamping.
+python3 - BENCH_update.json <<'PY'
+import json, sys
+
+upd = {s["label"]: dict(s["points"]) for s in json.load(open(sys.argv[1]))["series"]}
+inc = upd["updates_per_sec_incremental"][1]
+reb = upd["updates_per_sec_rebuild"][1]
+assert inc >= reb, \
+    f"incremental {inc:.0f} ups < rebuild {reb:.0f} ups at batch=1"
+retained = sum(json_y for json_y in upd["cache_retained"].values())
+assert retained > 0, "disjoint-region writes retained no cached entries"
+pages = {s["label"]: dict(s["points"]) for s in json.load(open(sys.argv[1]))["series"]}
+inc_pages = pages["apply_pages_per_op_incremental"][1]
+reb_pages = pages["apply_pages_per_op_rebuild"][1]
+assert inc_pages <= reb_pages, \
+    f"incremental touches more pages per op ({inc_pages:.1f}) than rebuild ({reb_pages:.1f})"
+print(f"    -> batch=1: incremental {inc:.0f} vs rebuild {reb:.0f} ups "
+      f"({inc / reb:.1f}x), {inc_pages:.1f} vs {reb_pages:.1f} pages/op, "
+      f"retained={retained:.0f} OK")
 PY
 
 echo "==> no-alloc grep gate (soa.rs mask kernels)"
