@@ -43,16 +43,19 @@ pub mod geometry;
 pub mod point;
 pub mod polygon;
 pub mod polyline;
+pub mod qgeom;
 pub mod rect;
 pub mod segment;
 pub mod soa;
 pub mod sweep;
 pub mod theta;
 
+pub use codec::CodecError;
 pub use geometry::{Bounded, Geometry};
 pub use point::Point;
 pub use polygon::{Polygon, PolygonError};
 pub use polyline::{Polyline, PolylineError};
+pub use qgeom::{margin_eval, MarginVerdict, QGeometry, QKind};
 pub use rect::Rect;
 pub use segment::Segment;
 pub use soa::{RectChunks, FULL_MASK, LANES};

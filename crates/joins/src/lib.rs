@@ -61,6 +61,7 @@ pub mod mutation;
 pub mod nested_loop;
 pub mod paged_tree;
 pub mod parallel;
+pub mod refine;
 pub mod relation;
 pub mod sort_merge;
 pub mod stats;
@@ -72,8 +73,9 @@ pub use executor::{JoinExecutor, JoinOperands, JoinRequest, Strategy};
 pub use join_index::JoinIndex;
 pub use local_index::LocalJoinIndex;
 pub use mutation::{ApplyMode, Mutation, MutationOutcome, Side, TouchedRegions, WriteBatch};
-pub use paged_tree::{ClusterOrder, PagedTree, TreeRelation};
+pub use paged_tree::{ClusterOrder, CodecMode, PagedTree, TreeRelation};
 pub use parallel::{parallel_tree_join, partition_join, Parallelism};
+pub use refine::MarginRefiner;
 pub use relation::StoredRelation;
 pub use sj_obs::{Phase, PhaseTimer, TraceEvent, TraceSink};
 pub use stats::{ExecStats, JoinRun, PhaseStats, SelectRun};

@@ -114,7 +114,7 @@ impl LocalJoinIndex {
             // Charge I/O for the subtree sweep.
             let mut stack = vec![a];
             while let Some(cur) = stack.pop() {
-                r.paged.try_touch(pool, cur)?;
+                r.paged.try_touch_io(pool, cur)?;
                 stack.extend_from_slice(r.tree.children(cur));
             }
             r_entries.insert(a, subtree_entries(&r.tree, a));
@@ -123,7 +123,7 @@ impl LocalJoinIndex {
         for &b in &s_anchors {
             let mut stack = vec![b];
             while let Some(cur) = stack.pop() {
-                s.paged.try_touch(pool, cur)?;
+                s.paged.try_touch_io(pool, cur)?;
                 stack.extend_from_slice(s.tree.children(cur));
             }
             s_entries.insert(b, subtree_entries(&s.tree, b));

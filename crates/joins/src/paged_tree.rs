@@ -9,12 +9,30 @@
 //! (strategy IIa), and charges a record read per visit.
 
 use sj_gentree::{FlatChildren, GenTree, NodeId};
-use sj_geom::{codec, Geometry};
+use sj_geom::{codec, Geometry, QKind};
 use sj_storage::{BufferPool, HeapFile, Layout, RecordId, StorageError};
 
 /// Sentinel id for directory nodes (R-tree interiors), which carry no
 /// application tuple but still occupy a stored record.
 const DIRECTORY_ID: u64 = u64::MAX;
+
+/// Record encoding used for the stored tree nodes.
+///
+/// [`CodecMode::Quantized`] stores entry geometries as v2 quantized
+/// frames ([`codec::encode_qrecord`]): polygon/polyline vertices become
+/// fixed-point grid cells, so node records shrink, more nodes share a
+/// page, and every traversal pays fewer physical reads. θ-evaluation in
+/// the tree executors runs on the in-memory [`GenTree`] — the stored
+/// record is only the paper's per-node I/O charge — so the match set is
+/// unchanged byte for byte (tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecMode {
+    /// Lossless v1 records (the default).
+    #[default]
+    Exact,
+    /// Quantized v2 records (smaller pages, conservative content).
+    Quantized,
+}
 
 /// Logical node order used for clustered placement — §3.2's observation
 /// that the efficiency of depth-first vs. breadth-first traversal depends
@@ -35,6 +53,7 @@ pub struct PagedTree {
     /// `record[n.index()]` = the record that stores node `n`. Indexed by
     /// arena slot; only slots for live nodes are meaningful.
     record: Vec<RecordId>,
+    mode: CodecMode,
 }
 
 impl PagedTree {
@@ -58,44 +77,99 @@ impl PagedTree {
         layout: Layout,
         cluster: ClusterOrder,
     ) -> Self {
+        Self::build_ordered_with(pool, tree, record_size, layout, cluster, CodecMode::Exact)
+    }
+
+    /// Like [`PagedTree::build_ordered`] with an explicit record codec.
+    /// With [`CodecMode::Quantized`] pass a `record_size` sized for the
+    /// v2 frames (see [`PagedTree::quant_record_size`]).
+    pub fn build_ordered_with(
+        pool: &mut BufferPool,
+        tree: &GenTree,
+        record_size: usize,
+        layout: Layout,
+        cluster: ClusterOrder,
+        mode: CodecMode,
+    ) -> Self {
         let order = match cluster {
             ClusterOrder::BreadthFirst => tree.bfs_order(),
             ClusterOrder::DepthFirst => tree.dfs_order(),
         };
         let max_slot = order.iter().map(|n| n.index()).max().unwrap_or(0);
         let file = HeapFile::bulk_load_with(pool, record_size, order.len(), layout, |i| {
-            let node = order[i];
-            match tree.entry(node) {
-                Some(e) => codec::encode_record(e.id, &e.geometry, record_size),
-                None => {
-                    codec::encode_record(DIRECTORY_ID, &Geometry::Rect(tree.mbr(node)), record_size)
-                }
-            }
+            encode_node(tree, order[i], record_size, mode)
         });
         let mut record = vec![file.rid(0); max_slot + 1];
         for (i, node) in order.iter().enumerate() {
             record[node.index()] = file.rid(i);
         }
-        PagedTree { file, record }
+        PagedTree { file, record, mode }
+    }
+
+    /// The smallest record size that fits every node of `tree` as a v2
+    /// quantized frame (directory nodes are rects — lossless v1 frames
+    /// inside the v2 file).
+    pub fn quant_record_size(tree: &GenTree) -> usize {
+        tree.bfs_order()
+            .iter()
+            .map(|&n| match tree.entry(n) {
+                Some(e) => codec::encoded_qlen(&e.geometry),
+                None => codec::encoded_len(&Geometry::Rect(tree.mbr(n))),
+            })
+            .max()
+            .unwrap_or(codec::QHEADER_LEN)
+            .max(codec::QHEADER_LEN)
+    }
+
+    /// Record encoding of this stored tree.
+    pub fn mode(&self) -> CodecMode {
+        self.mode
     }
 
     /// Charges the I/O of visiting `node` (a record read through the
     /// pool) and returns the stored bytes' decoded content, or the I/O
-    /// fault that prevented the visit.
+    /// fault that prevented the visit. A record that fails to decode
+    /// surfaces as [`StorageError::PageCorrupt`]. Under
+    /// [`CodecMode::Quantized`], extended geometries come back as their
+    /// MBR ([`Geometry::Rect`]) — the conservative content of the v2
+    /// frame; exact content lives in the in-memory tree.
     pub fn try_touch(
         &self,
         pool: &mut BufferPool,
         node: NodeId,
     ) -> Result<(u64, Geometry), StorageError> {
-        let bytes = pool.try_read_record(&self.file, self.record[node.index()])?;
-        Ok(codec::decode_record(&bytes))
+        let rid = self.record[node.index()];
+        let bytes = pool.try_read_record(&self.file, rid)?;
+        let corrupt = |_| StorageError::PageCorrupt { page: rid.page };
+        match self.mode {
+            CodecMode::Exact => codec::try_decode_record(&bytes).map_err(corrupt),
+            CodecMode::Quantized => {
+                let (id, q) = codec::try_decode_qrecord(&bytes).map_err(corrupt)?;
+                let g = match q.kind() {
+                    QKind::Point => Geometry::Point(q.rect().lo),
+                    _ => Geometry::Rect(q.rect()),
+                };
+                Ok((id, g))
+            }
+        }
+    }
+
+    /// Charges the I/O of visiting `node` without decoding the record —
+    /// the hot path for the tree executors, whose θ-evaluation runs on
+    /// the in-memory [`GenTree`]; the stored record is only the paper's
+    /// per-node I/O charge.
+    pub fn try_touch_io(&self, pool: &mut BufferPool, node: NodeId) -> Result<(), StorageError> {
+        pool.try_read_record(&self.file, self.record[node.index()])
+            .map(|_| ())
     }
 
     /// Charges the I/O of visiting `node` (a record read through the
     /// pool) and returns the stored bytes' decoded content.
     pub fn touch(&self, pool: &mut BufferPool, node: NodeId) -> (u64, Geometry) {
-        let bytes = pool.read_record(&self.file, self.record[node.index()]);
-        codec::decode_record(&bytes)
+        // PANIC-OK: records written by build/evolve are well-formed; the
+        // fallible twin is `try_touch`.
+        self.try_touch(pool, node)
+            .expect("stored tree node is well-formed")
     }
 
     /// Pages occupied by the stored tree.
@@ -106,6 +180,19 @@ impl PagedTree {
     /// Records per page (the model's `m`).
     pub fn records_per_page(&self) -> usize {
         self.file.records_per_page()
+    }
+}
+
+/// One node's stored record under the given codec. Directory nodes store
+/// their MBR as a rect in both modes (rect frames are lossless either
+/// way).
+fn encode_node(tree: &GenTree, node: NodeId, record_size: usize, mode: CodecMode) -> Vec<u8> {
+    match tree.entry(node) {
+        Some(e) => match mode {
+            CodecMode::Exact => codec::encode_record(e.id, &e.geometry, record_size),
+            CodecMode::Quantized => codec::encode_qrecord(e.id, &e.geometry, record_size),
+        },
+        None => codec::encode_record(DIRECTORY_ID, &Geometry::Rect(tree.mbr(node)), record_size),
     }
 }
 
@@ -131,6 +218,36 @@ impl TreeRelation {
         let paged = PagedTree::build(pool, &tree, record_size, layout);
         let flat = FlatChildren::build(&tree);
         TreeRelation { tree, paged, flat }
+    }
+
+    /// Stores `tree` with v2 quantized node records sized to the tree's
+    /// own maximum frame ([`PagedTree::quant_record_size`]), but never
+    /// below `min_record_size` (pass 0 for pure auto-sizing; services
+    /// that evolve the tree pass their mutation-guard bound so appended
+    /// nodes always fit): same match sets from every tree executor,
+    /// fewer pages and physical reads per traversal.
+    pub fn new_compressed(
+        pool: &mut BufferPool,
+        tree: GenTree,
+        min_record_size: usize,
+        layout: Layout,
+    ) -> Self {
+        let record_size = PagedTree::quant_record_size(&tree).max(min_record_size);
+        let paged = PagedTree::build_ordered_with(
+            pool,
+            &tree,
+            record_size,
+            layout,
+            ClusterOrder::BreadthFirst,
+            CodecMode::Quantized,
+        );
+        let flat = FlatChildren::build(&tree);
+        TreeRelation { tree, paged, flat }
+    }
+
+    /// True when node records are stored as v2 quantized frames.
+    pub fn is_compressed(&self) -> bool {
+        self.paged.mode() == CodecMode::Quantized
     }
 
     /// Number of application tuples (entry-bearing nodes).
@@ -169,6 +286,12 @@ impl TreeRelation {
 
         let mut file = self.paged.file.clone();
         let mut record = self.paged.record.clone();
+        let mode = self.paged.mode;
+        // Records are fixed-size per file: rewritten and appended frames
+        // must match the file's own record size (for a compressed tree
+        // that size was derived from the tree at build, not passed in).
+        let _ = record_size;
+        let record_size = self.paged.file.record_size();
 
         // Clear records of nodes that died.
         for (slot, _) in old_live.iter().filter(|(s, _)| !new_live.contains_key(s)) {
@@ -176,12 +299,8 @@ impl TreeRelation {
             pool.try_update(rid.page, |p| p.remove(rid.slot))?;
         }
 
-        let encode = |tree: &GenTree, node: NodeId| match tree.entry(node) {
-            Some(e) => codec::encode_record(e.id, &e.geometry, record_size),
-            None => {
-                codec::encode_record(DIRECTORY_ID, &Geometry::Rect(tree.mbr(node)), record_size)
-            }
-        };
+        // Evolution preserves the relation's codec mode record for record.
+        let encode = |tree: &GenTree, node: NodeId| encode_node(tree, node, record_size, mode);
 
         for (&slot, &node) in &new_live {
             match old_live.get(&slot) {
@@ -212,7 +331,7 @@ impl TreeRelation {
 
         Ok(TreeRelation {
             tree: next.clone(),
-            paged: PagedTree { file, record },
+            paged: PagedTree { file, record, mode },
             flat: FlatChildren::build(next),
         })
     }
@@ -357,6 +476,71 @@ mod tests {
             delta.physical_writes < 60,
             "evolve wrote {} pages/records, expected a batch-bounded diff",
             delta.physical_writes
+        );
+    }
+
+    #[test]
+    fn quantized_tree_shrinks_storage_and_preserves_join_results() {
+        use crate::tree_join::tree_join;
+        use sj_gentree::rtree::{RTree, RTreeConfig};
+        use sj_geom::{Polygon, ThetaOp};
+
+        let mk = |off: f64, id0: u64| -> Vec<(u64, Geometry)> {
+            (0..90u64)
+                .map(|i| {
+                    let c = Point::new((i % 10) as f64 * 4.0 + off, (i / 10) as f64 * 4.0);
+                    (id0 + i, Geometry::Polygon(Polygon::regular(c, 1.5, 16)))
+                })
+                .collect()
+        };
+        let mut p = pool();
+        let rt = RTree::bulk_load(RTreeConfig::with_fanout(8), mk(0.0, 0));
+        let st = RTree::bulk_load(RTreeConfig::with_fanout(8), mk(1.3, 1_000));
+
+        let re = TreeRelation::new(&mut p, rt.tree().clone(), 300, Layout::Clustered);
+        let se = TreeRelation::new(&mut p, st.tree().clone(), 300, Layout::Clustered);
+        let rq = TreeRelation::new_compressed(&mut p, rt.tree().clone(), 0, Layout::Clustered);
+        let sq = TreeRelation::new_compressed(&mut p, st.tree().clone(), 0, Layout::Clustered);
+        assert!(rq.is_compressed() && !re.is_compressed());
+        assert!(
+            rq.paged.page_count() < re.paged.page_count(),
+            "quantized frames must shrink the stored tree: {} vs {}",
+            rq.paged.page_count(),
+            re.paged.page_count()
+        );
+
+        // Quantized touch: same id, conservative (MBR) content.
+        for node in rt.tree().bfs_order() {
+            let (id, g) = rq.paged.touch(&mut p, node);
+            match rt.tree().entry(node) {
+                Some(e) => {
+                    assert_eq!(id, e.id);
+                    assert_eq!(g, Geometry::Rect(sj_geom::Bounded::mbr(&e.geometry)));
+                }
+                None => assert_eq!(id, DIRECTORY_ID),
+            }
+        }
+
+        // Identical match sets; the compressed traversal reads fewer
+        // pages (clustered BFS touches each page once).
+        let theta = ThetaOp::WithinDistance(1.0);
+        p.clear();
+        p.reset_stats();
+        let exact = tree_join(&mut p, &re, &se, theta);
+        p.clear();
+        p.reset_stats();
+        let quant = tree_join(&mut p, &rq, &sq, theta);
+        let (mut a, mut b) = (exact.pairs.clone(), quant.pairs.clone());
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert_eq!(exact.stats.theta_evals, quant.stats.theta_evals);
+        assert!(
+            quant.stats.physical_reads < exact.stats.physical_reads,
+            "compressed tree pages must cut traversal I/O: {} vs {}",
+            quant.stats.physical_reads,
+            exact.stats.physical_reads
         );
     }
 

@@ -28,7 +28,6 @@
 //!   thread against the caller's own pool — the model-validation mode,
 //!   directly comparable with the sequential executors.
 
-use std::collections::HashMap;
 use std::thread;
 use std::time::Instant;
 
@@ -38,6 +37,7 @@ use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::{BufferPool, StorageError};
 
 use crate::paged_tree::TreeRelation;
+use crate::refine::MarginRefiner;
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun};
 use crate::tree_join::try_tree_join_traced;
@@ -157,11 +157,16 @@ fn tiles_per_axis(total_tuples: usize) -> usize {
 /// Matches and comparison counters produced by one tile (or one
 /// nested-loop chunk). `dur_us` is the tile's wall-clock span, measured
 /// only when a trace sink is attached — with [`TraceSink::Null`] no
-/// clock is ever read.
+/// clock is ever read. The margin counters are nonzero only when both
+/// relations are compressed (see [`crate::refine`]).
+#[derive(Default)]
 struct TileOut {
     pairs: Vec<(u64, u64)>,
     filter_evals: u64,
     theta_evals: u64,
+    decoded_exact: u64,
+    margin_hits: u64,
+    margin_misses: u64,
     dur_us: u64,
 }
 
@@ -425,6 +430,7 @@ fn pbsm_join(
                 &[
                     ("filter_evals", out.filter_evals),
                     ("theta_evals", out.theta_evals),
+                    ("decoded_exact", out.decoded_exact),
                     ("pairs", out.pairs.len() as u64),
                 ],
             );
@@ -434,8 +440,25 @@ fn pbsm_join(
         run.pairs.extend(out.pairs);
         filter.filter_evals += out.filter_evals;
         refine.theta_evals += out.theta_evals;
+        refine.decoded_exact += out.decoded_exact;
+        refine.margin_hits += out.margin_hits;
+        refine.margin_misses += out.margin_misses;
     }
     refine.add_io(pool.stats().since(&window));
+    // The decode-on-demand span: how much of the refine phase actually
+    // reached exact geometry (compressed runs only; on exact runs the
+    // margin counters stay zero and no span is emitted).
+    if trace.is_enabled() && refine.decoded_exact + refine.margin_hits + refine.margin_misses > 0 {
+        trace.emit(
+            "refine/decode",
+            0,
+            &[
+                ("decoded_exact", refine.decoded_exact),
+                ("margin_hits", refine.margin_hits),
+                ("margin_misses", refine.margin_misses),
+            ],
+        );
+    }
     timer.stop();
     run.phases.record(Phase::Filter, filter);
     run.phases.record(Phase::Refine, refine);
@@ -469,12 +492,7 @@ fn process_tile(
     kernel: Option<Kernel>,
 ) -> Result<TileOut, StorageError> {
     let t0 = timed.then(Instant::now);
-    let mut out = TileOut {
-        pairs: Vec::new(),
-        filter_evals: 0,
-        theta_evals: 0,
-        dur_us: 0,
-    };
+    let mut out = TileOut::default();
     // Expanded R-side MBRs, computed once per tile list: they drive both
     // the sweep intervals and the reference-point rule, and must be the
     // exact same rectangles used for tile assignment in `pbsm_join`.
@@ -495,8 +513,12 @@ fn process_tile(
         .map(|(pos, &j)| SweepItem::new(pos as u32, s_mbrs[j as usize].1))
         .collect();
 
-    let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
-    let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
+    // Per-tile refinement engine: exact decodes on uncompressed
+    // relations, the margin-governed path when both sides carry a
+    // quantized sidecar. Caches live per tile, exactly as the previous
+    // per-tile geometry maps did.
+    let mut refiner = MarginRefiner::new(r, s);
+    let mut rstats = ExecStats::default();
     // Capture the first fault raised inside the sweep callback; once
     // set, no further geometry fetches are attempted and the tile's
     // outcome is discarded below (fail-stop, never a partial tile).
@@ -522,29 +544,10 @@ fn process_tile(
         if grid.tile_of_point(inter.lo) != tile {
             return;
         }
-        out.theta_evals += 1;
-        let rg = match r_geo.entry(i) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => match r.try_read_at(pool, i as usize) {
-                Ok((_, g)) => v.insert(g),
-                Err(e) => {
-                    first_err = Some(e);
-                    return;
-                }
-            },
-        };
-        let sg = match s_geo.entry(j) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => match s.try_read_at(pool, j as usize) {
-                Ok((_, g)) => v.insert(g),
-                Err(e) => {
-                    first_err = Some(e);
-                    return;
-                }
-            },
-        };
-        if theta.eval(rg, sg) {
-            out.pairs.push((r_id, s_id));
+        match refiner.refine(pool, &theta, i, j, &mut rstats) {
+            Ok(true) => out.pairs.push((r_id, s_id)),
+            Ok(false) => {}
+            Err(e) => first_err = Some(e),
         }
     };
     let comparisons = match kernel {
@@ -555,6 +558,10 @@ fn process_tile(
         return Err(e);
     }
     out.filter_evals = comparisons;
+    out.theta_evals = rstats.theta_evals;
+    out.decoded_exact = rstats.decoded_exact;
+    out.margin_hits = rstats.margin_hits;
+    out.margin_misses = rstats.margin_misses;
     if let Some(t0) = t0 {
         out.dur_us = t0.elapsed().as_micros() as u64;
     }
@@ -611,12 +618,7 @@ fn chunked_nested_loop(
                 scope.spawn(move || {
                     let mut work = || -> Result<TileOut, StorageError> {
                         let t0 = timed.then(Instant::now);
-                        let mut out = TileOut {
-                            pairs: Vec::new(),
-                            filter_evals: 0,
-                            theta_evals: 0,
-                            dur_us: 0,
-                        };
+                        let mut out = TileOut::default();
                         let chunk: Vec<(u64, Geometry)> = (lo..hi)
                             .map(|i| r.try_read_at(&mut shard, i))
                             .collect::<Result<_, _>>()?;
@@ -760,8 +762,8 @@ pub fn try_parallel_tree_join_traced(
     // The root pair itself is handled on the calling thread (it has no
     // application objects by the check above, so only the filter gate
     // remains).
-    r.paged.try_touch(pool, root_r)?;
-    s.paged.try_touch(pool, root_s)?;
+    r.paged.try_touch_io(pool, root_r)?;
+    s.paged.try_touch_io(pool, root_s)?;
     filter.filter_evals += 1;
     if theta.filter(&r.tree.mbr(root_r), &s.tree.mbr(root_s)) {
         timer.enter(Phase::Filter);
@@ -793,12 +795,12 @@ pub fn try_parallel_tree_join_traced(
                                 theta,
                                 |node| {
                                     r.paged
-                                        .try_touch(&mut shard_cell.borrow_mut(), node)
+                                        .try_touch_io(&mut shard_cell.borrow_mut(), node)
                                         .map(|_| ())
                                 },
                                 |node| {
                                     s.paged
-                                        .try_touch(&mut shard_cell.borrow_mut(), node)
+                                        .try_touch_io(&mut shard_cell.borrow_mut(), node)
                                         .map(|_| ())
                                 },
                             ) {

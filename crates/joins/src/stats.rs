@@ -20,6 +20,16 @@ pub struct ExecStats {
     pub filter_evals: u64,
     /// Memory passes over the inner input (block-nested-loop style).
     pub passes: u64,
+    /// Candidate pairs the margin test could not resolve: the exact
+    /// geometry was decoded and θ evaluated on it. The *decode fraction*
+    /// of a compressed run is `decoded_exact / theta_evals`.
+    pub decoded_exact: u64,
+    /// Candidate pairs the margin test answered definitely-true without
+    /// decoding exact geometry.
+    pub margin_hits: u64,
+    /// Candidate pairs the margin test answered definitely-false without
+    /// decoding exact geometry.
+    pub margin_misses: u64,
 }
 
 impl ExecStats {
@@ -53,7 +63,7 @@ impl ExecStats {
 
     /// The counters as `(name, value)` pairs, the shape
     /// [`TraceSink::emit`] takes — used when emitting phase spans.
-    pub fn counters(&self) -> [(&'static str, u64); 6] {
+    pub fn counters(&self) -> [(&'static str, u64); 9] {
         [
             ("physical_reads", self.physical_reads),
             ("physical_writes", self.physical_writes),
@@ -61,6 +71,9 @@ impl ExecStats {
             ("theta_evals", self.theta_evals),
             ("filter_evals", self.filter_evals),
             ("passes", self.passes),
+            ("decoded_exact", self.decoded_exact),
+            ("margin_hits", self.margin_hits),
+            ("margin_misses", self.margin_misses),
         ]
     }
 
@@ -88,6 +101,9 @@ impl std::ops::AddAssign for ExecStats {
         self.theta_evals += rhs.theta_evals;
         self.filter_evals += rhs.filter_evals;
         self.passes += rhs.passes;
+        self.decoded_exact += rhs.decoded_exact;
+        self.margin_hits += rhs.margin_hits;
+        self.margin_misses += rhs.margin_misses;
     }
 }
 
@@ -198,6 +214,7 @@ mod tests {
             theta_evals: 5,
             filter_evals: 7,
             passes: 1,
+            ..Default::default()
         };
         assert_eq!(s.comparisons(), 12);
         assert_eq!(s.cost(1.0, 1000.0), 12.0 + 4000.0);
@@ -212,6 +229,9 @@ mod tests {
             theta_evals: 4,
             filter_evals: 5,
             passes: 6,
+            decoded_exact: 7,
+            margin_hits: 8,
+            margin_misses: 9,
         };
         let b = ExecStats {
             physical_reads: 10,
@@ -220,6 +240,9 @@ mod tests {
             theta_evals: 40,
             filter_evals: 50,
             passes: 60,
+            decoded_exact: 70,
+            margin_hits: 80,
+            margin_misses: 90,
         };
         a += b;
         assert_eq!(
@@ -231,6 +254,9 @@ mod tests {
                 theta_evals: 44,
                 filter_evals: 55,
                 passes: 66,
+                decoded_exact: 77,
+                margin_hits: 88,
+                margin_misses: 99,
             }
         );
         let mut c = ExecStats::default();

@@ -12,14 +12,13 @@
 //! have unbounded Θ-filter regions ([`ThetaOp::filter_radius`] is
 //! `None`) and fall back to the nested loop.
 
-use std::collections::HashMap;
-
 use sj_geom::sweep::{sweep_candidates_with, Kernel, SweepItem};
-use sj_geom::{Bounded, Geometry, Rect, ThetaOp, BATCH_MIN};
+use sj_geom::{Bounded, Rect, ThetaOp, BATCH_MIN};
 use sj_obs::{Phase, PhaseTimer, TraceSink};
 use sj_storage::{BufferPool, StorageError};
 
 use crate::nested_loop::try_nested_loop_join_traced;
+use crate::refine::MarginRefiner;
 use crate::relation::StoredRelation;
 use crate::stats::{ExecStats, JoinRun};
 
@@ -129,8 +128,10 @@ pub fn try_sweep_join_with(
 
     timer.enter(Phase::Filter);
     let window = pool.stats();
-    let mut r_geo: HashMap<u32, Geometry> = HashMap::new();
-    let mut s_geo: HashMap<u32, Geometry> = HashMap::new();
+    // Shared refinement engine: the exact path on uncompressed
+    // relations, the margin-governed path (quantized sidecar reads,
+    // decode-on-demand) when both sides are compressed.
+    let mut refiner = MarginRefiner::new(r, s);
     // Capture the first fault raised inside the sweep callback; once set,
     // no further geometry fetches are attempted and the outcome is
     // discarded below.
@@ -140,36 +141,27 @@ pub fn try_sweep_join_with(
             if first_err.is_some() {
                 return;
             }
-            refine.theta_evals += 1;
-            let rg = match r_geo.entry(i) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    match r.try_read_at(pool, i as usize) {
-                        Ok((_, g)) => v.insert(g),
-                        Err(e) => {
-                            first_err = Some(e);
-                            return;
-                        }
-                    }
-                }
-            };
-            let sg = match s_geo.entry(j) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    match s.try_read_at(pool, j as usize) {
-                        Ok((_, g)) => v.insert(g),
-                        Err(e) => {
-                            first_err = Some(e);
-                            return;
-                        }
-                    }
-                }
-            };
-            if theta.eval(rg, sg) {
-                run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0));
+            match refiner.refine(pool, &theta, i, j, &mut refine) {
+                Ok(true) => run.pairs.push((r_mbrs[i as usize].0, s_mbrs[j as usize].0)),
+                Ok(false) => {}
+                Err(e) => first_err = Some(e),
             }
         });
     refine.add_io(pool.stats().since(&window));
+    // The decode-on-demand span: on compressed runs, how many refinement
+    // decisions needed the exact record vs. the margin test alone. Exact
+    // runs keep the margin counters at zero and emit no span.
+    if trace.is_enabled() && refiner.uses_margin() {
+        trace.emit(
+            "refine/decode",
+            0,
+            &[
+                ("decoded_exact", refine.decoded_exact),
+                ("margin_hits", refine.margin_hits),
+                ("margin_misses", refine.margin_misses),
+            ],
+        );
+    }
     timer.stop();
     if let Some(e) = first_err {
         return Err(e);
@@ -192,7 +184,7 @@ pub fn try_sweep_join_with(
 mod tests {
     use super::*;
     use crate::nested_loop::nested_loop_join;
-    use sj_geom::{Direction, Point};
+    use sj_geom::{Direction, Geometry, Point};
     use sj_storage::{Disk, DiskConfig, Layout};
 
     fn pool(frames: usize) -> BufferPool {

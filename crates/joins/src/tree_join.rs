@@ -49,12 +49,12 @@ pub fn try_tree_select(
     let outcome = match order {
         TraversalOrder::BreadthFirst => {
             select::try_select_flat(&r.tree, Some(&r.flat), o, theta, |node| {
-                r.paged.try_touch(pool, node).map(|_| ())
+                r.paged.try_touch_io(pool, node)
             })?
         }
         TraversalOrder::DepthFirst => {
             select::try_select_dfs_flat(&r.tree, Some(&r.flat), o, theta, |node| {
-                r.paged.try_touch(pool, node).map(|_| ())
+                r.paged.try_touch_io(pool, node)
             })?
         }
     };
@@ -140,12 +140,12 @@ pub fn try_tree_join_with(
         theta,
         |node| {
             r.paged
-                .try_touch(&mut pool_cell.borrow_mut(), node)
+                .try_touch_io(&mut pool_cell.borrow_mut(), node)
                 .map(|_| ())
         },
         |node| {
             s.paged
-                .try_touch(&mut pool_cell.borrow_mut(), node)
+                .try_touch_io(&mut pool_cell.borrow_mut(), node)
                 .map(|_| ())
         },
     )?;

@@ -10,16 +10,22 @@
 //! Catalog format (little-endian):
 //!
 //! ```text
-//! [ magic "SJCAT002" ][ mem_pages: u32 ][ table_count: u32 ]
+//! [ magic "SJCAT003" ][ mem_pages: u32 ][ table_count: u32 ]
 //! per table:  [ name ][ record_size u32 ][ live_rows u64 ][ schema ][ file ]
 //!             [ live u64 × (id u64, slot u64) ][ next_id u64 ][ mutation_seq u64 ]
-//!             [ spatial_count u32 ] per spatial col: [ name ][ ids ][ slots ][ file ]
+//!             [ spatial_count u32 ]
+//!             per spatial col: [ name ][ ids ][ slots ][ file ][ quant u8 ]
+//!                              [ file (quant sidecar, only when quant = 1) ]
 //! name:       [ len u16 ][ utf-8 ]
 //! schema:     [ cols u16 ] per col: [ name ][ type u8 ]
 //! file:       [ record_size u32 ][ per_page u32 ][ pages u32 × u32 ]
 //!             [ dir u64 × (u32 page, u16 slot) ]
 //! ids:        [ count u64 × u64 ]
 //! ```
+//!
+//! `SJCAT003` added the optional quantized-sidecar file per spatial
+//! column (the compressed-geometry v2 pages); columns without a sidecar
+//! write a single `0` byte and round-trip exactly as before.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -32,7 +38,7 @@ use crate::db::Database;
 use crate::schema::{Column, Schema};
 use crate::value::ValueType;
 
-const MAGIC: &[u8; 8] = b"SJCAT002";
+const MAGIC: &[u8; 8] = b"SJCAT003";
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -179,6 +185,13 @@ impl Database {
                     w_u64(&mut w, slot as u64)?;
                 }
                 w_file(&mut w, file)?;
+                match sc.column.quant_file() {
+                    Some(qf) => {
+                        w.write_all(&[1])?;
+                        w_file(&mut w, qf)?;
+                    }
+                    None => w.write_all(&[0])?,
+                }
             }
         }
         w.flush()
@@ -243,7 +256,21 @@ impl Database {
                 if slots.iter().any(|&s| s >= cfile.len()) {
                     return Err(bad("column slot beyond the file directory"));
                 }
-                spatial.push((cname, StoredRelation::from_parts(cfile, ids, slots)));
+                let mut flag = [0u8; 1];
+                r.read_exact(&mut flag)?;
+                let mut col = StoredRelation::from_parts(cfile, ids, slots);
+                match flag[0] {
+                    0 => {}
+                    1 => {
+                        let qfile = r_file(&mut r)?;
+                        if qfile.len() < col.len() {
+                            return Err(bad("quant sidecar shorter than its column"));
+                        }
+                        col.attach_quant(qfile);
+                    }
+                    _ => return Err(bad("unknown quant-sidecar flag")),
+                }
+                spatial.push((cname, col));
             }
             db.install_table(
                 name,
@@ -384,6 +411,57 @@ mod tests {
             ],
         );
         assert_eq!(db.row_count("a"), 41);
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn quant_sidecar_roundtrips_through_the_catalog() {
+        let prefix = temp_prefix("sidecar");
+        let theta = ThetaOp::WithinDistance(0.5);
+        let expected = {
+            let mut db = sample_db();
+            // Rebuild table a's spatial column with a compressed sidecar,
+            // preserving ids and slot order.
+            let Database { pool, tables, .. } = &mut db;
+            let t = tables.get_mut("a").expect("table a");
+            let sc = t.spatial.get_mut("loc").expect("loc column");
+            let tuples: Vec<(u64, sj_geom::Geometry)> =
+                sc.column.try_scan(pool).expect("scan column");
+            let qsize = StoredRelation::quant_record_size_for(&tuples);
+            let record_size = sc.column.to_parts().0.record_size();
+            sc.column = StoredRelation::build_compressed(
+                pool,
+                &tuples,
+                record_size,
+                qsize,
+                sj_storage::Layout::Clustered,
+            );
+            assert!(sc.column.is_compressed());
+            db.save(&prefix).expect("save");
+            let mut v =
+                db.spatial_join_ids("a", "loc", "b", "loc", theta, JoinStrategy::NestedLoop);
+            v.sort_unstable();
+            v
+        };
+        let mut db = Database::open(&prefix).expect("open");
+        assert!(
+            db.tables["a"].spatial["loc"].column.is_compressed(),
+            "the sidecar survives the catalog round-trip"
+        );
+        assert!(!db.tables["b"].spatial["loc"].column.is_compressed());
+        let mut got = db.spatial_join_ids("a", "loc", "b", "loc", theta, JoinStrategy::NestedLoop);
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        // Mutations after reopening keep the sidecar in step.
+        db.insert(
+            "a",
+            vec![
+                Value::Int(777),
+                Value::Str("late".into()),
+                Value::Spatial(Geometry::Point(Point::new(3.0, 3.0))),
+            ],
+        );
+        assert!(db.tables["a"].spatial["loc"].column.is_compressed());
         cleanup(&prefix);
     }
 

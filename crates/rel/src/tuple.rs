@@ -108,7 +108,10 @@ pub fn decode_tuple(bytes: &[u8], schema: &Schema) -> Tuple {
             }
             TAG_SPATIAL => {
                 let len = u16::from_le_bytes(take(2).try_into().expect("len")) as usize;
-                let (_, g) = codec::decode_record(take(len));
+                // PANIC-OK: tuple records are written by `encode_tuple`;
+                // a decode failure here is a storage-layer bug, per this
+                // function's documented contract.
+                let (_, g) = codec::try_decode_record(take(len)).expect("stored geometry frame");
                 Value::Spatial(g)
             }
             other => panic!("unknown value tag {other}"),

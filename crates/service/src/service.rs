@@ -139,6 +139,17 @@ pub struct ServiceConfig {
     /// incremental page-level maintenance (the default) or the
     /// pre-redesign full scan-and-rebuild (kept as the bench baseline).
     pub apply_mode: ApplyMode,
+    /// Store geometry as compressed v2 pages: relations carry a
+    /// quantized sidecar (margin-governed refinement, decode-on-demand)
+    /// and the paged trees use quantized node records. Query results
+    /// stay byte-identical; the savings land in page I/O.
+    pub compress_geometry: bool,
+    /// Mutation-guard bound for compressed frames: an insert/upsert
+    /// whose v2 frame exceeds this outcome as
+    /// [`MutationOutcome::TooLarge`], so every committed geometry fits
+    /// the sidecar and tree files (which are never sized below it).
+    /// Ignored unless `compress_geometry` is set.
+    pub quant_record_size: usize,
 }
 
 impl Default for ServiceConfig {
@@ -166,6 +177,8 @@ impl Default for ServiceConfig {
             retry_attempts: 3,
             batch_size: 8,
             apply_mode: ApplyMode::Incremental,
+            compress_geometry: false,
+            quant_record_size: 160,
         }
     }
 }
@@ -608,8 +621,22 @@ fn build_state(
     version: u64,
 ) -> DataState {
     let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), config.pool_capacity);
-    let r = StoredRelation::build(&mut pool, r_tuples, config.record_size, Layout::Clustered);
-    let s = StoredRelation::build(&mut pool, s_tuples, config.record_size, Layout::Clustered);
+    let build_rel = |pool: &mut BufferPool, tuples: &[(u64, Geometry)]| {
+        if config.compress_geometry {
+            let qsize = StoredRelation::quant_record_size_for(tuples).max(config.quant_record_size);
+            StoredRelation::build_compressed(
+                pool,
+                tuples,
+                config.record_size,
+                qsize,
+                Layout::Clustered,
+            )
+        } else {
+            StoredRelation::build(pool, tuples, config.record_size, Layout::Clustered)
+        }
+    };
+    let r = build_rel(&mut pool, r_tuples);
+    let s = build_rel(&mut pool, s_tuples);
     let (r_index, r_tree) = build_tree(&mut pool, &r, config);
     let (s_index, s_tree) = build_tree(&mut pool, &s, config);
     DataState {
@@ -635,12 +662,21 @@ fn build_tree(
 ) -> (RTree, TreeRelation) {
     let tuples = rel.scan(pool);
     let rt = RTree::bulk_load(RTreeConfig::with_fanout(config.fanout), tuples);
-    let paged = TreeRelation::new(
-        pool,
-        rt.tree().clone(),
-        config.record_size,
-        Layout::Clustered,
-    );
+    let paged = if config.compress_geometry {
+        TreeRelation::new_compressed(
+            pool,
+            rt.tree().clone(),
+            config.quant_record_size,
+            Layout::Clustered,
+        )
+    } else {
+        TreeRelation::new(
+            pool,
+            rt.tree().clone(),
+            config.record_size,
+            Layout::Clustered,
+        )
+    };
     (rt, paged)
 }
 
@@ -744,6 +780,16 @@ fn apply_incremental(
 /// (`StoredRelation::try_delete` shifts positions, never swaps), which
 /// keeps the tuple sequence identical to a sequential rebuild — the
 /// invariant the linearizability property suite leans on.
+/// Shared mutation-size screen for both apply paths: the exact frame
+/// must fit the relation's record size, and — when compressed pages are
+/// on — the v2 frame must fit the quant sidecar. Incremental and
+/// rebuild applies must agree on this bound or replay validation
+/// diverges.
+fn geometry_too_large(config: &ServiceConfig, value: &Geometry) -> bool {
+    codec::encoded_len(value) > config.record_size
+        || (config.compress_geometry && codec::encoded_qlen(value) > config.quant_record_size)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn apply_one(
     pool: &mut BufferPool,
@@ -760,7 +806,7 @@ fn apply_one(
             if index.get(*id).is_some() {
                 return Ok(MutationOutcome::DuplicateId);
             }
-            if codec::encoded_len(value) > config.record_size {
+            if geometry_too_large(config, value) {
                 return Ok(MutationOutcome::TooLarge);
             }
             rel.try_insert(pool, *id, value)?;
@@ -779,7 +825,7 @@ fn apply_one(
             Ok(MutationOutcome::Deleted)
         }
         Mutation::Upsert { id, value } => {
-            if codec::encoded_len(value) > config.record_size {
+            if geometry_too_large(config, value) {
                 return Ok(MutationOutcome::TooLarge);
             }
             let replaced = match index.get(*id).map(Bounded::mbr) {
@@ -860,7 +906,7 @@ fn apply_in_memory(
             if position(tuples, *id).is_some() {
                 return MutationOutcome::DuplicateId;
             }
-            if codec::encoded_len(value) > config.record_size {
+            if geometry_too_large(config, value) {
                 return MutationOutcome::TooLarge;
             }
             touched.touch_geometry(side, value);
@@ -877,7 +923,7 @@ fn apply_in_memory(
             MutationOutcome::Deleted
         }
         Mutation::Upsert { id, value } => {
-            if codec::encoded_len(value) > config.record_size {
+            if geometry_too_large(config, value) {
                 return MutationOutcome::TooLarge;
             }
             touched.touch_geometry(side, value);
@@ -1172,7 +1218,7 @@ fn try_compute(
                 Some(&tree.flat),
                 probe,
                 req.theta,
-                |node| tree.paged.try_touch(&mut shard, node).map(|_| ()),
+                |node| tree.paged.try_touch_io(&mut shard, node),
             )?;
             let mut matches = outcome.matches;
             matches.sort_unstable();
@@ -1970,5 +2016,90 @@ mod tests {
             ),
             Err(StorageError::WalCorrupt { .. })
         ));
+    }
+
+    fn poly_tuples(n: usize, off: f64, id0: u64) -> Vec<(u64, Geometry)> {
+        (0..n)
+            .map(|i| {
+                let c = Point::new((i % 8) as f64 * 7.0 + off, (i / 8) as f64 * 7.0 + off);
+                (
+                    id0 + i as u64,
+                    Geometry::Polygon(sj_geom::Polygon::regular(c, 3.0, 12)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compressed_pages_serve_identical_results_and_survive_commits() {
+        let config = ServiceConfig {
+            compress_geometry: true,
+            // Tight v2 bound: a 16-gon (267 exact bytes, well inside
+            // `record_size`) overflows its 115-byte v2 frame, so the
+            // quant guard — not the exact guard — screens it.
+            quant_record_size: 100,
+            ..ServiceConfig::default()
+        };
+        let (r, s) = (poly_tuples(40, 0.0, 0), poly_tuples(40, 2.5, 500));
+        let exact = SpatialService::start(ServiceConfig::default(), &r, &s, world());
+        let svc = SpatialService::start(config, &r, &s, world());
+        {
+            let state = svc.shared.snapshot.load();
+            assert!(state.r.is_compressed() && state.s.is_compressed());
+            assert!(state.r_tree.is_compressed());
+        }
+
+        for theta in [
+            ThetaOp::Overlaps,
+            ThetaOp::WithinDistance(2.0),
+            ThetaOp::ContainedIn,
+        ] {
+            for strategy in [Strategy::Sweep, Strategy::Partition, Strategy::Tree] {
+                if !strategy.supports(theta) {
+                    continue;
+                }
+                let req = Request::join(strategy, theta);
+                assert_eq!(
+                    svc.call(req.clone()).expect("ok").reply,
+                    exact.call(req).expect("ok").reply,
+                    "{} diverges under compression",
+                    strategy.name()
+                );
+            }
+        }
+
+        // Mutations keep the compressed snapshot consistent, and an
+        // oversized v2 frame is screened as TooLarge — identically on
+        // both apply modes (the rebuild path replays the same guard).
+        let fat = Geometry::Polygon(sj_geom::Polygon::regular(Point::new(30.0, 30.0), 4.0, 16));
+        let receipt = svc
+            .commit(
+                &WriteBatch::new()
+                    .insert(Side::R, 9000, fat.clone())
+                    .upsert(Side::S, 500, Geometry::Point(Point::new(1.0, 1.0)))
+                    .delete(Side::R, 1),
+            )
+            .expect("commit succeeds");
+        assert_eq!(
+            receipt.outcomes,
+            vec![
+                MutationOutcome::TooLarge,
+                MutationOutcome::Upserted { replaced: true },
+                MutationOutcome::Deleted,
+            ]
+        );
+        exact
+            .commit(
+                &WriteBatch::new()
+                    .upsert(Side::S, 500, Geometry::Point(Point::new(1.0, 1.0)))
+                    .delete(Side::R, 1),
+            )
+            .expect("commit succeeds");
+        let req = Request::join(Strategy::Sweep, ThetaOp::Overlaps);
+        assert_eq!(
+            svc.call(req.clone()).expect("ok").reply,
+            exact.call(req).expect("ok").reply,
+            "post-commit compressed join diverges"
+        );
     }
 }

@@ -226,6 +226,35 @@ print(f"    -> {len(series)} update series OK")
 PY
 rm -f /tmp/sj_bench_update_smoke.json
 
+echo "==> refine smoke (BENCH_refine.json schema validation)"
+# The compressed-geometry bench asserts byte-identical pairs and an
+# identical theta charge between the exact-decode and margin-governed
+# refinement paths internally; here its artifact schema is pinned:
+# exact vs margin series plus the decode-fraction field, all numeric,
+# with every decode fraction a valid probability.
+./target/release/refine_scaling --smoke --out /tmp/sj_bench_refine_smoke.json >/dev/null
+python3 - /tmp/sj_bench_refine_smoke.json <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+series = {s["label"]: s["points"] for s in doc["series"]}
+required = {
+    "exact_ms", "margin_ms", "exact_rps", "margin_rps",
+    "decode_fraction", "exact_physical_reads", "margin_physical_reads",
+}
+missing = required - series.keys()
+assert not missing, f"missing series: {sorted(missing)}"
+for label, points in series.items():
+    assert points, f"empty series {label!r}"
+    for x, y in points:
+        assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
+            f"non-numeric point in {label!r}: {(x, y)!r}"
+for x, f in series["decode_fraction"]:
+    assert 0.0 <= f <= 1.0, f"decode fraction {f} out of [0, 1] at n={x:g}"
+print(f"    -> {len(series)} refine series OK")
+PY
+rm -f /tmp/sj_bench_refine_smoke.json
+
 echo "==> committed-artifact gates (BENCH_service.json / BENCH_chaos.json)"
 # The committed artifacts are the repo's perf contract. Throughput must
 # not fall as the worker pool grows (the PR-6 tentpole: shared-nothing
@@ -294,6 +323,28 @@ assert inc_pages <= reb_pages, \
 print(f"    -> batch=1: incremental {inc:.0f} vs rebuild {reb:.0f} ups "
       f"({inc / reb:.1f}x), {inc_pages:.1f} vs {reb_pages:.1f} pages/op, "
       f"retained={retained:.0f} OK")
+PY
+
+echo "==> committed-artifact gate (BENCH_refine.json)"
+# The PR-9 tentpole contract: on the committed run, margin-governed
+# refinement over compressed pages must match or beat exact-decode
+# refinement in refinements/sec at n=16k, and the decode fraction must
+# be strictly below 1.0 — the margin test actually resolves pairs
+# rather than punting every candidate to an exact decode.
+python3 - BENCH_refine.json <<'PY'
+import json, sys
+
+ref = {s["label"]: dict(s["points"]) for s in json.load(open(sys.argv[1]))["series"]}
+exact = ref["exact_rps"][16000]
+margin = ref["margin_rps"][16000]
+assert margin >= exact, \
+    f"margin {margin:.0f} rps < exact {exact:.0f} rps at n=16k"
+frac = ref["decode_fraction"][16000]
+assert 0.0 <= frac < 1.0, \
+    f"decode fraction {frac} at n=16k: the margin test resolved nothing"
+reads = ref["margin_physical_reads"][16000] / ref["exact_physical_reads"][16000]
+print(f"    -> margin beats exact at n=16k: +{margin / exact - 1:.1%} rps, "
+      f"decode fraction {frac:.2e}, {reads:.2f}x the physical reads")
 PY
 
 echo "==> no-alloc grep gate (soa.rs mask kernels)"
