@@ -181,10 +181,138 @@ pub fn auto_chooser<'a>(
     seed: u64,
 ) -> impl Fn(ThetaOp, &mut BufferPool) -> Result<sj_joins::Strategy, StorageError> + 'a {
     move |theta, pool| {
+        if r.is_empty() || s.is_empty() {
+            // An empty operand makes every join empty, and the sampler
+            // needs tuples to draw — dispatch the universally-applicable
+            // strategy I without estimating. Empty operands are routine
+            // under sharding, where a shard may own no slice of one side.
+            return Ok(sj_joins::Strategy::NestedLoop);
+        }
         let mut profile = base;
         profile.operation = Operation::Join;
         profile.selectivity = try_estimate_selectivity(pool, r, s, theta, samples, seed)?;
         Ok(choose_join_strategy(&profile, theta))
+    }
+}
+
+/// Online feedback for `Strategy::Auto`: the §4 cost model predicts, the
+/// observed phase totals correct.
+///
+/// The static scoreboard assumes the model's data distribution; a skewed
+/// shard can make its prediction arbitrarily wrong. `AdaptiveAdvisor`
+/// keeps a per-(θ-family, strategy) running mean of observed execution
+/// cost (microseconds of sj-obs phase wall-clock, or any monotone cost
+/// proxy) and chooses with a deterministic explore-then-exploit policy:
+///
+/// 1. the static model's pick runs first (no observations yet);
+/// 2. while any supporting candidate is unobserved, the first unobserved
+///    one (in [`CANDIDATES`](Self::CANDIDATES) order) runs next;
+/// 3. once every candidate has been observed, the one with the lowest
+///    mean observed cost wins (ties break in candidate order).
+///
+/// Repeated requests against a shard where the model mispredicts thus
+/// migrate off the mispredicted strategy after at most
+/// `CANDIDATES.len()` requests, without any wall-clock dependence in the
+/// decision itself — the policy is a pure function of the observation
+/// history, so replays are deterministic.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAdvisor {
+    profile: WorkloadProfile,
+    /// Running (mean cost, observation count) per θ-family × strategy.
+    observed: std::collections::HashMap<(&'static str, sj_joins::Strategy), (f64, u64)>,
+}
+
+impl AdaptiveAdvisor {
+    /// The strategies the feedback loop arbitrates between: the three §4
+    /// executor strategies the static model can name, plus the
+    /// partition-parallel executor, which the §4 formulas do not score
+    /// but which shard-local skew often favors.
+    pub const CANDIDATES: [sj_joins::Strategy; 4] = [
+        sj_joins::Strategy::Tree,
+        sj_joins::Strategy::JoinIndex,
+        sj_joins::Strategy::Partition,
+        sj_joins::Strategy::NestedLoop,
+    ];
+
+    /// A fresh advisor with no observations; `profile` seeds the static
+    /// model used for the very first pick of each θ-family.
+    pub fn new(profile: WorkloadProfile) -> Self {
+        AdaptiveAdvisor {
+            profile,
+            observed: std::collections::HashMap::new(),
+        }
+    }
+
+    /// θ-families share observations: two `WithinDistance` requests with
+    /// different bounds exercise the same executor paths, so their costs
+    /// pool. Keyed by the operator family, parameters ignored.
+    fn theta_key(theta: ThetaOp) -> &'static str {
+        match theta {
+            ThetaOp::WithinCenterDistance(_) => "within_center_distance",
+            ThetaOp::WithinDistance(_) => "within_distance",
+            ThetaOp::Overlaps => "overlaps",
+            ThetaOp::Includes => "includes",
+            ThetaOp::ContainedIn => "contained_in",
+            ThetaOp::DirectionOf(_) => "direction_of",
+            ThetaOp::ReachableWithin { .. } => "reachable_within",
+            ThetaOp::Adjacent => "adjacent",
+        }
+    }
+
+    /// Record an observed execution cost for `strategy` on `theta`'s
+    /// family. `cost_us` is typically the sj-obs phase total (or
+    /// `Response::exec_us`) of a completed run.
+    pub fn observe(&mut self, theta: ThetaOp, strategy: sj_joins::Strategy, cost_us: u64) {
+        let entry = self
+            .observed
+            .entry((Self::theta_key(theta), strategy))
+            .or_insert((0.0, 0));
+        entry.1 += 1;
+        entry.0 += (cost_us as f64 - entry.0) / entry.1 as f64;
+    }
+
+    /// Total observations recorded for `theta`'s family.
+    pub fn observations(&self, theta: ThetaOp) -> u64 {
+        Self::CANDIDATES
+            .iter()
+            .filter_map(|s| self.observed.get(&(Self::theta_key(theta), *s)))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The concrete strategy `Auto` should dispatch for `theta` given
+    /// the history so far (see the type docs for the policy). Always
+    /// returns a strategy that [`supports`](sj_joins::Strategy::supports)
+    /// the operator.
+    pub fn choose(&self, theta: ThetaOp) -> sj_joins::Strategy {
+        let key = Self::theta_key(theta);
+        let supported: Vec<sj_joins::Strategy> = Self::CANDIDATES
+            .iter()
+            .copied()
+            .filter(|s| s.supports(theta))
+            .collect();
+        let static_pick = choose_join_strategy(&self.profile, theta);
+        // Phase 1: trust the model until it has been measured once.
+        if supported.contains(&static_pick) && !self.observed.contains_key(&(key, static_pick)) {
+            return static_pick;
+        }
+        // Phase 2: measure the remaining candidates.
+        if let Some(unexplored) = supported
+            .iter()
+            .find(|s| !self.observed.contains_key(&(key, **s)))
+        {
+            return *unexplored;
+        }
+        // Phase 3: exploit the lowest observed mean.
+        supported
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                let ca = self.observed[&(key, *a)].0;
+                let cb = self.observed[&(key, *b)].0;
+                ca.partial_cmp(&cb).expect("finite observed costs")
+            })
+            .unwrap_or(sj_joins::Strategy::NestedLoop)
     }
 }
 
@@ -402,6 +530,96 @@ mod tests {
         let resolved = exec.resolved_strategy();
         assert_ne!(resolved, Strategy::Auto);
         assert!(resolved.supports(theta));
+    }
+
+    #[test]
+    fn auto_chooser_handles_empty_relations() {
+        let mut pool = BufferPool::new(Disk::new(DiskConfig::paper()), 16);
+        let empty = StoredRelation::build(&mut pool, &[], 300, Layout::Clustered);
+        let full = StoredRelation::build(
+            &mut pool,
+            &[(1, Geometry::Point(Point::new(1.0, 2.0)))],
+            300,
+            Layout::Clustered,
+        );
+        let base = profile(Operation::Join, Distribution::Uniform, 0.0, 0.0);
+        for (r, s) in [(&empty, &full), (&full, &empty), (&empty, &empty)] {
+            let chooser = auto_chooser(base, r, s, 64, 1);
+            let got = chooser(ThetaOp::Overlaps, &mut pool).unwrap();
+            assert_eq!(got, sj_joins::Strategy::NestedLoop);
+        }
+    }
+
+    #[test]
+    fn adaptive_advisor_starts_from_the_static_model() {
+        // Static low-selectivity joins pick the join index; with no
+        // observations the adaptive advisor must agree.
+        let adv = AdaptiveAdvisor::new(profile(Operation::Join, Distribution::Uniform, 1e-11, 0.0));
+        assert_eq!(adv.choose(ThetaOp::Overlaps), sj_joins::Strategy::JoinIndex);
+        assert_eq!(adv.observations(ThetaOp::Overlaps), 0);
+    }
+
+    #[test]
+    fn adaptive_advisor_migrates_off_a_mispredicted_strategy() {
+        use sj_joins::Strategy;
+        // The model insists on the join index; observations say the tree
+        // is 10× cheaper. After the exploration round the advisor must
+        // settle on the tree and stay there.
+        let p = profile(Operation::Join, Distribution::Uniform, 1e-11, 0.0);
+        let mut adv = AdaptiveAdvisor::new(p);
+        let theta = ThetaOp::Overlaps;
+        assert_eq!(adv.choose(theta), Strategy::JoinIndex);
+        // Feed deterministic synthetic costs: run whatever it picks,
+        // observe JoinIndex as expensive and everything else per table.
+        let cost = |s: Strategy| match s {
+            Strategy::JoinIndex => 10_000,
+            Strategy::Tree => 1_000,
+            Strategy::Partition => 4_000,
+            Strategy::NestedLoop => 8_000,
+            _ => unreachable!("not a candidate"),
+        };
+        for _ in 0..AdaptiveAdvisor::CANDIDATES.len() {
+            let pick = adv.choose(theta);
+            adv.observe(theta, pick, cost(pick));
+        }
+        // Exploration visited every candidate exactly once…
+        assert_eq!(
+            adv.observations(theta),
+            AdaptiveAdvisor::CANDIDATES.len() as u64
+        );
+        // …and exploitation now prefers the empirically cheapest.
+        assert_eq!(adv.choose(theta), Strategy::Tree);
+        // More consistent observations do not destabilize the choice.
+        adv.observe(theta, Strategy::Tree, 1_100);
+        adv.observe(theta, Strategy::JoinIndex, 9_000);
+        assert_eq!(adv.choose(theta), Strategy::Tree);
+    }
+
+    #[test]
+    fn adaptive_advisor_keys_by_theta_family() {
+        use sj_joins::Strategy;
+        let p = profile(Operation::Join, Distribution::Uniform, 1e-6, 0.0);
+        let mut adv = AdaptiveAdvisor::new(p);
+        // Observations under within-distance(5) pool with
+        // within-distance(50)…
+        adv.observe(ThetaOp::WithinDistance(5.0), Strategy::Tree, 100);
+        assert_eq!(adv.observations(ThetaOp::WithinDistance(50.0)), 1);
+        // …but not with a different operator family.
+        assert_eq!(adv.observations(ThetaOp::Overlaps), 0);
+    }
+
+    #[test]
+    fn adaptive_advisor_respects_operator_support() {
+        // DirectionOf is unsupported by some executors; whatever the
+        // history, the choice must support the operator.
+        let p = profile(Operation::Join, Distribution::Uniform, 1e-2, 0.0);
+        let mut adv = AdaptiveAdvisor::new(p);
+        let theta = ThetaOp::DirectionOf(sj_geom::Direction::NorthWest);
+        for _ in 0..8 {
+            let pick = adv.choose(theta);
+            assert!(pick.supports(theta), "{pick:?} cannot run {theta:?}");
+            adv.observe(theta, pick, 500);
+        }
     }
 
     #[test]

@@ -29,19 +29,58 @@ pub struct GridConfig {
 }
 
 impl GridConfig {
-    fn cell_span(&self, mbr: &Rect) -> Option<(u32, u32, u32, u32)> {
-        let clipped = self.world.intersection(mbr)?;
+    /// Cells spanned by `mbr`, after clamping it into the world.
+    ///
+    /// Out-of-world extents clamp to the border cells (the same
+    /// saturating convention as `parallel::TileGrid`) instead of being
+    /// dropped: a silent drop is benign when the world genuinely bounds
+    /// the data, but becomes a wrong answer the moment this executor
+    /// serves one shard of a larger federation whose world estimate is
+    /// stale. Callers that care can count strays via
+    /// [`GridConfig::outside_world`].
+    fn cell_span(&self, mbr: &Rect) -> (u32, u32, u32, u32) {
         let w = self.world.width() / self.nx as f64;
         let h = self.world.height() / self.ny as f64;
-        let cx0 = (((clipped.lo.x - self.world.lo.x) / w).floor() as i64)
-            .clamp(0, (self.nx - 1) as i64) as u32;
-        let cy0 = (((clipped.lo.y - self.world.lo.y) / h).floor() as i64)
-            .clamp(0, (self.ny - 1) as i64) as u32;
-        let cx1 = (((clipped.hi.x - self.world.lo.x) / w).floor() as i64)
-            .clamp(0, (self.nx - 1) as i64) as u32;
-        let cy1 = (((clipped.hi.y - self.world.lo.y) / h).floor() as i64)
-            .clamp(0, (self.ny - 1) as i64) as u32;
-        Some((cx0, cy0, cx1, cy1))
+        let lo_x = mbr.lo.x.clamp(self.world.lo.x, self.world.hi.x);
+        let lo_y = mbr.lo.y.clamp(self.world.lo.y, self.world.hi.y);
+        let hi_x = mbr.hi.x.clamp(self.world.lo.x, self.world.hi.x);
+        let hi_y = mbr.hi.y.clamp(self.world.lo.y, self.world.hi.y);
+        let cx0 =
+            (((lo_x - self.world.lo.x) / w).floor() as i64).clamp(0, (self.nx - 1) as i64) as u32;
+        let cy0 =
+            (((lo_y - self.world.lo.y) / h).floor() as i64).clamp(0, (self.ny - 1) as i64) as u32;
+        let cx1 =
+            (((hi_x - self.world.lo.x) / w).floor() as i64).clamp(0, (self.nx - 1) as i64) as u32;
+        let cy1 =
+            (((hi_y - self.world.lo.y) / h).floor() as i64).clamp(0, (self.ny - 1) as i64) as u32;
+        (cx0, cy0, cx1, cy1)
+    }
+
+    /// True when any part of `mbr` lies outside the world rectangle —
+    /// the object still participates in the join (clamped to border
+    /// cells) but is reported in [`OutsideWorld`].
+    fn outside_world(&self, mbr: &Rect) -> bool {
+        !(self.world.contains_point(&mbr.lo) && self.world.contains_point(&mbr.hi))
+    }
+}
+
+/// Count of objects whose MBR extends beyond the configured world rect,
+/// per relation side. Such objects are clamped to border cells rather
+/// than dropped, so join results stay exact; a non-zero count tells the
+/// caller (e.g. the shard router) that its world estimate is stale and
+/// should be re-derived from the relations' true MBR union.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutsideWorld {
+    /// Out-of-world objects in `R`.
+    pub r: u64,
+    /// Out-of-world objects in `S`.
+    pub s: u64,
+}
+
+impl OutsideWorld {
+    /// Total stray objects across both sides.
+    pub fn total(&self) -> u64 {
+        self.r + self.s
     }
 }
 
@@ -101,6 +140,22 @@ pub fn try_grid_join_traced(
     theta: ThetaOp,
     trace: &mut TraceSink,
 ) -> Result<JoinRun, StorageError> {
+    try_grid_join_counted(pool, r, s, config, theta, trace).map(|(run, _)| run)
+}
+
+/// [`try_grid_join_traced`] that also reports how many objects had to be
+/// clamped into the world (see [`OutsideWorld`]). When the count is
+/// non-zero a `grid/outside_world` span is emitted with per-side
+/// counters so the stray objects are visible in traces, not just to
+/// callers of this typed API.
+pub fn try_grid_join_counted(
+    pool: &mut BufferPool,
+    r: &StoredRelation,
+    s: &StoredRelation,
+    config: GridConfig,
+    theta: ThetaOp,
+    trace: &mut TraceSink,
+) -> Result<(JoinRun, OutsideWorld), StorageError> {
     let slack = filter_slack(theta).unwrap_or_else(|| {
         panic!("grid join cannot support {theta:?}: its filter region is unbounded")
     });
@@ -108,6 +163,7 @@ pub fn try_grid_join_traced(
     timer.enter(Phase::Partition);
     let window = pool.stats();
     let mut run = JoinRun::default();
+    let mut outside = OutsideWorld::default();
     let mut partition = ExecStats {
         passes: 1,
         ..Default::default()
@@ -116,15 +172,18 @@ pub fn try_grid_join_traced(
     let r_rows = r.try_scan(pool)?;
     let s_rows = s.try_scan(pool)?;
 
-    // Bucket S by cell.
+    // Bucket S by cell; out-of-world objects clamp to border cells.
     let cells = (config.nx as usize) * (config.ny as usize);
     let mut s_cells: Vec<Vec<usize>> = vec![Vec::new(); cells];
     for (idx, (_, g)) in s_rows.iter().enumerate() {
-        if let Some((x0, y0, x1, y1)) = config.cell_span(&g.mbr()) {
-            for cy in y0..=y1 {
-                for cx in x0..=x1 {
-                    s_cells[(cy * config.nx + cx) as usize].push(idx);
-                }
+        let mbr = g.mbr();
+        if config.outside_world(&mbr) {
+            outside.s += 1;
+        }
+        let (x0, y0, x1, y1) = config.cell_span(&mbr);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                s_cells[(cy * config.nx + cx) as usize].push(idx);
             }
         }
     }
@@ -133,17 +192,20 @@ pub fn try_grid_join_traced(
     run.phases.record(Phase::Partition, partition);
 
     // Probe with R, expanding by the filter slack so distance matches
-    // land in a shared cell.
+    // land in a shared cell. Strays are counted on the raw MBR — the
+    // slack expansion legitimately pokes past the world near borders.
     timer.enter(Phase::Filter);
     let mut candidates: HashSet<(usize, usize)> = HashSet::new();
     for (r_idx, (_, g)) in r_rows.iter().enumerate() {
-        let probe = g.mbr().expand(slack);
-        if let Some((x0, y0, x1, y1)) = config.cell_span(&probe) {
-            for cy in y0..=y1 {
-                for cx in x0..=x1 {
-                    for &s_idx in &s_cells[(cy * config.nx + cx) as usize] {
-                        candidates.insert((r_idx, s_idx));
-                    }
+        let mbr = g.mbr();
+        if config.outside_world(&mbr) {
+            outside.r += 1;
+        }
+        let (x0, y0, x1, y1) = config.cell_span(&mbr.expand(slack));
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                for &s_idx in &s_cells[(cy * config.nx + cx) as usize] {
+                    candidates.insert((r_idx, s_idx));
                 }
             }
         }
@@ -164,7 +226,14 @@ pub fn try_grid_join_traced(
     timer.stop();
     run.phases.record(Phase::Refine, refine);
     run.seal("grid", &timer, trace);
-    Ok(run)
+    if outside.total() > 0 {
+        trace.emit(
+            "grid/outside_world",
+            0,
+            &[("r_outside", outside.r), ("s_outside", outside.s)],
+        );
+    }
+    Ok((run, outside))
 }
 
 #[cfg(test)]
@@ -284,17 +353,75 @@ mod tests {
         );
     }
 
+    /// Regression (sharding bugfix sweep): objects outside the
+    /// configured world used to be silently dropped — benign when the
+    /// world truly bounds the data, a wrong answer once the world is a
+    /// stale estimate. They are now clamped to border cells, the join
+    /// stays exact against nested loop, and the strays are reported in
+    /// the typed [`OutsideWorld`] count.
     #[test]
-    fn objects_outside_world_are_ignored() {
+    fn objects_outside_world_are_clamped_not_dropped() {
         let mut p = pool();
+        // Both tuples live entirely outside the 100×100 world and
+        // overlap each other; the old intersection-based bucketing
+        // dropped both and returned no pairs.
         let r = StoredRelation::build(
             &mut p,
-            &[(0, Geometry::Point(Point::new(500.0, 500.0)))],
+            &[
+                (
+                    0,
+                    Geometry::Rect(Rect::from_bounds(150.0, 150.0, 160.0, 160.0)),
+                ),
+                (1, Geometry::Point(Point::new(50.0, 50.0))),
+            ],
             300,
             Layout::Clustered,
         );
-        let s = points_rel(&mut p, 2, 10.0, 100);
-        let run = grid_join(&mut p, &r, &s, cfg(), ThetaOp::Overlaps);
-        assert!(run.pairs.is_empty());
+        let s = StoredRelation::build(
+            &mut p,
+            &[
+                (
+                    100,
+                    Geometry::Rect(Rect::from_bounds(155.0, 155.0, 165.0, 165.0)),
+                ),
+                (101, Geometry::Point(Point::new(-20.0, 50.0))),
+                (102, Geometry::Point(Point::new(50.0, 50.0))),
+            ],
+            300,
+            Layout::Clustered,
+        );
+        for theta in [ThetaOp::Overlaps, ThetaOp::WithinDistance(10.0)] {
+            let (run, outside) =
+                try_grid_join_counted(&mut p, &r, &s, cfg(), theta, &mut TraceSink::Null).unwrap();
+            let mut got = run.pairs;
+            got.sort_unstable();
+            let mut want = nested_loop_join(&mut p, &r, &s, theta).pairs;
+            want.sort_unstable();
+            assert_eq!(got, want, "{theta:?}");
+            assert!(
+                got.contains(&(0, 100)),
+                "out-of-world overlap must be found ({theta:?})"
+            );
+            assert_eq!(outside, OutsideWorld { r: 1, s: 2 }, "{theta:?}");
+            assert_eq!(outside.total(), 3);
+        }
+    }
+
+    /// Fully in-world data reports a zero stray count.
+    #[test]
+    fn outside_world_count_is_zero_for_in_world_data() {
+        let mut p = pool();
+        let r = points_rel(&mut p, 4, 10.0, 0);
+        let s = points_rel(&mut p, 4, 10.0, 1000);
+        let (_, outside) = try_grid_join_counted(
+            &mut p,
+            &r,
+            &s,
+            cfg(),
+            ThetaOp::Overlaps,
+            &mut TraceSink::Null,
+        )
+        .unwrap();
+        assert_eq!(outside, OutsideWorld::default());
     }
 }

@@ -74,7 +74,7 @@ pub use join_index::JoinIndex;
 pub use local_index::LocalJoinIndex;
 pub use mutation::{ApplyMode, Mutation, MutationOutcome, Side, TouchedRegions, WriteBatch};
 pub use paged_tree::{ClusterOrder, CodecMode, PagedTree, TreeRelation};
-pub use parallel::{parallel_tree_join, partition_join, Parallelism};
+pub use parallel::{parallel_tree_join, partition_join, tiles_per_axis, Parallelism, TileGrid};
 pub use refine::MarginRefiner;
 pub use relation::StoredRelation;
 pub use sj_obs::{Phase, PhaseTimer, TraceEvent, TraceSink};

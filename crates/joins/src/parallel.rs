@@ -87,8 +87,22 @@ impl Parallelism {
 /// tile range and any interior point's tile are always consistent — the
 /// property the reference-point rule relies on (no floating-point
 /// boundary disagreements).
+///
+/// The boundary convention is **half-open with a saturating last tile**:
+/// tile `k` along an axis covers `[origin + k·w, origin + (k+1)·w)`, so a
+/// coordinate exactly on the edge shared by tiles `k-1` and `k` belongs
+/// to `k` — except the world's max edge, which saturates into the last
+/// tile (and so do coordinates beyond the world, in either direction).
+/// Every coordinate therefore maps to exactly one tile; a reference
+/// point landing exactly on a shared tile edge is owned by exactly one
+/// tile under both the threaded and the sharded execution paths. Pinned
+/// by `tile_boundary_convention_is_half_open` below.
+///
+/// `pub` because the shard router (`sj-shard`) reuses the same grid and
+/// the same convention for its tile-shard decomposition — the two layers
+/// must agree on ownership or boundary pairs get duplicated or lost.
 #[derive(Debug, Clone, Copy)]
-struct TileGrid {
+pub struct TileGrid {
     origin: Point,
     tile_w: f64,
     tile_h: f64,
@@ -97,7 +111,8 @@ struct TileGrid {
 }
 
 impl TileGrid {
-    fn new(world: Rect, tiles_x: usize, tiles_y: usize) -> Self {
+    /// Grid of `tiles_x × tiles_y` tiles covering `world`.
+    pub fn new(world: Rect, tiles_x: usize, tiles_y: usize) -> Self {
         let tile_w = (world.hi.x - world.lo.x) / tiles_x as f64;
         let tile_h = (world.hi.y - world.lo.y) / tiles_y as f64;
         TileGrid {
@@ -109,11 +124,28 @@ impl TileGrid {
         }
     }
 
-    fn len(&self) -> usize {
+    /// Total number of tiles.
+    pub fn len(&self) -> usize {
         self.tiles_x * self.tiles_y
     }
 
-    fn tile_x_of(&self, x: f64) -> usize {
+    /// True for a degenerate zero-tile grid (never produced by `new`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tiles along x.
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Tiles along y.
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Column of `x` under the half-open convention (see type docs).
+    pub fn tile_x_of(&self, x: f64) -> usize {
         if self.tile_w <= 0.0 {
             return 0;
         }
@@ -122,7 +154,8 @@ impl TileGrid {
         (t as usize).min(self.tiles_x - 1)
     }
 
-    fn tile_y_of(&self, y: f64) -> usize {
+    /// Row of `y` under the half-open convention (see type docs).
+    pub fn tile_y_of(&self, y: f64) -> usize {
         if self.tile_h <= 0.0 {
             return 0;
         }
@@ -130,12 +163,28 @@ impl TileGrid {
         (t as usize).min(self.tiles_y - 1)
     }
 
-    fn tile_of_point(&self, p: Point) -> usize {
+    /// The unique tile owning `p` (row-major index).
+    pub fn tile_of_point(&self, p: Point) -> usize {
         self.tile_y_of(p.y) * self.tiles_x + self.tile_x_of(p.x)
     }
 
+    /// The closed rectangle of tile `t` (row-major). Adjacent tiles share
+    /// their edges; ownership of shared edges follows the half-open maps
+    /// above, not this rectangle.
+    pub fn tile_rect(&self, t: usize) -> Rect {
+        assert!(t < self.len(), "tile index {t} out of range");
+        let tx = (t % self.tiles_x) as f64;
+        let ty = (t / self.tiles_x) as f64;
+        Rect::from_bounds(
+            self.origin.x + tx * self.tile_w,
+            self.origin.y + ty * self.tile_h,
+            self.origin.x + (tx + 1.0) * self.tile_w,
+            self.origin.y + (ty + 1.0) * self.tile_h,
+        )
+    }
+
     /// Indices of every tile the rectangle overlaps.
-    fn tiles_overlapping(&self, r: &Rect) -> impl Iterator<Item = usize> + '_ {
+    pub fn tiles_overlapping(&self, r: &Rect) -> impl Iterator<Item = usize> + '_ {
         let x0 = self.tile_x_of(r.lo.x);
         let x1 = self.tile_x_of(r.hi.x);
         let y0 = self.tile_y_of(r.lo.y);
@@ -150,7 +199,17 @@ impl TileGrid {
 /// chunk builds, while a tile's SoA working set stays cache-resident.
 /// Depends only on the data — never on the thread count — which keeps
 /// comparison totals invariant under parallelism.
-fn tiles_per_axis(total_tuples: usize) -> usize {
+///
+/// Clamped to `[2, 64]`: tiny inputs (including zero tuples) still get a
+/// 2×2 grid rather than a degenerate 1-tile or n×1 decomposition, and
+/// huge inputs stop at 64×64 tiles. The clamp bounds the *count* only —
+/// a skewed dataset can still concentrate every tuple in one tile, which
+/// this static heuristic cannot see. Occupancy-driven skew handling is
+/// deliberately NOT done here: the shard router (`sj-shard`) recursively
+/// quad-splits overfull tiles from observed occupancy instead, keeping
+/// this function a pure, data-size-only map (pinned by
+/// `tiles_per_axis_is_clamped_and_monotone`).
+pub fn tiles_per_axis(total_tuples: usize) -> usize {
     ((total_tuples as f64 / 512.0).sqrt().ceil() as usize).clamp(2, 64)
 }
 
@@ -1097,5 +1156,134 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![0]
         );
+    }
+
+    /// Satellite audit: the boundary convention is half-open — a
+    /// coordinate exactly on the edge shared by tiles k-1 and k belongs
+    /// to tile k, except the world's max edge which saturates into the
+    /// last tile. This is the convention the reference-point rule and the
+    /// shard router both rely on for single-ownership of boundary pairs.
+    #[test]
+    fn tile_boundary_convention_is_half_open() {
+        let grid = TileGrid::new(Rect::from_bounds(0.0, 0.0, 100.0, 100.0), 10, 10);
+        // Interior shared edge x = 30 belongs to the higher tile (3).
+        assert_eq!(grid.tile_x_of(30.0), 3);
+        assert_eq!(grid.tile_x_of(30.0 - 1e-9), 2);
+        assert_eq!(grid.tile_y_of(70.0), 7);
+        assert_eq!(grid.tile_y_of(70.0 - 1e-9), 6);
+        // The world's min edge opens the first tile.
+        assert_eq!(grid.tile_x_of(0.0), 0);
+        // The world's max edge has no higher tile: it saturates into the
+        // last one instead of falling off the grid.
+        assert_eq!(grid.tile_x_of(100.0), 9);
+        assert_eq!(grid.tile_y_of(100.0), 9);
+        // Out-of-world coordinates clamp to the border tiles.
+        assert_eq!(grid.tile_x_of(-5.0), 0);
+        assert_eq!(grid.tile_x_of(250.0), 9);
+        assert_eq!(grid.tile_y_of(f64::NAN), 0);
+    }
+
+    /// A reference point landing exactly on a shared tile edge (or
+    /// corner) is owned by exactly one tile, and that tile is always in
+    /// the overlap range of any rect containing the point — so exactly
+    /// one worker/shard emits the pair.
+    #[test]
+    fn boundary_reference_point_has_exactly_one_owner() {
+        let grid = TileGrid::new(Rect::from_bounds(0.0, 0.0, 100.0, 100.0), 10, 10);
+        for p in [
+            Point::new(30.0, 50.0),   // on a vertical shared edge
+            Point::new(50.0, 30.0),   // on a horizontal shared edge
+            Point::new(30.0, 30.0),   // on a shared corner
+            Point::new(0.0, 0.0),     // world min corner
+            Point::new(100.0, 100.0), // world max corner
+            Point::new(100.0, 40.0),  // world max edge, interior row
+        ] {
+            let owner = grid.tile_of_point(p);
+            // Every tile whose closed rect contains p must include the
+            // owner in its overlap set; counting owners across the whole
+            // grid via tile_of_point yields exactly one by construction,
+            // so instead verify consistency: any rect touching p covers
+            // the owner tile.
+            let probe = Rect::from_bounds(p.x, p.y, p.x, p.y);
+            let covering: Vec<usize> = grid.tiles_overlapping(&probe).collect();
+            assert_eq!(covering, vec![owner], "point {p:?}");
+        }
+    }
+
+    /// Reference points engineered to land exactly on shared tile edges:
+    /// the parallel join must still match nested loop with no duplicates.
+    /// With 16 tuples total, `tiles_per_axis` clamps to 2, so the grid
+    /// lines of the union world [0,100]² sit at x = 50 / y = 50; the S
+    /// rects start exactly there, putting each intersection's lo corner
+    /// (the reference point) exactly on a shared edge or corner.
+    #[test]
+    fn partition_join_exact_on_boundary_reference_points() {
+        let mut p = pool(64);
+        let r_rects = [
+            (0.0, 0.0, 50.0, 50.0), // the four quadrants pin the world to [0,100]²
+            (50.0, 0.0, 100.0, 50.0),
+            (0.0, 50.0, 50.0, 100.0),
+            (50.0, 50.0, 100.0, 100.0),
+            (25.0, 25.0, 50.0, 50.0), // hi corner exactly on the grid cross
+            (0.0, 25.0, 50.0, 75.0),
+            (25.0, 50.0, 75.0, 100.0),
+            (50.0, 25.0, 100.0, 75.0),
+        ];
+        let s_rects = [
+            (50.0, 50.0, 60.0, 60.0), // lo corner exactly on the grid cross
+            (50.0, 0.0, 60.0, 10.0),
+            (0.0, 50.0, 10.0, 60.0),
+            (50.0, 25.0, 100.0, 75.0),
+            (25.0, 50.0, 75.0, 100.0),
+            (50.0, 50.0, 100.0, 100.0),
+            (40.0, 50.0, 60.0, 70.0),
+            (50.0, 40.0, 70.0, 60.0),
+        ];
+        let r_tuples: Vec<(u64, Geometry)> = r_rects
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, c, d))| (i as u64, Geometry::Rect(Rect::from_bounds(a, b, c, d))))
+            .collect();
+        let s_tuples: Vec<(u64, Geometry)> = s_rects
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, c, d))| {
+                (
+                    1_000 + i as u64,
+                    Geometry::Rect(Rect::from_bounds(a, b, c, d)),
+                )
+            })
+            .collect();
+        let r = StoredRelation::build(&mut p, &r_tuples, 300, Layout::Clustered);
+        let s = StoredRelation::build(&mut p, &s_tuples, 300, Layout::Clustered);
+        for theta in [ThetaOp::Overlaps, ThetaOp::WithinDistance(5.0)] {
+            let want = sorted(nested_loop_join(&mut p, &r, &s, theta).pairs);
+            for threads in [1, 2, 4] {
+                let run = partition_join(&mut p, &r, &s, theta, Parallelism::with_threads(threads));
+                let mut got = run.pairs.clone();
+                let n_raw = got.len();
+                got.sort_unstable();
+                got.dedup();
+                assert_eq!(got.len(), n_raw, "boundary pair emitted twice ({theta:?})");
+                assert_eq!(got, want, "theta {theta:?} with {threads} threads");
+            }
+        }
+    }
+
+    /// Satellite fix: `tiles_per_axis` is clamped so tiny inputs never
+    /// degenerate to a single tile and huge inputs stop at 64 per axis.
+    #[test]
+    fn tiles_per_axis_is_clamped_and_monotone() {
+        assert_eq!(tiles_per_axis(0), 2);
+        assert_eq!(tiles_per_axis(1), 2);
+        assert_eq!(tiles_per_axis(511), 2);
+        assert_eq!(tiles_per_axis(usize::MAX / 2), 64);
+        let mut prev = 0;
+        for n in [0, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
+            let t = tiles_per_axis(n);
+            assert!((2..=64).contains(&t), "tiles_per_axis({n}) = {t}");
+            assert!(t >= prev, "tiles_per_axis not monotone at {n}");
+            prev = t;
+        }
     }
 }

@@ -236,6 +236,22 @@ impl TraceSink {
         }
     }
 
+    /// Fold another sink's events into this one, namespacing each span
+    /// as `prefix/original-span`. This is the merge operation of a
+    /// scatter-gather coordinator: per-shard sinks are recorded
+    /// independently, then absorbed into one stream as
+    /// `shard:3/grid/refine`-style spans, so a merged trace still
+    /// attributes every phase to the shard that ran it. Durations and
+    /// counters pass through unchanged; a no-op on `Null`.
+    pub fn absorb(&mut self, prefix: &str, events: &[TraceEvent]) {
+        if !self.is_enabled() {
+            return;
+        }
+        for ev in events {
+            self.emit(&format!("{prefix}/{}", ev.span), ev.dur_us, &ev.counters);
+        }
+    }
+
     pub fn flush(&mut self) -> io::Result<()> {
         match self {
             TraceSink::File(w) => w.flush(),
@@ -739,6 +755,35 @@ mod tests {
         assert_eq!(get("max"), 40);
         assert!(get("p50") >= 20);
         assert!(get("p99") >= get("p50"), "quantiles must be monotone");
+    }
+
+    #[test]
+    fn absorb_namespaces_spans_per_shard() {
+        let mut shard0 = TraceSink::vec();
+        shard0.emit("grid/refine", 7, &[("theta_evals", 3)]);
+        let mut shard1 = TraceSink::vec();
+        shard1.emit("grid/refine", 9, &[("theta_evals", 5)]);
+        shard1.emit("grid/outside_world", 0, &[("r_outside", 1)]);
+
+        let mut merged = TraceSink::vec();
+        merged.absorb("shard:0", shard0.events());
+        merged.absorb("shard:1", shard1.events());
+        let spans: Vec<&str> = merged.events().iter().map(|e| e.span.as_str()).collect();
+        assert_eq!(
+            spans,
+            [
+                "shard:0/grid/refine",
+                "shard:1/grid/refine",
+                "shard:1/grid/outside_world"
+            ]
+        );
+        // Durations and counters pass through unchanged.
+        assert_eq!(merged.events()[0].dur_us, 7);
+        assert_eq!(merged.events()[2].counters, vec![("r_outside", 1)]);
+        // Null sinks stay free: absorbing into one observes nothing.
+        let mut null = TraceSink::null();
+        null.absorb("shard:9", shard0.events());
+        assert!(null.events().is_empty());
     }
 
     #[test]

@@ -266,20 +266,16 @@ impl SpatialService {
     /// generalization trees) on a fresh paper-geometry disk and spawns
     /// the worker pool.
     ///
-    /// # Panics
-    ///
-    /// Panics if either relation is empty — the advisor's selectivity
-    /// estimator needs tuples to sample.
+    /// Empty relations are allowed: a shard-local instance may own no
+    /// slice of one (or either) side of the data, in which case joins
+    /// and selects simply return empty results and `Auto` dispatch skips
+    /// selectivity sampling (the estimator needs tuples to draw).
     pub fn start(
         config: ServiceConfig,
         r_tuples: &[(u64, Geometry)],
         s_tuples: &[(u64, Geometry)],
         world: Rect,
     ) -> Self {
-        assert!(
-            !r_tuples.is_empty() && !s_tuples.is_empty(),
-            "service operands must be non-empty"
-        );
         let workers = config.workers.max(1);
         let state = build_state(&config, r_tuples, s_tuples, world, 0);
         let shared = Arc::new(Shared {

@@ -1,0 +1,98 @@
+//! The shard transport: how the router talks to shard endpoints.
+//!
+//! [`Transport`] abstracts the call surface a shard exposes — submit a
+//! query, commit a write batch, export metrics — behind shard indices,
+//! so the router never holds a `SpatialService` directly. The only
+//! implementation today is [`LocalTransport`] (every shard is an
+//! in-process service); a socket transport can slot in later by
+//! implementing the same trait over a wire protocol, with the
+//! `Receiver` end fed by a reader thread. The router's merge logic is
+//! transport-agnostic by construction.
+
+use std::sync::mpsc::Receiver;
+
+use sj_joins::WriteBatch;
+use sj_obs::TraceSink;
+use sj_service::{
+    CommitReceipt, Rejection, Reply, Request, ServiceMetrics, ServiceResult, SpatialService,
+};
+
+/// A set of shard endpoints the router can scatter over.
+///
+/// Submissions are asynchronous: `submit` returns a receiver so the
+/// router can fan a request out to every target shard *before* blocking
+/// on any reply — the scatter half of scatter-gather. Commits are
+/// synchronous: durability (the shard's WAL sync) has happened by the
+/// time `commit` returns, which is what makes the router's global
+/// read-your-writes guarantee compose from per-shard guarantees.
+pub trait Transport: Send + Sync {
+    /// Number of shard endpoints (including any fallback shard).
+    fn shards(&self) -> usize;
+
+    /// Enqueue a request on one shard; the receiver yields its result.
+    fn submit(&self, shard: usize, req: Request) -> Result<Receiver<ServiceResult>, Rejection>;
+
+    /// Durably commit a write batch on one shard.
+    fn commit(&self, shard: usize, batch: &WriteBatch) -> Result<CommitReceipt, Rejection>;
+
+    /// Fault-free sequential oracle for one shard (testing/validation).
+    fn execute_reference(&self, shard: usize, req: &Request) -> Reply;
+
+    /// Merged metrics snapshot of one shard.
+    fn metrics(&self, shard: usize) -> ServiceMetrics;
+
+    /// Emit one shard's metrics as trace events into `sink` (unprefixed;
+    /// the router namespaces them on absorption).
+    fn emit_metrics(&self, shard: usize, sink: &mut TraceSink);
+
+    /// The shard's current dataset version.
+    fn version(&self, shard: usize) -> u64;
+}
+
+/// All shards are in-process [`SpatialService`] instances.
+pub struct LocalTransport {
+    services: Vec<SpatialService>,
+}
+
+impl LocalTransport {
+    /// Wraps a set of already-started shard services; index order is
+    /// shard-id order.
+    pub fn new(services: Vec<SpatialService>) -> Self {
+        LocalTransport { services }
+    }
+
+    /// Direct access to a shard's service (tests and local tooling).
+    pub fn service(&self, shard: usize) -> &SpatialService {
+        &self.services[shard]
+    }
+}
+
+impl Transport for LocalTransport {
+    fn shards(&self) -> usize {
+        self.services.len()
+    }
+
+    fn submit(&self, shard: usize, req: Request) -> Result<Receiver<ServiceResult>, Rejection> {
+        self.services[shard].submit(req)
+    }
+
+    fn commit(&self, shard: usize, batch: &WriteBatch) -> Result<CommitReceipt, Rejection> {
+        self.services[shard].commit(batch)
+    }
+
+    fn execute_reference(&self, shard: usize, req: &Request) -> Reply {
+        self.services[shard].execute_reference(req)
+    }
+
+    fn metrics(&self, shard: usize) -> ServiceMetrics {
+        self.services[shard].metrics()
+    }
+
+    fn emit_metrics(&self, shard: usize, sink: &mut TraceSink) {
+        self.services[shard].emit_metrics(sink);
+    }
+
+    fn version(&self, shard: usize) -> u64 {
+        self.services[shard].version()
+    }
+}

@@ -255,6 +255,56 @@ print(f"    -> {len(series)} refine series OK")
 PY
 rm -f /tmp/sj_bench_refine_smoke.json
 
+echo "==> shard smoke (BENCH_shard.json schema + shard-trace validation)"
+# The tile-sharded scatter-gather driver asserts zero divergence vs the
+# single-node replay internally; here its artifact schema is pinned
+# (throughput / single-node baseline / merged-phase / divergence /
+# duplicate / skew-split series, all numeric, divergence identically
+# zero) and the merged trace must namespace every shard's spans.
+./target/release/shard_scaling --smoke \
+    --out /tmp/sj_bench_shard_smoke.json \
+    --trace /tmp/sj_shard_trace_smoke.jsonl >/dev/null
+python3 - /tmp/sj_bench_shard_smoke.json /tmp/sj_shard_trace_smoke.jsonl <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+series = {s["label"]: s["points"] for s in doc["series"]}
+required = {
+    "throughput_rps", "single_node_rps", "exec_p95_us", "queue_p95_us",
+    "divergence", "duplicates_removed", "skew_splits",
+}
+missing = required - series.keys()
+assert not missing, f"missing series: {sorted(missing)}"
+for label, points in series.items():
+    assert points, f"empty series {label!r}"
+    for x, y in points:
+        assert isinstance(x, (int, float)) and isinstance(y, (int, float)), \
+            f"non-numeric point in {label!r}: {(x, y)!r}"
+shards = [x for x, _ in series["throughput_rps"]]
+assert shards == [1.0, 2.0, 4.0], f"shard counts {shards}"
+for x, y in series["divergence"]:
+    assert y == 0, f"scatter-gather diverged at {x:g} shards"
+
+# Shard trace: per-shard namespacing plus the router summary. The
+# router absorbs each shard's spans under shard:<i>/..., keeps the
+# whole-world fallback under shard:fallback/..., and appends its own
+# router/summary counters.
+spans = set()
+with open(sys.argv[2]) as f:
+    for line in f:
+        ev = json.loads(line)
+        for key in ("span", "dur_us", "counters"):
+            assert key in ev, f"missing {key!r}: {line!r}"
+        spans.add(ev["span"])
+assert "router/summary" in spans, "missing router/summary span"
+assert any(s.startswith("shard:0/") for s in spans), "missing shard:0/ spans"
+assert any(s.startswith("shard:fallback/") for s in spans), \
+    "missing shard:fallback/ spans"
+prefixed = {s.split("/", 1)[0] for s in spans if s.startswith("shard:")}
+print(f"    -> {len(series)} shard series + spans from {sorted(prefixed)} OK")
+PY
+rm -f /tmp/sj_bench_shard_smoke.json /tmp/sj_shard_trace_smoke.jsonl
+
 echo "==> committed-artifact gates (BENCH_service.json / BENCH_chaos.json)"
 # The committed artifacts are the repo's perf contract. Throughput must
 # not fall as the worker pool grows (the PR-6 tentpole: shared-nothing
@@ -345,6 +395,32 @@ assert 0.0 <= frac < 1.0, \
 reads = ref["margin_physical_reads"][16000] / ref["exact_physical_reads"][16000]
 print(f"    -> margin beats exact at n=16k: +{margin / exact - 1:.1%} rps, "
       f"decode fraction {frac:.2e}, {reads:.2f}x the physical reads")
+PY
+
+echo "==> committed-artifact gate (BENCH_shard.json)"
+# The PR-10 tentpole contract: on the committed run, the 4-shard
+# scatter-gather deployment must beat the single-node baseline at the
+# 16k scale, the shard curve must be monotone, divergence must be
+# identically zero, and occupancy-driven skew splitting must have
+# engaged somewhere on the curve.
+python3 - BENCH_shard.json <<'PY'
+import json, sys
+
+shard = {s["label"]: s["points"] for s in json.load(open(sys.argv[1]))["series"]}
+rps = shard["throughput_rps"]
+for (x0, y0), (x1, y1) in zip(rps, rps[1:]):
+    assert y1 >= y0, \
+        f"committed shard throughput fell {x0:g}->{x1:g} shards: {y0:.0f} -> {y1:.0f} rps"
+single = shard["single_node_rps"][0][1]
+top = rps[-1][1]
+assert top >= single, \
+    f"committed 4-shard throughput {top:.0f} rps lags single-node {single:.0f} rps"
+for x, y in shard["divergence"]:
+    assert y == 0, f"committed artifact shows divergence at {x:g} shards"
+assert any(y > 0 for _, y in shard["skew_splits"]), \
+    "no point on the committed curve engaged the occupancy quad-split"
+print(f"    -> shard curve {' -> '.join(f'{y:.0f}' for _, y in rps)} rps "
+      f"vs single-node {single:.0f} rps ({top / single:.1f}x), divergence 0 OK")
 PY
 
 echo "==> no-alloc grep gate (soa.rs mask kernels)"
